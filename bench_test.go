@@ -1,0 +1,273 @@
+package matchmake
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/experiments"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/sim"
+	"matchmake/internal/strategy"
+	"matchmake/internal/topology"
+)
+
+// benchExperiment regenerates one experiment per iteration, reporting the
+// number of result tables. Each benchmark corresponds to one paper
+// artifact; see DESIGN.md's experiment index.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	tables := 0
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		tables = len(out)
+	}
+	b.ReportMetric(float64(tables), "tables")
+}
+
+func BenchmarkE01Matrices(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE02Probabilistic(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE03LowerBounds(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE04Checkerboard(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE05Lifting(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE06Manhattan(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE07Hypercube(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE08CCC(b *testing.B)           { benchExperiment(b, "E8") }
+func BenchmarkE09Projective(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Hierarchy(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11UUCP(b *testing.B)          { benchExperiment(b, "E11") }
+func BenchmarkE12Lighthouse(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13Hash(b *testing.B)          { benchExperiment(b, "E13") }
+func BenchmarkE14Robustness(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15Ring(b *testing.B)          { benchExperiment(b, "E15") }
+func BenchmarkE16Weighted(b *testing.B)      { benchExperiment(b, "E16") }
+func BenchmarkE17Decomposition(b *testing.B) { benchExperiment(b, "E17") }
+func BenchmarkE18Families(b *testing.B)      { benchExperiment(b, "E18") }
+
+// Micro-benchmarks: steady-state locate costs per topology, reporting the
+// paper's cost measure (message passes) per operation.
+
+func benchLocate(b *testing.B, g *graph.Graph, strat rendezvous.Strategy) {
+	net, err := sim.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	sys, err := core.NewSystem(net, strat, core.Options{LocateTimeout: 2 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	server := graph.NodeID(g.N() / 3)
+	if _, err := sys.RegisterServer("bench", server); err != nil {
+		b.Fatal(err)
+	}
+	clients := make([]graph.NodeID, 16)
+	for i := range clients {
+		clients[i] = graph.NodeID((i * 7919) % g.N())
+	}
+	net.ResetCounters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Locate(clients[i%len(clients)], "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.Hops())/float64(b.N), "hops/op")
+	b.ReportMetric(2*math.Sqrt(float64(g.N())), "2√n")
+}
+
+func BenchmarkLocateCompleteCheckerboard(b *testing.B) {
+	benchLocate(b, topology.Complete(256), rendezvous.Checkerboard(256))
+}
+
+func BenchmarkLocateGridManhattan(b *testing.B) {
+	gr, err := topology.NewGrid(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLocate(b, gr.G, strategy.Manhattan(gr))
+}
+
+func BenchmarkLocateHypercubeHalf(b *testing.B) {
+	h, err := topology.NewHypercube(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := strategy.HalfCube(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLocate(b, h.G, s)
+}
+
+func BenchmarkLocateProjectivePlane(b *testing.B) {
+	p, err := topology.NewPlane(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLocate(b, p.G, strategy.PlaneLines(p))
+}
+
+func BenchmarkLocateRingBroadcast(b *testing.B) {
+	g, err := topology.Ring(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLocate(b, g, rendezvous.Broadcast(64))
+}
+
+func BenchmarkLocateDecompositionRandom(b *testing.B) {
+	g, err := topology.RandomConnected(144, 80, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := strategy.NewDecomposition(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLocate(b, g, d.Strategy())
+}
+
+// BenchmarkMatrixBuild measures the analysis path: materializing and
+// verifying a rendezvous matrix.
+func BenchmarkMatrixBuild(b *testing.B) {
+	for _, n := range []int{64, 144, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := rendezvous.Checkerboard(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := rendezvous.Build(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation benchmarks: quantify the design choices DESIGN.md calls out.
+
+// BenchmarkAblationPostMulticastVsUnicast compares the spanning-tree
+// flood used by the engine against naive per-target unicasts for the
+// Manhattan row posting: the flood pays q−1 hops, unicast Θ(q²).
+func BenchmarkAblationPostMulticastVsUnicast(b *testing.B) {
+	gr, err := topology.NewGrid(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := sim.New(gr.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	row := gr.Row(7)
+	src := gr.At(7, 8)
+
+	b.Run("multicast", func(b *testing.B) {
+		net.ResetCounters()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Multicast(src, row, "post"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.Drain()
+		b.ReportMetric(float64(net.Hops())/float64(b.N), "hops/op")
+	})
+	b.Run("unicast", func(b *testing.B) {
+		net.ResetCounters()
+		for i := 0; i < b.N; i++ {
+			for _, target := range row {
+				if err := net.Send(src, target, "post"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		net.Drain()
+		b.ReportMetric(float64(net.Hops())/float64(b.N), "hops/op")
+	})
+}
+
+// BenchmarkAblationRedundancy quantifies the §2.4 price of fault
+// tolerance: posting cost grows linearly with the rendezvous redundancy.
+func BenchmarkAblationRedundancy(b *testing.B) {
+	for _, r := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			net, err := sim.New(topology.Complete(64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			sys, err := core.NewSystem(net, rendezvous.RedundantCheckerboard(64, r), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := sys.RegisterServer("bench", 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.ResetCounters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := srv.Repost(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(net.Hops())/float64(b.N), "hops/op")
+		})
+	}
+}
+
+// BenchmarkAblationHierarchyDepth sweeps the E10 depth trade-off as a
+// benchmark: analytic per-locate message count by hierarchy shape.
+func BenchmarkAblationHierarchyDepth(b *testing.B) {
+	configs := map[string][]int{
+		"k=1": {256},
+		"k=2": {16, 16},
+		"k=4": {4, 4, 4, 4},
+	}
+	for name, fanouts := range configs {
+		b.Run(name, func(b *testing.B) {
+			h, err := topology.NewHierarchy(fanouts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := strategy.HierarchyGateways(h)
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = len(s.Post(5)) + len(s.Query(200))
+			}
+			b.ReportMetric(float64(msgs), "msgs/locate")
+		})
+	}
+}
+
+// BenchmarkPartition measures the Erdős √n decomposition.
+func BenchmarkPartition(b *testing.B) {
+	g, err := topology.RandomConnected(1024, 512, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := int(math.Ceil(math.Sqrt(float64(g.N()))))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.PartitionConnected(g, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

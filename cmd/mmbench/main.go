@@ -1,0 +1,94 @@
+// Command mmbench regenerates every table and figure of the paper
+// (experiments E1–E18 from DESIGN.md) and prints them as aligned text or
+// CSV.
+//
+// Usage:
+//
+//	mmbench                    # run everything
+//	mmbench -run E6            # run one experiment
+//	mmbench -run E4 -format csv
+//	mmbench -list              # list experiment IDs and titles
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"matchmake/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mmbench", flag.ContinueOnError)
+	var (
+		runID  = fs.String("run", "", "experiment ID to run (default: all)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		format = fs.String("format", "text", "output format: text|csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (text|csv)", *format)
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	selected := experiments.All()
+	if *runID != "" {
+		e, ok := experiments.ByID(*runID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *runID)
+		}
+		selected = []experiments.Experiment{e}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *format == "csv" {
+			if err := writeCSV(tables); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("#### %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+	return nil
+}
+
+// writeCSV emits each table as CSV rows prefixed by the table ID, so
+// several tables stay distinguishable in one stream.
+func writeCSV(tables []experiments.Table) error {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, t := range tables {
+		header := append([]string{"table"}, t.Columns...)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := w.Write(append([]string{t.ID}, row...)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

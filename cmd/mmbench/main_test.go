@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E4 is pure computation and fast.
+	if err := run([]string{"-run", "E4"}); err != nil {
+		t.Fatalf("run(-run E4): %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	err := run([]string{"-run", "E99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown experiment", err)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	if err := run([]string{"-run", "E4", "-format", "csv"}); err != nil {
+		t.Fatalf("run(-format csv): %v", err)
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	err := run([]string{"-format", "xml"})
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("err = %v, want unknown format", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command mmmatrix prints rendezvous matrices in the paper's format
+// (rows = servers, columns = clients, 1-based node numbers).
+//
+// Usage:
+//
+//	mmmatrix -strategy broadcast -n 9
+//	mmmatrix -strategy checkerboard -n 16
+//	mmmatrix -strategy cube            # the 3-cube Example 6
+//	mmmatrix -strategy hierarchy       # Example 5 (LCA entries)
+//	mmmatrix -strategy central -n 9 -node 3
+//	mmmatrix -strategy redundant -n 16 -r 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mmmatrix:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mmmatrix", flag.ContinueOnError)
+	var (
+		name = fs.String("strategy", "checkerboard", "broadcast|sweep|central|checkerboard|redundant|hierarchy|cube")
+		n    = fs.Int("n", 9, "universe size (where applicable)")
+		node = fs.Int("node", 3, "central server node, 1-based (central only)")
+		r    = fs.Int("r", 2, "redundancy (redundant only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("n = %d, need ≥ 1", *n)
+	}
+
+	var s rendezvous.Strategy
+	switch *name {
+	case "broadcast":
+		s = rendezvous.Broadcast(*n)
+	case "sweep":
+		s = rendezvous.Sweep(*n)
+	case "central":
+		if *node < 1 || *node > *n {
+			return fmt.Errorf("node %d out of 1..%d", *node, *n)
+		}
+		s = rendezvous.Central(*n, graph.NodeID(*node-1))
+	case "checkerboard":
+		s = rendezvous.Checkerboard(*n)
+	case "redundant":
+		s = rendezvous.RedundantCheckerboard(*n, *r)
+	case "hierarchy":
+		// Example 5 prints designated LCA rendezvous nodes.
+		fmt.Println("hierarchy-example5 (n=9, entries are lowest common ancestors)")
+		for i := 0; i < 9; i++ {
+			for j := 0; j < 9; j++ {
+				if j > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Print(int(rendezvous.HierarchyExampleLCA(graph.NodeID(i), graph.NodeID(j))) + 1)
+			}
+			fmt.Println()
+		}
+		return nil
+	case "cube":
+		s = rendezvous.CubeExample()
+	default:
+		return fmt.Errorf("unknown strategy %q", *name)
+	}
+
+	m, err := rendezvous.Build(s)
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.String())
+	k := m.Multiplicities()
+	fmt.Printf("m(n) = %.2f  min/max cost = %d/%d  Prop2 bound = %.2f  optimal-singleton = %v\n",
+		m.AvgCost(), m.MinCost(), m.MaxCost(), rendezvous.CostLowerBound(k), m.IsOptimalShotgun())
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStrategies(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"broadcast", []string{"-strategy", "broadcast", "-n", "4"}},
+		{"sweep", []string{"-strategy", "sweep", "-n", "4"}},
+		{"central", []string{"-strategy", "central", "-n", "5", "-node", "2"}},
+		{"checkerboard", []string{"-strategy", "checkerboard", "-n", "9"}},
+		{"redundant", []string{"-strategy", "redundant", "-n", "16", "-r", "2"}},
+		{"hierarchy", []string{"-strategy", "hierarchy"}},
+		{"cube", []string{"-strategy", "cube"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown strategy", []string{"-strategy", "nope"}, "unknown strategy"},
+		{"bad n", []string{"-n", "0"}, "need ≥ 1"},
+		{"bad node", []string{"-strategy", "central", "-n", "3", "-node", "9"}, "out of"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tt.args, err, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTopologies(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"grid", []string{"-topology", "grid", "-side", "4", "-servers", "1", "-locates", "4"}},
+		{"torus", []string{"-topology", "torus", "-side", "4", "-servers", "1", "-locates", "4"}},
+		{"hypercube", []string{"-topology", "hypercube", "-dim", "4", "-servers", "1", "-locates", "4"}},
+		{"ccc", []string{"-topology", "ccc", "-dim", "3", "-servers", "1", "-locates", "4"}},
+		{"plane", []string{"-topology", "plane", "-order", "3", "-servers", "1", "-locates", "4"}},
+		{"ring", []string{"-topology", "ring", "-n", "12", "-servers", "1", "-locates", "4"}},
+		{"complete", []string{"-topology", "complete", "-n", "16", "-servers", "1", "-locates", "4"}},
+		{"random", []string{"-topology", "random", "-n", "25", "-servers", "1", "-locates", "4"}},
+		{"hierarchy", []string{"-topology", "hierarchy", "-servers", "1", "-locates", "4"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+		})
+	}
+}
+
+func TestRunWithCrash(t *testing.T) {
+	args := []string{"-topology", "complete", "-n", "16", "-servers", "1", "-locates", "6", "-crash", "2"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	err := run([]string{"-topology", "moebius"})
+	if err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Fatalf("err = %v, want unknown topology", err)
+	}
+}

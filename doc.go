@@ -1,0 +1,22 @@
+// Package matchmake reproduces Mullender & Vitányi, "Distributed
+// Match-Making for Processes in Computer Networks" (PODC 1985): the
+// rendezvous-matrix theory of distributed name servers, its lower bounds
+// and matching constructions, the per-topology locate strategies, and the
+// Shotgun / Hash / Lighthouse Locate engines, all running over a
+// goroutine-based store-and-forward network simulator.
+//
+// The implementation lives in internal packages; see DESIGN.md for the
+// system inventory, EXPERIMENTS.md for paper-vs-measured results, and
+// examples/ for runnable entry points:
+//
+//   - internal/graph, internal/topology, internal/sim — substrates
+//   - internal/rendezvous — §2 theory (strategies, matrix, bounds)
+//   - internal/strategy — §3 topology-aware P/Q functions
+//   - internal/core — Shotgun Locate (the paper's main contribution)
+//   - internal/hashlocate, internal/lighthouse — §5 and §4 variants
+//   - internal/service — the Amoeba-style service model of §1.3
+//   - internal/experiments — every table and figure, as code
+//
+// The benchmarks in this package (bench_test.go) regenerate each
+// experiment; `go run ./cmd/mmbench` prints all of them.
+package matchmake

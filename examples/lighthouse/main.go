@@ -1,0 +1,80 @@
+// Lighthouse: a visual run of §4's probabilistic locate. Two servers
+// sweep random-direction beams across a small plane, trails expire, and
+// a client searches with the binary-counter "ruler" schedule
+// 1 2 1 3 1 2 1 4 … — printed as ASCII frames so the trails and the
+// search are visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"matchmake/internal/lighthouse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const side = 24
+	plane, err := lighthouse.NewPlane(side, side, 2026)
+	if err != nil {
+		return err
+	}
+	servers := []lighthouse.Point{{X: 6, Y: 5}, {X: 18, Y: 17}}
+	for _, pos := range servers {
+		if _, err := plane.AddServer("time", pos, 10, 3, 9); err != nil {
+			return err
+		}
+	}
+	client := lighthouse.Point{X: 12, Y: 12}
+
+	fmt.Println("ruler schedule multipliers for the first 16 trials:")
+	for trial := 1; trial <= 16; trial++ {
+		fmt.Printf("%d ", lighthouse.RulerValue(trial))
+	}
+	fmt.Print("\n\n")
+
+	for frame := 0; frame < 3; frame++ {
+		fmt.Printf("t = %d\n", plane.Now())
+		fmt.Println(render(plane, side, servers, client))
+		plane.TickN(4)
+	}
+
+	res := plane.Locate("time", client, lighthouse.RulerSchedule{L: 3, Gap: 1}, 500)
+	if !res.Found {
+		return fmt.Errorf("lighthouse locate failed after %d trials", res.Trials)
+	}
+	fmt.Printf("client at (%d,%d) found the server at (%d,%d): %d trials, %d cells probed, %d ticks\n",
+		client.X, client.Y, res.Addr.X, res.Addr.Y, res.Trials, res.CellsProbed, res.Ticks)
+	return nil
+}
+
+// render draws the plane: S = server, C = client, * = live trail cell.
+func render(plane *lighthouse.Plane, side int, servers []lighthouse.Point, client lighthouse.Point) string {
+	var b strings.Builder
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			cell := lighthouse.Point{X: x, Y: y}
+			ch := byte('.')
+			if _, lit := plane.Probe("time", cell); lit {
+				ch = '*'
+			}
+			for _, s := range servers {
+				if cell == s {
+					ch = 'S'
+				}
+			}
+			if cell == client {
+				ch = 'C'
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package core
+
+import "sync"
+
+// cache is one node's (port, address) store. A service may be offered by
+// several equivalent server processes (§1.3), so entries are kept per
+// (port, server instance); within one instance the newest entry wins by
+// logical timestamp, and tombstones (Active=false) supersede like any
+// other entry. An optional capacity bound discards the stalest instance
+// when full — the too-small-cache regime that turns Shotgun Locate into
+// Lighthouse Locate.
+type cache struct {
+	mu       sync.Mutex
+	ports    map[Port]map[uint64]Entry
+	total    int // instances stored, for the capacity bound
+	capacity int // 0 = unbounded
+}
+
+func newCache(capacity int) *cache {
+	return &cache{ports: make(map[Port]map[uint64]Entry), capacity: capacity}
+}
+
+// put merges a posting; stale postings (older timestamp for the same
+// server instance) are ignored.
+func (c *cache) put(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byID := c.ports[e.Port]
+	if byID == nil {
+		byID = make(map[uint64]Entry, 1)
+		c.ports[e.Port] = byID
+	}
+	if cur, ok := byID[e.ServerID]; ok {
+		if e.Time > cur.Time {
+			byID[e.ServerID] = e
+		}
+		return
+	}
+	if c.capacity > 0 && c.total >= c.capacity {
+		c.evictStalest()
+	}
+	byID[e.ServerID] = e
+	c.total++
+}
+
+// evictStalest removes the instance entry with the smallest timestamp.
+// Caller holds the lock.
+func (c *cache) evictStalest() {
+	var (
+		victimPort Port
+		victimID   uint64
+		oldest     uint64
+		found      bool
+	)
+	for p, byID := range c.ports {
+		for id, e := range byID {
+			if !found || e.Time < oldest {
+				victimPort, victimID, oldest, found = p, id, e.Time, true
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	delete(c.ports[victimPort], victimID)
+	if len(c.ports[victimPort]) == 0 {
+		delete(c.ports, victimPort)
+	}
+	c.total--
+}
+
+// get returns the freshest active entry for a port.
+func (c *cache) get(p Port) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var (
+		best  Entry
+		found bool
+	)
+	for _, e := range c.ports[p] {
+		if e.Active && (!found || e.Time > best.Time) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// getAll returns every active entry for a port.
+func (c *cache) getAll(p Port) []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	for _, e := range c.ports[p] {
+		if e.Active {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// size counts ports with at least one active instance; tombstones do not
+// count as cached services.
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, byID := range c.ports {
+		for _, e := range byID {
+			if e.Active {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func (c *cache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ports = make(map[Port]map[uint64]Entry)
+	c.total = 0
+}

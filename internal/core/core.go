@@ -1,0 +1,529 @@
+// Package core implements Shotgun Locate, the paper's primary
+// contribution: a distributed name server in which a server process with
+// port π at address A posts (π, A) at the nodes P(A), a client at address
+// B queries the nodes Q(B), and the nodes in P(A) ∩ Q(B) — the rendezvous
+// nodes — answer with the server's address.
+//
+// The engine runs over the message-passing simulator (internal/sim) with
+// any rendezvous.Strategy, maintains the per-node caches of §2.1
+// (timestamped entries, superseded by fresher posts, tombstoned on
+// deregistration), and supports the dynamic behaviours of §1.3: server
+// migration, crashes and re-registration.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/sim"
+)
+
+// Port uniquely names a service (§1.3: "a port uniquely names a service";
+// it gives no clue about the physical location of a server process).
+type Port string
+
+// Entry is a cached (port, address) posting.
+type Entry struct {
+	Port Port
+	// Addr is the node address the server receives requests at.
+	Addr graph.NodeID
+	// ServerID distinguishes server instances on the same port.
+	ServerID uint64
+	// Time is the logical timestamp of the posting; fresher postings
+	// supersede staler ones ("we can timestamp the messages to determine
+	// which addresses are out of date in case of a conflict").
+	Time uint64
+	// Active is false for tombstones left by deregistration.
+	Active bool
+}
+
+// Errors returned by the engine.
+var (
+	// ErrNotFound reports a locate that received no reply in time.
+	ErrNotFound = errors.New("core: service not found")
+	// ErrServerGone reports an operation on a deregistered server.
+	ErrServerGone = errors.New("core: server deregistered")
+)
+
+// Options configure a System.
+type Options struct {
+	// LocateTimeout bounds how long a locate waits for the first reply.
+	// Zero means 2s.
+	LocateTimeout time.Duration
+	// CollectWindow is how long a locate keeps collecting additional
+	// replies after the first one, to pick the freshest address when a
+	// migrated server's stale postings still linger. Zero means 5ms.
+	CollectWindow time.Duration
+	// CacheCapacity bounds each node cache (0 = unbounded, the paper's
+	// §2.1 assumption 3). When full, the stalest entry is discarded,
+	// which degrades Shotgun Locate toward Lighthouse Locate.
+	CacheCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LocateTimeout <= 0 {
+		o.LocateTimeout = 2 * time.Second
+	}
+	if o.CollectWindow <= 0 {
+		o.CollectWindow = 5 * time.Millisecond
+	}
+	return o
+}
+
+// System is a running distributed name server over a network and a
+// strategy.
+type System struct {
+	net   *sim.Network
+	strat rendezvous.Strategy
+	opts  Options
+
+	caches []*cache
+
+	clock    atomic.Uint64 // logical time for postings
+	serverID atomic.Uint64 // server instance identifiers
+	reqID    atomic.Uint64 // locate request identifiers
+
+	mu      sync.Mutex
+	pending map[uint64]chan Entry
+
+	postsSent   atomic.Int64 // posting messages addressed (Σ #P reached)
+	queriesSent atomic.Int64 // query messages addressed (Σ #Q reached)
+	repliesSent atomic.Int64 // rendezvous replies sent
+}
+
+// message payloads exchanged through the simulator.
+type (
+	postMsg struct {
+		entry Entry
+	}
+	queryMsg struct {
+		port   Port
+		client graph.NodeID
+		reqID  uint64
+		// all asks for every live instance, not just the freshest.
+		all bool
+	}
+	replyMsg struct {
+		reqID uint64
+		entry Entry
+	}
+)
+
+// NewSystem installs the name-server handlers on every node of net.
+// The strategy's universe must match the network size.
+func NewSystem(net *sim.Network, strat rendezvous.Strategy, opts Options) (*System, error) {
+	n := net.Graph().N()
+	if strat.N() != n {
+		return nil, fmt.Errorf("core: strategy universe %d != network size %d", strat.N(), n)
+	}
+	s := &System{
+		net:     net,
+		strat:   strat,
+		opts:    opts.withDefaults(),
+		caches:  make([]*cache, n),
+		pending: make(map[uint64]chan Entry),
+	}
+	for v := 0; v < n; v++ {
+		s.caches[v] = newCache(s.opts.CacheCapacity)
+		if err := net.SetHandler(graph.NodeID(v), s.HandleMessage); err != nil {
+			return nil, fmt.Errorf("core: install handler: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// HandleMessage processes one delivered name-server message at a node.
+// It is exported so higher layers (e.g. the service model) can wrap the
+// per-node handler and delegate name-server traffic back to the system.
+func (s *System) HandleMessage(self graph.NodeID, msg sim.Message) {
+	switch m := msg.Payload.(type) {
+	case postMsg:
+		s.caches[self].put(m.entry)
+	case queryMsg:
+		if m.all {
+			for _, entry := range s.caches[self].getAll(m.port) {
+				s.repliesSent.Add(1)
+				_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry})
+			}
+			return
+		}
+		entry, ok := s.caches[self].get(m.port)
+		if !ok || !entry.Active {
+			return // misses are silent, as in §1.5
+		}
+		s.repliesSent.Add(1)
+		// Reply failures (crashed client, broken route) surface as locate
+		// timeouts at the client; nothing to handle here.
+		_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry})
+	case replyMsg:
+		s.mu.Lock()
+		ch := s.pending[m.reqID]
+		s.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m.entry:
+			default:
+			}
+		}
+	}
+}
+
+// Server is a registered server process handle.
+type Server struct {
+	sys  *System
+	port Port
+	id   uint64
+
+	mu   sync.Mutex
+	node graph.NodeID
+	gone bool
+}
+
+// RegisterServer announces a server process for port at node: it posts
+// (port, address) to every node of P(node) along a spanning-tree
+// multicast, as the Server's Algorithm of §1.5 prescribes.
+func (s *System) RegisterServer(port Port, node graph.NodeID) (*Server, error) {
+	if !s.net.Graph().Valid(node) {
+		return nil, fmt.Errorf("core: register at %d: %w", node, graph.ErrNodeRange)
+	}
+	srv := &Server{sys: s, port: port, id: s.serverID.Add(1), node: node}
+	if err := s.post(srv, node, true); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// post sends a posting (or tombstone) for srv from-and-about node.
+func (s *System) post(srv *Server, node graph.NodeID, active bool) error {
+	entry := Entry{
+		Port:     srv.port,
+		Addr:     node,
+		ServerID: srv.id,
+		Time:     s.clock.Add(1),
+		Active:   active,
+	}
+	targets := s.strat.Post(node)
+	reached, err := s.net.Multicast(node, targets, postMsg{entry: entry})
+	s.postsSent.Add(int64(reached))
+	if err != nil {
+		return fmt.Errorf("core: post %q from %d: %w", srv.port, node, err)
+	}
+	s.net.Drain()
+	return nil
+}
+
+// Port returns the server's port.
+func (srv *Server) Port() Port { return srv.port }
+
+// Node returns the server's current address.
+func (srv *Server) Node() graph.NodeID {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.node
+}
+
+// Repost refreshes the server's posting (e.g. after rendezvous caches
+// were lost to a crash); it is how servers "regularly poll their
+// rendezvous nodes" in practice.
+func (srv *Server) Repost() error {
+	srv.mu.Lock()
+	node, gone := srv.node, srv.gone
+	srv.mu.Unlock()
+	if gone {
+		return ErrServerGone
+	}
+	return srv.sys.post(srv, node, true)
+}
+
+// Migrate moves the server process to a new node (§1.3: destroy at one
+// host, recreate at another). The fresh posting carries a newer timestamp
+// than any stale entry left at the old rendezvous nodes, and an explicit
+// tombstone is posted from the old address so its rendezvous nodes stop
+// answering for it.
+func (srv *Server) Migrate(to graph.NodeID) error {
+	if !srv.sys.net.Graph().Valid(to) {
+		return fmt.Errorf("core: migrate to %d: %w", to, graph.ErrNodeRange)
+	}
+	srv.mu.Lock()
+	if srv.gone {
+		srv.mu.Unlock()
+		return ErrServerGone
+	}
+	from := srv.node
+	srv.node = to
+	srv.mu.Unlock()
+
+	// Tombstone first (stale address must lose), then announce the new
+	// address with a fresher timestamp.
+	if err := srv.sys.post(srv, from, false); err != nil {
+		// The old host may already be crashed; the fresh posting's newer
+		// timestamp still wins wherever both are seen.
+		if err2 := srv.sys.post(srv, to, true); err2 != nil {
+			return errors.Join(err, err2)
+		}
+		return nil
+	}
+	return srv.sys.post(srv, to, true)
+}
+
+// Deregister removes the server: tombstones are posted to its rendezvous
+// nodes and further operations fail with ErrServerGone.
+func (srv *Server) Deregister() error {
+	srv.mu.Lock()
+	if srv.gone {
+		srv.mu.Unlock()
+		return ErrServerGone
+	}
+	srv.gone = true
+	node := srv.node
+	srv.mu.Unlock()
+	return srv.sys.post(srv, node, false)
+}
+
+// LocateResult reports a successful locate.
+type LocateResult struct {
+	// Addr is the located server address.
+	Addr graph.NodeID
+	// Entry is the full winning cache entry.
+	Entry Entry
+	// QueriesSent is the number of rendezvous nodes addressed (#Q
+	// reached).
+	QueriesSent int
+	// Replies is the number of rendezvous answers received in the
+	// collection window.
+	Replies int
+}
+
+// Locate finds the address of a server for port from client node j: it
+// multicasts a query along a spanning tree to every node of Q(j) and
+// waits for rendezvous replies, keeping the freshest entry seen within
+// the collection window (stale postings of migrated servers lose by
+// timestamp). It returns ErrNotFound if no rendezvous answers in time.
+func (s *System) Locate(client graph.NodeID, port Port) (LocateResult, error) {
+	if !s.net.Graph().Valid(client) {
+		return LocateResult{}, fmt.Errorf("core: locate from %d: %w", client, graph.ErrNodeRange)
+	}
+	id := s.reqID.Add(1)
+	ch := make(chan Entry, s.strat.N())
+	s.mu.Lock()
+	s.pending[id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+	}()
+
+	targets := s.strat.Query(client)
+	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id})
+	s.queriesSent.Add(int64(reached))
+	if err != nil {
+		return LocateResult{}, fmt.Errorf("core: locate %q from %d: %w", port, client, err)
+	}
+
+	var (
+		best    Entry
+		replies int
+	)
+	select {
+	case best = <-ch:
+		replies = 1
+	case <-time.After(s.opts.LocateTimeout):
+		return LocateResult{QueriesSent: reached}, fmt.Errorf("locate %q from %d: %w", port, client, ErrNotFound)
+	}
+	// Collect stragglers briefly and keep the freshest active entry.
+	window := time.After(s.opts.CollectWindow)
+collect:
+	for {
+		select {
+		case e := <-ch:
+			replies++
+			if e.Time > best.Time {
+				best = e
+			}
+		case <-window:
+			break collect
+		}
+	}
+	if !best.Active {
+		return LocateResult{QueriesSent: reached, Replies: replies},
+			fmt.Errorf("locate %q from %d: %w", port, client, ErrNotFound)
+	}
+	return LocateResult{
+		Addr:        best.Addr,
+		Entry:       best,
+		QueriesSent: reached,
+		Replies:     replies,
+	}, nil
+}
+
+// LocateAll finds every live server instance for port visible from
+// client node j: it queries Q(j) once and collects all distinct server
+// instances that answer within the locate timeout plus one collection
+// window. A service "may be offered by more than one server process"
+// (§1.3); LocateAll surfaces all of them so the client can choose.
+func (s *System) LocateAll(client graph.NodeID, port Port) ([]Entry, error) {
+	if !s.net.Graph().Valid(client) {
+		return nil, fmt.Errorf("core: locate-all from %d: %w", client, graph.ErrNodeRange)
+	}
+	id := s.reqID.Add(1)
+	ch := make(chan Entry, s.strat.N()*4)
+	s.mu.Lock()
+	s.pending[id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+	}()
+
+	targets := s.strat.Query(client)
+	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id, all: true})
+	s.queriesSent.Add(int64(reached))
+	if err != nil {
+		return nil, fmt.Errorf("core: locate-all %q from %d: %w", port, client, err)
+	}
+
+	freshest := make(map[uint64]Entry) // by server instance
+	select {
+	case e := <-ch:
+		freshest[e.ServerID] = e
+	case <-time.After(s.opts.LocateTimeout):
+		return nil, fmt.Errorf("locate-all %q from %d: %w", port, client, ErrNotFound)
+	}
+	window := time.After(s.opts.CollectWindow)
+collect:
+	for {
+		select {
+		case e := <-ch:
+			if cur, ok := freshest[e.ServerID]; !ok || e.Time > cur.Time {
+				freshest[e.ServerID] = e
+			}
+		case <-window:
+			break collect
+		}
+	}
+	var out []Entry
+	for _, e := range freshest {
+		if e.Active {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("locate-all %q from %d: %w", port, client, ErrNotFound)
+	}
+	return out, nil
+}
+
+// LocateNearest locates all live servers for port and returns the one
+// with the smallest hop distance from the client — the locality
+// preference that §3.5's "nearly every service will be a local service"
+// model wants.
+func (s *System) LocateNearest(client graph.NodeID, port Port) (LocateResult, error) {
+	entries, err := s.LocateAll(client, port)
+	if err != nil {
+		return LocateResult{}, err
+	}
+	routing := s.net.Routing()
+	best := entries[0]
+	bestDist := routing.Dist(client, best.Addr)
+	for _, e := range entries[1:] {
+		if d := routing.Dist(client, e.Addr); d >= 0 && (bestDist < 0 || d < bestDist) {
+			best, bestDist = e, d
+		}
+	}
+	return LocateResult{Addr: best.Addr, Entry: best, Replies: len(entries)}, nil
+}
+
+// PollRendezvous checks how many of the server's rendezvous nodes are
+// alive and still hold its live posting — the "services regularly poll
+// their rendezvous nodes to see if they are still alive" maintenance of
+// §5. It returns (live postings, total rendezvous nodes).
+func (srv *Server) PollRendezvous() (live, total int) {
+	srv.mu.Lock()
+	node, gone, id := srv.node, srv.gone, srv.id
+	srv.mu.Unlock()
+	if gone {
+		return 0, 0
+	}
+	s := srv.sys
+	targets := s.strat.Post(node)
+	for _, v := range targets {
+		total++
+		if s.net.Crashed(v) {
+			continue
+		}
+		if e, ok := s.caches[v].get(srv.port); ok && e.Active && e.ServerID == id {
+			live++
+		}
+	}
+	return live, total
+}
+
+// MaintainRendezvous polls the rendezvous nodes and reposts when fewer
+// than minLive of them still hold the server's posting, returning
+// whether a repost happened. Callers run it periodically to self-heal
+// after rendezvous reboots.
+func (srv *Server) MaintainRendezvous(minLive int) (bool, error) {
+	live, total := srv.PollRendezvous()
+	if total == 0 {
+		return false, ErrServerGone
+	}
+	if live >= minLive {
+		return false, nil
+	}
+	if err := srv.Repost(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Strategy returns the strategy the system runs.
+func (s *System) Strategy() rendezvous.Strategy { return s.strat }
+
+// Network returns the underlying simulator network.
+func (s *System) Network() *sim.Network { return s.net }
+
+// CacheSize returns the number of live entries cached at node v.
+func (s *System) CacheSize(v graph.NodeID) int {
+	if !s.net.Graph().Valid(v) {
+		return 0
+	}
+	return s.caches[v].size()
+}
+
+// CacheSizes returns the cache sizes of all nodes, the storage measure of
+// the paper's analyses.
+func (s *System) CacheSizes() []int {
+	out := make([]int, len(s.caches))
+	for v := range s.caches {
+		out[v] = s.caches[v].size()
+	}
+	return out
+}
+
+// ClearCache drops all entries cached at node v, modelling the loss of
+// volatile state when the node crashes and later reboots.
+func (s *System) ClearCache(v graph.NodeID) {
+	if s.net.Graph().Valid(v) {
+		s.caches[v].clear()
+	}
+}
+
+// Counters returns the logical message counts (posts, queries, replies)
+// accumulated so far; transport-level hops live on the Network.
+func (s *System) Counters() (posts, queries, replies int64) {
+	return s.postsSent.Load(), s.queriesSent.Load(), s.repliesSent.Load()
+}
+
+// ResetCounters zeroes the logical counters.
+func (s *System) ResetCounters() {
+	s.postsSent.Store(0)
+	s.queriesSent.Store(0)
+	s.repliesSent.Store(0)
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/stats"
+	"matchmake/internal/strategy"
+	"matchmake/internal/topology"
+)
+
+// E10Hierarchy reproduces §3.5: with k levels of fan-out a (n = a^k),
+// m(n) ≈ 2·k·√a = 2·k·n^(1/2k), minimized near k = ½·log₂ n where the
+// locate costs O(log n); caches grow toward the top of the hierarchy; and
+// local pairs resolve at low levels.
+func E10Hierarchy() ([]Table, error) {
+	const n = 256
+	depth := Table{
+		ID:    "E10.1",
+		Title: "trade-off across hierarchy depth (n = 256)",
+		Note:  "m(n) ≈ 2k·n^(1/2k): k = ½log₂n = 4 minimizes; flat k = 1 degenerates to 2√n.",
+		Columns: []string{
+			"levels k", "fan-out a", "m(n)", "2k·a^½", "max k_v (top load)",
+		},
+	}
+	configs := [][]int{
+		{256},
+		{16, 16},
+		{4, 4, 4, 4},
+		{2, 2, 2, 2, 2, 2, 2, 2},
+	}
+	for _, fanouts := range configs {
+		h, err := topology.NewHierarchy(fanouts...)
+		if err != nil {
+			return nil, err
+		}
+		s := strategy.HierarchyGateways(h)
+		m, err := rendezvous.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Verify(); err != nil {
+			return nil, fmt.Errorf("hierarchy %v: %w", fanouts, err)
+		}
+		theory := 0.0
+		for _, a := range fanouts {
+			theory += 2 * math.Ceil(math.Sqrt(float64(a)))
+		}
+		depth.Rows = append(depth.Rows, []string{
+			itoa(len(fanouts)), itoa(fanouts[0]),
+			f2(m.AvgCost()), f2(theory),
+			itoa(stats.MaxInts(m.Multiplicities())),
+		})
+	}
+
+	local := Table{
+		ID:    "E10.2",
+		Title: "locality: cost truncated at the resolving level",
+		Note:  "per LCA level on fanouts 4,4,4,4 — local pairs stop low, as §3.5 argues most traffic does.",
+		Columns: []string{
+			"LCA level", "pairs", "cost if stopped there", "full cost",
+		},
+	}
+	h, err := topology.NewHierarchy(4, 4, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	s := strategy.HierarchyGateways(h)
+	full := float64(len(s.Post(0)) + len(s.Query(0)))
+	countByLevel := make(map[int]int)
+	for i := 0; i < h.N(); i += 5 {
+		for j := 0; j < h.N(); j += 7 {
+			countByLevel[h.LCALevel(graph.NodeID(i), graph.NodeID(j))]++
+		}
+	}
+	for _, level := range sortedKeys(countByLevel) {
+		// Stopping at the resolving level pays 2·√a per level up to it.
+		truncated := 0.0
+		for lv := 1; lv <= level; lv++ {
+			truncated += 2 * math.Ceil(math.Sqrt(float64(h.Fanouts[lv-1])))
+		}
+		if level == 0 {
+			truncated = 0 // same node: local cache hit
+		}
+		local.Rows = append(local.Rows, []string{
+			itoa(level), itoa(countByLevel[level]), f2(truncated), f2(full),
+		})
+	}
+	return []Table{depth, local}, nil
+}
+
+// E11UUCP reproduces §3.6: the UUCPnet degree table, the path-to-root
+// match-making cost m(n) = O(l), and the two tree-depth formulas.
+func E11UUCP() ([]Table, error) {
+	// (a) The degree table itself.
+	table := Table{
+		ID:    "E11.1",
+		Title: "UUCPnet degree table (paper vs generated)",
+		Note:  "1916 sites, 3848 edges; generated graph realizes the target sequence up to stub conflicts.",
+		Columns: []string{
+			"degree", "#sites (paper)", "#sites (generated)",
+		},
+	}
+	g, err := topology.UUCPNet(4)
+	if err != nil {
+		return nil, err
+	}
+	gen := g.DegreeHistogram()
+	want := make(map[int]int)
+	for _, dc := range topology.UUCPDegreeTable() {
+		want[dc.Degree] = dc.Sites
+	}
+	shown := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 40, 45, 63, 471, 641}
+	for _, d := range shown {
+		table.Rows = append(table.Rows, []string{itoa(d), itoa(want[d]), itoa(gen[d])})
+	}
+
+	// (b) Path-to-root match-making on the UUCP core.
+	comps := g.Components()
+	coreNodes := comps[0]
+	for _, comp := range comps {
+		if len(comp) > len(coreNodes) {
+			coreNodes = comp
+		}
+	}
+	sub, _, err := g.InducedSubgraph(coreNodes)
+	if err != nil {
+		return nil, err
+	}
+	// Root the tree at the highest-degree node (ihnp4's stand-in).
+	root := graph.NodeID(0)
+	for v := 0; v < sub.N(); v++ {
+		if sub.Degree(graph.NodeID(v)) > sub.Degree(root) {
+			root = graph.NodeID(v)
+		}
+	}
+	st, err := graph.SpanningTree(sub, root)
+	if err != nil {
+		return nil, err
+	}
+	var depths []float64
+	for v := 0; v < sub.N(); v++ {
+		depths = append(depths, float64(st.Depth(graph.NodeID(v))))
+	}
+	ds := stats.Summarize(depths)
+	locate := Table{
+		ID:    "E11.2",
+		Title: "path-to-root locate on the UUCP core",
+		Note:  "m(n) = avg(#P)+avg(#Q) = 2·(avg depth + 1): O(l), far below 2√n ≈ 87.",
+		Columns: []string{
+			"core nodes", "tree height l", "avg depth", "m(n)", "2√n", "root cache (=n)",
+		},
+	}
+	locate.Rows = append(locate.Rows, []string{
+		itoa(sub.N()), itoa(st.Height()), f2(ds.Mean),
+		f2(2 * (ds.Mean + 1)),
+		f2(2 * math.Sqrt(float64(sub.N()))),
+		itoa(st.Size()),
+	})
+
+	// (c) Depth formulas for the two §3.6 degree profiles.
+	formulas := Table{
+		ID:    "E11.3",
+		Title: "tree depth vs §3.6 formulas",
+		Note:  "d(i)=c·i^(1+ε) ⇒ l ≈ log n/((1+ε)·loglog n); d(i)=c·2^(εi) ⇒ l ≈ √((2/ε)·log n).",
+		Columns: []string{
+			"profile", "ε", "n built", "l actual", "l formula", "ratio",
+		},
+	}
+	for _, eps := range []float64{0.5, 1.0} {
+		lActual, n := growProfileTree(func(level int) int {
+			c := 1.0
+			return clampFan(int(math.Round(c * math.Pow(float64(level), 1+eps))))
+		}, 1<<17)
+		logn := math.Log2(float64(n))
+		formula := logn / ((1 + eps) * math.Log2(logn))
+		formulas.Rows = append(formulas.Rows, []string{
+			"poly", f2(eps), itoa(n), itoa(lActual), f2(formula), f3(float64(lActual) / formula),
+		})
+	}
+	for _, eps := range []float64{0.5, 1.0} {
+		lActual, n := growProfileTree(func(level int) int {
+			return clampFan(int(math.Round(math.Pow(2, eps*float64(level)))))
+		}, 1<<17)
+		logn := math.Log2(float64(n))
+		formula := math.Sqrt(2 / eps * logn)
+		formulas.Rows = append(formulas.Rows, []string{
+			"exp", f2(eps), itoa(n), itoa(lActual), f2(formula), f3(float64(lActual) / formula),
+		})
+	}
+	return []Table{table, locate, formulas}, nil
+}
+
+func clampFan(f int) int {
+	if f < 1 {
+		return 1
+	}
+	if f > 4096 {
+		return 4096
+	}
+	return f
+}
+
+// growProfileTree finds the smallest number of levels l such that a tree
+// with the given per-level fan-out reaches at least target nodes, and
+// returns (l, nodes built). Node counts follow the §3.6 'factorial'
+// relation n ≈ d(l)·d(l−1)···d(1).
+func growProfileTree(childrenAt func(level int) int, target int) (levels, n int) {
+	for l := 1; l <= 64; l++ {
+		total := 1
+		width := 1
+		for lv := l; lv >= 1; lv-- {
+			width *= childrenAt(lv)
+			total += width
+			if total >= target {
+				break
+			}
+		}
+		if total >= target {
+			return l, total
+		}
+	}
+	return 64, 0
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStringAlignment(t *testing.T) {
+	tab := Table{
+		ID:      "T1",
+		Title:   "demo",
+		Note:    "a note",
+		Columns: []string{"short", "a-much-longer-header"},
+		Rows: [][]string{
+			{"123456789", "x"},
+			{"1", "y"},
+		},
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== T1: demo ==") {
+		t.Fatalf("header line = %q", lines[0])
+	}
+	if lines[1] != "a note" {
+		t.Fatalf("note line = %q", lines[1])
+	}
+	// Both data rows must start their second column at the same offset.
+	col2 := strings.Index(lines[3], "x")
+	col2b := strings.Index(lines[4], "y")
+	if col2 != col2b {
+		t.Fatalf("misaligned columns: %d vs %d\n%s", col2, col2b, out)
+	}
+	// The first column is padded to the widest cell (9 chars).
+	if col2 < 9 {
+		t.Fatalf("column 2 starts at %d, want ≥ 9", col2)
+	}
+}
+
+func TestTableStringWithoutNote(t *testing.T) {
+	tab := Table{ID: "T2", Title: "bare", Columns: []string{"c"}, Rows: [][]string{{"v"}}}
+	out := tab.String()
+	if strings.Contains(out, "\n\n") {
+		t.Fatalf("unexpected blank line:\n%q", out)
+	}
+}
+
+func TestTableStringRaggedRow(t *testing.T) {
+	// Rows wider than the header must not panic; extra cells render.
+	tab := Table{
+		ID:      "T3",
+		Title:   "ragged",
+		Columns: []string{"a"},
+		Rows:    [][]string{{"1", "extra"}},
+	}
+	out := tab.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[int]int{5: 1, 1: 2, 3: 3})
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if itoa(42) != "42" {
+		t.Fatal("itoa")
+	}
+	if f2(1.005) != "1.00" && f2(1.005) != "1.01" {
+		t.Fatalf("f2 = %q", f2(1.005))
+	}
+	if f3(0.12345) != "0.123" {
+		t.Fatalf("f3 = %q", f3(0.12345))
+	}
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/stats"
+)
+
+// E01Matrices regenerates the six example rendezvous matrices of §2.3.1:
+// broadcasting, sweeping, centralized name server (node 3), truly
+// distributed (9 nodes), hierarchical (9 nodes) and the binary 3-cube.
+func E01Matrices() ([]Table, error) {
+	var tables []Table
+	matrix := func(id, title, note string, s rendezvous.Strategy) error {
+		m, err := rendezvous.Build(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", title, err)
+		}
+		if err := m.Verify(); err != nil {
+			return fmt.Errorf("%s: %w", title, err)
+		}
+		t := Table{ID: id, Title: title, Note: note, Columns: []string{"server", "row (clients 1..n)"}}
+		for i := 0; i < m.N(); i++ {
+			t.Rows = append(t.Rows, []string{itoa(i + 1), m.RowString(graph.NodeID(i))})
+		}
+		tables = append(tables, t)
+		return nil
+	}
+	if err := matrix("E1.1", "Example 1: broadcasting",
+		"Server stays put, client looks everywhere: row i is all i.",
+		rendezvous.Broadcast(9)); err != nil {
+		return nil, err
+	}
+	if err := matrix("E1.2", "Example 2: sweeping",
+		"Client stays put, server looks for work: every row is 1..9.",
+		rendezvous.Sweep(9)); err != nil {
+		return nil, err
+	}
+	if err := matrix("E1.3", "Example 3: centralized name server",
+		"All services post at node 3, all clients query node 3.",
+		rendezvous.Central(9, 2)); err != nil {
+		return nil, err
+	}
+	if err := matrix("E1.4", "Example 4: truly distributed name server",
+		"Every node is rendezvous for exactly n pairs (3×3 blocks).",
+		rendezvous.Checkerboard(9)); err != nil {
+		return nil, err
+	}
+	// Example 5 prints the designated lowest-common-ancestor rendezvous.
+	t5 := Table{
+		ID:    "E1.5",
+		Title: "Example 5: hierarchical name server",
+		Note:  "Order 1,2,3 < 7; 4,5,6 < 8; 7,8 < 9; entries are LCAs.",
+		Columns: []string{
+			"server", "row (clients 1..9)",
+		},
+	}
+	for i := 0; i < 9; i++ {
+		cells := make([]string, 9)
+		for j := 0; j < 9; j++ {
+			cells[j] = itoa(int(rendezvous.HierarchyExampleLCA(graph.NodeID(i), graph.NodeID(j))) + 1)
+		}
+		t5.Rows = append(t5.Rows, []string{itoa(i + 1), joinCells(cells)})
+	}
+	tables = append(tables, t5)
+	if err := matrix("E1.6", "Example 6: binary 3-cube",
+		"P(abc)={axy}, Q(abc)={xbc}; rendezvous of (abc, a'b'c') is a b'c'.",
+		rendezvous.CubeExample()); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+func joinCells(cells []string) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += " "
+		}
+		out += c
+	}
+	return out
+}
+
+// E02Probabilistic reproduces the §2.2 analysis: for random P, Q with
+// |P| = p, |Q| = q on n nodes, E[#(P∩Q)] = pq/n, so expecting one full
+// rendezvous node needs p + q ≥ 2√n.
+func E02Probabilistic() ([]Table, error) {
+	const n = 100
+	t := Table{
+		ID:    "E2",
+		Title: "random strategies: E[#(P∩Q)] = pq/n",
+		Note:  "n = 100; √n = 10; matches expected when p·q ≈ n, i.e. p+q ≥ 2√n = 20.",
+		Columns: []string{
+			"p", "q", "pq/n", "measured E[#(P∩Q)]", "P(match)",
+		},
+	}
+	rng := rand.New(rand.NewPCG(2024, 6))
+	for _, pq := range [][2]int{{2, 2}, {5, 5}, {10, 10}, {10, 20}, {20, 20}, {5, 40}, {30, 30}} {
+		p, q := pq[0], pq[1]
+		s := rendezvous.Random(n, p, q, rng.Uint64())
+		var sum float64
+		matched := 0
+		const samples = 4000
+		for k := 0; k < samples; k++ {
+			i := graph.NodeID(rng.IntN(n))
+			j := graph.NodeID(rng.IntN(n))
+			meet := rendezvous.Intersect(s.Post(i), s.Query(j))
+			sum += float64(len(meet))
+			if len(meet) > 0 {
+				matched++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p), itoa(q),
+			f2(float64(p*q) / n),
+			f2(sum / samples),
+			f3(float64(matched) / samples),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// E03LowerBounds checks Propositions 1 and 2 across the strategy
+// spectrum: measured average #P·#Q and m(n) against the bounds
+// (Σ√k_v)²/n² and 2(Σ√k_v)/n computed from each strategy's own
+// multiplicities.
+func E03LowerBounds() ([]Table, error) {
+	const n = 64
+	t := Table{
+		ID:    "E3",
+		Title: "Propositions 1–2: measured vs bound",
+		Note:  "ratio ≥ 1 everywhere; = 1 where the construction is tight.",
+		Columns: []string{
+			"strategy", "avg #P·#Q", "P1 bound", "ratio", "m(n)", "P2 bound", "ratio",
+		},
+	}
+	strategies := []rendezvous.Strategy{
+		rendezvous.Broadcast(n),
+		rendezvous.Sweep(n),
+		rendezvous.Central(n, 0),
+		rendezvous.Checkerboard(n),
+		rendezvous.RedundantCheckerboard(n, 2),
+		rendezvous.Random(n, 8, 8, 11),
+		rendezvous.Random(n, 4, 24, 12),
+		rendezvous.Lift(rendezvous.Checkerboard(16)),
+	}
+	for _, s := range strategies {
+		m, err := rendezvous.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		k := m.Multiplicities()
+		p1 := rendezvous.ProductLowerBound(k)
+		p2 := rendezvous.CostLowerBound(k)
+		t.Rows = append(t.Rows, []string{
+			s.Name(),
+			f2(m.AvgProduct()), f2(p1), f2(ratioOrInf(m.AvgProduct(), p1)),
+			f2(m.AvgCost()), f2(p2), f2(ratioOrInf(m.AvgCost(), p2)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func ratioOrInf(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// E04Checkerboard evaluates the Proposition 3 construction across
+// universe sizes, including non-squares: cost vs 2√n and load spread.
+func E04Checkerboard() ([]Table, error) {
+	t := Table{
+		ID:    "E4",
+		Title: "checkerboard construction vs 2√n",
+		Note:  "Proposition 3: #P+#Q ≈ 2√n, #P·#Q ≈ n, k_v ≈ n.",
+		Columns: []string{
+			"n", "m(n)", "2√n", "m/2√n", "avg #P·#Q", "max k_v", "singleton",
+		},
+	}
+	for _, n := range []int{9, 16, 30, 64, 100, 144, 250, 400} {
+		m, err := rendezvous.Build(rendezvous.Checkerboard(n))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Verify(); err != nil {
+			return nil, err
+		}
+		bound := 2 * math.Sqrt(float64(n))
+		t.Rows = append(t.Rows, []string{
+			itoa(n),
+			f2(m.AvgCost()),
+			f2(bound),
+			f3(m.AvgCost() / bound),
+			f2(m.AvgProduct()),
+			itoa(stats.MaxInts(m.Multiplicities())),
+			fmt.Sprintf("%v", m.IsOptimalShotgun()),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// E05Lifting verifies Proposition 4 through repeated application:
+// m′(4n) = 2·m(n) and k′ = 4·k at every step.
+func E05Lifting() ([]Table, error) {
+	t := Table{
+		ID:    "E5",
+		Title: "lifting a 9-node checkerboard",
+		Note:  "each lift: n ×4, m(n) ×2, k_v ×4 — Proposition 4 exactly.",
+		Columns: []string{
+			"n", "m(n)", "expected m", "max k_v", "expected k", "verified",
+		},
+	}
+	s := rendezvous.Checkerboard(9)
+	base, err := rendezvous.Build(s)
+	if err != nil {
+		return nil, err
+	}
+	baseCost := base.AvgCost()
+	baseK := stats.MaxInts(base.Multiplicities())
+	for step := 0; step <= 3; step++ {
+		m, err := rendezvous.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Verify(); err != nil {
+			return nil, err
+		}
+		factor := math.Pow(2, float64(step))
+		t.Rows = append(t.Rows, []string{
+			itoa(s.N()),
+			f2(m.AvgCost()),
+			f2(baseCost * factor),
+			itoa(stats.MaxInts(m.Multiplicities())),
+			itoa(baseK * int(factor*factor)),
+			fmt.Sprintf("%v", math.Abs(m.AvgCost()-baseCost*factor) < 1e-9),
+		})
+		if step < 3 {
+			s = rendezvous.Lift(s)
+		}
+	}
+	return []Table{t}, nil
+}

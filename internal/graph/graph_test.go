@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+func cycle(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := path(t, n)
+	if n > 2 {
+		if err := g.AddEdge(0, NodeID(n-1)); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+func star(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(0, NodeID(i)); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+// randomConnected builds a random connected graph: a random spanning tree
+// plus extra random edges.
+func randomConnected(n, extra int, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(rng.IntN(i)))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			g.MustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: N=%d M=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	if g := New(-3); g.N() != 0 {
+		t.Fatalf("New(-3).N() = %d, want 0", g.N())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name    string
+		u, v    NodeID
+		wantErr error
+	}{
+		{"self loop", 1, 1, ErrSelfLoop},
+		{"u out of range", -1, 0, ErrNodeRange},
+		{"v out of range", 0, 3, ErrNodeRange},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("AddEdge(%d,%d) = %v, want %v", tt.u, tt.v, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(0, 1); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees = %d,%d, want 1,1", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := path(t, 4)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge {1,2} should exist in both directions")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("edge {0,2} should not exist")
+	}
+	if g.HasEdge(0, 99) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+}
+
+func TestNeighborsCopied(t *testing.T) {
+	g := path(t, 3)
+	nb := g.Neighbors(1)
+	nb[0] = 99
+	if got := g.Neighbors(1); got[0] == 99 {
+		t.Fatal("Neighbors must return a copy")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(t, 5)
+	dist, parent, err := g.BFS(0)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+	if parent[0] != -1 {
+		t.Errorf("parent[src] = %d, want -1", parent[0])
+	}
+	for i := 1; i < 5; i++ {
+		if parent[i] != NodeID(i-1) {
+			t.Errorf("parent[%d] = %d, want %d", i, parent[i], i-1)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	dist, _, err := g.BFS(0)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable distances = %d,%d, want -1,-1", dist[2], dist[3])
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := New(2)
+	if _, _, err := g.BFS(5); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("BFS(5) err = %v, want ErrNodeRange", err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"path", path(t, 6), true},
+		{"cycle", cycle(t, 6), true},
+		{"star", star(t, 6), true},
+		{"two islands", func() *Graph { g := New(4); g.MustAddEdge(0, 1); g.MustAddEdge(2, 3); return g }(), false},
+		{"isolated node", func() *Graph { g := New(3); g.MustAddEdge(0, 1); return g }(), false},
+		{"single node", New(1), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Connected(); got != tt.want {
+				t.Fatalf("Connected() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes = %d,%d,%d, want 3,2,1",
+			len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := cycle(t, 6)
+	p, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("path length = %d nodes, want 4", len(p))
+	}
+	if p[0] != 0 || p[len(p)-1] != 3 {
+		t.Fatalf("path endpoints = %d,%d, want 0,3", p[0], p[len(p)-1])
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path step %d->%d is not an edge", p[i], p[i+1])
+		}
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := g.ShortestPath(0, 2); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path5", path(t, 5), 4},
+		{"cycle6", cycle(t, 6), 3},
+		{"star9", star(t, 9), 2},
+		{"single", New(1), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.g.Diameter()
+			if err != nil {
+				t.Fatalf("Diameter: %v", err)
+			}
+			if got != tt.want {
+				t.Fatalf("Diameter = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := g.Diameter(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := star(t, 5) // hub degree 4, four leaves degree 1
+	h := g.DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Fatalf("histogram = %v, want {4:1, 1:4}", h)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := cycle(t, 6)
+	sub, orig, err := g.InducedSubgraph([]NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatalf("InducedSubgraph: %v", err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("sub N=%d M=%d, want 3,2", sub.N(), sub.M())
+	}
+	if orig[0] != 1 || orig[1] != 2 || orig[2] != 3 {
+		t.Fatalf("orig = %v", orig)
+	}
+}
+
+func TestInducedSubgraphDuplicate(t *testing.T) {
+	g := path(t, 3)
+	if _, _, err := g.InducedSubgraph([]NodeID{0, 0}); err == nil {
+		t.Fatal("duplicate nodes should be rejected")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := path(t, 4)
+	c := g.Clone()
+	c.MustAddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.M() != g.M()+1 {
+		t.Fatalf("clone M=%d, original M=%d", c.M(), g.M())
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := star(t, 5)
+	if err := g.RemoveNode(0); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if g.M() != 0 {
+		t.Fatalf("M = %d after removing hub, want 0", g.M())
+	}
+	if g.Degree(1) != 0 {
+		t.Fatalf("leaf degree = %d, want 0", g.Degree(1))
+	}
+	if err := g.RemoveNode(77); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("RemoveNode(77) err = %v, want ErrNodeRange", err)
+	}
+}
+
+func TestBFSPropertyTriangleInequality(t *testing.T) {
+	// On random connected graphs, BFS distances obey d(u,w) ≤ d(u,v)+1 for
+	// every edge {v,w}.
+	f := func(seed uint64) bool {
+		g := randomConnected(40, 20, seed)
+		dist, _, err := g.BFS(0)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(NodeID(v)) {
+				if dist[w] > dist[v]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

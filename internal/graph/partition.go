@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition is a division of a connected graph into disjoint connected
+// parts, following the construction of Erdős, Gerencsér and Máté that §3 of
+// the paper uses: divide every connected graph into O(√n) connected
+// subgraphs of ≈√n nodes each, number the nodes in each subgraph 1..√n,
+// and divide excess numbers over the nodes.
+type Partition struct {
+	parts  [][]NodeID // each part sorted by NodeID
+	member []int      // member[v] = index of the part containing v
+	label  []int      // label[v] = 1-based label of v inside its part
+	target int        // requested part size
+}
+
+// PartitionConnected divides a connected graph into disjoint connected
+// parts of at most 2·target−1 nodes each, aiming for ≥ target nodes per
+// part. Graphs that cannot avoid small parts (a star, say, where every
+// multi-node connected subgraph must contain the hub) yield additional
+// undersized parts; match-making correctness does not depend on part sizes,
+// only on every part carrying every label (see Labelled).
+//
+// The construction carves a BFS spanning tree leaf-ward: when a node's
+// remaining subtree first reaches target nodes, the node plus just enough
+// of its (individually undersized) child subtrees are emitted as one part.
+func PartitionConnected(g *Graph, target int) (*Partition, error) {
+	n := g.N()
+	if n == 0 {
+		return &Partition{target: target}, nil
+	}
+	if target < 1 {
+		return nil, fmt.Errorf("partition: target %d < 1", target)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("partition: %w", ErrDisconnected)
+	}
+	t, err := SpanningTree(g, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		remSize  = make([]int, n)      // size of v's still-uncarved subtree
+		remKids  = make([][]NodeID, n) // still-uncarved children
+		assigned = make([]int, n)      // part index, -1 while uncarved
+		parts    [][]NodeID
+	)
+	for v := range assigned {
+		assigned[v] = -1
+		remSize[v] = 1
+	}
+
+	// collect gathers the uncarved subtree rooted at v into part p.
+	var collect func(v NodeID, p int) []NodeID
+	collect = func(v NodeID, p int) []NodeID {
+		out := []NodeID{v}
+		assigned[v] = p
+		for _, c := range remKids[v] {
+			out = append(out, collect(c, p)...)
+		}
+		remKids[v] = nil
+		return out
+	}
+
+	// Deepest-first order guarantees each uncarved child subtree has size
+	// < target when its parent is considered.
+	order := nodesByDepthDesc(t)
+	for _, v := range order {
+		for _, c := range t.Children(v) {
+			if assigned[c] == -1 {
+				remKids[v] = append(remKids[v], c)
+				remSize[v] += remSize[c]
+			}
+		}
+		if remSize[v] < target {
+			continue
+		}
+		// Emit v plus whole child subtrees until the part reaches target.
+		part := []NodeID{v}
+		assigned[v] = len(parts)
+		kids := remKids[v]
+		remKids[v] = nil
+		for _, c := range kids {
+			if len(part) >= target {
+				// Leftover child subtrees detach; they are carved later as
+				// their own (possibly undersized) parts.
+				continue
+			}
+			part = append(part, collect(c, len(parts))...)
+		}
+		// Re-attach unpicked children as independent roots by marking them
+		// for the final sweep (they stay uncarved with no parent path).
+		for _, c := range kids {
+			if assigned[c] == -1 {
+				detachFromParent(t, c)
+			}
+		}
+		sortNodes(part)
+		parts = append(parts, part)
+		remSize[v] = 0
+	}
+	// Final sweep: any uncarved nodes form parts per remaining connected
+	// subtree (each rooted at an uncarved node whose parent is carved or
+	// absent).
+	for _, v := range order {
+		if assigned[v] != -1 {
+			continue
+		}
+		p := t.Parent(v)
+		if p != -1 && assigned[p] == -1 {
+			continue // will be collected via its uncarved ancestor
+		}
+		part := collect(v, len(parts))
+		sortNodes(part)
+		parts = append(parts, part)
+	}
+
+	pa := &Partition{
+		parts:  parts,
+		member: assigned,
+		label:  make([]int, n),
+		target: target,
+	}
+	for _, part := range parts {
+		for i, v := range part {
+			pa.label[v] = i + 1
+		}
+	}
+	return pa, nil
+}
+
+// detachFromParent removes c from its parent's child list in the tree so
+// the final sweep treats c as the root of an independent remaining subtree.
+func detachFromParent(t *Tree, c NodeID) {
+	p := t.parent[c]
+	if p == -1 {
+		return
+	}
+	t.children[p] = deleteOne(t.children[p], c)
+	t.parent[c] = -1
+}
+
+func nodesByDepthDesc(t *Tree) []NodeID {
+	order := make([]NodeID, 0, t.Size())
+	for v := 0; v < len(t.depth); v++ {
+		if t.depth[v] >= 0 {
+			order = append(order, NodeID(v))
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return t.depth[order[i]] > t.depth[order[j]]
+	})
+	return order
+}
+
+func sortNodes(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// Parts returns the parts; each is sorted and the slices are shared, not
+// copied (treat as read-only).
+func (p *Partition) Parts() [][]NodeID { return p.parts }
+
+// NumParts returns the number of parts.
+func (p *Partition) NumParts() int { return len(p.parts) }
+
+// PartOf returns the index of the part containing v, or -1.
+func (p *Partition) PartOf(v NodeID) int {
+	if v < 0 || int(v) >= len(p.member) {
+		return -1
+	}
+	return p.member[v]
+}
+
+// Label returns the 1-based label of v inside its part, or 0.
+func (p *Partition) Label(v NodeID) int {
+	if v < 0 || int(v) >= len(p.label) {
+		return 0
+	}
+	return p.label[v]
+}
+
+// Labelled returns, for every part, the node carrying label ℓ. Labels run
+// 1..target; parts smaller than target divide the excess labels over their
+// nodes by wrapping (label ℓ falls on node (ℓ−1) mod |part|), exactly the
+// paper's "if necessary, divide the excess numbers over the nodes".
+func (p *Partition) Labelled(part, l int) (NodeID, error) {
+	if part < 0 || part >= len(p.parts) {
+		return -1, fmt.Errorf("partition: part %d out of range", part)
+	}
+	if l < 1 {
+		return -1, fmt.Errorf("partition: label %d < 1", l)
+	}
+	nodes := p.parts[part]
+	return nodes[(l-1)%len(nodes)], nil
+}
+
+// MaxPartSize returns the size of the largest part.
+func (p *Partition) MaxPartSize() int {
+	maxSize := 0
+	for _, part := range p.parts {
+		if len(part) > maxSize {
+			maxSize = len(part)
+		}
+	}
+	return maxSize
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func checkPartition(t *testing.T, g *Graph, p *Partition, target int) {
+	t.Helper()
+	seen := make(map[NodeID]bool)
+	for pi, part := range p.Parts() {
+		if len(part) == 0 {
+			t.Fatalf("part %d is empty", pi)
+		}
+		if len(part) > 2*target-1 {
+			t.Fatalf("part %d has %d nodes, exceeds 2·target−1 = %d",
+				pi, len(part), 2*target-1)
+		}
+		sub, _, err := g.InducedSubgraph(part)
+		if err != nil {
+			t.Fatalf("induced subgraph: %v", err)
+		}
+		if !sub.Connected() {
+			t.Fatalf("part %d (%v) is not connected", pi, part)
+		}
+		for _, v := range part {
+			if seen[v] {
+				t.Fatalf("node %d appears in two parts", v)
+			}
+			seen[v] = true
+			if p.PartOf(v) != pi {
+				t.Fatalf("PartOf(%d) = %d, want %d", v, p.PartOf(v), pi)
+			}
+		}
+	}
+	if len(seen) != g.N() {
+		t.Fatalf("partition covers %d of %d nodes", len(seen), g.N())
+	}
+}
+
+func TestPartitionPath(t *testing.T) {
+	g := path(t, 16)
+	p, err := PartitionConnected(g, 4)
+	if err != nil {
+		t.Fatalf("PartitionConnected: %v", err)
+	}
+	checkPartition(t, g, p, 4)
+	if p.NumParts() != 4 {
+		t.Fatalf("parts = %d, want 4 on a 16-path with target 4", p.NumParts())
+	}
+}
+
+func TestPartitionGridLike(t *testing.T) {
+	// 6x6 grid built by hand.
+	const w = 6
+	g := New(w * w)
+	for r := 0; r < w; r++ {
+		for c := 0; c < w; c++ {
+			v := NodeID(r*w + c)
+			if c+1 < w {
+				g.MustAddEdge(v, v+1)
+			}
+			if r+1 < w {
+				g.MustAddEdge(v, v+NodeID(w))
+			}
+		}
+	}
+	target := int(math.Ceil(math.Sqrt(float64(g.N()))))
+	p, err := PartitionConnected(g, target)
+	if err != nil {
+		t.Fatalf("PartitionConnected: %v", err)
+	}
+	checkPartition(t, g, p, target)
+	// A grid partitions well: the number of parts should be O(√n).
+	if p.NumParts() > 2*target {
+		t.Fatalf("parts = %d, want ≤ %d on a grid", p.NumParts(), 2*target)
+	}
+}
+
+func TestPartitionStar(t *testing.T) {
+	// A star cannot avoid undersized parts (every multi-node connected
+	// subgraph contains the hub); it must still be a valid partition.
+	g := star(t, 20)
+	p, err := PartitionConnected(g, 4)
+	if err != nil {
+		t.Fatalf("PartitionConnected: %v", err)
+	}
+	checkPartition(t, g, p, 4)
+}
+
+func TestPartitionSingleNode(t *testing.T) {
+	g := New(1)
+	p, err := PartitionConnected(g, 3)
+	if err != nil {
+		t.Fatalf("PartitionConnected: %v", err)
+	}
+	if p.NumParts() != 1 || len(p.Parts()[0]) != 1 {
+		t.Fatalf("parts = %v", p.Parts())
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if _, err := PartitionConnected(g, 2); err == nil {
+		t.Fatal("disconnected graph should be rejected")
+	}
+	if _, err := PartitionConnected(path(t, 4), 0); err == nil {
+		t.Fatal("target 0 should be rejected")
+	}
+}
+
+func TestPartitionLabels(t *testing.T) {
+	g := path(t, 9)
+	p, err := PartitionConnected(g, 3)
+	if err != nil {
+		t.Fatalf("PartitionConnected: %v", err)
+	}
+	for _, part := range p.Parts() {
+		labels := make(map[int]bool)
+		for _, v := range part {
+			l := p.Label(v)
+			if l < 1 || l > len(part) {
+				t.Fatalf("label of %d = %d, out of 1..%d", v, l, len(part))
+			}
+			if labels[l] {
+				t.Fatalf("duplicate label %d in part %v", l, part)
+			}
+			labels[l] = true
+		}
+	}
+}
+
+func TestPartitionLabelledWraps(t *testing.T) {
+	// A part smaller than target must still answer every label 1..target by
+	// wrapping ("divide the excess numbers over the nodes").
+	g := star(t, 10)
+	target := 4
+	p, err := PartitionConnected(g, target)
+	if err != nil {
+		t.Fatalf("PartitionConnected: %v", err)
+	}
+	for pi := 0; pi < p.NumParts(); pi++ {
+		for l := 1; l <= target; l++ {
+			v, err := p.Labelled(pi, l)
+			if err != nil {
+				t.Fatalf("Labelled(%d,%d): %v", pi, l, err)
+			}
+			if p.PartOf(v) != pi {
+				t.Fatalf("Labelled(%d,%d) = %d lies in part %d", pi, l, v, p.PartOf(v))
+			}
+		}
+	}
+	if _, err := p.Labelled(-1, 1); err == nil {
+		t.Fatal("negative part should error")
+	}
+	if _, err := p.Labelled(0, 0); err == nil {
+		t.Fatal("label 0 should error")
+	}
+}
+
+func TestPartitionPropertyRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(50, 25, seed)
+		target := 7
+		p, err := PartitionConnected(g, target)
+		if err != nil {
+			return false
+		}
+		// Valid: disjoint cover, connected parts, bounded size.
+		seen := make(map[NodeID]bool)
+		for _, part := range p.Parts() {
+			if len(part) == 0 || len(part) > 2*target-1 {
+				return false
+			}
+			sub, _, err := g.InducedSubgraph(part)
+			if err != nil || !sub.Connected() {
+				return false
+			}
+			for _, v := range part {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import "fmt"
+
+// Routing holds all-pairs next-hop routing tables for a graph, the "table
+// containing the names of all other nodes together with the minimum cost to
+// reach them and the neighbor at which the minimum cost path starts" that
+// Section 3 of the paper assumes every node keeps.
+//
+// Tables are built with one BFS per node, O(n·m) time and O(n²) space;
+// adequate for simulation-scale networks.
+type Routing struct {
+	next [][]NodeID // next[u][v] = first hop on a shortest u→v path, -1 if none
+	dist [][]int    // dist[u][v] = hop distance, -1 if unreachable
+}
+
+// NewRouting computes routing tables for g.
+func NewRouting(g *Graph) (*Routing, error) {
+	n := g.N()
+	r := &Routing{
+		next: make([][]NodeID, n),
+		dist: make([][]int, n),
+	}
+	for u := 0; u < n; u++ {
+		dist, parent, err := g.BFS(NodeID(u))
+		if err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+		r.dist[u] = dist
+		nh := make([]NodeID, n)
+		for v := 0; v < n; v++ {
+			nh[v] = firstHop(NodeID(u), NodeID(v), parent)
+		}
+		r.next[u] = nh
+	}
+	return r, nil
+}
+
+// firstHop walks the BFS parent chain from v back toward u and returns the
+// neighbor of u on that path.
+func firstHop(u, v NodeID, parent []NodeID) NodeID {
+	if u == v {
+		return u
+	}
+	if parent[v] == -1 {
+		return -1
+	}
+	at := v
+	for parent[at] != u {
+		at = parent[at]
+		if at == -1 {
+			return -1
+		}
+	}
+	return at
+}
+
+// N returns the number of nodes covered by the tables.
+func (r *Routing) N() int { return len(r.next) }
+
+// NextHop returns the neighbor of from on a shortest path to to, from
+// itself if from == to, and -1 if to is unreachable.
+func (r *Routing) NextHop(from, to NodeID) NodeID {
+	if int(from) >= len(r.next) || int(to) >= len(r.next) || from < 0 || to < 0 {
+		return -1
+	}
+	return r.next[from][to]
+}
+
+// Dist returns the hop distance from from to to, or -1 if unreachable.
+func (r *Routing) Dist(from, to NodeID) int {
+	if int(from) >= len(r.dist) || int(to) >= len(r.dist) || from < 0 || to < 0 {
+		return -1
+	}
+	return r.dist[from][to]
+}
+
+// Path materializes the shortest path from from to to, inclusive, by
+// following next hops. It returns nil if to is unreachable.
+func (r *Routing) Path(from, to NodeID) []NodeID {
+	d := r.Dist(from, to)
+	if d < 0 {
+		return nil
+	}
+	path := make([]NodeID, 0, d+1)
+	at := from
+	path = append(path, at)
+	for at != to {
+		at = r.NextHop(at, to)
+		if at == -1 {
+			return nil
+		}
+		path = append(path, at)
+	}
+	return path
+}
+
+// PredecessorNeighbors returns the neighbors w of node at whose routing
+// tables send origin-bound traffic through at, i.e. dist(w, origin) >
+// dist(at, origin). This is the routing table used "back-to-front" from §4:
+// a beam leaving origin is forwarded from at to any such w, extending a
+// simulated straight line away from its source.
+func (r *Routing) PredecessorNeighbors(g *Graph, at, origin NodeID) []NodeID {
+	var out []NodeID
+	dAt := r.Dist(at, origin)
+	if dAt < 0 {
+		return nil
+	}
+	for _, w := range g.Neighbors(at) {
+		if r.Dist(w, origin) > dAt {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MulticastCost returns the number of message passes needed to deliver one
+// message from src to every node in targets, when the message is flooded
+// along the shortest-path (BFS) tree of src pruned to the targets: every
+// edge of the pruned tree carries the message exactly once, so the cost is
+// the number of edges in the Steiner approximation. This is the
+// "broadcast over spanning trees in these subgraphs" accounting of §2.3.5.
+func (r *Routing) MulticastCost(src NodeID, targets []NodeID) (int, error) {
+	if int(src) >= r.N() || src < 0 {
+		return 0, fmt.Errorf("multicast from %d: %w", src, ErrNodeRange)
+	}
+	// Union of shortest paths from src to each target, counted as edges of
+	// the shortest-path tree: mark every node that lies on a path, then the
+	// cost is (#marked nodes) - 1 when following tree edges toward src.
+	onTree := make(map[NodeID]bool)
+	onTree[src] = true
+	for _, t := range targets {
+		if r.Dist(src, t) < 0 {
+			return 0, fmt.Errorf("multicast %d->%d: %w", src, t, ErrDisconnected)
+		}
+		// Walk from src toward t; all intermediate nodes join the tree.
+		at := src
+		for at != t {
+			at = r.NextHop(at, t)
+			onTree[at] = true
+		}
+	}
+	return len(onTree) - 1, nil
+}
+
+// UnicastCost returns the total number of message passes needed to send one
+// point-to-point message from src to each target individually (no tree
+// sharing): the sum of hop distances.
+func (r *Routing) UnicastCost(src NodeID, targets []NodeID) (int, error) {
+	total := 0
+	for _, t := range targets {
+		d := r.Dist(src, t)
+		if d < 0 {
+			return 0, fmt.Errorf("unicast %d->%d: %w", src, t, ErrDisconnected)
+		}
+		total += d
+	}
+	return total, nil
+}

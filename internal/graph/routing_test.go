@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustRouting(t *testing.T, g *Graph) *Routing {
+	t.Helper()
+	r, err := NewRouting(g)
+	if err != nil {
+		t.Fatalf("NewRouting: %v", err)
+	}
+	return r
+}
+
+func TestRoutingDistMatchesBFS(t *testing.T) {
+	g := randomConnected(30, 15, 7)
+	r := mustRouting(t, g)
+	for u := 0; u < g.N(); u++ {
+		dist, _, err := g.BFS(NodeID(u))
+		if err != nil {
+			t.Fatalf("BFS: %v", err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if r.Dist(NodeID(u), NodeID(v)) != dist[v] {
+				t.Fatalf("Dist(%d,%d) = %d, want %d", u, v, r.Dist(NodeID(u), NodeID(v)), dist[v])
+			}
+		}
+	}
+}
+
+func TestRoutingNextHopAdvances(t *testing.T) {
+	g := randomConnected(25, 10, 3)
+	r := mustRouting(t, g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				if r.NextHop(NodeID(u), NodeID(v)) != NodeID(u) {
+					t.Fatalf("NextHop(%d,%d) should be self", u, v)
+				}
+				continue
+			}
+			h := r.NextHop(NodeID(u), NodeID(v))
+			if !g.HasEdge(NodeID(u), h) {
+				t.Fatalf("NextHop(%d,%d) = %d is not a neighbor", u, v, h)
+			}
+			if r.Dist(h, NodeID(v)) != r.Dist(NodeID(u), NodeID(v))-1 {
+				t.Fatalf("NextHop(%d,%d) does not reduce distance", u, v)
+			}
+		}
+	}
+}
+
+func TestRoutingPath(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	r := mustRouting(t, g)
+	p := r.Path(0, 4)
+	want := []NodeID{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if p = r.Path(0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("self path = %v, want [0]", p)
+	}
+}
+
+func TestRoutingUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	r := mustRouting(t, g)
+	if d := r.Dist(0, 2); d != -1 {
+		t.Fatalf("Dist to unreachable = %d, want -1", d)
+	}
+	if h := r.NextHop(0, 2); h != -1 {
+		t.Fatalf("NextHop to unreachable = %d, want -1", h)
+	}
+	if p := r.Path(0, 2); p != nil {
+		t.Fatalf("Path to unreachable = %v, want nil", p)
+	}
+}
+
+func TestRoutingOutOfRange(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	r := mustRouting(t, g)
+	if r.Dist(0, 9) != -1 || r.NextHop(9, 0) != -1 {
+		t.Fatal("out-of-range queries should return -1")
+	}
+}
+
+func TestMulticastCostLine(t *testing.T) {
+	// On a path 0-1-2-3-4, delivering from 0 to {2,4} floods edges
+	// 0-1,1-2,2-3,3-4 exactly once: 4 passes.
+	g := path(t, 5)
+	r := mustRouting(t, g)
+	got, err := r.MulticastCost(0, []NodeID{2, 4})
+	if err != nil {
+		t.Fatalf("MulticastCost: %v", err)
+	}
+	if got != 4 {
+		t.Fatalf("MulticastCost = %d, want 4", got)
+	}
+}
+
+func TestMulticastCostSharedPrefix(t *testing.T) {
+	// Star with hub 0: delivering to 3 leaves costs 3 (one edge each),
+	// while unicast also costs 3; delivering to leaves via a shared path
+	// is cheaper than unicast when paths overlap.
+	g := path(t, 6)
+	r := mustRouting(t, g)
+	multi, err := r.MulticastCost(0, []NodeID{3, 4, 5})
+	if err != nil {
+		t.Fatalf("MulticastCost: %v", err)
+	}
+	uni, err := r.UnicastCost(0, []NodeID{3, 4, 5})
+	if err != nil {
+		t.Fatalf("UnicastCost: %v", err)
+	}
+	if multi != 5 {
+		t.Fatalf("MulticastCost = %d, want 5", multi)
+	}
+	if uni != 12 {
+		t.Fatalf("UnicastCost = %d, want 12", uni)
+	}
+	if multi >= uni {
+		t.Fatal("multicast should beat unicast on overlapping paths")
+	}
+}
+
+func TestMulticastCostEmptyTargets(t *testing.T) {
+	g := path(t, 3)
+	r := mustRouting(t, g)
+	got, err := r.MulticastCost(1, nil)
+	if err != nil {
+		t.Fatalf("MulticastCost: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("MulticastCost(no targets) = %d, want 0", got)
+	}
+}
+
+func TestMulticastDisconnected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	r := mustRouting(t, g)
+	if _, err := r.MulticastCost(0, []NodeID{2}); err == nil {
+		t.Fatal("expected error for unreachable target")
+	}
+	if _, err := r.UnicastCost(0, []NodeID{2}); err == nil {
+		t.Fatal("expected error for unreachable target")
+	}
+}
+
+func TestPredecessorNeighbors(t *testing.T) {
+	// Path 0-1-2-3: from node 1, origin 0, the away-from-origin neighbors
+	// are exactly {2}.
+	g := path(t, 4)
+	r := mustRouting(t, g)
+	got := r.PredecessorNeighbors(g, 1, 0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("PredecessorNeighbors = %v, want [2]", got)
+	}
+	// From the far end there is nowhere further to go.
+	if got := r.PredecessorNeighbors(g, 3, 0); len(got) != 0 {
+		t.Fatalf("PredecessorNeighbors at end = %v, want empty", got)
+	}
+}
+
+func TestMulticastCostNeverExceedsUnicast(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(24, 12, seed)
+		r, err := NewRouting(g)
+		if err != nil {
+			return false
+		}
+		targets := []NodeID{3, 9, 17, 23}
+		multi, err1 := r.MulticastCost(0, targets)
+		uni, err2 := r.UnicastCost(0, targets)
+		return err1 == nil && err2 == nil && multi <= uni && multi >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+import "fmt"
+
+// Tree is a rooted spanning tree of (a connected subgraph of) a Graph,
+// used for tree-structured match-making strategies (§3.6) and for
+// spanning-tree broadcast accounting.
+type Tree struct {
+	root     NodeID
+	parent   []NodeID   // parent[v] = parent of v, -1 for root and non-members
+	children [][]NodeID // children in BFS discovery order
+	depth    []int      // depth[v] = hops from root, -1 for non-members
+	size     int        // number of member nodes
+}
+
+// SpanningTree returns the BFS spanning tree of g rooted at root, covering
+// the connected component of root.
+func SpanningTree(g *Graph, root NodeID) (*Tree, error) {
+	dist, parent, err := g.BFS(root)
+	if err != nil {
+		return nil, fmt.Errorf("spanning tree: %w", err)
+	}
+	n := g.N()
+	t := &Tree{
+		root:     root,
+		parent:   parent,
+		children: make([][]NodeID, n),
+		depth:    dist,
+	}
+	for v := 0; v < n; v++ {
+		if dist[v] >= 0 {
+			t.size++
+			if p := parent[v]; p != -1 {
+				t.children[p] = append(t.children[p], NodeID(v))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() NodeID { return t.root }
+
+// N returns the number of nodes of the underlying graph (members and
+// non-members alike).
+func (t *Tree) N() int { return len(t.depth) }
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return t.size }
+
+// Contains reports whether v is a member of the tree.
+func (t *Tree) Contains(v NodeID) bool {
+	return v >= 0 && int(v) < len(t.depth) && t.depth[v] >= 0
+}
+
+// Parent returns the parent of v (-1 for the root or non-members).
+func (t *Tree) Parent(v NodeID) NodeID {
+	if !t.Contains(v) {
+		return -1
+	}
+	return t.parent[v]
+}
+
+// Children returns a copy of v's children.
+func (t *Tree) Children(v NodeID) []NodeID {
+	if !t.Contains(v) || len(t.children[v]) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(t.children[v]))
+	copy(out, t.children[v])
+	return out
+}
+
+// Depth returns the hop distance of v from the root, or -1 for non-members.
+func (t *Tree) Depth(v NodeID) int {
+	if !t.Contains(v) {
+		return -1
+	}
+	return t.depth[v]
+}
+
+// Height returns the maximum depth over all members.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// PathToRoot returns the node sequence v, parent(v), ..., root. Tree-based
+// match-making (§3.6) posts and queries along exactly this path.
+func (t *Tree) PathToRoot(v NodeID) []NodeID {
+	if !t.Contains(v) {
+		return nil
+	}
+	path := make([]NodeID, 0, t.depth[v]+1)
+	for at := v; at != -1; at = t.parent[at] {
+		path = append(path, at)
+	}
+	return path
+}
+
+// SubtreeSizes returns, for every member v, the number of nodes in the
+// subtree rooted at v (0 for non-members). The cache a tree rendezvous node
+// needs is proportional to its subtree size (§3.6).
+func (t *Tree) SubtreeSizes() []int {
+	n := len(t.depth)
+	sizes := make([]int, n)
+	// Process nodes in decreasing depth so children are done before parents.
+	order := make([]NodeID, 0, t.size)
+	for v := 0; v < n; v++ {
+		if t.depth[v] >= 0 {
+			order = append(order, NodeID(v))
+		}
+	}
+	// Counting sort by depth, deepest first.
+	maxd := t.Height()
+	buckets := make([][]NodeID, maxd+1)
+	for _, v := range order {
+		buckets[t.depth[v]] = append(buckets[t.depth[v]], v)
+	}
+	for d := maxd; d >= 0; d-- {
+		for _, v := range buckets[d] {
+			sizes[v]++ // itself
+			if p := t.parent[v]; p != -1 {
+				sizes[p] += sizes[v]
+			}
+		}
+	}
+	return sizes
+}
+
+// BroadcastCost returns the number of message passes used to flood one
+// message from the root to all tree members: one pass per tree edge.
+func (t *Tree) BroadcastCost() int {
+	if t.size == 0 {
+		return 0
+	}
+	return t.size - 1
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanningTreePath(t *testing.T) {
+	g := path(t, 5)
+	tr, err := SpanningTree(g, 0)
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	if tr.Root() != 0 || tr.Size() != 5 || tr.Height() != 4 {
+		t.Fatalf("root=%d size=%d height=%d", tr.Root(), tr.Size(), tr.Height())
+	}
+	for v := 1; v < 5; v++ {
+		if tr.Parent(NodeID(v)) != NodeID(v-1) {
+			t.Fatalf("parent[%d] = %d, want %d", v, tr.Parent(NodeID(v)), v-1)
+		}
+	}
+	if tr.Parent(0) != -1 {
+		t.Fatalf("root parent = %d, want -1", tr.Parent(0))
+	}
+}
+
+func TestSpanningTreeCoversComponentOnly(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	tr, err := SpanningTree(g, 0)
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size = %d, want 2", tr.Size())
+	}
+	if tr.Contains(2) || tr.Contains(3) {
+		t.Fatal("tree should not contain the other component")
+	}
+	if tr.Depth(3) != -1 {
+		t.Fatalf("depth of non-member = %d, want -1", tr.Depth(3))
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	g := star(t, 5)
+	tr, err := SpanningTree(g, 0)
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	p := tr.PathToRoot(3)
+	if len(p) != 2 || p[0] != 3 || p[1] != 0 {
+		t.Fatalf("PathToRoot(3) = %v, want [3 0]", p)
+	}
+	if p := tr.PathToRoot(0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("PathToRoot(root) = %v, want [0]", p)
+	}
+}
+
+func TestSubtreeSizes(t *testing.T) {
+	// Balanced binary tree on 7 nodes: 0 root; 1,2 children; 3,4,5,6 leaves.
+	g := New(7)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(1, 4)
+	g.MustAddEdge(2, 5)
+	g.MustAddEdge(2, 6)
+	tr, err := SpanningTree(g, 0)
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	sizes := tr.SubtreeSizes()
+	want := []int{7, 3, 3, 1, 1, 1, 1}
+	for v, w := range want {
+		if sizes[v] != w {
+			t.Fatalf("subtree size[%d] = %d, want %d", v, sizes[v], w)
+		}
+	}
+}
+
+func TestBroadcastCost(t *testing.T) {
+	g := cycle(t, 8)
+	tr, err := SpanningTree(g, 0)
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	if got := tr.BroadcastCost(); got != 7 {
+		t.Fatalf("BroadcastCost = %d, want 7 (n-1 tree edges)", got)
+	}
+}
+
+func TestChildrenCopied(t *testing.T) {
+	g := star(t, 4)
+	tr, err := SpanningTree(g, 0)
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	kids := tr.Children(0)
+	if len(kids) != 3 {
+		t.Fatalf("children = %v, want 3 leaves", kids)
+	}
+	kids[0] = 99
+	if tr.Children(0)[0] == 99 {
+		t.Fatal("Children must return a copy")
+	}
+}
+
+func TestTreePropertyDepthConsistent(t *testing.T) {
+	// On random connected graphs: depth(v) == depth(parent(v)) + 1 and the
+	// sum of all subtree sizes equals the sum of (depth+1).
+	f := func(seed uint64) bool {
+		g := randomConnected(30, 10, seed)
+		tr, err := SpanningTree(g, 0)
+		if err != nil {
+			return false
+		}
+		sizes := tr.SubtreeSizes()
+		sumSizes, sumDepth := 0, 0
+		for v := 0; v < g.N(); v++ {
+			id := NodeID(v)
+			if p := tr.Parent(id); p != -1 && tr.Depth(id) != tr.Depth(p)+1 {
+				return false
+			}
+			sumSizes += sizes[v]
+			sumDepth += tr.Depth(id) + 1
+		}
+		return sumSizes == sumDepth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

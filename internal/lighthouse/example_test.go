@@ -1,0 +1,39 @@
+package lighthouse_test
+
+import (
+	"fmt"
+
+	"matchmake/internal/lighthouse"
+)
+
+// The binary-counter schedule of §4: the length of the locate beam is
+// i·l once in each interval of 2^i trials (sequence 51 in Sloane's
+// catalogue).
+func ExampleRulerValue() {
+	for trial := 1; trial <= 16; trial++ {
+		fmt.Print(lighthouse.RulerValue(trial))
+	}
+	fmt.Println()
+	// Output:
+	// 1213121412131215
+}
+
+// A dense plane is located almost immediately.
+func ExamplePlane_Locate() {
+	plane, err := lighthouse.NewPlane(32, 32, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := plane.AddServer("time", lighthouse.Point{X: 16, Y: 16}, 31, 2, 100); err != nil {
+		fmt.Println(err)
+		return
+	}
+	plane.TickN(10)
+	res := plane.Locate("time", lighthouse.Point{X: 2, Y: 2}, lighthouse.RulerSchedule{L: 8, Gap: 1}, 100)
+	fmt.Println("found:", res.Found)
+	fmt.Println("addr:", res.Addr)
+	// Output:
+	// found: true
+	// addr: {16 16}
+}

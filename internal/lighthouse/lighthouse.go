@@ -1,0 +1,362 @@
+// Package lighthouse implements Lighthouse Locate from Section 4 of the
+// paper: a probabilistic locate for processors laid out as discrete
+// coordinate points of a 2-dimensional plane grid.
+//
+// Each server sends out a random-direction beam of length l every δ time
+// units; the trail left by a beam disappears after d time units (nodes
+// discard the (port, address) posting). To locate a server, a client
+// beams requests in random directions at regular intervals, increasing
+// its effort when unsuccessful — either by doubling beam length and
+// interval after e failures, or by following the binary-counter "ruler"
+// schedule 1 2 1 3 1 2 1 4 … in which a beam of length i·l occurs once
+// every 2^i trials.
+//
+// The package also implements the paper's mapping of beams onto
+// point-to-point networks: routing tables used back-to-front extend a
+// walk ever further from its origin, simulating "a straight line" of a
+// given hop length (see BeamWalk).
+package lighthouse
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Point is a cell of the plane grid.
+type Point struct {
+	X, Y int
+}
+
+// Port names a service on the plane.
+type Port string
+
+// trail is a live posting on a cell.
+type trail struct {
+	addr    Point
+	expires int64
+}
+
+// Plane is a discrete W×H toroidal grid with trail storage and a global
+// clock. The wraparound avoids boundary artefacts; the paper's analysis
+// assumes an unbounded plane with uniform server density, which a torus
+// models on a finite grid.
+type Plane struct {
+	w, h  int
+	now   int64
+	cells map[Point]map[Port]trail
+	rng   *rand.Rand
+
+	servers []*Server
+}
+
+// NewPlane creates an empty plane of the given extent, with deterministic
+// randomness derived from seed.
+func NewPlane(w, h int, seed uint64) (*Plane, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("lighthouse: plane %dx%d invalid", w, h)
+	}
+	return &Plane{
+		w:     w,
+		h:     h,
+		cells: make(map[Point]map[Port]trail),
+		rng:   rand.New(rand.NewPCG(seed, seed^0x510e527fade682d1)),
+	}, nil
+}
+
+// Now returns the current tick.
+func (p *Plane) Now() int64 { return p.now }
+
+// Size returns the plane extent.
+func (p *Plane) Size() (w, h int) { return p.w, p.h }
+
+// wrapPoint normalizes a point onto the torus.
+func (p *Plane) wrapPoint(pt Point) Point {
+	pt.X = ((pt.X % p.w) + p.w) % p.w
+	pt.Y = ((pt.Y % p.h) + p.h) % p.h
+	return pt
+}
+
+// directions are the eight beam headings of the discrete plane.
+var directions = [8]Point{
+	{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+	{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+}
+
+// beamCells returns the cells covered by a beam of the given length from
+// origin in direction dir (excluding the origin itself).
+func (p *Plane) beamCells(origin Point, dir Point, length int) []Point {
+	out := make([]Point, 0, length)
+	at := origin
+	for i := 0; i < length; i++ {
+		at = p.wrapPoint(Point{at.X + dir.X, at.Y + dir.Y})
+		out = append(out, at)
+	}
+	return out
+}
+
+// deposit writes a trail on every beam cell.
+func (p *Plane) deposit(port Port, addr Point, cells []Point, ttl int) {
+	expires := p.now + int64(ttl)
+	for _, c := range cells {
+		m := p.cells[c]
+		if m == nil {
+			m = make(map[Port]trail, 1)
+			p.cells[c] = m
+		}
+		if cur, ok := m[port]; !ok || expires > cur.expires {
+			m[port] = trail{addr: addr, expires: expires}
+		}
+	}
+}
+
+// lookup reports a live trail for port at cell.
+func (p *Plane) lookup(port Port, cell Point) (Point, bool) {
+	t, ok := p.cells[cell][port]
+	if !ok || t.expires <= p.now {
+		return Point{}, false
+	}
+	return t.addr, true
+}
+
+// Probe reports whether cell carries a live trail for port and, if so,
+// the advertised server position. It is a free inspection used by
+// visualizations and tests; client searches go through Locate, which
+// accounts for the probes.
+func (p *Plane) Probe(port Port, cell Point) (Point, bool) {
+	return p.lookup(port, p.wrapPoint(cell))
+}
+
+// Compact drops expired trails to bound memory during long runs.
+func (p *Plane) Compact() {
+	for c, m := range p.cells {
+		for port, t := range m {
+			if t.expires <= p.now {
+				delete(m, port)
+			}
+		}
+		if len(m) == 0 {
+			delete(p.cells, c)
+		}
+	}
+}
+
+// Server is a beaming server on the plane.
+type Server struct {
+	plane *Plane
+	// Port is the service the server answers.
+	Port Port
+	// Pos is the server's grid position.
+	Pos Point
+	// BeamLen is the trail length l.
+	BeamLen int
+	// Period is the beaming interval δ.
+	Period int
+	// TrailTTL is the trail lifetime d.
+	TrailTTL int
+	// DriftEvery, when positive, makes the server take one random-walk
+	// step every DriftEvery ticks: the mobile-server regime in which the
+	// ruler schedule's recurring short beams pay off ("servers which
+	// drift nearer to the client are located with less time-loss").
+	DriftEvery int
+	// WakeAt, when positive, suppresses beaming until the given tick:
+	// the server is elsewhere (or not yet started) and only then appears
+	// at its position. Experiments use it to model a server drifting
+	// into a client's neighbourhood mid-search.
+	WakeAt int64
+
+	phase int64
+}
+
+// AddServer places a server on the plane; it beams once immediately and
+// then every Period ticks.
+func (p *Plane) AddServer(port Port, pos Point, beamLen, period, ttl int) (*Server, error) {
+	return p.AddDormantServer(port, pos, beamLen, period, ttl, 0)
+}
+
+// AddDormantServer places a server that stays silent until tick wakeAt
+// (0 = beam immediately). A dormant server models one that is far away
+// or not yet started and later appears at its position.
+func (p *Plane) AddDormantServer(port Port, pos Point, beamLen, period, ttl int, wakeAt int64) (*Server, error) {
+	if beamLen < 1 || period < 1 || ttl < 1 {
+		return nil, fmt.Errorf("lighthouse: server parameters l=%d δ=%d d=%d must be ≥ 1", beamLen, period, ttl)
+	}
+	s := &Server{
+		plane:    p,
+		Port:     port,
+		Pos:      p.wrapPoint(pos),
+		BeamLen:  beamLen,
+		Period:   period,
+		TrailTTL: ttl,
+		WakeAt:   wakeAt,
+		phase:    p.now % int64(period),
+	}
+	p.servers = append(p.servers, s)
+	if wakeAt <= p.now {
+		s.beam()
+	}
+	return s, nil
+}
+
+// beam emits one random-direction trail.
+func (s *Server) beam() {
+	dir := directions[s.plane.rng.IntN(len(directions))]
+	cells := s.plane.beamCells(s.Pos, dir, s.BeamLen)
+	s.plane.deposit(s.Port, s.Pos, cells, s.TrailTTL)
+}
+
+// Tick advances the plane clock by one unit; servers whose period
+// boundary passes emit a fresh beam, and drifting servers take their
+// random-walk step. (The paper assumes beam propagation is instantaneous
+// relative to the trail lifetime d.)
+func (p *Plane) Tick() {
+	p.now++
+	for _, s := range p.servers {
+		if s.WakeAt > 0 && p.now < s.WakeAt {
+			continue
+		}
+		if s.DriftEvery > 0 && p.now%int64(s.DriftEvery) == 0 {
+			dir := directions[p.rng.IntN(len(directions))]
+			s.Pos = p.wrapPoint(Point{s.Pos.X + dir.X, s.Pos.Y + dir.Y})
+		}
+		if p.now%int64(s.Period) == s.phase {
+			s.beam()
+		}
+	}
+}
+
+// TickN advances the clock n ticks.
+func (p *Plane) TickN(n int) {
+	for i := 0; i < n; i++ {
+		p.Tick()
+	}
+}
+
+// Schedule generates the client's beam length for each trial (1-based).
+type Schedule interface {
+	// BeamLength returns the beam length for the given trial.
+	BeamLength(trial int) int
+	// Interval returns the number of ticks to wait after the given trial.
+	Interval(trial int) int
+	// Name identifies the schedule in reports.
+	Name() string
+}
+
+// FixedSchedule beams a constant length at a constant interval.
+type FixedSchedule struct {
+	// L is the beam length of every trial.
+	L int
+	// Gap is the tick interval between trials.
+	Gap int
+}
+
+// Name implements Schedule.
+func (s FixedSchedule) Name() string { return fmt.Sprintf("fixed-l%d", s.L) }
+
+// BeamLength implements Schedule.
+func (s FixedSchedule) BeamLength(int) int { return s.L }
+
+// Interval implements Schedule.
+func (s FixedSchedule) Interval(int) int { return s.Gap }
+
+// DoublingSchedule implements the paper's first client algorithm:
+// originally the beam length is L and the interval Gap; after every E
+// unsuccessful trials the client doubles both (l ← 2l, δ ← 2δ).
+type DoublingSchedule struct {
+	// L is the initial beam length.
+	L int
+	// Gap is the initial interval.
+	Gap int
+	// E is the number of failures between doublings.
+	E int
+}
+
+// Name implements Schedule.
+func (s DoublingSchedule) Name() string { return fmt.Sprintf("doubling-l%d-e%d", s.L, s.E) }
+
+func (s DoublingSchedule) factor(trial int) int {
+	e := s.E
+	if e < 1 {
+		e = 1
+	}
+	return 1 << uint((trial-1)/e)
+}
+
+// BeamLength implements Schedule.
+func (s DoublingSchedule) BeamLength(trial int) int { return s.L * s.factor(trial) }
+
+// Interval implements Schedule.
+func (s DoublingSchedule) Interval(trial int) int { return s.Gap * s.factor(trial) }
+
+// RulerSchedule implements the paper's second client algorithm: the beam
+// length of trial t is i·L where i−1 is the number of trailing zeros of
+// t — the position of the most significant bit changed by incrementing a
+// binary counter. The resulting sequence of multipliers is
+// 1 2 1 3 1 2 1 4 1 2 1 3 1 2 1 5 … (sequence 51 in Sloane's catalogue):
+// in any 2^k consecutive trials there are 2^(k−i) beams of length i·L,
+// and servers that drift nearer are found with less time-loss.
+type RulerSchedule struct {
+	// L is the base beam length.
+	L int
+	// Gap is the tick interval between trials.
+	Gap int
+}
+
+// Name implements Schedule.
+func (s RulerSchedule) Name() string { return fmt.Sprintf("ruler-l%d", s.L) }
+
+// RulerValue returns the multiplier i for trial t ≥ 1.
+func RulerValue(t int) int {
+	if t < 1 {
+		return 1
+	}
+	return bits.TrailingZeros(uint(t)) + 1
+}
+
+// BeamLength implements Schedule.
+func (s RulerSchedule) BeamLength(trial int) int { return s.L * RulerValue(trial) }
+
+// Interval implements Schedule.
+func (s RulerSchedule) Interval(int) int { return s.Gap }
+
+// LocateResult reports one client locate run.
+type LocateResult struct {
+	// Found reports whether a live trail was hit.
+	Found bool
+	// Addr is the located server position (when Found).
+	Addr Point
+	// Trials is the number of beams emitted.
+	Trials int
+	// Ticks is the simulated time consumed.
+	Ticks int64
+	// CellsProbed is the total number of cells examined, the message-pass
+	// analogue for the plane.
+	CellsProbed int
+}
+
+// Locate runs a client at pos beaming for port under the given schedule,
+// for at most maxTrials trials. Each trial probes the cells of one beam;
+// between trials the plane advances by the schedule's interval (servers
+// keep beaming, trails keep expiring).
+func (p *Plane) Locate(port Port, pos Point, sched Schedule, maxTrials int) LocateResult {
+	pos = p.wrapPoint(pos)
+	start := p.now
+	res := LocateResult{}
+	for trial := 1; trial <= maxTrials; trial++ {
+		res.Trials = trial
+		dir := directions[p.rng.IntN(len(directions))]
+		length := sched.BeamLength(trial)
+		for _, cell := range p.beamCells(pos, dir, length) {
+			res.CellsProbed++
+			if addr, ok := p.lookup(port, cell); ok {
+				res.Found = true
+				res.Addr = addr
+				res.Ticks = p.now - start
+				return res
+			}
+		}
+		p.TickN(sched.Interval(trial))
+	}
+	res.Ticks = p.now - start
+	return res
+}

@@ -1,0 +1,343 @@
+package lighthouse
+
+import (
+	"testing"
+
+	"matchmake/internal/topology"
+)
+
+func TestRulerSequenceMatchesPaper(t *testing.T) {
+	// "1213121412131215..." — sequence 51 in Sloane's catalogue.
+	want := []int{1, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1, 5, 1, 2}
+	for i, w := range want {
+		if got := RulerValue(i + 1); got != w {
+			t.Fatalf("RulerValue(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if RulerValue(0) != 1 {
+		t.Fatal("RulerValue(0) should clamp to 1")
+	}
+}
+
+func TestRulerCounts(t *testing.T) {
+	// In a sequence of 2^k trials there are 2^(k−i) trials of length i·l.
+	const k = 8
+	counts := make(map[int]int)
+	for tr := 1; tr <= 1<<k; tr++ {
+		counts[RulerValue(tr)]++
+	}
+	for i := 1; i <= k; i++ {
+		want := 1 << (k - i)
+		if counts[i] != want {
+			t.Fatalf("multiplier %d occurs %d times, want %d", i, counts[i], want)
+		}
+	}
+}
+
+func TestDoublingSchedule(t *testing.T) {
+	s := DoublingSchedule{L: 3, Gap: 2, E: 2}
+	wantLen := []int{3, 3, 6, 6, 12, 12, 24}
+	for i, w := range wantLen {
+		if got := s.BeamLength(i + 1); got != w {
+			t.Fatalf("BeamLength(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if got := s.Interval(3); got != 4 {
+		t.Fatalf("Interval(3) = %d, want 4", got)
+	}
+	// E = 0 clamps to 1.
+	z := DoublingSchedule{L: 1, Gap: 1}
+	if got := z.BeamLength(3); got != 4 {
+		t.Fatalf("BeamLength with E=0 at trial 3 = %d, want 4", got)
+	}
+}
+
+func TestPlaneWrap(t *testing.T) {
+	p, err := NewPlane(10, 8, 1)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	got := p.wrapPoint(Point{-1, 9})
+	if got != (Point{9, 1}) {
+		t.Fatalf("wrap = %v, want {9,1}", got)
+	}
+	if _, err := NewPlane(0, 5, 1); err == nil {
+		t.Fatal("zero-width plane should fail")
+	}
+}
+
+func TestBeamCells(t *testing.T) {
+	p, err := NewPlane(10, 10, 1)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	cells := p.beamCells(Point{5, 5}, Point{1, 0}, 3)
+	want := []Point{{6, 5}, {7, 5}, {8, 5}}
+	if len(cells) != len(want) {
+		t.Fatalf("cells = %v, want %v", cells, want)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("cells = %v, want %v", cells, want)
+		}
+	}
+}
+
+func TestTrailExpiry(t *testing.T) {
+	p, err := NewPlane(20, 20, 2)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	p.deposit("svc", Point{0, 0}, []Point{{1, 1}}, 3)
+	if _, ok := p.lookup("svc", Point{1, 1}); !ok {
+		t.Fatal("fresh trail should be visible")
+	}
+	p.TickN(2)
+	if _, ok := p.lookup("svc", Point{1, 1}); !ok {
+		t.Fatal("trail should still be live at t=2")
+	}
+	p.TickN(1)
+	if _, ok := p.lookup("svc", Point{1, 1}); ok {
+		t.Fatal("trail should have expired at t=3")
+	}
+	p.Compact()
+	if len(p.cells) != 0 {
+		t.Fatalf("compact left %d cells", len(p.cells))
+	}
+}
+
+func TestServerBeamsPeriodically(t *testing.T) {
+	p, err := NewPlane(30, 30, 3)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	if _, err := p.AddServer("svc", Point{15, 15}, 5, 4, 4); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	// After the initial beam there are exactly 5 trail cells.
+	live := 0
+	for range p.cells {
+		live++
+	}
+	if live != 5 {
+		t.Fatalf("trail cells = %d, want 5", live)
+	}
+	// Advance a full period: a new beam fires; old trail expires by ttl.
+	p.TickN(8)
+	p.Compact()
+	if len(p.cells) == 0 {
+		t.Fatal("server should keep the plane lit")
+	}
+	if _, err := p.AddServer("bad", Point{0, 0}, 0, 1, 1); err == nil {
+		t.Fatal("invalid beam length should fail")
+	}
+}
+
+func TestLocateFindsDenseServer(t *testing.T) {
+	// A long-beam server with a long-lived trail is found quickly.
+	p, err := NewPlane(32, 32, 7)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	if _, err := p.AddServer("svc", Point{16, 16}, 31, 2, 50); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	// Let several beams accumulate.
+	p.TickN(12)
+	res := p.Locate("svc", Point{2, 2}, RulerSchedule{L: 8, Gap: 1}, 200)
+	if !res.Found {
+		t.Fatalf("locate failed after %d trials", res.Trials)
+	}
+	if res.Addr != (Point{16, 16}) {
+		t.Fatalf("Addr = %v, want {16,16}", res.Addr)
+	}
+	if res.CellsProbed <= 0 {
+		t.Fatal("CellsProbed should be positive")
+	}
+}
+
+func TestLocateEmptyPlaneFails(t *testing.T) {
+	p, err := NewPlane(16, 16, 9)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	res := p.Locate("ghost", Point{0, 0}, FixedSchedule{L: 4, Gap: 1}, 10)
+	if res.Found {
+		t.Fatal("locate on empty plane should fail")
+	}
+	if res.Trials != 10 {
+		t.Fatalf("Trials = %d, want 10", res.Trials)
+	}
+	if res.Ticks != 10 {
+		t.Fatalf("Ticks = %d, want 10", res.Ticks)
+	}
+}
+
+func TestDoublingEventuallyCoversPlane(t *testing.T) {
+	// With doubling, the beam eventually spans the torus and must cross a
+	// persistent trail.
+	p, err := NewPlane(64, 64, 11)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	if _, err := p.AddServer("svc", Point{40, 40}, 40, 1, 1000); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	p.TickN(30)
+	res := p.Locate("svc", Point{0, 0}, DoublingSchedule{L: 2, Gap: 1, E: 2}, 64)
+	if !res.Found {
+		t.Fatalf("doubling locate failed after %d trials", res.Trials)
+	}
+}
+
+func TestBeamWalkLength(t *testing.T) {
+	g, err := topology.RandomConnected(60, 40, 13)
+	if err != nil {
+		t.Fatalf("RandomConnected: %v", err)
+	}
+	nl, err := NewNetLighthouse(g, 17)
+	if err != nil {
+		t.Fatalf("NewNetLighthouse: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		walk, err := BeamWalk(g, nl.r, 0, 6, nl.rng)
+		if err != nil {
+			t.Fatalf("BeamWalk: %v", err)
+		}
+		if len(walk) == 0 || len(walk) > 6 {
+			t.Fatalf("walk length = %d, want 1..6", len(walk))
+		}
+		// Each step moves strictly away from the origin (except the
+		// first, which may start anywhere adjacent).
+		for k := 1; k < len(walk); k++ {
+			if nl.r.Dist(walk[k], 0) <= nl.r.Dist(walk[k-1], 0) {
+				t.Fatalf("walk step %d does not move away from origin", k)
+			}
+		}
+	}
+}
+
+func TestBeamWalkErrors(t *testing.T) {
+	g, err := topology.Line(4)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	nl, err := NewNetLighthouse(g, 1)
+	if err != nil {
+		t.Fatalf("NewNetLighthouse: %v", err)
+	}
+	if _, err := BeamWalk(g, nl.r, 99, 3, nl.rng); err == nil {
+		t.Fatal("invalid origin should fail")
+	}
+	if _, err := BeamWalk(g, nl.r, 0, 0, nl.rng); err == nil {
+		t.Fatal("zero length should fail")
+	}
+}
+
+func TestNetLighthouseLocate(t *testing.T) {
+	gr, err := topology.NewTorus(12, 12)
+	if err != nil {
+		t.Fatalf("NewTorus: %v", err)
+	}
+	nl, err := NewNetLighthouse(gr.G, 23)
+	if err != nil {
+		t.Fatalf("NewNetLighthouse: %v", err)
+	}
+	server := gr.At(6, 6)
+	if _, err := nl.AddServer("svc", server, 10, 2, 100); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		nl.Tick()
+	}
+	res, err := nl.Locate("svc", gr.At(0, 0), RulerSchedule{L: 4, Gap: 1}, 400)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if !res.Found {
+		t.Fatalf("net locate failed after %d trials", res.Trials)
+	}
+	if res.Addr != server {
+		t.Fatalf("Addr = %d, want %d", res.Addr, server)
+	}
+	if nl.Hops == 0 {
+		t.Fatal("hops should be counted")
+	}
+}
+
+func TestNetLighthouseErrors(t *testing.T) {
+	g, err := topology.Line(5)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	nl, err := NewNetLighthouse(g, 1)
+	if err != nil {
+		t.Fatalf("NewNetLighthouse: %v", err)
+	}
+	if _, err := nl.AddServer("svc", 99, 1, 1, 1); err == nil {
+		t.Fatal("invalid server node should fail")
+	}
+	if _, err := nl.AddServer("svc", 0, 0, 1, 1); err == nil {
+		t.Fatal("invalid beam length should fail")
+	}
+	if _, err := nl.Locate("svc", 99, FixedSchedule{L: 1, Gap: 1}, 1); err == nil {
+		t.Fatal("invalid client node should fail")
+	}
+}
+
+func TestServerDrift(t *testing.T) {
+	p, err := NewPlane(40, 40, 5)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	srv, err := p.AddServer("svc", Point{20, 20}, 4, 1000, 1000)
+	if err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	srv.DriftEvery = 1
+	start := srv.Pos
+	p.TickN(50)
+	if srv.Pos == start {
+		t.Fatal("drifting server did not move in 50 ticks")
+	}
+	// Drift is a unit-step walk: after k ticks the displacement is ≤ k in
+	// each coordinate (mod wraparound).
+	if srv.Pos.X < 0 || srv.Pos.X >= 40 || srv.Pos.Y < 0 || srv.Pos.Y >= 40 {
+		t.Fatalf("drifted off the torus: %v", srv.Pos)
+	}
+}
+
+func TestDriftingServerStillLocatable(t *testing.T) {
+	p, err := NewPlane(48, 48, 8)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	srv, err := p.AddServer("svc", Point{30, 30}, 10, 3, 30)
+	if err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	srv.DriftEvery = 2
+	p.TickN(10)
+	res := p.Locate("svc", Point{5, 5}, RulerSchedule{L: 3, Gap: 1}, 2000)
+	if !res.Found {
+		t.Fatalf("drifting server not found after %d trials", res.Trials)
+	}
+}
+
+func TestLighthouseDeterministicWithSeed(t *testing.T) {
+	run := func() LocateResult {
+		p, err := NewPlane(24, 24, 42)
+		if err != nil {
+			t.Fatalf("NewPlane: %v", err)
+		}
+		if _, err := p.AddServer("svc", Point{12, 12}, 8, 3, 20); err != nil {
+			t.Fatalf("AddServer: %v", err)
+		}
+		p.TickN(5)
+		return p.Locate("svc", Point{0, 0}, RulerSchedule{L: 3, Gap: 1}, 500)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,182 @@
+package lighthouse
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"matchmake/internal/graph"
+)
+
+// BeamWalk simulates sending a beam of the given hop length through a
+// point-to-point network, using routing tables "back-to-front" as §4
+// describes: the sender chooses a random outgoing arc; each node that
+// receives the beam decreases the hop count and forwards it on an arc
+// that leads strictly away from the beam's origin (an arc some node uses
+// to route toward the origin, reversed). The walk ends early at a node
+// with no outward arcs. The returned sequence excludes the origin.
+func BeamWalk(g *graph.Graph, r *graph.Routing, origin graph.NodeID, length int, rng *rand.Rand) ([]graph.NodeID, error) {
+	if !g.Valid(origin) {
+		return nil, fmt.Errorf("lighthouse: beam origin %d: %w", origin, graph.ErrNodeRange)
+	}
+	if length < 1 {
+		return nil, fmt.Errorf("lighthouse: beam length %d < 1", length)
+	}
+	neighbors := g.Neighbors(origin)
+	if len(neighbors) == 0 {
+		return nil, nil
+	}
+	at := neighbors[rng.IntN(len(neighbors))]
+	path := []graph.NodeID{at}
+	for hop := 1; hop < length; hop++ {
+		outward := r.PredecessorNeighbors(g, at, origin)
+		if len(outward) == 0 {
+			break
+		}
+		at = outward[rng.IntN(len(outward))]
+		path = append(path, at)
+	}
+	return path, nil
+}
+
+// NetLighthouse runs Lighthouse Locate over a point-to-point network
+// instead of the Euclidean plane: server beams deposit (port, address)
+// postings with a TTL in per-node caches along BeamWalk trails, and
+// client beams probe the caches along their own walks. Time is discrete
+// and driven by Tick, mirroring the plane simulation.
+type NetLighthouse struct {
+	g   *graph.Graph
+	r   *graph.Routing
+	rng *rand.Rand
+	now int64
+
+	caches  []map[Port]trailNet
+	servers []*NetServer
+
+	// Hops counts beam message passes (one per node visited by a beam).
+	Hops int64
+}
+
+type trailNet struct {
+	addr    graph.NodeID
+	expires int64
+}
+
+// NetServer is a beaming server in the network variant.
+type NetServer struct {
+	// Port is the service name.
+	Port Port
+	// Node is the server's address.
+	Node graph.NodeID
+	// BeamLen, Period, TrailTTL mirror the plane parameters l, δ, d.
+	BeamLen  int
+	Period   int
+	TrailTTL int
+
+	phase int64
+}
+
+// NewNetLighthouse builds the network variant over g.
+func NewNetLighthouse(g *graph.Graph, seed uint64) (*NetLighthouse, error) {
+	r, err := graph.NewRouting(g)
+	if err != nil {
+		return nil, fmt.Errorf("lighthouse: %w", err)
+	}
+	caches := make([]map[Port]trailNet, g.N())
+	for i := range caches {
+		caches[i] = make(map[Port]trailNet)
+	}
+	return &NetLighthouse{
+		g:      g,
+		r:      r,
+		rng:    rand.New(rand.NewPCG(seed, seed^0x9b05688c2b3e6c1f)),
+		caches: caches,
+	}, nil
+}
+
+// Now returns the current tick.
+func (nl *NetLighthouse) Now() int64 { return nl.now }
+
+// AddServer places a server; it beams once immediately and then every
+// Period ticks.
+func (nl *NetLighthouse) AddServer(port Port, node graph.NodeID, beamLen, period, ttl int) (*NetServer, error) {
+	if !nl.g.Valid(node) {
+		return nil, fmt.Errorf("lighthouse: server at %d: %w", node, graph.ErrNodeRange)
+	}
+	if beamLen < 1 || period < 1 || ttl < 1 {
+		return nil, fmt.Errorf("lighthouse: server parameters l=%d δ=%d d=%d must be ≥ 1", beamLen, period, ttl)
+	}
+	s := &NetServer{Port: port, Node: node, BeamLen: beamLen, Period: period, TrailTTL: ttl, phase: nl.now % int64(period)}
+	nl.servers = append(nl.servers, s)
+	nl.beam(s)
+	return s, nil
+}
+
+func (nl *NetLighthouse) beam(s *NetServer) {
+	walk, err := BeamWalk(nl.g, nl.r, s.Node, s.BeamLen, nl.rng)
+	if err != nil {
+		return
+	}
+	expires := nl.now + int64(s.TrailTTL)
+	for _, v := range walk {
+		nl.Hops++
+		if cur, ok := nl.caches[v][s.Port]; !ok || expires > cur.expires {
+			nl.caches[v][s.Port] = trailNet{addr: s.Node, expires: expires}
+		}
+	}
+}
+
+// Tick advances the clock; servers on a period boundary beam again.
+func (nl *NetLighthouse) Tick() {
+	nl.now++
+	for _, s := range nl.servers {
+		if nl.now%int64(s.Period) == s.phase {
+			nl.beam(s)
+		}
+	}
+}
+
+// Locate runs a client at node beaming for port under a schedule, up to
+// maxTrials beams. Probing a node costs one hop (the beam message pass).
+func (nl *NetLighthouse) Locate(port Port, node graph.NodeID, sched Schedule, maxTrials int) (LocateNetResult, error) {
+	if !nl.g.Valid(node) {
+		return LocateNetResult{}, fmt.Errorf("lighthouse: client at %d: %w", node, graph.ErrNodeRange)
+	}
+	start := nl.now
+	res := LocateNetResult{}
+	for trial := 1; trial <= maxTrials; trial++ {
+		res.Trials = trial
+		walk, err := BeamWalk(nl.g, nl.r, node, sched.BeamLength(trial), nl.rng)
+		if err != nil {
+			return res, err
+		}
+		for _, v := range walk {
+			res.NodesProbed++
+			nl.Hops++
+			if t, ok := nl.caches[v][port]; ok && t.expires > nl.now {
+				res.Found = true
+				res.Addr = t.addr
+				res.Ticks = nl.now - start
+				return res, nil
+			}
+		}
+		for i := 0; i < sched.Interval(trial); i++ {
+			nl.Tick()
+		}
+	}
+	res.Ticks = nl.now - start
+	return res, nil
+}
+
+// LocateNetResult reports one network-variant locate run.
+type LocateNetResult struct {
+	// Found reports whether a live trail was hit.
+	Found bool
+	// Addr is the located server address (when Found).
+	Addr graph.NodeID
+	// Trials is the number of beams emitted.
+	Trials int
+	// Ticks is the simulated time consumed.
+	Ticks int64
+	// NodesProbed counts beam message passes spent by the client.
+	NodesProbed int
+}

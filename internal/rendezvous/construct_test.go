@@ -1,0 +1,238 @@
+package rendezvous
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+)
+
+func TestCheckerboardVariousN(t *testing.T) {
+	// Proposition 3: #P·#Q ≈ n, #P + #Q ≈ 2√n, k_v ≈ n, including
+	// non-square universe sizes.
+	for _, n := range []int{4, 9, 10, 16, 17, 25, 30, 64, 100} {
+		m := mustBuild(t, Checkerboard(n))
+		if err := m.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sqrtN := math.Sqrt(float64(n))
+		if got := m.AvgCost(); got > 2*sqrtN+2 {
+			t.Fatalf("n=%d: AvgCost = %f, want ≤ 2√n+2 = %f", n, got, 2*sqrtN+2)
+		}
+		if got := m.AvgCost(); got < 2*math.Floor(sqrtN)-2 {
+			t.Fatalf("n=%d: AvgCost = %f suspiciously small", n, got)
+		}
+		// Load is spread: no node's multiplicity exceeds a small multiple
+		// of n.
+		for v, kv := range m.Multiplicities() {
+			if kv > 4*n {
+				t.Fatalf("n=%d: k[%d] = %d, want ≤ 4n", n, v, kv)
+			}
+		}
+	}
+}
+
+func TestCheckerboardSquareIsOptimal(t *testing.T) {
+	// For square n the construction is exactly the paper's Example 4
+	// layout: singleton entries and k_v = n.
+	for _, n := range []int{4, 9, 16, 25} {
+		m := mustBuild(t, Checkerboard(n))
+		if !m.IsOptimalShotgun() {
+			t.Fatalf("n=%d: expected singleton entries", n)
+		}
+		for v, kv := range m.Multiplicities() {
+			if kv != n {
+				t.Fatalf("n=%d: k[%d] = %d, want %d", n, v, kv, n)
+			}
+		}
+		want := 2 * math.Sqrt(float64(n))
+		if got := m.AvgCost(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: AvgCost = %f, want %f", n, got, want)
+		}
+	}
+}
+
+func TestCheckerboardNearLowerBound(t *testing.T) {
+	// The construction should sit within a small factor of the
+	// Proposition 2 bound for its own multiplicities.
+	for _, n := range []int{9, 16, 30, 64, 100} {
+		m := mustBuild(t, Checkerboard(n))
+		bound := CostLowerBound(m.Multiplicities())
+		if m.AvgCost() > 1.5*bound+2 {
+			t.Fatalf("n=%d: AvgCost %f too far above bound %f", n, m.AvgCost(), bound)
+		}
+	}
+}
+
+func TestRedundantCheckerboard(t *testing.T) {
+	// Square n: the rendezvous set of every pair has exactly r nodes.
+	for _, r := range []int{1, 2, 3, 4} {
+		m := mustBuild(t, RedundantCheckerboard(64, r))
+		if err := m.Verify(); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if got := m.MinRendezvousSize(); got != r {
+			t.Fatalf("r=%d: MinRendezvousSize = %d, want %d", r, got, r)
+		}
+		// Posting costs r·√n, querying √n.
+		if got := m.AvgCost(); got != float64(r*8+8) {
+			t.Fatalf("r=%d: AvgCost = %f, want %d", r, got, r*8+8)
+		}
+	}
+	// r clamps to [1, b].
+	if m := mustBuild(t, RedundantCheckerboard(16, 0)); m.MinRendezvousSize() != 1 {
+		t.Fatal("r=0 should clamp to 1")
+	}
+	if m := mustBuild(t, RedundantCheckerboard(16, 99)); m.MinRendezvousSize() != 4 {
+		t.Fatal("r>b should clamp to b")
+	}
+	// Non-square n keeps correctness (non-empty everywhere).
+	if err := mustBuild(t, RedundantCheckerboard(30, 3)).Verify(); err != nil {
+		t.Fatalf("non-square: %v", err)
+	}
+}
+
+func TestLiftDoublesCostQuadruplesMultiplicity(t *testing.T) {
+	// Proposition 4 on the 9-node checkerboard: m′(36) = 2·m(9),
+	// k′_{v+tn} = 4·k_v.
+	base := Checkerboard(9)
+	mBase := mustBuild(t, base)
+	lifted := Lift(base)
+	if lifted.N() != 36 {
+		t.Fatalf("lifted N = %d, want 36", lifted.N())
+	}
+	mLift := mustBuild(t, lifted)
+	if err := mLift.Verify(); err != nil {
+		t.Fatalf("lifted Verify: %v", err)
+	}
+	if got, want := mLift.AvgCost(), 2*mBase.AvgCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lifted AvgCost = %f, want %f", got, want)
+	}
+	kBase := mBase.Multiplicities()
+	kLift := mLift.Multiplicities()
+	for v := 0; v < 36; v++ {
+		if kLift[v] != 4*kBase[v%9] {
+			t.Fatalf("k'[%d] = %d, want 4·k[%d] = %d", v, kLift[v], v%9, 4*kBase[v%9])
+		}
+	}
+}
+
+func TestLiftIterated(t *testing.T) {
+	// Lifting twice: 9 → 36 → 144 nodes, cost ×4.
+	base := Checkerboard(9)
+	mBase := mustBuild(t, base)
+	twice := Lift(Lift(base))
+	if twice.N() != 144 {
+		t.Fatalf("twice-lifted N = %d, want 144", twice.N())
+	}
+	mTwice := mustBuild(t, twice)
+	if err := mTwice.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got, want := mTwice.AvgCost(), 4*mBase.AvgCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("twice-lifted AvgCost = %f, want %f", got, want)
+	}
+}
+
+func TestLiftPreservesVerification(t *testing.T) {
+	for _, s := range []Strategy{Broadcast(5), Sweep(5), Central(5, 2)} {
+		m := mustBuild(t, Lift(s))
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s lifted: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	base := Checkerboard(9)
+	tr := Transpose(base)
+	mBase := mustBuild(t, base)
+	mTr := mustBuild(t, tr)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			a := mBase.Entry(graph.NodeID(i), graph.NodeID(j))
+			b := mTr.Entry(graph.NodeID(j), graph.NodeID(i))
+			if len(a) != len(b) {
+				t.Fatalf("entry (%d,%d): %v vs transposed %v", i, j, a, b)
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("entry (%d,%d): %v vs transposed %v", i, j, a, b)
+				}
+			}
+		}
+	}
+	// Costs are mirrored, the average is unchanged.
+	if mTr.AvgCost() != mBase.AvgCost() {
+		t.Fatalf("transpose changed AvgCost: %f vs %f", mTr.AvgCost(), mBase.AvgCost())
+	}
+	// Double transpose is the identity on entries.
+	mTrTr := mustBuild(t, Transpose(tr))
+	if mTrTr.Entry(2, 7)[0] != mBase.Entry(2, 7)[0] {
+		t.Fatal("double transpose should be the identity")
+	}
+}
+
+func TestUnionGrowsRendezvous(t *testing.T) {
+	// Central servers at two different nodes: the union guarantees two
+	// rendezvous nodes per pair — f = 1 tolerance by combination.
+	u, err := Union(Central(16, 3), Central(16, 12))
+	if err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	m := mustBuild(t, u)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := m.MinRendezvousSize(); got != 2 {
+		t.Fatalf("MinRendezvousSize = %d, want 2", got)
+	}
+	// Cost is the sum of the components' costs.
+	if got := m.AvgCost(); got != 4 {
+		t.Fatalf("AvgCost = %f, want 4", got)
+	}
+}
+
+func TestUnionMismatchedUniverses(t *testing.T) {
+	if _, err := Union(Central(4, 0), Central(5, 0)); err == nil {
+		t.Fatal("mismatched universes should fail")
+	}
+}
+
+func TestUnionWithCheckerboard(t *testing.T) {
+	// Checkerboard ∪ its transpose: rendezvous at both the (row_i, col_j)
+	// and (row_j, col_i) crossings.
+	cb := Checkerboard(16)
+	u, err := Union(cb, Transpose(cb))
+	if err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	m := mustBuild(t, u)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.MinRendezvousSize() < 1 {
+		t.Fatal("union lost rendezvous")
+	}
+	// Dedup keeps P reasonable: ≤ sum of parts.
+	if got := m.AvgCost(); got > 2*16.0 {
+		t.Fatalf("AvgCost = %f, want ≤ 32", got)
+	}
+}
+
+func TestCheckerboardIntersectionProperty(t *testing.T) {
+	// For arbitrary n and pairs, the designated node rb(i)·b + cb(j)
+	// (mod n) lies in P(i) ∩ Q(j).
+	f := func(nRaw, iRaw, jRaw uint16) bool {
+		n := 2 + int(nRaw)%200
+		i := int(iRaw) % n
+		j := int(jRaw) % n
+		s := Checkerboard(n)
+		meet := Intersect(s.Post(graph.NodeID(i)), s.Query(graph.NodeID(j)))
+		return len(meet) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package rendezvous_test
+
+import (
+	"fmt"
+
+	"matchmake/internal/rendezvous"
+)
+
+// The paper's Example 4: the truly distributed name server on nine
+// nodes, where every node is rendezvous for exactly n pairs.
+func ExampleCheckerboard() {
+	m, err := rendezvous.Build(rendezvous.Checkerboard(9))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(m.RowString(0))
+	fmt.Println(m.RowString(4))
+	fmt.Printf("m(n) = %.0f = 2*sqrt(9)\n", m.AvgCost())
+	// Output:
+	// 1 1 1 2 2 2 3 3 3
+	// 4 4 4 5 5 5 6 6 6
+	// m(n) = 6 = 2*sqrt(9)
+}
+
+// Proposition 2's lower bound is tight for the truly distributed case
+// and for the centralized name server.
+func ExampleCostLowerBound() {
+	distributed, _ := rendezvous.Build(rendezvous.Checkerboard(16))
+	central, _ := rendezvous.Build(rendezvous.Central(16, 0))
+	fmt.Printf("distributed: m(n)=%.0f bound=%.0f\n",
+		distributed.AvgCost(), rendezvous.CostLowerBound(distributed.Multiplicities()))
+	fmt.Printf("central:     m(n)=%.0f bound=%.0f\n",
+		central.AvgCost(), rendezvous.CostLowerBound(central.Multiplicities()))
+	// Output:
+	// distributed: m(n)=8 bound=8
+	// central:     m(n)=2 bound=2
+}
+
+// Proposition 4 lifts a strategy to four times the universe at twice the
+// average cost.
+func ExampleLift() {
+	base := rendezvous.Checkerboard(9)
+	lifted := rendezvous.Lift(base)
+	mBase, _ := rendezvous.Build(base)
+	mLift, _ := rendezvous.Build(lifted)
+	fmt.Printf("n: %d -> %d\n", base.N(), lifted.N())
+	fmt.Printf("m(n): %.0f -> %.0f\n", mBase.AvgCost(), mLift.AvgCost())
+	// Output:
+	// n: 9 -> 36
+	// m(n): 6 -> 12
+}
+
+// Union composes two strategies into one with redundant rendezvous —
+// two centralized name servers give every pair two meeting points.
+func ExampleUnion() {
+	u, err := rendezvous.Union(rendezvous.Central(9, 2), rendezvous.Central(9, 7))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, _ := rendezvous.Build(u)
+	fmt.Println("min rendezvous:", m.MinRendezvousSize())
+	// Output:
+	// min rendezvous: 2
+}

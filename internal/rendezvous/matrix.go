@@ -1,0 +1,274 @@
+package rendezvous
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"matchmake/internal/graph"
+)
+
+// Matrix is a materialized rendezvous matrix R for a strategy: entry
+// (i, j) holds the set of rendezvous nodes P(i) ∩ Q(j) where a client at
+// node j can find the (port, address) of a server at node i.
+type Matrix struct {
+	n       int
+	name    string
+	entries [][][]graph.NodeID // entries[i][j], sorted
+	pSize   []int              // #P(i)
+	qSize   []int              // #Q(j)
+}
+
+// Build materializes the rendezvous matrix of a strategy. It costs
+// O(n²·s) time and memory for entry sets of size s; intended for analysis
+// and printing at simulation scale.
+func Build(s Strategy) (*Matrix, error) {
+	n := s.N()
+	if n <= 0 {
+		return nil, fmt.Errorf("rendezvous: universe size %d", n)
+	}
+	m := &Matrix{
+		n:       n,
+		name:    s.Name(),
+		entries: make([][][]graph.NodeID, n),
+		pSize:   make([]int, n),
+		qSize:   make([]int, n),
+	}
+	posts := make([][]graph.NodeID, n)
+	queries := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		posts[v] = s.Post(graph.NodeID(v))
+		queries[v] = s.Query(graph.NodeID(v))
+		m.pSize[v] = len(posts[v])
+		m.qSize[v] = len(queries[v])
+	}
+	for i := 0; i < n; i++ {
+		m.entries[i] = make([][]graph.NodeID, n)
+		for j := 0; j < n; j++ {
+			m.entries[i][j] = Intersect(posts[i], queries[j])
+		}
+	}
+	return m, nil
+}
+
+// N returns the universe size.
+func (m *Matrix) N() int { return m.n }
+
+// Name returns the strategy name the matrix was built from.
+func (m *Matrix) Name() string { return m.name }
+
+// Entry returns the rendezvous set r_ij (shared slice; treat as
+// read-only).
+func (m *Matrix) Entry(i, j graph.NodeID) []graph.NodeID {
+	return m.entries[i][j]
+}
+
+// PostSize returns #P(i).
+func (m *Matrix) PostSize(i graph.NodeID) int { return m.pSize[i] }
+
+// QuerySize returns #Q(j).
+func (m *Matrix) QuerySize(j graph.NodeID) int { return m.qSize[j] }
+
+// Verify checks that every pair (i, j) has a non-empty rendezvous set —
+// the correctness requirement of any Shotgun Locate strategy. It returns
+// ErrEmptyRendezvous (wrapped with the first offending pair) otherwise.
+func (m *Matrix) Verify() error {
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if len(m.entries[i][j]) == 0 {
+				return fmt.Errorf("pair (%d,%d): %w", i, j, ErrEmptyRendezvous)
+			}
+		}
+	}
+	return nil
+}
+
+// MinRendezvousSize returns min over all pairs of #r_ij; a strategy
+// tolerates f crashed rendezvous nodes per pair iff this is ≥ f+1 (§2.4).
+func (m *Matrix) MinRendezvousSize() int {
+	minSize := math.MaxInt
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if len(m.entries[i][j]) < minSize {
+				minSize = len(m.entries[i][j])
+			}
+		}
+	}
+	return minSize
+}
+
+// IsOptimalShotgun reports whether every entry is a singleton, the
+// paper's "optimal shotgun method has exactly one element in each r_ij".
+func (m *Matrix) IsOptimalShotgun() bool {
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if len(m.entries[i][j]) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Multiplicities returns k_v for every node v: the number of matrix
+// entries whose rendezvous set contains v (constraint (M2):
+// Σ k_v ≥ n² when every entry is non-empty).
+func (m *Matrix) Multiplicities() []int {
+	k := make([]int, m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			for _, v := range m.entries[i][j] {
+				k[v]++
+			}
+		}
+	}
+	return k
+}
+
+// Cost statistics per (M3)/(M4): the number of message passes of a
+// match-making instance between server node i and client node j in a
+// complete network is m(i,j) = #P(i) + #Q(j).
+
+// AvgCost returns m(n) = (1/n²)·ΣᵢΣⱼ (#P(i) + #Q(j)).
+func (m *Matrix) AvgCost() float64 {
+	var sp, sq int
+	for v := 0; v < m.n; v++ {
+		sp += m.pSize[v]
+		sq += m.qSize[v]
+	}
+	return float64(sp)/float64(m.n) + float64(sq)/float64(m.n)
+}
+
+// MinCost returns the smallest m(i,j) over all pairs.
+func (m *Matrix) MinCost() int {
+	return minInts(m.pSize) + minInts(m.qSize)
+}
+
+// MaxCost returns the largest m(i,j) over all pairs.
+func (m *Matrix) MaxCost() int {
+	return maxInts(m.pSize) + maxInts(m.qSize)
+}
+
+// AvgCostWeighted returns the weighted average cost per (M3′):
+// m(i,j) = #P(i) + α·#Q(j), for a uniform client/post frequency ratio α.
+func (m *Matrix) AvgCostWeighted(alpha float64) float64 {
+	var sp, sq int
+	for v := 0; v < m.n; v++ {
+		sp += m.pSize[v]
+		sq += m.qSize[v]
+	}
+	return float64(sp)/float64(m.n) + alpha*float64(sq)/float64(m.n)
+}
+
+// AvgProduct returns (1/n²)·ΣᵢΣⱼ #P(i)·#Q(j), the quantity bounded below
+// by Proposition 1.
+func (m *Matrix) AvgProduct() float64 {
+	var sp, sq int
+	for v := 0; v < m.n; v++ {
+		sp += m.pSize[v]
+		sq += m.qSize[v]
+	}
+	return float64(sp) / float64(m.n) * float64(sq) / float64(m.n)
+}
+
+// ProductLowerBound returns the Proposition 1 bound for the given node
+// multiplicities: (1/n²)·ΣᵢΣⱼ #P(i)·#Q(j) ≥ (Σᵥ √k_v)² / n².
+//
+// The published corollaries pin the form down: the truly distributed case
+// (k_v = n for all v) yields ≥ n and the centralized case (one k = n²)
+// yields ≥ 1.
+func ProductLowerBound(k []int) float64 {
+	n := float64(len(k))
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for _, kv := range k {
+		if kv > 0 {
+			s += math.Sqrt(float64(kv))
+		}
+	}
+	return s * s / (n * n)
+}
+
+// CostLowerBound returns the Proposition 2 bound on the average number of
+// message passes: m(n) ≥ 2·(Σᵥ √k_v)/n. The truly distributed case gives
+// 2√n and the centralized case gives 2, matching both corollaries.
+func CostLowerBound(k []int) float64 {
+	n := float64(len(k))
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for _, kv := range k {
+		if kv > 0 {
+			s += math.Sqrt(float64(kv))
+		}
+	}
+	return 2 * s / n
+}
+
+// String renders the matrix in the paper's style: rows are servers,
+// columns are clients, nodes printed 1-based. Singleton entries print as
+// the node number; larger entries print as {a,b,…}; empty entries as "-".
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", m.name, m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(formatEntry(m.entries[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RowString renders row i (server i) only, for compact displays.
+func (m *Matrix) RowString(i graph.NodeID) string {
+	parts := make([]string, m.n)
+	for j := 0; j < m.n; j++ {
+		parts[j] = formatEntry(m.entries[i][j])
+	}
+	return strings.Join(parts, " ")
+}
+
+func formatEntry(e []graph.NodeID) string {
+	switch len(e) {
+	case 0:
+		return "-"
+	case 1:
+		return fmt.Sprintf("%d", e[0]+1)
+	default:
+		parts := make([]string, len(e))
+		for i, v := range e {
+			parts[i] = fmt.Sprintf("%d", v+1)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+}
+
+func minInts(xs []int) int {
+	m := math.MaxInt
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	if m == math.MaxInt {
+		return 0
+	}
+	return m
+}
+
+func maxInts(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,155 @@
+package rendezvous
+
+import (
+	"fmt"
+	"math"
+
+	"matchmake/internal/graph"
+)
+
+// RectMatrix is the nonsquare rendezvous matrix of the remark closing
+// §2.3.2: "Propositions 1 and 2 hold mutatis mutandis for nonsquare
+// matrices R, that is, for networks where some nodes can host only
+// servers and other nodes perhaps only clients." Rows range over the
+// server-capable nodes S and columns over the client-capable nodes C.
+type RectMatrix struct {
+	servers []graph.NodeID
+	clients []graph.NodeID
+	name    string
+	n       int
+
+	entries [][][]graph.NodeID // entries[si][cj]
+	pSize   []int              // #P over servers
+	qSize   []int              // #Q over clients
+}
+
+// BuildRect materializes the rectangular rendezvous matrix of a strategy
+// restricted to the given server and client node sets.
+func BuildRect(s Strategy, servers, clients []graph.NodeID) (*RectMatrix, error) {
+	if len(servers) == 0 || len(clients) == 0 {
+		return nil, fmt.Errorf("rendezvous: rect matrix needs servers and clients")
+	}
+	m := &RectMatrix{
+		servers: append([]graph.NodeID(nil), servers...),
+		clients: append([]graph.NodeID(nil), clients...),
+		name:    s.Name(),
+		n:       s.N(),
+		entries: make([][][]graph.NodeID, len(servers)),
+		pSize:   make([]int, len(servers)),
+		qSize:   make([]int, len(clients)),
+	}
+	posts := make([][]graph.NodeID, len(servers))
+	for si, i := range servers {
+		if int(i) < 0 || int(i) >= s.N() {
+			return nil, fmt.Errorf("rendezvous: server node %d: %w", i, graph.ErrNodeRange)
+		}
+		posts[si] = s.Post(i)
+		m.pSize[si] = len(posts[si])
+	}
+	queries := make([][]graph.NodeID, len(clients))
+	for cj, j := range clients {
+		if int(j) < 0 || int(j) >= s.N() {
+			return nil, fmt.Errorf("rendezvous: client node %d: %w", j, graph.ErrNodeRange)
+		}
+		queries[cj] = s.Query(j)
+		m.qSize[cj] = len(queries[cj])
+	}
+	for si := range servers {
+		m.entries[si] = make([][]graph.NodeID, len(clients))
+		for cj := range clients {
+			m.entries[si][cj] = Intersect(posts[si], queries[cj])
+		}
+	}
+	return m, nil
+}
+
+// Shape returns (number of server rows, number of client columns).
+func (m *RectMatrix) Shape() (rows, cols int) {
+	return len(m.servers), len(m.clients)
+}
+
+// Entry returns the rendezvous set of the si-th server row and cj-th
+// client column.
+func (m *RectMatrix) Entry(si, cj int) []graph.NodeID { return m.entries[si][cj] }
+
+// Verify checks that every server/client pair can rendezvous.
+func (m *RectMatrix) Verify() error {
+	for si := range m.entries {
+		for cj := range m.entries[si] {
+			if len(m.entries[si][cj]) == 0 {
+				return fmt.Errorf("pair (%d,%d): %w", m.servers[si], m.clients[cj], ErrEmptyRendezvous)
+			}
+		}
+	}
+	return nil
+}
+
+// Multiplicities returns k_v over the |S|·|C| entries.
+func (m *RectMatrix) Multiplicities() []int {
+	k := make([]int, m.n)
+	for si := range m.entries {
+		for cj := range m.entries[si] {
+			for _, v := range m.entries[si][cj] {
+				k[v]++
+			}
+		}
+	}
+	return k
+}
+
+// AvgCost returns the rectangular m(S,C): the average of
+// #P(i) + #Q(j) over server/client pairs.
+func (m *RectMatrix) AvgCost() float64 {
+	var sp, sq int
+	for _, p := range m.pSize {
+		sp += p
+	}
+	for _, q := range m.qSize {
+		sq += q
+	}
+	return float64(sp)/float64(len(m.pSize)) + float64(sq)/float64(len(m.qSize))
+}
+
+// AvgProduct returns the average of #P(i)·#Q(j) over pairs.
+func (m *RectMatrix) AvgProduct() float64 {
+	var sp, sq int
+	for _, p := range m.pSize {
+		sp += p
+	}
+	for _, q := range m.qSize {
+		sq += q
+	}
+	return float64(sp) / float64(len(m.pSize)) * float64(sq) / float64(len(m.qSize))
+}
+
+// RectProductLowerBound is the rectangular analogue of Proposition 1:
+// avg(#P·#Q) ≥ (Σᵥ√k_v)² / (|S|·|C|). It reduces to the square bound at
+// |S| = |C| = n.
+func RectProductLowerBound(k []int, rows, cols int) float64 {
+	if rows == 0 || cols == 0 {
+		return 0
+	}
+	var s float64
+	for _, kv := range k {
+		if kv > 0 {
+			s += math.Sqrt(float64(kv))
+		}
+	}
+	return s * s / (float64(rows) * float64(cols))
+}
+
+// RectCostLowerBound is the rectangular analogue of Proposition 2:
+// m(S,C) ≥ 2·Σᵥ√k_v / √(|S|·|C|). It reduces to 2(Σ√k_v)/n at
+// |S| = |C| = n.
+func RectCostLowerBound(k []int, rows, cols int) float64 {
+	if rows == 0 || cols == 0 {
+		return 0
+	}
+	var s float64
+	for _, kv := range k {
+		if kv > 0 {
+			s += math.Sqrt(float64(kv))
+		}
+	}
+	return 2 * s / math.Sqrt(float64(rows)*float64(cols))
+}

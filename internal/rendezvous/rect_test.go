@@ -1,0 +1,131 @@
+package rendezvous
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+)
+
+func nodeRange(from, to int) []graph.NodeID {
+	out := make([]graph.NodeID, 0, to-from)
+	for v := from; v < to; v++ {
+		out = append(out, graph.NodeID(v))
+	}
+	return out
+}
+
+func TestRectMatchesSquareWhenFull(t *testing.T) {
+	s := Checkerboard(16)
+	square := mustBuild(t, s)
+	rect, err := BuildRect(s, nodeRange(0, 16), nodeRange(0, 16))
+	if err != nil {
+		t.Fatalf("BuildRect: %v", err)
+	}
+	if rect.AvgCost() != square.AvgCost() {
+		t.Fatalf("rect cost %f != square cost %f", rect.AvgCost(), square.AvgCost())
+	}
+	if rect.AvgProduct() != square.AvgProduct() {
+		t.Fatalf("rect product %f != square product %f", rect.AvgProduct(), square.AvgProduct())
+	}
+	kr := rect.Multiplicities()
+	ks := square.Multiplicities()
+	for v := range ks {
+		if kr[v] != ks[v] {
+			t.Fatalf("k[%d]: rect %d vs square %d", v, kr[v], ks[v])
+		}
+	}
+	// The bounds reduce to the square forms.
+	if got, want := RectProductLowerBound(kr, 16, 16), ProductLowerBound(ks); got != want {
+		t.Fatalf("rect P1 bound %f != square %f", got, want)
+	}
+	if got, want := RectCostLowerBound(kr, 16, 16), CostLowerBound(ks); got != want {
+		t.Fatalf("rect P2 bound %f != square %f", got, want)
+	}
+}
+
+func TestRectServerOnlyClientOnlySplit(t *testing.T) {
+	// Half the universe hosts servers, the other half clients.
+	s := Checkerboard(16)
+	rect, err := BuildRect(s, nodeRange(0, 8), nodeRange(8, 16))
+	if err != nil {
+		t.Fatalf("BuildRect: %v", err)
+	}
+	if rows, cols := rect.Shape(); rows != 8 || cols != 8 {
+		t.Fatalf("shape = %dx%d, want 8x8", rows, cols)
+	}
+	if err := rect.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	k := rect.Multiplicities()
+	if rect.AvgProduct()+1e-9 < RectProductLowerBound(k, 8, 8) {
+		t.Fatal("rect Prop 1 analogue violated")
+	}
+	if rect.AvgCost()+1e-9 < RectCostLowerBound(k, 8, 8) {
+		t.Fatal("rect Prop 2 analogue violated")
+	}
+}
+
+func TestRectErrors(t *testing.T) {
+	s := Checkerboard(9)
+	if _, err := BuildRect(s, nil, nodeRange(0, 3)); err == nil {
+		t.Fatal("empty servers should fail")
+	}
+	if _, err := BuildRect(s, nodeRange(0, 3), nil); err == nil {
+		t.Fatal("empty clients should fail")
+	}
+	if _, err := BuildRect(s, []graph.NodeID{99}, nodeRange(0, 3)); err == nil {
+		t.Fatal("out-of-range server should fail")
+	}
+	if _, err := BuildRect(s, nodeRange(0, 3), []graph.NodeID{-1}); err == nil {
+		t.Fatal("out-of-range client should fail")
+	}
+}
+
+func TestRectVerifyDetectsEmpty(t *testing.T) {
+	s := Funcs{
+		StrategyName: "halfbroken",
+		Universe:     4,
+		PostFunc:     func(i graph.NodeID) []graph.NodeID { return []graph.NodeID{0} },
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			if j == 3 {
+				return []graph.NodeID{1}
+			}
+			return []graph.NodeID{0}
+		},
+	}
+	rect, err := BuildRect(s, nodeRange(0, 2), nodeRange(2, 4))
+	if err != nil {
+		t.Fatalf("BuildRect: %v", err)
+	}
+	if err := rect.Verify(); err == nil {
+		t.Fatal("Verify should detect the empty pair")
+	}
+}
+
+// TestRectBoundsPropertyRandom validates the "mutatis mutandis" claim
+// empirically: the rectangular analogues of Propositions 1–2 hold for
+// random strategies over random server/client splits.
+func TestRectBoundsPropertyRandom(t *testing.T) {
+	f := func(seed uint64, pRaw, qRaw, cutRaw uint8) bool {
+		const n = 24
+		p := 1 + int(pRaw)%n
+		q := 1 + int(qRaw)%n
+		cut := 4 + int(cutRaw)%(n-8) // servers [0,cut), clients [cut,n)
+		s := Random(n, p, q, seed)
+		rect, err := BuildRect(s, nodeRange(0, cut), nodeRange(cut, n))
+		if err != nil {
+			return false
+		}
+		k := rect.Multiplicities()
+		rows, cols := rect.Shape()
+		const slack = 1e-9
+		if rect.AvgProduct()+slack < RectProductLowerBound(k, rows, cols) {
+			return false
+		}
+		return rect.AvgCost()+slack >= RectCostLowerBound(k, rows, cols)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

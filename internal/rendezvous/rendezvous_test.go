@@ -1,0 +1,343 @@
+package rendezvous
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+)
+
+func mustBuild(t *testing.T, s Strategy) *Matrix {
+	t.Helper()
+	m, err := Build(s)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", s.Name(), err)
+	}
+	return m
+}
+
+func TestBroadcastMatrix(t *testing.T) {
+	// Example 1: r_ij = {i} for every client j.
+	m := mustBuild(t, Broadcast(9))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !m.IsOptimalShotgun() {
+		t.Fatal("broadcast entries should be singletons")
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			e := m.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(e) != 1 || e[0] != graph.NodeID(i) {
+				t.Fatalf("entry(%d,%d) = %v, want {%d}", i, j, e, i)
+			}
+		}
+	}
+	// m(n) = 1 + n.
+	if got := m.AvgCost(); got != 10 {
+		t.Fatalf("AvgCost = %f, want 10", got)
+	}
+}
+
+func TestSweepMatrix(t *testing.T) {
+	// Example 2: r_ij = {j} for every server i.
+	m := mustBuild(t, Sweep(9))
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			e := m.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(e) != 1 || e[0] != graph.NodeID(j) {
+				t.Fatalf("entry(%d,%d) = %v, want {%d}", i, j, e, j)
+			}
+		}
+	}
+}
+
+func TestCentralMatrix(t *testing.T) {
+	// Example 3: every entry is node 3 (1-based), i.e. node 2 here.
+	m := mustBuild(t, Central(9, 2))
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			e := m.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(e) != 1 || e[0] != 2 {
+				t.Fatalf("entry(%d,%d) = %v, want {2}", i, j, e)
+			}
+		}
+	}
+	// m(n) = 2, the centralized corollary's floor.
+	if got := m.AvgCost(); got != 2 {
+		t.Fatalf("AvgCost = %f, want 2", got)
+	}
+	k := m.Multiplicities()
+	if k[2] != 81 {
+		t.Fatalf("k[2] = %d, want 81", k[2])
+	}
+	if got := CostLowerBound(k); got != 2 {
+		t.Fatalf("CostLowerBound = %f, want 2", got)
+	}
+	if got := ProductLowerBound(k); got != 1 {
+		t.Fatalf("ProductLowerBound = %f, want 1", got)
+	}
+}
+
+func TestCheckerboard9MatchesExample4(t *testing.T) {
+	// Example 4 on nine nodes: entry (i,j) = 3·⌊i/3⌋ + ⌊j/3⌋ (0-based).
+	m := mustBuild(t, Checkerboard(9))
+	if !m.IsOptimalShotgun() {
+		t.Fatal("9-node checkerboard should have singleton entries")
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			want := graph.NodeID(3*(i/3) + j/3)
+			e := m.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(e) != 1 || e[0] != want {
+				t.Fatalf("entry(%d,%d) = %v, want {%d}", i, j, e, want)
+			}
+		}
+	}
+	// Truly distributed: every node used equally often (k_v = 9) and
+	// m(n) = 2√n = 6.
+	for v, kv := range m.Multiplicities() {
+		if kv != 9 {
+			t.Fatalf("k[%d] = %d, want 9", v, kv)
+		}
+	}
+	if got := m.AvgCost(); got != 6 {
+		t.Fatalf("AvgCost = %f, want 6", got)
+	}
+}
+
+func TestHierarchyExampleMatrix(t *testing.T) {
+	// Example 5's printed matrix, 0-based: LCA(i,j).
+	want := [9][9]graph.NodeID{
+		{6, 6, 6, 8, 8, 8, 8, 8, 8},
+		{6, 6, 6, 8, 8, 8, 8, 8, 8},
+		{6, 6, 6, 8, 8, 8, 8, 8, 8},
+		{8, 8, 8, 7, 7, 7, 8, 8, 8},
+		{8, 8, 8, 7, 7, 7, 8, 8, 8},
+		{8, 8, 8, 7, 7, 7, 8, 8, 8},
+		{8, 8, 8, 8, 8, 8, 8, 8, 8},
+		{8, 8, 8, 8, 8, 8, 8, 8, 8},
+		{8, 8, 8, 8, 8, 8, 8, 8, 8},
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if got := HierarchyExampleLCA(graph.NodeID(i), graph.NodeID(j)); got != want[i][j] {
+				t.Fatalf("LCA(%d,%d) = %d, want %d", i, j, got, want[i][j])
+			}
+		}
+	}
+	// The ancestor-set strategy must still produce valid (non-empty)
+	// rendezvous everywhere, and the LCA must be inside each entry.
+	m := mustBuild(t, HierarchyExample())
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			lca := HierarchyExampleLCA(graph.NodeID(i), graph.NodeID(j))
+			found := false
+			for _, v := range m.Entry(graph.NodeID(i), graph.NodeID(j)) {
+				if v == lca {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("entry(%d,%d) = %v misses LCA %d", i, j,
+					m.Entry(graph.NodeID(i), graph.NodeID(j)), lca)
+			}
+		}
+	}
+	// Hierarchical match-making can be as cheap as O(log n): the minimum
+	// instance costs 2 messages (root to root).
+	if m.MinCost() != 2 {
+		t.Fatalf("MinCost = %d, want 2", m.MinCost())
+	}
+}
+
+func TestCubeExampleMatrix(t *testing.T) {
+	// Example 6: rendezvous of server abc and client a'b'c' is a b'c'.
+	m := mustBuild(t, CubeExample())
+	if !m.IsOptimalShotgun() {
+		t.Fatal("cube example should have singleton entries")
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := graph.NodeID((i & 0b100) | (j & 0b011))
+			e := m.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(e) != 1 || e[0] != want {
+				t.Fatalf("entry(%03b,%03b) = %v, want {%03b}", i, j, e, int(want))
+			}
+		}
+	}
+	// #P = 4, #Q = 2: m(n) = 6 for every pair.
+	if m.MinCost() != 6 || m.MaxCost() != 6 {
+		t.Fatalf("cost range = [%d,%d], want [6,6]", m.MinCost(), m.MaxCost())
+	}
+}
+
+func TestRandomStrategyShapes(t *testing.T) {
+	s := Random(50, 10, 14, 99)
+	p := s.Post(7)
+	q := s.Query(7)
+	if len(p) != 10 || len(q) != 14 {
+		t.Fatalf("sizes = %d,%d, want 10,14", len(p), len(q))
+	}
+	// Deterministic per seed and node.
+	p2 := Random(50, 10, 14, 99).Post(7)
+	for i := range p {
+		if p[i] != p2[i] {
+			t.Fatal("Random strategy must be deterministic in seed")
+		}
+	}
+	// No duplicates.
+	seen := make(map[graph.NodeID]bool)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate node %d in P", v)
+		}
+		seen[v] = true
+	}
+	// Oversized request clamps to n.
+	if got := len(Random(5, 99, 2, 1).Post(0)); got != 5 {
+		t.Fatalf("clamped P size = %d, want 5", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q []graph.NodeID
+		want []graph.NodeID
+	}{
+		{"disjoint", []graph.NodeID{1, 2}, []graph.NodeID{3, 4}, nil},
+		{"overlap", []graph.NodeID{1, 2, 3}, []graph.NodeID{3, 1}, []graph.NodeID{1, 3}},
+		{"dup in q", []graph.NodeID{5}, []graph.NodeID{5, 5}, []graph.NodeID{5}},
+		{"empty p", nil, []graph.NodeID{1}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Intersect(tt.p, tt.q)
+			if len(got) != len(tt.want) {
+				t.Fatalf("Intersect = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("Intersect = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildRejectsEmptyUniverse(t *testing.T) {
+	_, err := Build(Funcs{StrategyName: "empty", Universe: 0})
+	if err == nil {
+		t.Fatal("Build on empty universe should fail")
+	}
+}
+
+func TestVerifyDetectsEmptyEntry(t *testing.T) {
+	// P(i) = {0}, Q(j) = {1}: never meet.
+	s := Funcs{
+		StrategyName: "broken",
+		Universe:     3,
+		PostFunc:     func(graph.NodeID) []graph.NodeID { return []graph.NodeID{0} },
+		QueryFunc:    func(graph.NodeID) []graph.NodeID { return []graph.NodeID{1} },
+	}
+	m := mustBuild(t, s)
+	if err := m.Verify(); !errors.Is(err, ErrEmptyRendezvous) {
+		t.Fatalf("Verify = %v, want ErrEmptyRendezvous", err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := mustBuild(t, Central(3, 0))
+	s := m.String()
+	if !strings.Contains(s, "1 1 1") {
+		t.Fatalf("String output unexpected:\n%s", s)
+	}
+	if got := m.RowString(0); got != "1 1 1" {
+		t.Fatalf("RowString = %q", got)
+	}
+	// Multi-node and empty entries render distinctly.
+	broken := mustBuild(t, Funcs{
+		StrategyName: "mixed",
+		Universe:     2,
+		PostFunc:     func(i graph.NodeID) []graph.NodeID { return []graph.NodeID{0, 1} },
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			if j == 0 {
+				return []graph.NodeID{0, 1}
+			}
+			return nil
+		},
+	})
+	out := broken.RowString(0)
+	if !strings.Contains(out, "{1,2}") || !strings.Contains(out, "-") {
+		t.Fatalf("RowString = %q, want set and empty markers", out)
+	}
+}
+
+func TestWeightedCost(t *testing.T) {
+	m := mustBuild(t, Broadcast(4)) // #P = 1, #Q = 4
+	if got := m.AvgCostWeighted(1); got != m.AvgCost() {
+		t.Fatalf("alpha=1 weighted = %f, want %f", got, m.AvgCost())
+	}
+	// alpha = 10: 1 + 10·4 = 41.
+	if got := m.AvgCostWeighted(10); got != 41 {
+		t.Fatalf("weighted = %f, want 41", got)
+	}
+}
+
+func TestMinRendezvousSize(t *testing.T) {
+	m := mustBuild(t, Sweep(5))
+	if got := m.MinRendezvousSize(); got != 1 {
+		t.Fatalf("MinRendezvousSize = %d, want 1", got)
+	}
+}
+
+// TestPropositionBoundsHoldForRandomStrategies is the property-based heart
+// of E3: for arbitrary random strategies the measured quantities respect
+// Propositions 1 and 2.
+func TestPropositionBoundsHoldForRandomStrategies(t *testing.T) {
+	f := func(seed uint64, pRaw, qRaw uint8) bool {
+		n := 30
+		p := 1 + int(pRaw)%n
+		q := 1 + int(qRaw)%n
+		m, err := Build(Random(n, p, q, seed))
+		if err != nil {
+			return false
+		}
+		k := m.Multiplicities()
+		// Bounds apply to strategies that make every match; random
+		// strategies may miss pairs, which only lowers k and weakens the
+		// bound, so the inequality must still hold.
+		const slack = 1e-9
+		if m.AvgProduct()+slack < ProductLowerBound(k) {
+			return false
+		}
+		return m.AvgCost()+slack >= CostLowerBound(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestM2Constraint checks Σ k_v ≥ n² for strategies whose every entry is
+// non-empty (constraint M2).
+func TestM2Constraint(t *testing.T) {
+	for _, s := range []Strategy{Broadcast(7), Sweep(7), Central(7, 3), Checkerboard(7), Checkerboard(16)} {
+		m := mustBuild(t, s)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		sum := 0
+		for _, kv := range m.Multiplicities() {
+			sum += kv
+		}
+		if sum < m.N()*m.N() {
+			t.Fatalf("%s: Σk = %d < n² = %d", s.Name(), sum, m.N()*m.N())
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package service implements the paper's service model (§1.3) on top of
+// the distributed name server: services are identified by ports and
+// handled by one or more server processes that accept request messages,
+// carry out work and send back replies; clients locate a service through
+// match-making and then send it requests. Server processes can migrate,
+// crash and be replaced, and a server can itself be client to another
+// service — "essentially, every job in the system is executed by a
+// dynamic network of servers executing each other's requests".
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/sim"
+)
+
+// Errors returned by the service layer.
+var (
+	// ErrNoService reports that no server process could be located or
+	// reached after the configured retries — the irrecoverable case that
+	// reaches "the human client at the top of the hierarchy".
+	ErrNoService = errors.New("service: no reachable server")
+	// ErrBadRequest reports a malformed request payload at a server.
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// Handler executes one request at a server process and returns the reply
+// body or an error (errors travel back to the client as failed responses).
+type Handler func(method string, body any) (any, error)
+
+// Request is the wire format of a service request.
+type Request struct {
+	// Port addresses the service.
+	Port core.Port
+	// Method selects the command (services are "defined by a set of
+	// commands and responses").
+	Method string
+	// Body is the command argument.
+	Body any
+}
+
+// response is the wire format of a service reply.
+type response struct {
+	body any
+	err  string
+}
+
+// Registry runs the service layer over a name-server System: it wraps
+// every node's message handler so that service requests dispatch to the
+// local server processes and everything else flows to the name server.
+type Registry struct {
+	sys *core.System
+	net *sim.Network
+
+	mu        sync.Mutex
+	processes map[graph.NodeID]map[core.Port]*Process
+
+	// CallTimeout bounds each request round trip; InvokeRetries is how
+	// many times Invoke re-locates and retries after a failed attempt
+	// ("the query server can retry the request").
+	CallTimeout   time.Duration
+	InvokeRetries int
+}
+
+// NewRegistry wraps the system's per-node handlers with service dispatch.
+func NewRegistry(sys *core.System) (*Registry, error) {
+	r := &Registry{
+		sys:           sys,
+		net:           sys.Network(),
+		processes:     make(map[graph.NodeID]map[core.Port]*Process),
+		CallTimeout:   2 * time.Second,
+		InvokeRetries: 1,
+	}
+	n := r.net.Graph().N()
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		if err := r.net.SetHandler(node, r.handle); err != nil {
+			return nil, fmt.Errorf("service: install handler: %w", err)
+		}
+	}
+	return r, nil
+}
+
+func (r *Registry) handle(self graph.NodeID, msg sim.Message) {
+	req, ok := msg.Payload.(Request)
+	if !ok {
+		r.sys.HandleMessage(self, msg)
+		return
+	}
+	if !msg.CanReply() {
+		return
+	}
+	r.mu.Lock()
+	proc := r.processes[self][req.Port]
+	r.mu.Unlock()
+	if proc == nil {
+		// The client's cached address is stale (server moved or died).
+		_ = msg.Reply(response{err: "no such server process here"})
+		return
+	}
+	body, err := proc.handler(req.Method, req.Body)
+	if err != nil {
+		_ = msg.Reply(response{err: err.Error()})
+		return
+	}
+	_ = msg.Reply(response{body: body})
+}
+
+// Process is a running server process.
+type Process struct {
+	reg     *Registry
+	srv     *core.Server
+	port    core.Port
+	handler Handler
+
+	mu   sync.Mutex
+	node graph.NodeID
+	done bool
+}
+
+// Serve starts a server process for port at node: the handler is
+// installed locally and the (port, address) is posted through the name
+// server.
+func (r *Registry) Serve(port core.Port, node graph.NodeID, h Handler) (*Process, error) {
+	if h == nil {
+		return nil, fmt.Errorf("service: nil handler for %q", port)
+	}
+	srv, err := r.sys.RegisterServer(port, node)
+	if err != nil {
+		return nil, fmt.Errorf("service: serve %q: %w", port, err)
+	}
+	p := &Process{reg: r, srv: srv, port: port, handler: h, node: node}
+	r.mu.Lock()
+	if r.processes[node] == nil {
+		r.processes[node] = make(map[core.Port]*Process)
+	}
+	r.processes[node][port] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// Node returns the process's current host.
+func (p *Process) Node() graph.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node
+}
+
+// Stop destroys the server process: it stops receiving requests and its
+// postings are tombstoned.
+func (p *Process) Stop() error {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return core.ErrServerGone
+	}
+	p.done = true
+	node := p.node
+	p.mu.Unlock()
+
+	p.reg.mu.Lock()
+	delete(p.reg.processes[node], p.port)
+	p.reg.mu.Unlock()
+	return p.srv.Deregister()
+}
+
+// Migrate moves the process to another host: destroyed at the old host
+// and recreated at the new one, with the name server updated (§1.3).
+func (p *Process) Migrate(to graph.NodeID) error {
+	if !p.reg.net.Graph().Valid(to) {
+		return fmt.Errorf("service: migrate to %d: %w", to, graph.ErrNodeRange)
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return core.ErrServerGone
+	}
+	from := p.node
+	p.node = to
+	p.mu.Unlock()
+
+	p.reg.mu.Lock()
+	delete(p.reg.processes[from], p.port)
+	if p.reg.processes[to] == nil {
+		p.reg.processes[to] = make(map[core.Port]*Process)
+	}
+	p.reg.processes[to][p.port] = p
+	p.reg.mu.Unlock()
+	return p.srv.Migrate(to)
+}
+
+// Invoke performs one client request: locate the port through
+// match-making, send the request to the located address, and return the
+// reply body. Failed attempts (stale address, crashed server, lost
+// route) are retried with a fresh locate up to InvokeRetries times; after
+// that the failure is irrecoverable and ErrNoService is returned.
+//
+// A server process may call Invoke itself to use another service, as long
+// as the callee runs on a different node (a node's handler is
+// single-threaded, so a synchronous self-call would deadlock).
+func (r *Registry) Invoke(client graph.NodeID, port core.Port, method string, body any) (any, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.InvokeRetries; attempt++ {
+		loc, err := r.sys.Locate(client, port)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := r.net.Call(client, loc.Addr, Request{Port: port, Method: method, Body: body}, r.CallTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep, ok := raw.(response)
+		if !ok {
+			lastErr = fmt.Errorf("service: unexpected reply %T", raw)
+			continue
+		}
+		if rep.err != "" {
+			lastErr = fmt.Errorf("service: %q %s: %s", port, method, rep.err)
+			continue
+		}
+		return rep.body, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no attempt made")
+	}
+	return nil, fmt.Errorf("invoke %q from %d: %w: %w", port, client, ErrNoService, lastErr)
+}
+
+// InvokeNearest behaves like Invoke but, when several equivalent server
+// processes offer the port (§1.3), sends the request to the instance
+// closest to the client in hop distance — the locality preference of
+// §3.5's "nearly every service will be a local service".
+func (r *Registry) InvokeNearest(client graph.NodeID, port core.Port, method string, body any) (any, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.InvokeRetries; attempt++ {
+		loc, err := r.sys.LocateNearest(client, port)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := r.net.Call(client, loc.Addr, Request{Port: port, Method: method, Body: body}, r.CallTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep, ok := raw.(response)
+		if !ok {
+			lastErr = fmt.Errorf("service: unexpected reply %T", raw)
+			continue
+		}
+		if rep.err != "" {
+			lastErr = fmt.Errorf("service: %q %s: %s", port, method, rep.err)
+			continue
+		}
+		return rep.body, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no attempt made")
+	}
+	return nil, fmt.Errorf("invoke-nearest %q from %d: %w: %w", port, client, ErrNoService, lastErr)
+}
+
+// System returns the underlying name-server system.
+func (r *Registry) System() *core.System { return r.sys }

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/topology"
+)
+
+func atomicAdd(p *int64, v int64) { atomic.AddInt64(p, v) }
+
+func atomicLoad(p *int64) int64 { return atomic.LoadInt64(p) }
+
+// TestMulticastHopsMatchGraphModel cross-validates the live simulator
+// against the analytic cost model in internal/graph: flooding the same
+// target set must cost exactly MulticastCost hops.
+func TestMulticastHopsMatchGraphModel(t *testing.T) {
+	f := func(seed uint64, srcRaw uint8) bool {
+		g, err := topology.RandomConnected(32, 16, seed)
+		if err != nil {
+			return false
+		}
+		routing, err := graph.NewRouting(g)
+		if err != nil {
+			return false
+		}
+		net, err := New(g)
+		if err != nil {
+			return false
+		}
+		defer net.Close()
+		src := graph.NodeID(int(srcRaw) % 32)
+		targets := []graph.NodeID{1, 9, 17, 25, 31}
+		want, err := routing.MulticastCost(src, targets)
+		if err != nil {
+			return false
+		}
+		if _, err := net.Multicast(src, targets, "x"); err != nil {
+			return false
+		}
+		net.Drain()
+		return net.Hops() == int64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendHopsMatchRoutingDistance cross-validates unicast accounting.
+func TestSendHopsMatchRoutingDistance(t *testing.T) {
+	g, err := topology.RandomConnected(48, 24, 5)
+	if err != nil {
+		t.Fatalf("RandomConnected: %v", err)
+	}
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		t.Fatalf("NewRouting: %v", err)
+	}
+	net, err := New(g)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer net.Close()
+	for u := 0; u < 48; u += 5 {
+		for v := 0; v < 48; v += 7 {
+			net.ResetCounters()
+			if err := net.Send(graph.NodeID(u), graph.NodeID(v), "x"); err != nil {
+				t.Fatalf("Send %d->%d: %v", u, v, err)
+			}
+			want := int64(routing.Dist(graph.NodeID(u), graph.NodeID(v)))
+			if net.Hops() != want {
+				t.Fatalf("Send %d->%d: hops %d, want %d", u, v, net.Hops(), want)
+			}
+		}
+	}
+	net.Drain()
+}
+
+// TestMulticastIdempotentTargets checks that duplicate targets do not
+// double-charge tree edges.
+func TestMulticastIdempotentTargets(t *testing.T) {
+	g, err := topology.Line(6)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	net, err := New(g)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer net.Close()
+	reached, err := net.Multicast(0, []graph.NodeID{5, 5, 3, 3}, "x")
+	if err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	net.Drain()
+	if net.Hops() != 5 {
+		t.Fatalf("hops = %d, want 5 (edges paid once)", net.Hops())
+	}
+	// Duplicate targets are each delivered (the caller asked twice).
+	if reached != 4 {
+		t.Fatalf("reached = %d, want 4", reached)
+	}
+}
+
+// TestManyPortsManyServersStress floods the simulator with concurrent
+// multicast posts and verifies global accounting stays consistent.
+func TestManyPortsManyServersStress(t *testing.T) {
+	gr, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatalf("NewTorus: %v", err)
+	}
+	net, err := New(gr.G)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer net.Close()
+	var delivered [64]int64
+	for v := 0; v < 64; v++ {
+		v := v
+		if err := net.SetHandler(graph.NodeID(v), func(self graph.NodeID, msg Message) {
+			// Handlers may run concurrently per node; use the atomic add.
+			atomicAdd(&delivered[v], 1)
+		}); err != nil {
+			t.Fatalf("SetHandler: %v", err)
+		}
+	}
+	for s := 0; s < 64; s++ {
+		row := gr.Row(s / 8)
+		if _, err := net.Multicast(graph.NodeID(s), row, fmt.Sprintf("post-%d", s)); err != nil {
+			t.Fatalf("Multicast: %v", err)
+		}
+	}
+	net.Drain()
+	var total int64
+	for v := range delivered {
+		total += atomicLoad(&delivered[v])
+	}
+	// 64 posts × 8 row nodes = 512 deliveries.
+	if total != 512 {
+		t.Fatalf("delivered = %d, want 512", total)
+	}
+}

@@ -1,0 +1,386 @@
+// Package sim provides the store-and-forward message-passing substrate the
+// locate engines run on: one goroutine per network node, hop-by-hop
+// forwarding along shortest-path routing tables, exact message-pass
+// accounting, node crash injection and request/reply calls.
+//
+// The simulator counts cost exactly as the paper does: a message pass (or
+// hop) is "the sending of a message from one node to one of its direct
+// neighbors". Unicasts cost their path length; multicasts flood the union
+// of shortest paths (the spanning-tree broadcast of §2.3.5) and cost one
+// pass per tree edge.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchmake/internal/graph"
+)
+
+// Errors returned by network operations.
+var (
+	// ErrCrashed reports a send from or to a crashed node.
+	ErrCrashed = errors.New("sim: node crashed")
+	// ErrNoRoute reports an unreachable or crash-blocked destination.
+	ErrNoRoute = errors.New("sim: no route")
+	// ErrClosed reports use of a closed network.
+	ErrClosed = errors.New("sim: network closed")
+	// ErrTimeout reports an expired Call.
+	ErrTimeout = errors.New("sim: call timed out")
+)
+
+// Message is a delivered network message.
+type Message struct {
+	From    graph.NodeID
+	To      graph.NodeID
+	Payload any
+
+	reply chan any // non-nil for Call requests
+	net   *Network
+}
+
+// CanReply reports whether the message came from Call and expects a reply.
+func (m *Message) CanReply() bool { return m.reply != nil }
+
+// Reply routes a response back to the caller, paying the return-path hops.
+// It is a no-op error if the message did not come from Call.
+func (m *Message) Reply(payload any) error {
+	if m.reply == nil {
+		return fmt.Errorf("sim: reply to one-way message")
+	}
+	// The reply travels back through the network and pays for its hops.
+	if _, err := m.net.traverse(m.To, m.From); err != nil {
+		return err
+	}
+	select {
+	case m.reply <- payload:
+	default:
+		// Caller already timed out; drop silently like a real network.
+	}
+	return nil
+}
+
+// Handler processes messages delivered to a node. Each delivery runs in
+// its own goroutine, so handlers of one node may run concurrently — a
+// node is a processor with internal concurrency, not a single thread.
+// This is what lets a server process block inside a handler on a nested
+// request/locate (§1.3's hierarchy of services) while the same node keeps
+// answering name-server traffic. Handlers must synchronize shared state.
+type Handler func(self graph.NodeID, msg Message)
+
+// Network is a running simulation over a fixed graph. Create with New,
+// install handlers, then exchange messages; Close stops all node
+// goroutines.
+type Network struct {
+	g       *graph.Graph
+	routing atomic.Pointer[graph.Routing]
+
+	nodes   []*node
+	crashed []atomic.Bool
+
+	hops     atomic.Int64 // total message passes, the paper's cost measure
+	messages atomic.Int64 // total messages injected
+	dropped  atomic.Int64 // messages lost to crashes / no route
+
+	inflight sync.WaitGroup // undelivered or in-handler messages
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+type node struct {
+	id      graph.NodeID
+	handler atomic.Pointer[Handler]
+
+	mu    sync.Mutex
+	queue []Message
+	wake  chan struct{}
+}
+
+// New builds a network over g with precomputed routing tables.
+func New(g *graph.Graph) (*Network, error) {
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	n := &Network{
+		g:       g,
+		nodes:   make([]*node, g.N()),
+		crashed: make([]atomic.Bool, g.N()),
+	}
+	n.routing.Store(routing)
+	for i := range n.nodes {
+		nd := &node{id: graph.NodeID(i), wake: make(chan struct{}, 1)}
+		n.nodes[i] = nd
+		n.wg.Add(1)
+		go n.runNode(nd)
+	}
+	return n, nil
+}
+
+func (n *Network) runNode(nd *node) {
+	defer n.wg.Done()
+	for {
+		nd.mu.Lock()
+		for len(nd.queue) == 0 {
+			nd.mu.Unlock()
+			if _, ok := <-nd.wake; !ok {
+				return
+			}
+			nd.mu.Lock()
+		}
+		msg := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		nd.mu.Unlock()
+
+		if h := nd.handler.Load(); h != nil && !n.crashed[nd.id].Load() {
+			// Run the handler in its own goroutine so a handler that
+			// blocks (e.g. on a nested Call) does not stall the node's
+			// delivery loop and deadlock its own replies.
+			go func() {
+				(*h)(nd.id, msg)
+				n.inflight.Done()
+			}()
+			continue
+		}
+		n.inflight.Done()
+	}
+}
+
+// Close stops all node goroutines after in-flight messages drain.
+func (n *Network) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	n.inflight.Wait()
+	for _, nd := range n.nodes {
+		close(nd.wake)
+	}
+	n.wg.Wait()
+}
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Routing returns the current routing tables. They are built at creation
+// and, like real store-and-forward routers, go stale when nodes crash —
+// until RebuildRouting models the routing protocol reconverging.
+func (n *Network) Routing() *graph.Routing { return n.routing.Load() }
+
+// RebuildRouting recomputes the next-hop tables over the surviving
+// subnetwork, with crashed nodes excluded. This answers §2.4's "problem
+// of how, or whether it is still possible, to route the match-making
+// messages to their destinations in the surviving subnetwork": after a
+// rebuild, traffic detours around the crashes wherever a path survives.
+func (n *Network) RebuildRouting() error {
+	g := n.g.Clone()
+	for v := 0; v < g.N(); v++ {
+		if n.crashed[v].Load() {
+			if err := g.RemoveNode(graph.NodeID(v)); err != nil {
+				return fmt.Errorf("sim: rebuild: %w", err)
+			}
+		}
+	}
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		return fmt.Errorf("sim: rebuild: %w", err)
+	}
+	n.routing.Store(routing)
+	return nil
+}
+
+// SetHandler installs the message handler for a node. Installing nil
+// removes it (messages are then consumed silently).
+func (n *Network) SetHandler(v graph.NodeID, h Handler) error {
+	if !n.g.Valid(v) {
+		return fmt.Errorf("sim: handler: %w", graph.ErrNodeRange)
+	}
+	if h == nil {
+		n.nodes[v].handler.Store(nil)
+		return nil
+	}
+	n.nodes[v].handler.Store(&h)
+	return nil
+}
+
+// Crash marks a node crashed: it stops processing, cannot originate
+// messages, and blocks any route through it.
+func (n *Network) Crash(v graph.NodeID) error {
+	if !n.g.Valid(v) {
+		return fmt.Errorf("sim: crash: %w", graph.ErrNodeRange)
+	}
+	n.crashed[v].Store(true)
+	return nil
+}
+
+// Restore clears the crash flag of a node.
+func (n *Network) Restore(v graph.NodeID) error {
+	if !n.g.Valid(v) {
+		return fmt.Errorf("sim: restore: %w", graph.ErrNodeRange)
+	}
+	n.crashed[v].Store(false)
+	return nil
+}
+
+// Crashed reports whether v is crashed.
+func (n *Network) Crashed(v graph.NodeID) bool {
+	return n.g.Valid(v) && n.crashed[v].Load()
+}
+
+// Hops returns the total number of message passes so far.
+func (n *Network) Hops() int64 { return n.hops.Load() }
+
+// Messages returns the total number of messages injected so far.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// Dropped returns the number of messages lost to crashes or missing routes.
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// ResetCounters zeroes the hop/message/drop counters.
+func (n *Network) ResetCounters() {
+	n.hops.Store(0)
+	n.messages.Store(0)
+	n.dropped.Store(0)
+}
+
+// traverse walks the routed path from u to v, paying one hop per edge. It
+// stops early (returning ErrNoRoute or ErrCrashed) if the path crosses a
+// crashed node; hops already taken remain counted, as in a real network.
+func (n *Network) traverse(u, v graph.NodeID) (int, error) {
+	if n.crashed[u].Load() {
+		return 0, fmt.Errorf("traverse from %d: %w", u, ErrCrashed)
+	}
+	if u == v {
+		return 0, nil
+	}
+	routing := n.routing.Load()
+	taken := 0
+	at := u
+	for at != v {
+		next := routing.NextHop(at, v)
+		if next == -1 {
+			n.dropped.Add(1)
+			return taken, fmt.Errorf("traverse %d->%d: %w", u, v, ErrNoRoute)
+		}
+		n.hops.Add(1)
+		taken++
+		at = next
+		if n.crashed[at].Load() {
+			n.dropped.Add(1)
+			return taken, fmt.Errorf("traverse %d->%d via %d: %w", u, v, at, ErrCrashed)
+		}
+	}
+	return taken, nil
+}
+
+// deliver enqueues msg at its destination node.
+func (n *Network) deliver(msg Message) {
+	nd := n.nodes[msg.To]
+	n.inflight.Add(1)
+	nd.mu.Lock()
+	nd.queue = append(nd.queue, msg)
+	nd.mu.Unlock()
+	select {
+	case nd.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Send routes a one-way message from from to to, counting one pass per
+// hop. Delivery is asynchronous; use Drain to wait for quiescence.
+func (n *Network) Send(from, to graph.NodeID, payload any) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	if !n.g.Valid(from) || !n.g.Valid(to) {
+		return fmt.Errorf("sim: send: %w", graph.ErrNodeRange)
+	}
+	n.messages.Add(1)
+	if _, err := n.traverse(from, to); err != nil {
+		return err
+	}
+	n.deliver(Message{From: from, To: to, Payload: payload, net: n})
+	return nil
+}
+
+// Multicast floods one message from from to every node in targets along
+// the union of shortest paths (a spanning-tree broadcast), paying one pass
+// per tree edge — the paper's cheap way to address a whole row, subcube or
+// line. Unreachable or crash-blocked targets are skipped and counted in
+// Dropped; the number of targets actually reached is returned.
+func (n *Network) Multicast(from graph.NodeID, targets []graph.NodeID, payload any) (int, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	if !n.g.Valid(from) {
+		return 0, fmt.Errorf("sim: multicast: %w", graph.ErrNodeRange)
+	}
+	if n.crashed[from].Load() {
+		return 0, fmt.Errorf("sim: multicast from %d: %w", from, ErrCrashed)
+	}
+	n.messages.Add(1)
+	routing := n.routing.Load()
+	// Edges already paid for in this multicast: child node -> true.
+	paid := map[graph.NodeID]bool{from: true}
+	reached := 0
+	for _, t := range targets {
+		if !n.g.Valid(t) {
+			return reached, fmt.Errorf("sim: multicast target %d: %w", t, graph.ErrNodeRange)
+		}
+		ok := true
+		at := from
+		for at != t {
+			next := routing.NextHop(at, t)
+			if next == -1 {
+				n.dropped.Add(1)
+				ok = false
+				break
+			}
+			if !paid[next] {
+				n.hops.Add(1)
+				paid[next] = true
+			}
+			at = next
+			if n.crashed[at].Load() {
+				n.dropped.Add(1)
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		n.deliver(Message{From: from, To: t, Payload: payload, net: n})
+		reached++
+	}
+	return reached, nil
+}
+
+// Call routes a request to to and blocks for a reply (sent by the remote
+// handler via Message.Reply) or the timeout. Request and reply hops are
+// both counted.
+func (n *Network) Call(from, to graph.NodeID, payload any, timeout time.Duration) (any, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if !n.g.Valid(from) || !n.g.Valid(to) {
+		return nil, fmt.Errorf("sim: call: %w", graph.ErrNodeRange)
+	}
+	n.messages.Add(1)
+	if _, err := n.traverse(from, to); err != nil {
+		return nil, err
+	}
+	reply := make(chan any, 1)
+	n.deliver(Message{From: from, To: to, Payload: payload, reply: reply, net: n})
+	select {
+	case v := <-reply:
+		return v, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("sim: call %d->%d: %w", from, to, ErrTimeout)
+	}
+}
+
+// Drain blocks until every delivered message has been processed.
+func (n *Network) Drain() { n.inflight.Wait() }

@@ -1,0 +1,191 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: summaries, histograms and log-log fits for scaling
+// exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		StdDev: math.Sqrt(variance),
+		P50:    Percentile(sorted, 0.50),
+		P95:    Percentile(sorted, 0.95),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanInts returns the mean of an integer sample (0 for empty samples).
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// MaxInts returns the maximum of an integer sample (0 for empty samples).
+func MaxInts(xs []int) int {
+	maxVal := 0
+	for i, x := range xs {
+		if i == 0 || x > maxVal {
+			maxVal = x
+		}
+	}
+	return maxVal
+}
+
+// Floats converts an integer sample to float64.
+func Floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// LinearFit fits y = a + b·x by least squares and returns (a, b). It
+// requires at least two points; degenerate inputs return (0, 0).
+func LinearFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// PowerLawExponent fits y = c·x^e on positive data by regressing
+// log y on log x and returns the exponent e. Non-positive points are
+// skipped; fewer than two usable points return 0. Experiments use this to
+// check claims like m(n) = Θ(n^((d−1)/d)).
+func PowerLawExponent(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	_, e := LinearFit(lx, ly)
+	return e
+}
+
+// Histogram counts observations into unit-width integer buckets.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations of value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Buckets returns the observed values in ascending order.
+func (h *Histogram) Buckets() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the histogram as "value:count" pairs.
+func (h *Histogram) String() string {
+	s := ""
+	for i, v := range h.Buckets() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d", v, h.counts[v])
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.StdDev, math.Sqrt(2), 1e-9) {
+		t.Fatalf("stddev = %f, want sqrt(2)", s.StdDev)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %f, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.StdDev != 0 || s.P99 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {-1, 10}, {2, 40}, {0.5, 25},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); !almost(got, tt.want, 1e-9) {
+			t.Fatalf("Percentile(%v) = %f, want %f", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestMeanMaxInts(t *testing.T) {
+	if m := MeanInts([]int{2, 4, 6}); m != 4 {
+		t.Fatalf("MeanInts = %f, want 4", m)
+	}
+	if m := MeanInts(nil); m != 0 {
+		t.Fatalf("MeanInts(nil) = %f, want 0", m)
+	}
+	if m := MaxInts([]int{-5, -2, -9}); m != -2 {
+		t.Fatalf("MaxInts = %d, want -2", m)
+	}
+	if m := MaxInts(nil); m != 0 {
+		t.Fatalf("MaxInts(nil) = %d, want 0", m)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	fs := Floats([]int{1, 2})
+	if len(fs) != 2 || fs[0] != 1 || fs[1] != 2 {
+		t.Fatalf("Floats = %v", fs)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 3 + 2x.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 5, 7, 9}
+	a, b := LinearFit(xs, ys)
+	if !almost(a, 3, 1e-9) || !almost(b, 2, 1e-9) {
+		t.Fatalf("fit = %f + %f x, want 3 + 2x", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if a, b := LinearFit([]float64{1}, []float64{2}); a != 0 || b != 0 {
+		t.Fatal("single point fit should be 0,0")
+	}
+	if a, b := LinearFit([]float64{1, 1}, []float64{2, 5}); a != 0 || b != 0 {
+		t.Fatal("vertical fit should be 0,0")
+	}
+	if a, b := LinearFit([]float64{1, 2}, []float64{1}); a != 0 || b != 0 {
+		t.Fatal("mismatched lengths should be 0,0")
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	// y = 5·x^1.5 exactly.
+	xs := []float64{1, 4, 9, 16, 25}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, 1.5)
+	}
+	if e := PowerLawExponent(xs, ys); !almost(e, 1.5, 1e-9) {
+		t.Fatalf("exponent = %f, want 1.5", e)
+	}
+	// Non-positive points are skipped.
+	if e := PowerLawExponent([]float64{-1, 0}, []float64{1, 1}); e != 0 {
+		t.Fatalf("exponent of unusable data = %f, want 0", e)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{3, 1, 3, 3, 2} {
+		h.Add(v)
+	}
+	if h.Total() != 5 || h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Fatalf("histogram = %s", h)
+	}
+	b := h.Buckets()
+	if len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if s := h.String(); s != "1:1 2:1 3:3" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// Decomposition bundles the generic §3 method for arbitrary connected
+// networks: divide the graph into O(√n) disjoint connected subgraphs of
+// ≈√n nodes each (Erdős–Gerencsér–Máté), number the nodes in each
+// subgraph 1..√n, and then
+//
+//   - Server's Algorithm: a server at the node labelled ℓ posts its
+//     (port, address) to the node labelled ℓ in every subgraph —
+//     O(n) message passes in the worst case, caches of size O(√n);
+//   - Client's Algorithm: a client broadcasts its query inside the
+//     subgraph where it resides — at most √n message passes.
+//
+// The intersection is never empty: the client's own subgraph contains a
+// node labelled ℓ for every ℓ (undersized parts wrap the excess labels).
+type Decomposition struct {
+	g    *graph.Graph
+	part *graph.Partition
+}
+
+// NewDecomposition partitions a connected graph with target part size
+// ⌈√n⌉ and returns the bundle.
+func NewDecomposition(g *graph.Graph) (*Decomposition, error) {
+	target := int(math.Ceil(math.Sqrt(float64(g.N()))))
+	if target < 1 {
+		target = 1
+	}
+	part, err := graph.PartitionConnected(g, target)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: decomposition: %w", err)
+	}
+	return &Decomposition{g: g, part: part}, nil
+}
+
+// Partition exposes the underlying partition (read-only).
+func (d *Decomposition) Partition() *graph.Partition { return d.part }
+
+// Strategy returns the P/Q pair over the decomposition.
+func (d *Decomposition) Strategy() rendezvous.Strategy {
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("decomposition-%d", d.g.N()),
+		Universe:     d.g.N(),
+		PostFunc: func(i graph.NodeID) []graph.NodeID {
+			label := d.part.Label(i)
+			seen := make(map[graph.NodeID]bool, d.part.NumParts())
+			out := make([]graph.NodeID, 0, d.part.NumParts())
+			for p := 0; p < d.part.NumParts(); p++ {
+				v, err := d.part.Labelled(p, label)
+				if err != nil {
+					continue
+				}
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			p := d.part.PartOf(j)
+			if p < 0 {
+				return nil
+			}
+			return append([]graph.NodeID(nil), d.part.Parts()[p]...)
+		},
+	}
+}

@@ -1,0 +1,16 @@
+package strategy_test
+
+import (
+	"fmt"
+
+	"matchmake/internal/strategy"
+)
+
+// When client queries are four times more frequent than server posts,
+// the optimal Manhattan split shifts to fewer rows: p = sqrt(n/alpha).
+func ExampleOptimalGridSplit() {
+	p, q, cost := strategy.OptimalGridSplit(64, 4)
+	fmt.Printf("split %dx%d, weighted cost %.0f\n", p, q, cost)
+	// Output:
+	// split 4x16, weighted cost 32
+}

@@ -1,0 +1,67 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+// HierarchyGateways returns the §3.5 strategy on a hierarchical network:
+// a server posts its (port, address) by selecting ≈√n_i gateways at each
+// level i on the path from its host to the highest-level network; a
+// client queries ≈√n_i gateways per level likewise. The per-level gateway
+// subsets follow the truly distributed checkerboard over the cluster's
+// n_i gateways — the server takes the "row block" of its sub-cluster
+// digit, the client the "column block" — so at every level whose cluster
+// contains both parties the two subsets intersect, and in particular the
+// top level always matches: m(n) ≈ 2·Σᵢ √n_i.
+func HierarchyGateways(h *topology.Hierarchy) rendezvous.Strategy {
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("hierarchy-%v", h.Fanouts),
+		Universe:     h.N(),
+		PostFunc:     func(i graph.NodeID) []graph.NodeID { return hierarchySide(h, i, true) },
+		QueryFunc:    func(j graph.NodeID) []graph.NodeID { return hierarchySide(h, j, false) },
+	}
+}
+
+// hierarchySide collects the per-level gateway subset for one party.
+func hierarchySide(h *topology.Hierarchy, v graph.NodeID, asServer bool) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	for level := 1; level <= h.Levels(); level++ {
+		gws, err := h.Gateways(v, level)
+		if err != nil {
+			continue
+		}
+		ni := len(gws)
+		b := int(math.Ceil(math.Sqrt(float64(ni))))
+		digit := h.Digit(v, level)
+		block := digit * b / ni
+		for t := 0; t < b; t++ {
+			var idx int
+			if asServer {
+				idx = (block*b + t) % ni // row block: consecutive
+			} else {
+				idx = (t*b + block) % ni // column block: strided
+			}
+			g := gws[idx]
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// HierarchyLocalLevel returns the hierarchy level at which the posts of a
+// server at s and the queries of a client at c first share a gateway —
+// the level a locality-aware locate resolves at. It mirrors the §3.5
+// observation that "most message passing … will be confined to a
+// local-area network, and so on, up the network hierarchy".
+func HierarchyLocalLevel(h *topology.Hierarchy, s, c graph.NodeID) int {
+	return h.LCALevel(s, c)
+}

@@ -1,0 +1,85 @@
+package strategy
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+// HypercubeSplit returns the §3.2 strategy on a binary d-cube with the
+// corner address split after k bits: a server at s broadcasts its
+// (port, address) into the k-dimensional subcube that varies the high k
+// bits of its address (keeping its own low d−k bits); a client at c
+// queries the (d−k)-dimensional subcube that varies the low d−k bits
+// (keeping its own high k bits). For every pair the two subcubes meet in
+// exactly one node, c₁…c_k s_{k+1}…s_d.
+//
+// k = d/2 is the paper's main variant (m(n) = 2·2^(d/2) = 2√n for even
+// d); other k realize the ε-split trade-off #P = 2^k vs #Q = 2^(d−k),
+// used "to adapt the method to take advantage of relative immobility of
+// servers".
+func HypercubeSplit(h *topology.Hypercube, k int) (rendezvous.Strategy, error) {
+	if k < 0 || k > h.D {
+		return nil, fmt.Errorf("strategy: hypercube split %d out of [0,%d]", k, h.D)
+	}
+	low := h.LowMask(h.D - k)
+	high := h.HighMask(k)
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("hypercube-d%d-k%d", h.D, k),
+		Universe:     h.G.N(),
+		PostFunc: func(i graph.NodeID) []graph.NodeID {
+			return h.Subcube(i, low) // vary high k bits
+		},
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			return h.Subcube(j, high) // vary low d−k bits
+		},
+	}, nil
+}
+
+// HalfCube returns HypercubeSplit at the paper's k = d/2 midpoint.
+func HalfCube(h *topology.Hypercube) (rendezvous.Strategy, error) {
+	return HypercubeSplit(h, h.D/2)
+}
+
+// CCCSplit returns the §3.3 strategy for cube-connected cycles,
+// "an algorithm similar to that of the d-dimensional cube … appropriately
+// tuned": with lo = ⌊d/2⌋ low corner bits,
+//
+//   - P((w,p)) = the 2^(d−lo) nodes (a‖w_lo, p): same low corner bits,
+//     same cycle position, every high corner half;
+//   - Q((u,q)) = the d·2^lo nodes (u_hi‖b, j): same high corner half,
+//     every low half, every cycle position.
+//
+// The intersection is exactly one node, (u_hi‖w_lo, p). With n = d·2^d
+// this costs m(n) = 2^(d−lo) + d·2^lo = O(√(n·log n)) and needs caches of
+// size 2^(d−lo) = O(√(n/log n)), matching the paper's claim.
+func CCCSplit(c *topology.CCC) rendezvous.Strategy {
+	lo := c.D / 2
+	hi := c.D - lo
+	lowMask := (1 << lo) - 1
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("ccc-d%d", c.D),
+		Universe:     c.G.N(),
+		PostFunc: func(i graph.NodeID) []graph.NodeID {
+			w, p := c.CornerPos(i)
+			out := make([]graph.NodeID, 0, 1<<hi)
+			for a := 0; a < 1<<hi; a++ {
+				out = append(out, c.At(a<<lo|w&lowMask, p))
+			}
+			return out
+		},
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			u, _ := c.CornerPos(j)
+			uhi := u &^ lowMask
+			out := make([]graph.NodeID, 0, c.D<<lo)
+			for b := 0; b <= lowMask; b++ {
+				for pos := 0; pos < c.D; pos++ {
+					out = append(out, c.At(uhi|b, pos))
+				}
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package strategy
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+// PlaneLines returns the §3.4 strategy on a projective plane PG(2,k): a
+// server posts its (port, address) to all nodes on a line incident on its
+// host node, a client queries all nodes on a line incident on its own
+// host node, and the common node of the two lines is the rendezvous node:
+// m(n) = 2(k+1) ≈ 2√n with √n-size caches.
+//
+// The paper allows an arbitrary incident line; this implementation picks
+// the first line through the server's node and the last line through the
+// client's node, so distinct hosts almost always choose distinct lines
+// (which meet in exactly one point). When both choices name the same
+// line, the whole line is the rendezvous set — still correct, merely
+// redundant.
+func PlaneLines(p *topology.Plane) rendezvous.Strategy {
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("pg2-%d-lines", p.K),
+		Universe:     p.N(),
+		PostFunc: func(i graph.NodeID) []graph.NodeID {
+			line, err := p.LineThrough(i, 0)
+			if err != nil {
+				return nil
+			}
+			return line
+		},
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			line, err := p.LineThrough(j, p.K)
+			if err != nil {
+				return nil
+			}
+			return line
+		},
+	}
+}
+
+// PlaneLinesAt returns the plane strategy with explicit line choices,
+// used by fault-tolerance experiments to steer around failed lines: the
+// server uses its postLine-th incident line and the client its
+// queryLine-th (both in [0, k]).
+func PlaneLinesAt(p *topology.Plane, postLine, queryLine int) (rendezvous.Strategy, error) {
+	if postLine < 0 || postLine > p.K || queryLine < 0 || queryLine > p.K {
+		return nil, fmt.Errorf("strategy: line choices (%d,%d) out of [0,%d]", postLine, queryLine, p.K)
+	}
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("pg2-%d-lines-%d-%d", p.K, postLine, queryLine),
+		Universe:     p.N(),
+		PostFunc: func(i graph.NodeID) []graph.NodeID {
+			line, err := p.LineThrough(i, postLine)
+			if err != nil {
+				return nil
+			}
+			return line
+		},
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			line, err := p.LineThrough(j, queryLine)
+			if err != nil {
+				return nil
+			}
+			return line
+		},
+	}, nil
+}

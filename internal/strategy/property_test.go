@@ -1,0 +1,203 @@
+package strategy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+// Property tests for the §3 strategies: the invariants the paper's
+// correctness rests on, checked over randomized inputs.
+
+func TestPropertyManhattanSingletonCrossing(t *testing.T) {
+	gr, err := topology.NewGrid(7, 9)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	s := Manhattan(gr)
+	f := func(iRaw, jRaw uint16) bool {
+		i := graph.NodeID(int(iRaw) % gr.G.N())
+		j := graph.NodeID(int(jRaw) % gr.G.N())
+		meet := rendezvous.Intersect(s.Post(i), s.Query(j))
+		if len(meet) != 1 {
+			return false
+		}
+		ri, _ := gr.RowCol(i)
+		_, cj := gr.RowCol(j)
+		return meet[0] == gr.At(ri, cj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeshSplitSingleton(t *testing.T) {
+	me, err := topology.NewMesh(3, 4, 5)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	for _, axes := range [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}} {
+		s, err := MeshSplit(me, axes)
+		if err != nil {
+			t.Fatalf("MeshSplit(%v): %v", axes, err)
+		}
+		f := func(iRaw, jRaw uint16) bool {
+			i := graph.NodeID(int(iRaw) % me.G.N())
+			j := graph.NodeID(int(jRaw) % me.G.N())
+			meet := rendezvous.Intersect(s.Post(i), s.Query(j))
+			return len(meet) == 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+			t.Fatalf("axes %v: %v", axes, err)
+		}
+	}
+}
+
+func TestPropertyCCCSingleton(t *testing.T) {
+	c, err := topology.NewCCC(5)
+	if err != nil {
+		t.Fatalf("NewCCC: %v", err)
+	}
+	s := CCCSplit(c)
+	f := func(iRaw, jRaw uint16) bool {
+		i := graph.NodeID(int(iRaw) % c.G.N())
+		j := graph.NodeID(int(jRaw) % c.G.N())
+		return len(rendezvous.Intersect(s.Post(i), s.Query(j))) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPlaneLinesAlwaysMeet(t *testing.T) {
+	p, err := topology.NewPlane(7)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	s := PlaneLines(p)
+	f := func(iRaw, jRaw uint16) bool {
+		i := graph.NodeID(int(iRaw) % p.N())
+		j := graph.NodeID(int(jRaw) % p.N())
+		meet := rendezvous.Intersect(s.Post(i), s.Query(j))
+		// Distinct lines meet exactly once; identical line choices give
+		// the whole line (k+1 nodes). Either way, never empty and never
+		// an in-between size.
+		return len(meet) == 1 || len(meet) == p.K+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHierarchyIntersects(t *testing.T) {
+	for _, fanouts := range [][]int{{3, 3}, {4, 4, 4}, {2, 3, 4}, {5, 2}} {
+		h, err := topology.NewHierarchy(fanouts...)
+		if err != nil {
+			t.Fatalf("NewHierarchy(%v): %v", fanouts, err)
+		}
+		s := HierarchyGateways(h)
+		f := func(iRaw, jRaw uint16) bool {
+			i := graph.NodeID(int(iRaw) % h.N())
+			j := graph.NodeID(int(jRaw) % h.N())
+			return len(rendezvous.Intersect(s.Post(i), s.Query(j))) >= 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Fatalf("fanouts %v: %v", fanouts, err)
+		}
+	}
+}
+
+func TestPropertyDecompositionIntersects(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := topology.RandomConnected(40, 20, seed)
+		if err != nil {
+			return false
+		}
+		d, err := NewDecomposition(g)
+		if err != nil {
+			return false
+		}
+		s := d.Strategy()
+		// Check a deterministic sample of pairs per graph.
+		for i := 0; i < 40; i += 7 {
+			for j := 3; j < 40; j += 9 {
+				if len(rendezvous.Intersect(s.Post(graph.NodeID(i)), s.Query(graph.NodeID(j)))) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTreePathMeetsAtLCA(t *testing.T) {
+	tn, err := topology.NewProfileTree(func(level int) int { return 1 + level%3 }, 5)
+	if err != nil {
+		t.Fatalf("NewProfileTree: %v", err)
+	}
+	st, err := tn.SpanningTree()
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	s := TreePath(st)
+	f := func(iRaw, jRaw uint16) bool {
+		i := graph.NodeID(int(iRaw) % tn.G.N())
+		j := graph.NodeID(int(jRaw) % tn.G.N())
+		meet := rendezvous.Intersect(s.Post(i), s.Query(j))
+		if len(meet) == 0 {
+			return false
+		}
+		// The intersection of two root paths is the LCA-to-root segment:
+		// its size equals depth(root path overlap) = depth(LCA)+1.
+		deepest := meet[0]
+		for _, v := range meet {
+			if st.Depth(v) > st.Depth(deepest) {
+				deepest = v
+			}
+		}
+		// The deepest common node is an ancestor of both.
+		return isAncestor(st, deepest, i) && isAncestor(st, deepest, j) &&
+			len(meet) == st.Depth(deepest)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isAncestor(t *graph.Tree, anc, v graph.NodeID) bool {
+	for at := v; at != -1; at = t.Parent(at) {
+		if at == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropertyHypercubeSplitAllK checks singleton rendezvous for every
+// split point k, not just the d/2 midpoint.
+func TestPropertyHypercubeSplitAllK(t *testing.T) {
+	h, err := topology.NewHypercube(7)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	for k := 0; k <= 7; k++ {
+		s, err := HypercubeSplit(h, k)
+		if err != nil {
+			t.Fatalf("HypercubeSplit(%d): %v", k, err)
+		}
+		f := func(iRaw, jRaw uint8) bool {
+			i := graph.NodeID(int(iRaw) % h.G.N())
+			j := graph.NodeID(int(jRaw) % h.G.N())
+			return len(rendezvous.Intersect(s.Post(i), s.Query(j))) == 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}

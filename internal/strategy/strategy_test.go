@@ -1,0 +1,432 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+func buildAndVerify(t *testing.T, s rendezvous.Strategy) *rendezvous.Matrix {
+	t.Helper()
+	m, err := rendezvous.Build(s)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", s.Name(), err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify(%s): %v", s.Name(), err)
+	}
+	return m
+}
+
+func TestManhattanSquare(t *testing.T) {
+	gr, err := topology.NewGrid(3, 3)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	m := buildAndVerify(t, Manhattan(gr))
+	if !m.IsOptimalShotgun() {
+		t.Fatal("Manhattan on a grid should give singleton rendezvous")
+	}
+	// The paper's 9-node matrix: entry (i,j) = row(i)·3 + col(j).
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			ri, _ := gr.RowCol(graph.NodeID(i))
+			_, cj := gr.RowCol(graph.NodeID(j))
+			want := gr.At(ri, cj)
+			e := m.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(e) != 1 || e[0] != want {
+				t.Fatalf("entry(%d,%d) = %v, want {%d}", i, j, e, want)
+			}
+		}
+	}
+	// m(n) = p + q = 6 = 2√n.
+	if got := m.AvgCost(); got != 6 {
+		t.Fatalf("AvgCost = %f, want 6", got)
+	}
+	// Truly distributed: k_v = n for all v.
+	for v, kv := range m.Multiplicities() {
+		if kv != 9 {
+			t.Fatalf("k[%d] = %d, want 9", v, kv)
+		}
+	}
+}
+
+func TestManhattanRectangular(t *testing.T) {
+	gr, err := topology.NewGrid(2, 6)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	m := buildAndVerify(t, Manhattan(gr))
+	// m(n) = p + q = 8.
+	if got := m.AvgCost(); got != 8 {
+		t.Fatalf("AvgCost = %f, want 8", got)
+	}
+}
+
+func TestManhattanOnTorus(t *testing.T) {
+	to, err := topology.NewTorus(4, 4)
+	if err != nil {
+		t.Fatalf("NewTorus: %v", err)
+	}
+	m := buildAndVerify(t, Manhattan(to))
+	if got := m.AvgCost(); got != 8 {
+		t.Fatalf("AvgCost = %f, want 8", got)
+	}
+}
+
+func TestMeshSplit3D(t *testing.T) {
+	me, err := topology.NewMesh(3, 3, 3)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	s, err := MeshSplit(me, []int{0, 1})
+	if err != nil {
+		t.Fatalf("MeshSplit: %v", err)
+	}
+	m := buildAndVerify(t, s)
+	if !m.IsOptimalShotgun() {
+		t.Fatal("mesh split should give singleton rendezvous")
+	}
+	// #P = 9 (varies axes 0,1), #Q = 3 (varies axis 2): m = 12 =
+	// n^(2/3) + n^(1/3).
+	if got := m.AvgCost(); got != 12 {
+		t.Fatalf("AvgCost = %f, want 12", got)
+	}
+	// The rendezvous of server s and client c takes c's coordinates on
+	// the post axes and s's on the rest.
+	sv, _ := me.At(0, 1, 2)
+	cl, _ := me.At(2, 0, 1)
+	want, _ := me.At(2, 0, 2)
+	e := m.Entry(sv, cl)
+	if len(e) != 1 || e[0] != want {
+		t.Fatalf("entry = %v, want {%d}", e, want)
+	}
+}
+
+func TestMeshSplitErrors(t *testing.T) {
+	me, err := topology.NewMesh(2, 2)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	if _, err := MeshSplit(me, nil); err == nil {
+		t.Fatal("empty post axes should fail")
+	}
+	if _, err := MeshSplit(me, []int{0, 1}); err == nil {
+		t.Fatal("all axes as post should fail")
+	}
+	if _, err := MeshSplit(me, []int{2}); err == nil {
+		t.Fatal("out-of-range axis should fail")
+	}
+	if _, err := MeshSplit(me, []int{0, 0}); err == nil {
+		t.Fatal("duplicate axis should fail")
+	}
+}
+
+func TestHalfCubeMatchesPaper(t *testing.T) {
+	h, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	s, err := HalfCube(h)
+	if err != nil {
+		t.Fatalf("HalfCube: %v", err)
+	}
+	m := buildAndVerify(t, s)
+	if !m.IsOptimalShotgun() {
+		t.Fatal("half-cube split should give singleton rendezvous")
+	}
+	// m(n) = 2·2^(d/2) = 2√n = 16 for d = 6.
+	if got := m.AvgCost(); got != 16 {
+		t.Fatalf("AvgCost = %f, want 16", got)
+	}
+	// Example 6 is the d = 3, k = 1 instance with the server/client roles
+	// of the split swapped (the server keeps its high bit, the client its
+	// low bits), i.e. the transpose of our §3.2 convention.
+	h3, err := topology.NewHypercube(3)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	s3, err := HypercubeSplit(h3, 1)
+	if err != nil {
+		t.Fatalf("HypercubeSplit: %v", err)
+	}
+	m3 := buildAndVerify(t, s3)
+	ex, err := rendezvous.Build(rendezvous.CubeExample())
+	if err != nil {
+		t.Fatalf("Build example: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			a := m3.Entry(graph.NodeID(j), graph.NodeID(i))
+			b := ex.Entry(graph.NodeID(i), graph.NodeID(j))
+			if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+				t.Fatalf("entry(%d,%d): split transpose %v vs example %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestHypercubeSplitTradeoff(t *testing.T) {
+	h, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	for k := 0; k <= 6; k++ {
+		s, err := HypercubeSplit(h, k)
+		if err != nil {
+			t.Fatalf("HypercubeSplit(%d): %v", k, err)
+		}
+		m := buildAndVerify(t, s)
+		want := float64(int(1)<<k + int(1)<<(6-k))
+		if got := m.AvgCost(); got != want {
+			t.Fatalf("k=%d: AvgCost = %f, want %f", k, got, want)
+		}
+	}
+	if _, err := HypercubeSplit(h, 7); err == nil {
+		t.Fatal("split beyond d should fail")
+	}
+}
+
+func TestHypercubeSingletonProperty(t *testing.T) {
+	h, err := topology.NewHypercube(8)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	s, err := HalfCube(h)
+	if err != nil {
+		t.Fatalf("HalfCube: %v", err)
+	}
+	f := func(iRaw, jRaw uint8) bool {
+		i := graph.NodeID(iRaw)
+		j := graph.NodeID(jRaw)
+		meet := rendezvous.Intersect(s.Post(i), s.Query(j))
+		if len(meet) != 1 {
+			return false
+		}
+		want := graph.NodeID(int(j)&0xF0 | int(i)&0x0F)
+		return meet[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCCSplit(t *testing.T) {
+	c, err := topology.NewCCC(4)
+	if err != nil {
+		t.Fatalf("NewCCC: %v", err)
+	}
+	s := CCCSplit(c)
+	m := buildAndVerify(t, s)
+	if !m.IsOptimalShotgun() {
+		t.Fatal("CCC split should give singleton rendezvous")
+	}
+	// d=4: lo=2, hi=2: #P = 2^2 = 4, #Q = 4·2^2 = 16, m = 20.
+	if got := m.AvgCost(); got != 20 {
+		t.Fatalf("AvgCost = %f, want 20", got)
+	}
+}
+
+func TestCCCSplitScaling(t *testing.T) {
+	// m(n) should scale like √(n·log n): check the exact closed form
+	// 2^(d−⌊d/2⌋) + d·2^(⌊d/2⌋) for several d.
+	for _, d := range []int{3, 4, 5, 6} {
+		c, err := topology.NewCCC(d)
+		if err != nil {
+			t.Fatalf("NewCCC(%d): %v", d, err)
+		}
+		s := CCCSplit(c)
+		m, err := rendezvous.Build(s)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		lo := d / 2
+		want := float64(int(1)<<(d-lo) + d<<lo)
+		if got := m.AvgCost(); got != want {
+			t.Fatalf("d=%d: AvgCost = %f, want %f", d, got, want)
+		}
+		ratio := m.AvgCost() / math.Sqrt(float64(c.G.N())*math.Log2(float64(c.G.N())))
+		if ratio < 0.4 || ratio > 3 {
+			t.Fatalf("d=%d: cost/√(n·log n) = %f outside [0.4,3]", d, ratio)
+		}
+	}
+}
+
+func TestPlaneLines(t *testing.T) {
+	p, err := topology.NewPlane(3)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	m := buildAndVerify(t, PlaneLines(p))
+	// Every instance costs exactly 2(k+1) = 8 messages.
+	if m.MinCost() != 8 || m.MaxCost() != 8 {
+		t.Fatalf("cost range [%d,%d], want [8,8]", m.MinCost(), m.MaxCost())
+	}
+	// m(n) = 2(k+1) ≈ 2√n.
+	if got, bound := m.AvgCost(), 2*math.Sqrt(float64(p.N())); got > bound+2 {
+		t.Fatalf("AvgCost = %f, want ≈ %f", got, bound)
+	}
+}
+
+func TestPlaneLinesAt(t *testing.T) {
+	p, err := topology.NewPlane(2)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	for post := 0; post <= p.K; post++ {
+		for query := 0; query <= p.K; query++ {
+			s, err := PlaneLinesAt(p, post, query)
+			if err != nil {
+				t.Fatalf("PlaneLinesAt(%d,%d): %v", post, query, err)
+			}
+			buildAndVerify(t, s)
+		}
+	}
+	if _, err := PlaneLinesAt(p, p.K+1, 0); err == nil {
+		t.Fatal("out-of-range line choice should fail")
+	}
+}
+
+func TestHierarchyGateways(t *testing.T) {
+	h, err := topology.NewHierarchy(4, 4)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	m := buildAndVerify(t, HierarchyGateways(h))
+	// Cost per side ≈ Σ √n_i = 2 + 2 = 4; m(n) ≈ 8 (minus overlaps).
+	if got := m.AvgCost(); got < 4 || got > 8.5 {
+		t.Fatalf("AvgCost = %f, want ≈ 2·Σ√n_i = 8", got)
+	}
+}
+
+func TestHierarchyGatewaysThreeLevels(t *testing.T) {
+	h, err := topology.NewHierarchy(4, 4, 4)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	m := buildAndVerify(t, HierarchyGateways(h))
+	// Upper bound 2·3·√4 = 12.
+	if got := m.AvgCost(); got > 12.5 {
+		t.Fatalf("AvgCost = %f, want ≤ 12", got)
+	}
+}
+
+func TestHierarchyLocalLevel(t *testing.T) {
+	h, err := topology.NewHierarchy(3, 3)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	if lv := HierarchyLocalLevel(h, 0, 1); lv != 1 {
+		t.Fatalf("local level = %d, want 1", lv)
+	}
+	if lv := HierarchyLocalLevel(h, 0, 8); lv != 2 {
+		t.Fatalf("local level = %d, want 2", lv)
+	}
+}
+
+func TestTreePath(t *testing.T) {
+	tn, err := topology.NewBalancedTree(3, 3)
+	if err != nil {
+		t.Fatalf("NewBalancedTree: %v", err)
+	}
+	st, err := tn.SpanningTree()
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	m := buildAndVerify(t, TreePath(st))
+	// Worst pair: two deepest leaves, cost 2(l+1) = 8; best: root-root 2.
+	if m.MaxCost() != 8 {
+		t.Fatalf("MaxCost = %d, want 8", m.MaxCost())
+	}
+	if m.MinCost() != 2 {
+		t.Fatalf("MinCost = %d, want 2", m.MinCost())
+	}
+	// Root multiplicity dominates: it is in every pair's rendezvous set.
+	k := m.Multiplicities()
+	if k[st.Root()] != tn.G.N()*tn.G.N() {
+		t.Fatalf("root multiplicity = %d, want n²", k[st.Root()])
+	}
+}
+
+func TestDecompositionStrategy(t *testing.T) {
+	g, err := topology.RandomConnected(49, 30, 11)
+	if err != nil {
+		t.Fatalf("RandomConnected: %v", err)
+	}
+	d, err := NewDecomposition(g)
+	if err != nil {
+		t.Fatalf("NewDecomposition: %v", err)
+	}
+	m := buildAndVerify(t, d.Strategy())
+	// Client side ≤ 2√n−1 (a part); server side = #parts.
+	maxQ := 0
+	for j := 0; j < g.N(); j++ {
+		if q := m.QuerySize(graph.NodeID(j)); q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ > 2*7-1 {
+		t.Fatalf("max #Q = %d, want ≤ 13", maxQ)
+	}
+	for i := 0; i < g.N(); i++ {
+		if p := m.PostSize(graph.NodeID(i)); p != d.Partition().NumParts() {
+			t.Fatalf("#P(%d) = %d, want %d parts", i, p, d.Partition().NumParts())
+		}
+	}
+}
+
+func TestDecompositionOnGridAndStar(t *testing.T) {
+	gr, err := topology.NewGrid(6, 6)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	d, err := NewDecomposition(gr.G)
+	if err != nil {
+		t.Fatalf("NewDecomposition: %v", err)
+	}
+	buildAndVerify(t, d.Strategy())
+
+	st, err := topology.Star(20)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	ds, err := NewDecomposition(st)
+	if err != nil {
+		t.Fatalf("NewDecomposition: %v", err)
+	}
+	buildAndVerify(t, ds.Strategy())
+}
+
+func TestDecompositionDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	if _, err := NewDecomposition(g); err == nil {
+		t.Fatal("disconnected graph should fail")
+	}
+}
+
+func TestOptimalGridSplit(t *testing.T) {
+	// α = 1 on 36 nodes: best is 6×6, cost 12.
+	p, q, cost := OptimalGridSplit(36, 1)
+	if p != 6 || q != 6 || cost != 12 {
+		t.Fatalf("split = %dx%d cost %f, want 6x6 cost 12", p, q, cost)
+	}
+	// α = 4: queries dominate; optimum shifts to fewer rows:
+	// p* = √(n/α) = 3, q* = 12, cost = 12 + 4·3 = 24 = 2√(αn).
+	p, q, cost = OptimalGridSplit(36, 4)
+	if p != 3 || q != 12 {
+		t.Fatalf("split = %dx%d, want 3x12", p, q)
+	}
+	if want := 2 * math.Sqrt(4*36.0); cost != want {
+		t.Fatalf("cost = %f, want %f", cost, want)
+	}
+	// α < 1: posts dominate; optimum shifts the other way.
+	p, _, _ = OptimalGridSplit(36, 0.25)
+	if p != 12 {
+		t.Fatalf("rows = %d, want 12", p)
+	}
+}

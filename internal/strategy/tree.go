@@ -1,0 +1,24 @@
+package strategy
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// TreePath returns the §3.6 strategy for tree-shaped networks such as
+// UUCPnet: "all services advertise at the path leading to the root of the
+// tree, and similarly the clients request services on the path to the
+// root". Every pair meets at least at the root (and earlier at their
+// lowest common ancestor), so m(n) = O(l) for an l-level tree, while the
+// cache of a node must scale with the size of the subtree it roots.
+func TreePath(t *graph.Tree) rendezvous.Strategy {
+	path := func(v graph.NodeID) []graph.NodeID { return t.PathToRoot(v) }
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("tree-path-root%d", t.Root()),
+		Universe:     t.N(),
+		PostFunc:     path,
+		QueryFunc:    path,
+	}
+}

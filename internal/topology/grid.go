@@ -1,0 +1,203 @@
+package topology
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+)
+
+// Grid is a p×q Manhattan network (§3.1): node (r,c) has identifier r·q+c
+// and is joined to its horizontal and vertical neighbors. The paper's
+// strategy posts availability of a service along its row and requests a
+// service along the client's column, giving m(n) = 2√n for p = q with
+// caches of size √n.
+type Grid struct {
+	G    *graph.Graph
+	Rows int // p
+	Cols int // q
+	wrap bool
+}
+
+// NewGrid returns a p×q grid, p, q ≥ 1.
+func NewGrid(p, q int) (*Grid, error) {
+	return newGrid(p, q, false)
+}
+
+// NewTorus returns the wrap-around (cylindrical in both dimensions) version
+// of the p×q grid, the topology of the Stony Brook Microcomputer Network
+// that §3.1 cites. Requires p, q ≥ 3 so wrap edges are distinct.
+func NewTorus(p, q int) (*Grid, error) {
+	if p < 3 || q < 3 {
+		return nil, fmt.Errorf("topology: torus needs p,q ≥ 3, got %d×%d", p, q)
+	}
+	return newGrid(p, q, true)
+}
+
+func newGrid(p, q int, wrap bool) (*Grid, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("topology: grid needs p,q ≥ 1, got %d×%d", p, q)
+	}
+	g := graph.New(p * q)
+	kind := "grid"
+	if wrap {
+		kind = "torus"
+	}
+	g.SetName(fmt.Sprintf("%s-%dx%d", kind, p, q))
+	gr := &Grid{G: g, Rows: p, Cols: q, wrap: wrap}
+	for r := 0; r < p; r++ {
+		for c := 0; c < q; c++ {
+			v := gr.At(r, c)
+			if c+1 < q {
+				g.MustAddEdge(v, gr.At(r, c+1))
+			} else if wrap {
+				g.MustAddEdge(v, gr.At(r, 0))
+			}
+			if r+1 < p {
+				g.MustAddEdge(v, gr.At(r+1, c))
+			} else if wrap {
+				g.MustAddEdge(v, gr.At(0, c))
+			}
+		}
+	}
+	return gr, nil
+}
+
+// Wrap reports whether the grid has torus wrap-around edges.
+func (g *Grid) Wrap() bool { return g.wrap }
+
+// At returns the node at row r, column c.
+func (g *Grid) At(r, c int) graph.NodeID { return graph.NodeID(r*g.Cols + c) }
+
+// RowCol returns the row and column of node v.
+func (g *Grid) RowCol(v graph.NodeID) (r, c int) {
+	return int(v) / g.Cols, int(v) % g.Cols
+}
+
+// Row returns the nodes of row r in column order.
+func (g *Grid) Row(r int) []graph.NodeID {
+	out := make([]graph.NodeID, g.Cols)
+	for c := 0; c < g.Cols; c++ {
+		out[c] = g.At(r, c)
+	}
+	return out
+}
+
+// Column returns the nodes of column c in row order.
+func (g *Grid) Column(c int) []graph.NodeID {
+	out := make([]graph.NodeID, g.Rows)
+	for r := 0; r < g.Rows; r++ {
+		out[r] = g.At(r, c)
+	}
+	return out
+}
+
+// Mesh is the d-dimensional generalization of the Manhattan grid (§3.1):
+// node coordinates (x₀,…,x_{d−1}) with x_i < Dims[i], edges between nodes
+// differing by 1 in a single coordinate. The generalized row/column
+// strategy yields m(n) = 2·n^((d−1)/d).
+type Mesh struct {
+	G       *graph.Graph
+	Dims    []int
+	strides []int
+}
+
+// NewMesh returns the mesh with the given extents (all ≥ 1, at least one
+// dimension).
+func NewMesh(dims ...int) (*Mesh, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: mesh needs ≥ 1 dimension")
+	}
+	n := 1
+	for i, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("topology: mesh dim %d = %d, need ≥ 1", i, d)
+		}
+		n *= d
+	}
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	g := graph.New(n)
+	g.SetName(fmt.Sprintf("mesh-%v", dims))
+	m := &Mesh{G: g, Dims: append([]int(nil), dims...), strides: strides}
+	coord := make([]int, len(dims))
+	for v := 0; v < n; v++ {
+		m.coordOf(graph.NodeID(v), coord)
+		for i := range dims {
+			if coord[i]+1 < dims[i] {
+				g.MustAddEdge(graph.NodeID(v), graph.NodeID(v+strides[i]))
+			}
+		}
+	}
+	return m, nil
+}
+
+// At returns the node with the given coordinates.
+func (m *Mesh) At(coord ...int) (graph.NodeID, error) {
+	if len(coord) != len(m.Dims) {
+		return -1, fmt.Errorf("topology: mesh coordinate arity %d, want %d", len(coord), len(m.Dims))
+	}
+	v := 0
+	for i, x := range coord {
+		if x < 0 || x >= m.Dims[i] {
+			return -1, fmt.Errorf("topology: mesh coordinate %d out of range [0,%d)", x, m.Dims[i])
+		}
+		v += x * m.strides[i]
+	}
+	return graph.NodeID(v), nil
+}
+
+// Coord returns the coordinates of node v.
+func (m *Mesh) Coord(v graph.NodeID) []int {
+	coord := make([]int, len(m.Dims))
+	m.coordOf(v, coord)
+	return coord
+}
+
+func (m *Mesh) coordOf(v graph.NodeID, coord []int) {
+	rem := int(v)
+	for i := range m.Dims {
+		coord[i] = rem / m.strides[i]
+		rem %= m.strides[i]
+	}
+}
+
+// Slice returns all nodes that agree with v on coordinate axes in fixed
+// (a set of axis indices) and range over every value on the remaining
+// axes. The d-dimensional strategy posts along the slice fixing the
+// server's first coordinate and queries along the complementary slice.
+func (m *Mesh) Slice(v graph.NodeID, fixed []int) []graph.NodeID {
+	isFixed := make([]bool, len(m.Dims))
+	for _, ax := range fixed {
+		if ax >= 0 && ax < len(m.Dims) {
+			isFixed[ax] = true
+		}
+	}
+	base := m.Coord(v)
+	out := []graph.NodeID{}
+	coord := make([]int, len(m.Dims))
+	copy(coord, base)
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == len(m.Dims) {
+			id, _ := m.At(coord...)
+			out = append(out, id)
+			return
+		}
+		if isFixed[axis] {
+			coord[axis] = base[axis]
+			walk(axis + 1)
+			return
+		}
+		for x := 0; x < m.Dims[axis]; x++ {
+			coord[axis] = x
+			walk(axis + 1)
+		}
+		coord[axis] = base[axis]
+	}
+	walk(0)
+	return out
+}

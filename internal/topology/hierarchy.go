@@ -1,0 +1,132 @@
+package topology
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+)
+
+// Hierarchy is the hierarchical (gateway) network of §3.5: a level-i
+// network connects n_i level-(i−1) networks through n_i gateways, down to
+// basic nodes at level 0. The n_i gateway hosts of every level-i cluster
+// form a complete network among themselves, which "allows thrifty truly
+// distributed match-making with 2√n_i message passes per match".
+//
+// Node identifiers encode mixed-radix digits (a_k, …, a_1): digit a_i
+// selects the sub-cluster at level i. The gateway representing sub-cluster
+// j of a level-i cluster is the node of that sub-cluster whose lower
+// digits are all zero, so the same physical hosts serve as gateways for
+// every level above them — which is why caches grow toward the top of the
+// hierarchy, as the paper observes.
+type Hierarchy struct {
+	G *graph.Graph
+	// Fanouts holds n_1 … n_k from lowest to highest level.
+	Fanouts []int
+	// strides[i] = number of nodes inside one level-(i+1) sub-cluster
+	// (stride of digit a_{i+1}).
+	strides []int
+	n       int
+}
+
+// NewHierarchy builds a hierarchy with the given fanouts n_1 … n_k
+// (lowest level first); every fanout must be ≥ 2. Total nodes n = Π n_i.
+func NewHierarchy(fanouts ...int) (*Hierarchy, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("topology: hierarchy needs ≥ 1 level")
+	}
+	n := 1
+	for i, f := range fanouts {
+		if f < 2 {
+			return nil, fmt.Errorf("topology: hierarchy fanout n_%d = %d, need ≥ 2", i+1, f)
+		}
+		n *= f
+		if n > 1<<22 {
+			return nil, fmt.Errorf("topology: hierarchy exceeds %d nodes", 1<<22)
+		}
+	}
+	strides := make([]int, len(fanouts))
+	s := 1
+	for i := 0; i < len(fanouts); i++ {
+		strides[i] = s
+		s *= fanouts[i]
+	}
+	g := graph.New(n)
+	g.SetName(fmt.Sprintf("hierarchy-%v", fanouts))
+	h := &Hierarchy{G: g, Fanouts: append([]int(nil), fanouts...), strides: strides, n: n}
+
+	// Level-i gateways of every cluster form a complete graph. At level 1
+	// the "gateways" are the basic nodes of the cluster themselves.
+	for level := 1; level <= len(fanouts); level++ {
+		clusterSize := h.clusterSize(level)
+		for base := 0; base < n; base += clusterSize {
+			gws := h.gatewaysOf(level, graph.NodeID(base))
+			for i := 0; i < len(gws); i++ {
+				for j := i + 1; j < len(gws); j++ {
+					g.MustAddEdge(gws[i], gws[j])
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// Levels returns the number of hierarchy levels k.
+func (h *Hierarchy) Levels() int { return len(h.Fanouts) }
+
+// N returns the total number of nodes.
+func (h *Hierarchy) N() int { return h.n }
+
+// clusterSize returns the number of nodes inside one level-`level` cluster.
+func (h *Hierarchy) clusterSize(level int) int {
+	if level <= 0 {
+		return 1
+	}
+	return h.strides[level-1] * h.Fanouts[level-1]
+}
+
+// Digit returns a_level for node v: which level-(level−1) sub-cluster of
+// its level-`level` cluster v belongs to.
+func (h *Hierarchy) Digit(v graph.NodeID, level int) int {
+	if level < 1 || level > len(h.Fanouts) {
+		return 0
+	}
+	return (int(v) / h.strides[level-1]) % h.Fanouts[level-1]
+}
+
+// ClusterBase returns the first node of the level-`level` cluster
+// containing v (all digits a_level…a_1 zeroed).
+func (h *Hierarchy) ClusterBase(v graph.NodeID, level int) graph.NodeID {
+	cs := h.clusterSize(level)
+	return graph.NodeID(int(v) / cs * cs)
+}
+
+// Gateways returns the n_level gateway nodes of the level-`level` cluster
+// containing v, in sub-cluster order.
+func (h *Hierarchy) Gateways(v graph.NodeID, level int) ([]graph.NodeID, error) {
+	if level < 1 || level > len(h.Fanouts) {
+		return nil, fmt.Errorf("topology: hierarchy level %d out of [1,%d]", level, len(h.Fanouts))
+	}
+	return h.gatewaysOf(level, h.ClusterBase(v, level)), nil
+}
+
+func (h *Hierarchy) gatewaysOf(level int, base graph.NodeID) []graph.NodeID {
+	f := h.Fanouts[level-1]
+	stride := h.strides[level-1]
+	out := make([]graph.NodeID, f)
+	for j := 0; j < f; j++ {
+		out[j] = base + graph.NodeID(j*stride)
+	}
+	return out
+}
+
+// LCALevel returns the lowest level whose cluster contains both u and v:
+// 0 when u == v, up to k when they share only the whole network. This is
+// the level at which a locality-aware locate resolves (§3.5).
+func (h *Hierarchy) LCALevel(u, v graph.NodeID) int {
+	for level := 0; level <= len(h.Fanouts); level++ {
+		if h.ClusterBase(u, level) == h.ClusterBase(v, level) {
+			return level
+		}
+	}
+	return len(h.Fanouts)
+}

@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+)
+
+// Hypercube is the binary d-cube of §3.2: nodes are d-bit addresses,
+// edges connect addresses differing in a single bit. n = 2^d and
+// #E = d·2^(d−1). The paper's strategy posts into the d/2-dimensional
+// subcube spanned by the server's low bits and queries the subcube spanned
+// by the client's high bits, meeting in exactly one node.
+type Hypercube struct {
+	G *graph.Graph
+	D int
+}
+
+// NewHypercube returns the binary d-cube, d ≥ 1.
+func NewHypercube(d int) (*Hypercube, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of [1,20]", d)
+	}
+	n := 1 << d
+	g := graph.New(n)
+	g.SetName(fmt.Sprintf("hypercube-%d", d))
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				g.MustAddEdge(graph.NodeID(v), graph.NodeID(w))
+			}
+		}
+	}
+	return &Hypercube{G: g, D: d}, nil
+}
+
+// Bits returns the d-bit address of v as an int.
+func (h *Hypercube) Bits(v graph.NodeID) int { return int(v) }
+
+// Subcube returns the nodes whose address agrees with v on the bit
+// positions in mask (a bitmask over the d address bits) and ranges over
+// all values on the remaining positions. |result| = 2^(d − popcount(mask)).
+func (h *Hypercube) Subcube(v graph.NodeID, mask int) []graph.NodeID {
+	free := ^mask & ((1 << h.D) - 1)
+	base := int(v) & mask
+	out := make([]graph.NodeID, 0, 1<<popcount(free))
+	// Enumerate all subsets of the free bit positions.
+	sub := 0
+	for {
+		out = append(out, graph.NodeID(base|sub))
+		if sub == free {
+			break
+		}
+		sub = (sub - free) & free
+	}
+	return out
+}
+
+// HighMask returns the mask of the top k bits of a d-bit address.
+func (h *Hypercube) HighMask(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	if k > h.D {
+		k = h.D
+	}
+	return ((1 << k) - 1) << (h.D - k)
+}
+
+// LowMask returns the mask of the bottom k bits of a d-bit address.
+func (h *Hypercube) LowMask(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	if k > h.D {
+		k = h.D
+	}
+	return (1 << k) - 1
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// CCC is the cube-connected cycles network of §3.3: every corner of a
+// binary d-cube is replaced by a cycle of d nodes; node (w, p) is joined
+// to its cycle neighbors (w, p±1 mod d) and across dimension p to
+// (w ⊕ 2^p, p). n = d·2^d. CCCs are the fast permutation networks the
+// paper tunes the hypercube algorithm for, with caches √(n/log n) and
+// m(n) = O(√(n·log n)).
+type CCC struct {
+	G *graph.Graph
+	D int
+}
+
+// NewCCC returns the cube-connected cycles of dimension d ≥ 3.
+func NewCCC(d int) (*CCC, error) {
+	if d < 3 || d > 16 {
+		return nil, fmt.Errorf("topology: CCC dimension %d out of [3,16]", d)
+	}
+	n := d << d
+	g := graph.New(n)
+	g.SetName(fmt.Sprintf("ccc-%d", d))
+	c := &CCC{G: g, D: d}
+	for w := 0; w < 1<<d; w++ {
+		for p := 0; p < d; p++ {
+			v := c.At(w, p)
+			g.MustAddEdge(v, c.At(w, (p+1)%d))  // cycle edge
+			g.MustAddEdge(v, c.At(w^(1<<p), p)) // cube edge on dimension p
+		}
+	}
+	return c, nil
+}
+
+// At returns the node for corner w (a d-bit address) and cycle position p.
+func (c *CCC) At(w, p int) graph.NodeID { return graph.NodeID(w*c.D + p) }
+
+// CornerPos returns the corner address and cycle position of node v.
+func (c *CCC) CornerPos(v graph.NodeID) (w, p int) {
+	return int(v) / c.D, int(v) % c.D
+}

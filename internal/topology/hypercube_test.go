@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matchmake/internal/graph"
+)
+
+func TestHypercubeStructure(t *testing.T) {
+	h, err := NewHypercube(4)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	// n = 2^d, #E = d·2^(d-1) as stated in §3.2.
+	if h.G.N() != 16 {
+		t.Fatalf("N = %d, want 16", h.G.N())
+	}
+	if h.G.M() != 4*8 {
+		t.Fatalf("M = %d, want 32", h.G.M())
+	}
+	for v := 0; v < h.G.N(); v++ {
+		if d := h.G.Degree(graph.NodeID(v)); d != 4 {
+			t.Fatalf("degree of %d = %d, want 4", v, d)
+		}
+	}
+	diam, err := h.G.Diameter()
+	if err != nil || diam != 4 {
+		t.Fatalf("diameter = %d (%v), want 4", diam, err)
+	}
+	if _, err := NewHypercube(0); err == nil {
+		t.Fatal("NewHypercube(0) should fail")
+	}
+	if _, err := NewHypercube(21); err == nil {
+		t.Fatal("NewHypercube(21) should fail")
+	}
+}
+
+func TestHypercubeEdgesDifferInOneBit(t *testing.T) {
+	h, err := NewHypercube(5)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	for v := 0; v < h.G.N(); v++ {
+		for _, w := range h.G.Neighbors(graph.NodeID(v)) {
+			if popcount(v^int(w)) != 1 {
+				t.Fatalf("edge %05b-%05b differs in ≠1 bit", v, w)
+			}
+		}
+	}
+}
+
+func TestHypercubeMasks(t *testing.T) {
+	h, err := NewHypercube(6)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	if m := h.HighMask(3); m != 0b111000 {
+		t.Fatalf("HighMask(3) = %06b, want 111000", m)
+	}
+	if m := h.LowMask(3); m != 0b000111 {
+		t.Fatalf("LowMask(3) = %06b, want 000111", m)
+	}
+	if m := h.HighMask(0); m != 0 {
+		t.Fatalf("HighMask(0) = %b, want 0", m)
+	}
+	if m := h.HighMask(99); m != 0b111111 {
+		t.Fatalf("HighMask(99) = %06b, want 111111", m)
+	}
+	if m := h.LowMask(99); m != 0b111111 {
+		t.Fatalf("LowMask(99) = %06b, want 111111", m)
+	}
+}
+
+func TestHypercubeSubcube(t *testing.T) {
+	h, err := NewHypercube(4)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	v := graph.NodeID(0b1010)
+	// Fix the high 2 bits: 4 nodes 10xx.
+	sc := h.Subcube(v, h.HighMask(2))
+	if len(sc) != 4 {
+		t.Fatalf("subcube size = %d, want 4", len(sc))
+	}
+	for _, u := range sc {
+		if int(u)&0b1100 != 0b1000 {
+			t.Fatalf("subcube node %04b does not match 10xx", int(u))
+		}
+	}
+	// Fix everything: only v. Fix nothing: all 16.
+	if sc := h.Subcube(v, h.HighMask(4)); len(sc) != 1 || sc[0] != v {
+		t.Fatalf("fully fixed subcube = %v", sc)
+	}
+	if sc := h.Subcube(v, 0); len(sc) != 16 {
+		t.Fatalf("free subcube = %d nodes, want 16", len(sc))
+	}
+}
+
+// TestHypercubeSubcubeIntersection verifies the paper's §3.2 rendezvous:
+// for any server s and client c, P(s) = subcube fixing s's low half and
+// Q(c) = subcube fixing c's high half intersect in exactly one node
+// c₁…c_{d/2} s_{d/2+1}…s_d.
+func TestHypercubeSubcubeIntersection(t *testing.T) {
+	h, err := NewHypercube(6)
+	if err != nil {
+		t.Fatalf("NewHypercube: %v", err)
+	}
+	f := func(sRaw, cRaw uint8) bool {
+		s := graph.NodeID(int(sRaw) & 0b111111)
+		c := graph.NodeID(int(cRaw) & 0b111111)
+		ps := h.Subcube(s, h.LowMask(3))
+		qc := h.Subcube(c, h.HighMask(3))
+		inP := make(map[graph.NodeID]bool, len(ps))
+		for _, u := range ps {
+			inP[u] = true
+		}
+		var meet []graph.NodeID
+		for _, u := range qc {
+			if inP[u] {
+				meet = append(meet, u)
+			}
+		}
+		want := graph.NodeID((int(c) & 0b111000) | (int(s) & 0b000111))
+		return len(meet) == 1 && meet[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCCStructure(t *testing.T) {
+	c, err := NewCCC(3)
+	if err != nil {
+		t.Fatalf("NewCCC: %v", err)
+	}
+	// n = d·2^d = 24; every node has degree 3 (two cycle + one cube edge).
+	if c.G.N() != 24 {
+		t.Fatalf("N = %d, want 24", c.G.N())
+	}
+	for v := 0; v < c.G.N(); v++ {
+		if d := c.G.Degree(graph.NodeID(v)); d != 3 {
+			t.Fatalf("degree of %d = %d, want 3", v, d)
+		}
+	}
+	if !c.G.Connected() {
+		t.Fatal("CCC must be connected")
+	}
+	if _, err := NewCCC(2); err == nil {
+		t.Fatal("NewCCC(2) should fail")
+	}
+}
+
+func TestCCCCornerPosRoundTrip(t *testing.T) {
+	c, err := NewCCC(4)
+	if err != nil {
+		t.Fatalf("NewCCC: %v", err)
+	}
+	for w := 0; w < 16; w++ {
+		for p := 0; p < 4; p++ {
+			gw, gp := c.CornerPos(c.At(w, p))
+			if gw != w || gp != p {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", w, p, gw, gp)
+			}
+		}
+	}
+}
+
+func TestCCCEdges(t *testing.T) {
+	c, err := NewCCC(3)
+	if err != nil {
+		t.Fatalf("NewCCC: %v", err)
+	}
+	// Cycle edge: (w,0)-(w,1); cube edge on dimension p: (w,p)-(w^2^p,p).
+	if !c.G.HasEdge(c.At(0, 0), c.At(0, 1)) {
+		t.Fatal("missing cycle edge")
+	}
+	if !c.G.HasEdge(c.At(0, 1), c.At(0b010, 1)) {
+		t.Fatal("missing cube edge")
+	}
+	if c.G.HasEdge(c.At(0, 0), c.At(0b010, 0)) {
+		t.Fatal("cube edge on wrong dimension should not exist")
+	}
+}

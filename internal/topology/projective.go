@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+)
+
+// Plane is the projective plane PG(2,k) of §3.4 for prime k: n = k²+k+1
+// points and equally many lines, each line carrying k+1 points, k+1 lines
+// through every point, and every pair of distinct lines meeting in exactly
+// one point.
+//
+// A server posts its (port, address) to all nodes on a line through its
+// host node, a client queries all nodes on a line through its own host
+// node, and the unique common point of the two lines is the rendezvous
+// node: m(n) = 2(k+1) ≈ 2√n.
+//
+// Since any two points of a projective plane are collinear, the induced
+// communication graph is complete; the combinatorial power is in the Lines
+// structure that the strategy uses.
+type Plane struct {
+	G *graph.Graph
+	K int
+	// Lines[i] lists the k+1 points on line i, ascending.
+	Lines [][]graph.NodeID
+	// LinesThrough[p] lists the k+1 line indices through point p, ascending.
+	LinesThrough [][]int
+}
+
+// NewPlane constructs PG(2,k) for prime k.
+func NewPlane(k int) (*Plane, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: projective plane order %d < 2", k)
+	}
+	if !isPrime(k) {
+		return nil, fmt.Errorf("topology: projective plane order %d is not prime", k)
+	}
+	n := k*k + k + 1
+	points := normalizedTriples(k)
+	if len(points) != n {
+		return nil, fmt.Errorf("topology: internal: %d points, want %d", len(points), n)
+	}
+	// Lines are the same normalized triples under point-line duality:
+	// point (x,y,z) lies on line [l,m,c] iff lx+my+cz ≡ 0 (mod k).
+	p := &Plane{
+		K:            k,
+		Lines:        make([][]graph.NodeID, n),
+		LinesThrough: make([][]int, n),
+	}
+	for li, line := range points {
+		for pi, pt := range points {
+			if (line[0]*pt[0]+line[1]*pt[1]+line[2]*pt[2])%k == 0 {
+				p.Lines[li] = append(p.Lines[li], graph.NodeID(pi))
+				p.LinesThrough[pi] = append(p.LinesThrough[pi], li)
+			}
+		}
+		if len(p.Lines[li]) != k+1 {
+			return nil, fmt.Errorf("topology: internal: line %d has %d points, want %d",
+				li, len(p.Lines[li]), k+1)
+		}
+	}
+	p.G = Complete(n)
+	p.G.SetName(fmt.Sprintf("pg2-%d", k))
+	return p, nil
+}
+
+// N returns the number of points (= number of lines) of the plane.
+func (p *Plane) N() int { return len(p.Lines) }
+
+// LineThrough returns the points of the i-th line through point pt
+// (0 ≤ i ≤ k); the "arbitrary line incident on its host node" of §3.4.
+func (p *Plane) LineThrough(pt graph.NodeID, i int) ([]graph.NodeID, error) {
+	if int(pt) < 0 || int(pt) >= len(p.LinesThrough) {
+		return nil, fmt.Errorf("plane: point %d out of range", pt)
+	}
+	lines := p.LinesThrough[pt]
+	if i < 0 || i >= len(lines) {
+		return nil, fmt.Errorf("plane: line index %d out of [0,%d)", i, len(lines))
+	}
+	return p.Lines[lines[i]], nil
+}
+
+// normalizedTriples enumerates canonical representatives of the projective
+// points over GF(k): (1,a,b), (0,1,a), (0,0,1).
+func normalizedTriples(k int) [][3]int {
+	var out [][3]int
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			out = append(out, [3]int{1, a, b})
+		}
+	}
+	for a := 0; a < k; a++ {
+		out = append(out, [3]int{0, 1, a})
+	}
+	out = append(out, [3]int{0, 0, 1})
+	return out
+}
+
+func isPrime(k int) bool {
+	if k < 2 {
+		return false
+	}
+	for d := 2; d*d <= k; d++ {
+		if k%d == 0 {
+			return false
+		}
+	}
+	return true
+}

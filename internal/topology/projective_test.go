@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+)
+
+func TestPlaneCounts(t *testing.T) {
+	tests := []struct {
+		k, n int
+	}{
+		{2, 7}, {3, 13}, {5, 31}, {7, 57}, {11, 133},
+	}
+	for _, tt := range tests {
+		p, err := NewPlane(tt.k)
+		if err != nil {
+			t.Fatalf("NewPlane(%d): %v", tt.k, err)
+		}
+		if p.N() != tt.n {
+			t.Fatalf("PG(2,%d): %d points, want %d", tt.k, p.N(), tt.n)
+		}
+		if len(p.Lines) != tt.n {
+			t.Fatalf("PG(2,%d): %d lines, want %d", tt.k, len(p.Lines), tt.n)
+		}
+		for li, line := range p.Lines {
+			if len(line) != tt.k+1 {
+				t.Fatalf("PG(2,%d) line %d has %d points, want %d", tt.k, li, len(line), tt.k+1)
+			}
+		}
+		for pi, lines := range p.LinesThrough {
+			if len(lines) != tt.k+1 {
+				t.Fatalf("PG(2,%d) point %d on %d lines, want %d", tt.k, pi, len(lines), tt.k+1)
+			}
+		}
+	}
+}
+
+func TestPlaneRejectsNonPrime(t *testing.T) {
+	for _, k := range []int{1, 4, 6, 8, 9, 10} {
+		if _, err := NewPlane(k); err == nil {
+			t.Fatalf("NewPlane(%d) should fail (non-prime or too small)", k)
+		}
+	}
+}
+
+// TestPlaneLinesMeetOnce verifies the defining property the rendezvous
+// depends on: each pair of distinct lines has exactly one point in common.
+func TestPlaneLinesMeetOnce(t *testing.T) {
+	p, err := NewPlane(5)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	for i := 0; i < len(p.Lines); i++ {
+		inI := make(map[graph.NodeID]bool, len(p.Lines[i]))
+		for _, pt := range p.Lines[i] {
+			inI[pt] = true
+		}
+		for j := i + 1; j < len(p.Lines); j++ {
+			common := 0
+			for _, pt := range p.Lines[j] {
+				if inI[pt] {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Fatalf("lines %d,%d share %d points, want 1", i, j, common)
+			}
+		}
+	}
+}
+
+func TestPlaneTwoPointsOneLine(t *testing.T) {
+	p, err := NewPlane(3)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	n := p.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			common := 0
+			for _, la := range p.LinesThrough[a] {
+				for _, lb := range p.LinesThrough[b] {
+					if la == lb {
+						common++
+					}
+				}
+			}
+			if common != 1 {
+				t.Fatalf("points %d,%d lie on %d common lines, want 1", a, b, common)
+			}
+		}
+	}
+}
+
+func TestLineThrough(t *testing.T) {
+	p, err := NewPlane(3)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	pt := graph.NodeID(5)
+	for i := 0; i <= p.K; i++ {
+		line, err := p.LineThrough(pt, i)
+		if err != nil {
+			t.Fatalf("LineThrough(%d,%d): %v", pt, i, err)
+		}
+		found := false
+		for _, q := range line {
+			if q == pt {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("line %d through %d does not contain it: %v", i, pt, line)
+		}
+	}
+	if _, err := p.LineThrough(pt, p.K+1); err == nil {
+		t.Fatal("line index out of range should fail")
+	}
+	if _, err := p.LineThrough(graph.NodeID(p.N()), 0); err == nil {
+		t.Fatal("point out of range should fail")
+	}
+}
+
+func TestPlaneGraphComplete(t *testing.T) {
+	p, err := NewPlane(2)
+	if err != nil {
+		t.Fatalf("NewPlane: %v", err)
+	}
+	n := p.G.N()
+	if p.G.M() != n*(n-1)/2 {
+		t.Fatalf("PG(2,2) graph edges = %d, want complete %d", p.G.M(), n*(n-1)/2)
+	}
+}

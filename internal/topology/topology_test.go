@@ -1,0 +1,259 @@
+package topology
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+)
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.N() != 6 || g.M() != 15 {
+		t.Fatalf("K6: N=%d M=%d, want 6,15", g.N(), g.M())
+	}
+	d, err := g.Diameter()
+	if err != nil || d != 1 {
+		t.Fatalf("K6 diameter = %d (%v), want 1", d, err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g, err := Ring(8)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if g.N() != 8 || g.M() != 8 {
+		t.Fatalf("ring8: N=%d M=%d, want 8,8", g.N(), g.M())
+	}
+	for v := 0; v < 8; v++ {
+		if g.Degree(graph.NodeID(v)) != 2 {
+			t.Fatalf("ring node %d degree = %d, want 2", v, g.Degree(graph.NodeID(v)))
+		}
+	}
+	d, err := g.Diameter()
+	if err != nil || d != 4 {
+		t.Fatalf("ring8 diameter = %d (%v), want 4", d, err)
+	}
+	if _, err := Ring(2); err == nil {
+		t.Fatal("Ring(2) should fail")
+	}
+}
+
+func TestLine(t *testing.T) {
+	g, err := Line(5)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("line5 M=%d, want 4", g.M())
+	}
+	if _, err := Line(0); err == nil {
+		t.Fatal("Line(0) should fail")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(7)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if g.Degree(0) != 6 {
+		t.Fatalf("hub degree = %d, want 6", g.Degree(0))
+	}
+	if _, err := Star(1); err == nil {
+		t.Fatal("Star(1) should fail")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	g, err := RandomConnected(64, 30, 42)
+	if err != nil {
+		t.Fatalf("RandomConnected: %v", err)
+	}
+	if !g.Connected() {
+		t.Fatal("random graph must be connected")
+	}
+	if g.N() != 64 {
+		t.Fatalf("N = %d, want 64", g.N())
+	}
+	// Determinism: same seed, same graph.
+	g2, err := RandomConnected(64, 30, 42)
+	if err != nil {
+		t.Fatalf("RandomConnected: %v", err)
+	}
+	if g.M() != g2.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", g.M(), g2.M())
+	}
+	if _, err := RandomConnected(0, 0, 1); err == nil {
+		t.Fatal("RandomConnected(0) should fail")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	gr, err := NewGrid(3, 4)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	if gr.G.N() != 12 {
+		t.Fatalf("N = %d, want 12", gr.G.N())
+	}
+	// Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8 = 17.
+	if gr.G.M() != 17 {
+		t.Fatalf("M = %d, want 17", gr.G.M())
+	}
+	if v := gr.At(1, 2); v != 6 {
+		t.Fatalf("At(1,2) = %d, want 6", v)
+	}
+	r, c := gr.RowCol(6)
+	if r != 1 || c != 2 {
+		t.Fatalf("RowCol(6) = %d,%d, want 1,2", r, c)
+	}
+	if !gr.G.HasEdge(gr.At(0, 0), gr.At(0, 1)) || !gr.G.HasEdge(gr.At(0, 0), gr.At(1, 0)) {
+		t.Fatal("missing grid edges at origin")
+	}
+	if gr.G.HasEdge(gr.At(0, 3), gr.At(0, 0)) {
+		t.Fatal("grid should not wrap")
+	}
+	if _, err := NewGrid(0, 3); err == nil {
+		t.Fatal("NewGrid(0,3) should fail")
+	}
+}
+
+func TestGridRowColumnSets(t *testing.T) {
+	gr, err := NewGrid(3, 3)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	row := gr.Row(1)
+	want := []graph.NodeID{3, 4, 5}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("Row(1) = %v, want %v", row, want)
+		}
+	}
+	col := gr.Column(2)
+	want = []graph.NodeID{2, 5, 8}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("Column(2) = %v, want %v", col, want)
+		}
+	}
+}
+
+func TestTorusWraps(t *testing.T) {
+	to, err := NewTorus(3, 4)
+	if err != nil {
+		t.Fatalf("NewTorus: %v", err)
+	}
+	if !to.G.HasEdge(to.At(0, 3), to.At(0, 0)) {
+		t.Fatal("torus must wrap horizontally")
+	}
+	if !to.G.HasEdge(to.At(2, 1), to.At(0, 1)) {
+		t.Fatal("torus must wrap vertically")
+	}
+	// Every torus node has degree 4.
+	for v := 0; v < to.G.N(); v++ {
+		if d := to.G.Degree(graph.NodeID(v)); d != 4 {
+			t.Fatalf("torus node %d degree = %d, want 4", v, d)
+		}
+	}
+	if _, err := NewTorus(2, 4); err == nil {
+		t.Fatal("NewTorus(2,4) should fail")
+	}
+}
+
+func TestMesh(t *testing.T) {
+	m, err := NewMesh(2, 3, 4)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	if m.G.N() != 24 {
+		t.Fatalf("N = %d, want 24", m.G.N())
+	}
+	id, err := m.At(1, 2, 3)
+	if err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	got := m.Coord(id)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Coord(At(1,2,3)) = %v", got)
+	}
+	// Mesh edges connect single-coordinate ±1 neighbors only.
+	a, _ := m.At(0, 0, 0)
+	b, _ := m.At(0, 0, 1)
+	c, _ := m.At(0, 1, 1)
+	if !m.G.HasEdge(a, b) {
+		t.Fatal("missing unit edge")
+	}
+	if m.G.HasEdge(a, c) {
+		t.Fatal("diagonal edge should not exist")
+	}
+	if _, err := m.At(2, 0, 0); err == nil {
+		t.Fatal("out-of-range coordinate should fail")
+	}
+	if _, err := m.At(0, 0); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+	if _, err := NewMesh(); err == nil {
+		t.Fatal("empty mesh should fail")
+	}
+	if _, err := NewMesh(3, 0); err == nil {
+		t.Fatal("zero extent should fail")
+	}
+}
+
+func TestMeshSlice(t *testing.T) {
+	m, err := NewMesh(3, 3)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	v, _ := m.At(1, 2)
+	// Fixing axis 0 keeps the row: 3 nodes with first coordinate 1.
+	row := m.Slice(v, []int{0})
+	if len(row) != 3 {
+		t.Fatalf("row slice = %v, want 3 nodes", row)
+	}
+	for _, u := range row {
+		if m.Coord(u)[0] != 1 {
+			t.Fatalf("row slice node %d has coord %v", u, m.Coord(u))
+		}
+	}
+	// Fixing axis 1 keeps the column.
+	col := m.Slice(v, []int{1})
+	if len(col) != 3 {
+		t.Fatalf("column slice = %v, want 3 nodes", col)
+	}
+	for _, u := range col {
+		if m.Coord(u)[1] != 2 {
+			t.Fatalf("column slice node %d has coord %v", u, m.Coord(u))
+		}
+	}
+	// Fixing everything returns just v; fixing nothing returns all nodes.
+	if s := m.Slice(v, []int{0, 1}); len(s) != 1 || s[0] != v {
+		t.Fatalf("fully fixed slice = %v", s)
+	}
+	if s := m.Slice(v, nil); len(s) != 9 {
+		t.Fatalf("free slice = %d nodes, want 9", len(s))
+	}
+}
+
+func TestGridMatchesMesh2D(t *testing.T) {
+	gr, err := NewGrid(4, 5)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	m, err := NewMesh(4, 5)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	if gr.G.N() != m.G.N() || gr.G.M() != m.G.M() {
+		t.Fatalf("grid %d/%d vs mesh %d/%d", gr.G.N(), gr.G.M(), m.G.N(), m.G.M())
+	}
+	for v := 0; v < gr.G.N(); v++ {
+		r, c := gr.RowCol(graph.NodeID(v))
+		coord := m.Coord(graph.NodeID(v))
+		if coord[0] != r || coord[1] != c {
+			t.Fatalf("node %d: grid (%d,%d) vs mesh %v", v, r, c, coord)
+		}
+	}
+}

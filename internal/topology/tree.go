@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+)
+
+// TreeNet is a rooted tree network in the convention of §3.6: the root sits
+// at level l (the number of levels) and the leaves at level 0. Services
+// advertise on the path to the root and clients request along their own
+// path to the root, so m(n) = O(l).
+type TreeNet struct {
+	G    *graph.Graph
+	Root graph.NodeID
+	// Level[v] is the level of v: root = height, leaves ≥ 0.
+	Level []int
+	// Height is the root's level (= depth of the deepest leaf).
+	Height int
+}
+
+// NewBalancedTree returns the complete a-ary tree with the given number of
+// levels below the root: fanout ≥ 1, levels ≥ 0. The root has level
+// `levels`; n = (a^(levels+1) − 1)/(a − 1) for a ≥ 2.
+func NewBalancedTree(fanout, levels int) (*TreeNet, error) {
+	return NewProfileTree(func(int) int { return fanout }, levels)
+}
+
+// NewProfileTree builds a tree whose nodes at level i (root level = levels,
+// counting down) each have childrenAt(i) children, until level 0 is
+// reached. This realizes the degree profiles d(i) of §3.6, where the
+// 'factorial' relation d(l)·d(l−1)···d(1) ≈ n governs the depth formulas.
+func NewProfileTree(childrenAt func(level int) int, levels int) (*TreeNet, error) {
+	if levels < 0 {
+		return nil, fmt.Errorf("topology: tree levels %d < 0", levels)
+	}
+	// First pass: count nodes level by level.
+	total := 1
+	width := 1
+	for lv := levels; lv >= 1; lv-- {
+		c := childrenAt(lv)
+		if c < 1 {
+			return nil, fmt.Errorf("topology: childrenAt(%d) = %d, need ≥ 1", lv, c)
+		}
+		width *= c
+		total += width
+		if total > 1<<22 {
+			return nil, fmt.Errorf("topology: tree exceeds %d nodes", 1<<22)
+		}
+	}
+	g := graph.New(total)
+	g.SetName(fmt.Sprintf("tree-h%d-n%d", levels, total))
+	t := &TreeNet{G: g, Root: 0, Level: make([]int, total), Height: levels}
+	// Second pass: lay out nodes breadth-first, root first.
+	t.Level[0] = levels
+	next := 1
+	frontier := []graph.NodeID{0}
+	for lv := levels; lv >= 1; lv-- {
+		c := childrenAt(lv)
+		var newFrontier []graph.NodeID
+		for _, parent := range frontier {
+			for j := 0; j < c; j++ {
+				child := graph.NodeID(next)
+				next++
+				g.MustAddEdge(parent, child)
+				t.Level[child] = lv - 1
+				newFrontier = append(newFrontier, child)
+			}
+		}
+		frontier = newFrontier
+	}
+	return t, nil
+}
+
+// Leaves returns the nodes at level 0.
+func (t *TreeNet) Leaves() []graph.NodeID {
+	var out []graph.NodeID
+	for v, lv := range t.Level {
+		if lv == 0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// SpanningTree returns the rooted spanning tree view used by the tree
+// match-making strategy.
+func (t *TreeNet) SpanningTree() (*graph.Tree, error) {
+	return graph.SpanningTree(t.G, t.Root)
+}

@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+)
+
+func TestBalancedTree(t *testing.T) {
+	tr, err := NewBalancedTree(2, 3)
+	if err != nil {
+		t.Fatalf("NewBalancedTree: %v", err)
+	}
+	// 1 + 2 + 4 + 8 = 15 nodes.
+	if tr.G.N() != 15 {
+		t.Fatalf("N = %d, want 15", tr.G.N())
+	}
+	if tr.Height != 3 || tr.Level[0] != 3 {
+		t.Fatalf("root level = %d, want 3", tr.Level[0])
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 8 {
+		t.Fatalf("leaves = %d, want 8", len(leaves))
+	}
+	st, err := tr.SpanningTree()
+	if err != nil {
+		t.Fatalf("SpanningTree: %v", err)
+	}
+	if st.Height() != 3 {
+		t.Fatalf("spanning tree height = %d, want 3", st.Height())
+	}
+	// Level + depth = height for every node of a balanced tree.
+	for v := 0; v < tr.G.N(); v++ {
+		if tr.Level[v]+st.Depth(graph.NodeID(v)) != 3 {
+			t.Fatalf("node %d: level %d + depth %d != 3", v, tr.Level[v], st.Depth(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestBalancedTreeDegenerate(t *testing.T) {
+	tr, err := NewBalancedTree(5, 0)
+	if err != nil {
+		t.Fatalf("NewBalancedTree: %v", err)
+	}
+	if tr.G.N() != 1 {
+		t.Fatalf("zero-level tree N = %d, want 1", tr.G.N())
+	}
+	if _, err := NewBalancedTree(0, 2); err == nil {
+		t.Fatal("fanout 0 should fail")
+	}
+	if _, err := NewProfileTree(func(int) int { return 2 }, -1); err == nil {
+		t.Fatal("negative levels should fail")
+	}
+}
+
+func TestProfileTree(t *testing.T) {
+	// d(2) = 3 children at the root level, d(1) = 2 at the next:
+	// 1 + 3 + 6 = 10 nodes.
+	tr, err := NewProfileTree(func(level int) int {
+		if level == 2 {
+			return 3
+		}
+		return 2
+	}, 2)
+	if err != nil {
+		t.Fatalf("NewProfileTree: %v", err)
+	}
+	if tr.G.N() != 10 {
+		t.Fatalf("N = %d, want 10", tr.G.N())
+	}
+	if got := len(tr.Leaves()); got != 6 {
+		t.Fatalf("leaves = %d, want 6", got)
+	}
+}
+
+func TestProfileTreeTooBig(t *testing.T) {
+	if _, err := NewProfileTree(func(int) int { return 64 }, 6); err == nil {
+		t.Fatal("oversized tree should fail")
+	}
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	h, err := NewHierarchy(3, 4)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	if h.N() != 12 || h.G.N() != 12 {
+		t.Fatalf("N = %d, want 12", h.N())
+	}
+	if h.Levels() != 2 {
+		t.Fatalf("levels = %d, want 2", h.Levels())
+	}
+	if !h.G.Connected() {
+		t.Fatal("hierarchy must be connected")
+	}
+	// Level-1 clusters are complete triangles: nodes 0,1,2 pairwise joined.
+	if !h.G.HasEdge(0, 1) || !h.G.HasEdge(1, 2) || !h.G.HasEdge(0, 2) {
+		t.Fatal("level-1 cluster should be complete")
+	}
+	// Level-2 gateways are the cluster bases 0,3,6,9, pairwise joined.
+	gws, err := h.Gateways(5, 2)
+	if err != nil {
+		t.Fatalf("Gateways: %v", err)
+	}
+	want := []graph.NodeID{0, 3, 6, 9}
+	if len(gws) != len(want) {
+		t.Fatalf("gateways = %v, want %v", gws, want)
+	}
+	for i := range want {
+		if gws[i] != want[i] {
+			t.Fatalf("gateways = %v, want %v", gws, want)
+		}
+	}
+	for i := 0; i < len(want); i++ {
+		for j := i + 1; j < len(want); j++ {
+			if !h.G.HasEdge(want[i], want[j]) {
+				t.Fatalf("gateway edge %d-%d missing", want[i], want[j])
+			}
+		}
+	}
+}
+
+func TestHierarchyDigits(t *testing.T) {
+	h, err := NewHierarchy(3, 4)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	// Node 7 = cluster 2 (digit at level 2), position 1 (digit at level 1).
+	if d := h.Digit(7, 1); d != 1 {
+		t.Fatalf("Digit(7,1) = %d, want 1", d)
+	}
+	if d := h.Digit(7, 2); d != 2 {
+		t.Fatalf("Digit(7,2) = %d, want 2", d)
+	}
+	if b := h.ClusterBase(7, 1); b != 6 {
+		t.Fatalf("ClusterBase(7,1) = %d, want 6", b)
+	}
+	if b := h.ClusterBase(7, 2); b != 0 {
+		t.Fatalf("ClusterBase(7,2) = %d, want 0", b)
+	}
+}
+
+func TestHierarchyLCALevel(t *testing.T) {
+	h, err := NewHierarchy(3, 4)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	tests := []struct {
+		u, v graph.NodeID
+		want int
+	}{
+		{5, 5, 0}, // same node
+		{3, 5, 1}, // same level-1 cluster
+		{0, 11, 2},
+	}
+	for _, tt := range tests {
+		if got := h.LCALevel(tt.u, tt.v); got != tt.want {
+			t.Fatalf("LCALevel(%d,%d) = %d, want %d", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Fatal("empty fanouts should fail")
+	}
+	if _, err := NewHierarchy(1, 4); err == nil {
+		t.Fatal("fanout 1 should fail")
+	}
+	h, err := NewHierarchy(2, 2)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	if _, err := h.Gateways(0, 3); err == nil {
+		t.Fatal("level out of range should fail")
+	}
+	if _, err := h.Gateways(0, 0); err == nil {
+		t.Fatal("level 0 should fail")
+	}
+}
+
+func TestHierarchyThreeLevels(t *testing.T) {
+	h, err := NewHierarchy(4, 4, 4)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	if h.N() != 64 {
+		t.Fatalf("N = %d, want 64", h.N())
+	}
+	if !h.G.Connected() {
+		t.Fatal("3-level hierarchy must be connected")
+	}
+	// Gateways at level 3 are 0,16,32,48.
+	gws, err := h.Gateways(63, 3)
+	if err != nil {
+		t.Fatalf("Gateways: %v", err)
+	}
+	want := []graph.NodeID{0, 16, 32, 48}
+	for i := range want {
+		if gws[i] != want[i] {
+			t.Fatalf("gateways = %v, want %v", gws, want)
+		}
+	}
+	if got := h.LCALevel(0, 63); got != 3 {
+		t.Fatalf("LCALevel(0,63) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+)
+
+func TestUUCPDegreeTableTotals(t *testing.T) {
+	sites, edges := DegreeTableTotals(UUCPDegreeTable())
+	// The paper states 1916 sites and 3848 edges for UUCPnet.
+	if sites != 1916 {
+		t.Fatalf("sites = %d, want 1916", sites)
+	}
+	if edges != 3848 {
+		t.Fatalf("edges = %d, want 3848", edges)
+	}
+}
+
+func TestUUCPDegreeTableAnecdotes(t *testing.T) {
+	// The prose names specific sites: ihnp4 at 641, a second super-backbone
+	// at 471, decvax at 40, mcvax at 45 ("3 sites of degree 45" per the
+	// table), sdcsvax at 17, and terminal sites at degree 1.
+	table := UUCPDegreeTable()
+	byDegree := make(map[int]int, len(table))
+	for _, dc := range table {
+		byDegree[dc.Degree] = dc.Sites
+	}
+	tests := []struct {
+		degree, sites int
+	}{
+		{641, 1}, {471, 1}, {45, 3}, {40, 1}, {1, 840}, {0, 25},
+	}
+	for _, tt := range tests {
+		if byDegree[tt.degree] != tt.sites {
+			t.Fatalf("degree %d: %d sites, want %d", tt.degree, byDegree[tt.degree], tt.sites)
+		}
+	}
+}
+
+func TestUUCPNetGeneration(t *testing.T) {
+	g, err := UUCPNet(1)
+	if err != nil {
+		t.Fatalf("UUCPNet: %v", err)
+	}
+	if g.N() != 1916 {
+		t.Fatalf("N = %d, want 1916", g.N())
+	}
+	// Edge count should land near the paper's 3848 (stub conflicts may
+	// drop a few).
+	if g.M() < 3700 || g.M() > 3848 {
+		t.Fatalf("M = %d, want ≈3848", g.M())
+	}
+	// The positive-degree sites form one connected component; the 25
+	// degree-0 sites are isolated.
+	comps := g.Components()
+	if len(comps) != 26 {
+		t.Fatalf("components = %d, want 26 (core + 25 isolated)", len(comps))
+	}
+	if len(comps[0]) != 1916-25 {
+		t.Fatalf("core size = %d, want %d", len(comps[0]), 1916-25)
+	}
+}
+
+func TestUUCPNetDegreeHistogramClose(t *testing.T) {
+	g, err := UUCPNet(7)
+	if err != nil {
+		t.Fatalf("UUCPNet: %v", err)
+	}
+	got := g.DegreeHistogram()
+	want := make(map[int]int)
+	for _, dc := range UUCPDegreeTable() {
+		want[dc.Degree] = dc.Sites
+	}
+	// The generator can deviate slightly where stub matching hits
+	// conflicts; require the bulk rows to be close.
+	for _, degree := range []int{0, 1, 2, 3, 4, 5} {
+		g, w := got[degree], want[degree]
+		diff := g - w
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(w)+3 {
+			t.Fatalf("degree %d: got %d sites, want ≈%d", degree, g, w)
+		}
+	}
+	// The two super-backbones must exist with large degree.
+	maxDeg, second := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(graph.NodeID(v))
+		if d > maxDeg {
+			maxDeg, second = d, maxDeg
+		} else if d > second {
+			second = d
+		}
+	}
+	if maxDeg < 600 {
+		t.Fatalf("max degree = %d, want ≥ 600 (ihnp4)", maxDeg)
+	}
+	if second < 400 {
+		t.Fatalf("second degree = %d, want ≥ 400", second)
+	}
+}
+
+func TestFromDegreeTableErrors(t *testing.T) {
+	if _, err := FromDegreeTable(nil, 1); err == nil {
+		t.Fatal("empty table should fail")
+	}
+	if _, err := FromDegreeTable([]DegreeCount{{Degree: -1, Sites: 2}}, 1); err == nil {
+		t.Fatal("negative degree should fail")
+	}
+}
+
+func TestFromDegreeTableSmall(t *testing.T) {
+	// A tiny feasible sequence: one hub of degree 3, three leaves.
+	g, err := FromDegreeTable([]DegreeCount{{3, 1}, {1, 3}}, 5)
+	if err != nil {
+		t.Fatalf("FromDegreeTable: %v", err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 4,3", g.N(), g.M())
+	}
+	if g.Degree(0) != 3 {
+		t.Fatalf("hub degree = %d, want 3", g.Degree(0))
+	}
+}
