@@ -3,9 +3,12 @@ package matchmake
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"matchmake/internal/cluster"
 	"matchmake/internal/core"
 	"matchmake/internal/experiments"
 	"matchmake/internal/graph"
@@ -138,6 +141,115 @@ func BenchmarkLocateDecompositionRandom(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchLocate(b, g, d.Strategy())
+}
+
+// BenchmarkClusterLocate measures the cluster serving layer on a
+// 64-node network under Zipfian port popularity, for both transports:
+// the in-process fast path (parallel clients) and the paper-exact
+// simulator backend. It reports the paper's cost measure (message
+// passes per locate) alongside ns/op, so the perf trajectory of the
+// serving path is tracked from this PR onward.
+func BenchmarkClusterLocate(b *testing.B) {
+	const (
+		n     = 64
+		ports = 16
+	)
+	// Port names are precomputed so the measured loop doesn't bill a
+	// Sprintf per locate to the serving path.
+	names := make([]core.Port, ports)
+	for p := range names {
+		names[p] = core.Port(fmt.Sprintf("svc-%04d", p))
+	}
+	setup := func(b *testing.B, tr cluster.Transport) *cluster.Cluster {
+		b.Helper()
+		c := cluster.New(tr, cluster.Options{})
+		b.Cleanup(func() { c.Close() })
+		for p := 0; p < ports; p++ {
+			if _, err := c.Register(names[p], graph.NodeID((p*7919)%n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	report := func(b *testing.B, tr cluster.Transport, before int64) {
+		b.ReportMetric(float64(tr.Passes()-before)/float64(b.N), "passes/locate")
+	}
+
+	b.Run("transport=mem", func(b *testing.B) {
+		tr, err := cluster.NewMemTransport(topology.Complete(n), rendezvous.Checkerboard(n), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := setup(b, tr)
+		var seq atomic.Int64
+		b.ReportAllocs()
+		before := tr.Passes()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seq.Add(1)))
+			zipf := rand.NewZipf(rng, 1.2, 1, ports-1)
+			for pb.Next() {
+				if _, err := c.Locate(graph.NodeID(rng.Intn(n)), names[zipf.Uint64()]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		report(b, tr, before)
+	})
+
+	b.Run("transport=sim", func(b *testing.B) {
+		tr, err := cluster.NewSimTransport(topology.Complete(n), rendezvous.Checkerboard(n),
+			core.Options{LocateTimeout: 2 * time.Second, CollectWindow: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := setup(b, tr)
+		rng := rand.New(rand.NewSource(1))
+		zipf := rand.NewZipf(rng, 1.2, 1, ports-1)
+		b.ReportAllocs()
+		before := tr.Passes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Locate(graph.NodeID(rng.Intn(n)), names[zipf.Uint64()]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report(b, tr, before)
+	})
+}
+
+// BenchmarkClusterStore isolates the sharded rendezvous cache: the
+// read-mostly Get path under parallel load, with a trickle of writes.
+func BenchmarkClusterStore(b *testing.B) {
+	s := cluster.NewStore(64, 0)
+	const ports = 64
+	for p := 0; p < ports; p++ {
+		for v := 0; v < 8; v++ {
+			s.Put(graph.NodeID(v*8), core.Entry{
+				Port: core.Port(fmt.Sprintf("svc-%04d", p)), Addr: graph.NodeID(p % 64),
+				ServerID: uint64(p + 1), Time: s.NextTime(), Active: true,
+			})
+		}
+	}
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seq.Add(1)))
+		i := 0
+		for pb.Next() {
+			port := core.Port(fmt.Sprintf("svc-%04d", rng.Intn(ports)))
+			node := graph.NodeID(rng.Intn(8) * 8)
+			if i%1024 == 0 {
+				s.Put(node, core.Entry{Port: port, Addr: 1, ServerID: 99, Time: s.NextTime(), Active: true})
+			} else {
+				s.Get(node, port)
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkMatrixBuild measures the analysis path: materializing and

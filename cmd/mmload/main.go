@@ -1,0 +1,391 @@
+// Command mmload drives a synthetic match-making workload against an
+// internal/cluster service and reports throughput, latency quantiles
+// and the paper's cost measure (message passes per locate).
+//
+// One server is registered per port, then client goroutines issue
+// locates with the chosen port-popularity distribution until the run
+// duration expires. The load is closed-loop by default (-concurrency
+// workers back to back); -rate switches to an open-loop arrival process
+// feeding the cluster's shard worker pools, where overload is shed and
+// reported rather than queued without bound.
+//
+// Usage:
+//
+//	mmload                                   # 64-node Zipfian fast-path run
+//	mmload -transport sim -duration 5s       # same load over the simulator
+//	mmload -workload uniform -ports 64
+//	mmload -workload zipf -zipf-s 1.4        # skew the port popularity
+//	mmload -churn 50ms                       # crash/re-register churn
+//	mmload -rate 200000                      # open-loop at 200k locates/sec
+//
+// Workload flags:
+//
+//	-workload uniform|zipf   port popularity: uniform, or Zipf-distributed
+//	                         so a few hot services dominate (the realistic
+//	                         regime for a name server)
+//	-zipf-s, -zipf-v         Zipf skew (s > 1) and offset (v ≥ 1)
+//	-churn d                 every d, one service is torn down: its server
+//	                         deregisters, its node crashes (volatile cache
+//	                         lost), a replacement registers at a new node,
+//	                         and the crashed node is restored on the next
+//	                         churn tick — §1.3's crash/re-register dynamics
+//	                         as a sustained background process
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"matchmake/internal/cluster"
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	transport   string
+	topo        string
+	nodes       int
+	strategy    string
+	ports       int
+	workload    string
+	zipfS       float64
+	zipfV       float64
+	churn       time.Duration
+	duration    time.Duration
+	concurrency int
+	rate        int
+	shards      int
+	workers     int
+	queue       int
+	noCoalesce  bool
+	seed        int64
+	locateTO    time.Duration
+	collectWin  time.Duration
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmload", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator)")
+	fs.StringVar(&cfg.topo, "topology", "complete", "topology: complete|grid|ring|hypercube")
+	fs.IntVar(&cfg.nodes, "nodes", 64, "network size (grid needs a rectangle, hypercube a power of two)")
+	fs.StringVar(&cfg.strategy, "strategy", "checkerboard", "strategy: checkerboard|random|broadcast|sweep")
+	fs.IntVar(&cfg.ports, "ports", 16, "number of services (one server each)")
+	fs.StringVar(&cfg.workload, "workload", "zipf", "port popularity: uniform|zipf")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "Zipf skew exponent (> 1)")
+	fs.Float64Var(&cfg.zipfV, "zipf-v", 1, "Zipf value offset (≥ 1)")
+	fs.DurationVar(&cfg.churn, "churn", 0, "crash/re-register one service this often (0 = off)")
+	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement duration")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop client goroutines")
+	fs.IntVar(&cfg.rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
+	fs.IntVar(&cfg.shards, "shards", 0, "cluster shards (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.workers, "workers", 0, "workers per shard (0 = default)")
+	fs.IntVar(&cfg.queue, "queue", 0, "per-shard async queue depth (0 = default)")
+	fs.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "disable locate coalescing")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	fs.DurationVar(&cfg.locateTO, "locate-timeout", 250*time.Millisecond, "sim transport: locate timeout")
+	fs.DurationVar(&cfg.collectWin, "collect-window", time.Millisecond, "sim transport: reply collection window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.nodes < 2 {
+		return fmt.Errorf("need at least 2 nodes")
+	}
+	if cfg.ports < 1 {
+		return fmt.Errorf("need at least 1 port")
+	}
+
+	g, err := buildTopology(cfg.topo, cfg.nodes)
+	if err != nil {
+		return err
+	}
+	strat, err := buildStrategy(cfg.strategy, g.N(), cfg.seed)
+	if err != nil {
+		return err
+	}
+	tr, err := buildTransport(cfg, g, strat)
+	if err != nil {
+		return err
+	}
+	c := cluster.New(tr, cluster.Options{
+		Shards:            cfg.shards,
+		WorkersPerShard:   cfg.workers,
+		QueueDepth:        cfg.queue,
+		DisableCoalescing: cfg.noCoalesce,
+	})
+	defer c.Close()
+
+	// One server per port, spread deterministically over the nodes.
+	names := makePortNames(cfg.ports)
+	reg := &registry{servers: make([]cluster.ServerRef, cfg.ports)}
+	for p := 0; p < cfg.ports; p++ {
+		node := graph.NodeID((p * 7919) % g.N())
+		ref, err := c.Register(names[p], node)
+		if err != nil {
+			return fmt.Errorf("register %s at %d: %w", names[p], node, err)
+		}
+		reg.servers[p] = ref
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if cfg.churn > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runChurn(c, reg, cfg, g.N(), stop)
+		}()
+	}
+
+	c.ResetMetrics()
+	if cfg.rate > 0 {
+		err = openLoop(c, cfg, names, g.N())
+	} else {
+		err = closedLoop(c, cfg, names, g.N())
+	}
+	close(stop)
+	churnWG.Wait()
+	if err != nil {
+		return err
+	}
+
+	m := c.Metrics()
+	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
+		tr.Name(), cfg.topo, g.N(), strat.Name(), cfg.ports, cfg.workload, churnSuffix(cfg))
+	fmt.Fprintln(out, m.String())
+	return nil
+}
+
+func churnSuffix(cfg config) string {
+	if cfg.churn <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" churn=%v", cfg.churn)
+}
+
+func portName(p int) core.Port { return core.Port(fmt.Sprintf("svc-%04d", p)) }
+
+// makePortNames materializes the port name table once; the measured
+// loops index it rather than formatting a name per locate, which would
+// bill the harness's own allocations to the serving path.
+func makePortNames(ports int) []core.Port {
+	names := make([]core.Port, ports)
+	for p := range names {
+		names[p] = portName(p)
+	}
+	return names
+}
+
+// registry guards the per-port server handles against the churn loop.
+type registry struct {
+	mu      sync.Mutex
+	servers []cluster.ServerRef
+}
+
+func buildTopology(name string, n int) (*graph.Graph, error) {
+	switch name {
+	case "complete":
+		return topology.Complete(n), nil
+	case "ring":
+		return topology.Ring(n)
+	case "grid":
+		p := int(math.Sqrt(float64(n)))
+		for p > 1 && n%p != 0 {
+			p--
+		}
+		if p <= 1 {
+			return nil, fmt.Errorf("grid needs a composite node count, got %d", n)
+		}
+		gr, err := topology.NewGrid(p, n/p)
+		if err != nil {
+			return nil, err
+		}
+		return gr.G, nil
+	case "hypercube":
+		d := 0
+		for 1<<d < n {
+			d++
+		}
+		if 1<<d != n {
+			return nil, fmt.Errorf("hypercube needs a power-of-two node count, got %d", n)
+		}
+		h, err := topology.NewHypercube(d)
+		if err != nil {
+			return nil, err
+		}
+		return h.G, nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func buildStrategy(name string, n int, seed int64) (rendezvous.Strategy, error) {
+	switch name {
+	case "checkerboard":
+		return rendezvous.Checkerboard(n), nil
+	case "random":
+		k := int(math.Ceil(math.Sqrt(float64(n)))) * 2
+		return rendezvous.Random(n, k, k, uint64(seed)), nil
+	case "broadcast":
+		return rendezvous.Broadcast(n), nil
+	case "sweep":
+		return rendezvous.Sweep(n), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
+	switch cfg.transport {
+	case "mem":
+		return cluster.NewMemTransport(g, strat, 0)
+	case "sim":
+		return cluster.NewSimTransport(g, strat, core.Options{
+			LocateTimeout: cfg.locateTO,
+			CollectWindow: cfg.collectWin,
+		})
+	default:
+		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
+	}
+}
+
+// portPicker returns a per-goroutine port-popularity sampler over the
+// precomputed name table. Zipf makes a handful of ports hot — exactly
+// the regime coalescing targets.
+func portPicker(cfg config, names []core.Port, workerSeed int64) (func() core.Port, error) {
+	rng := rand.New(rand.NewSource(cfg.seed*1_000_003 + workerSeed))
+	switch cfg.workload {
+	case "uniform":
+		return func() core.Port { return names[rng.Intn(len(names))] }, nil
+	case "zipf":
+		if cfg.zipfS <= 1 {
+			return nil, fmt.Errorf("zipf-s must be > 1, got %v", cfg.zipfS)
+		}
+		if cfg.zipfV < 1 {
+			return nil, fmt.Errorf("zipf-v must be ≥ 1, got %v", cfg.zipfV)
+		}
+		z := rand.NewZipf(rng, cfg.zipfS, cfg.zipfV, uint64(len(names)-1))
+		return func() core.Port { return names[z.Uint64()] }, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", cfg.workload)
+	}
+}
+
+// closedLoop hammers the cluster from cfg.concurrency goroutines until
+// the deadline; each failed locate is already counted by the metrics.
+func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.concurrency)
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick, err := portPicker(cfg, names, int64(w))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			rng := rand.New(rand.NewSource(cfg.seed*31 + int64(w)))
+			for time.Now().Before(deadline) {
+				// Batch the deadline check amortization: 64 locates per
+				// clock read keeps the loop out of time.Now.
+				for i := 0; i < 64; i++ {
+					client := graph.NodeID(rng.Intn(n))
+					_, _ = c.Locate(client, pick())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openLoop submits arrivals at cfg.rate locates/sec onto the cluster's
+// shard worker pools, shedding (not queueing) when the pools fall
+// behind — the throughput-under-offered-load view.
+func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
+	pick, err := portPicker(cfg, names, 0)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed * 17))
+	var pending sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	issued := 0
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for now := start; now.Before(deadline); now = <-tick.C {
+		due := int(float64(cfg.rate) * now.Sub(start).Seconds())
+		for ; issued < due; issued++ {
+			client := graph.NodeID(rng.Intn(n))
+			pending.Add(1)
+			if err := c.Submit(client, pick(), func(core.Entry, error) { pending.Done() }); err != nil {
+				pending.Done() // shed; already counted in metrics
+			}
+		}
+	}
+	pending.Wait()
+	return nil
+}
+
+// runChurn tears one service down per tick: deregister, crash the old
+// node, re-register at a fresh node, and restore the previous crash
+// victim — so at any moment at most one node is down and every service
+// keeps moving.
+func runChurn(c *cluster.Cluster, reg *registry, cfg config, n int, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(cfg.seed * 101))
+	tr := c.Transport()
+	lastCrashed := graph.NodeID(-1)
+	tick := time.NewTicker(cfg.churn)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			if lastCrashed >= 0 {
+				_ = tr.Restore(lastCrashed)
+			}
+			return
+		case <-tick.C:
+		}
+		p := rng.Intn(len(reg.servers))
+		reg.mu.Lock()
+		ref := reg.servers[p]
+		oldNode := ref.Node()
+		_ = ref.Deregister()
+		if lastCrashed >= 0 {
+			_ = tr.Restore(lastCrashed)
+		}
+		_ = tr.Crash(oldNode)
+		lastCrashed = oldNode
+		newNode := graph.NodeID(rng.Intn(n))
+		for newNode == oldNode {
+			newNode = graph.NodeID(rng.Intn(n))
+		}
+		if newRef, err := c.Register(ref.Port(), newNode); err == nil {
+			reg.servers[p] = newRef
+		}
+		reg.mu.Unlock()
+	}
+}

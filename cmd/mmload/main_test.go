@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runLoad(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestRunMemZipf(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "64", "-workload", "zipf",
+		"-duration", "100ms", "-concurrency", "4")
+	for _, want := range []string{"transport=mem", "workload=zipf", "locates/sec", "per locate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "locates=0 ") {
+		t.Fatalf("no locates completed:\n%s", out)
+	}
+}
+
+func TestRunSimUniform(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "sim", "-nodes", "16", "-workload", "uniform",
+		"-ports", "4", "-duration", "100ms", "-concurrency", "4")
+	if !strings.Contains(out, "transport=sim") {
+		t.Fatalf("output missing transport=sim:\n%s", out)
+	}
+	if strings.Contains(out, "errors=0") == false {
+		t.Fatalf("sim run reported errors:\n%s", out)
+	}
+}
+
+func TestRunOpenLoopWithChurn(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "36", "-workload", "zipf",
+		"-rate", "5000", "-duration", "200ms", "-churn", "50ms")
+	if !strings.Contains(out, "churn=50ms") {
+		t.Fatalf("output missing churn marker:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-transport", "carrier-pigeon"},
+		{"-topology", "torus"},
+		{"-workload", "bursty"},
+		{"-workload", "zipf", "-zipf-s", "0.5"},
+		{"-topology", "hypercube", "-nodes", "63"},
+	} {
+		var sb strings.Builder
+		if err := run(append(args, "-duration", "10ms"), &sb); err == nil {
+			t.Fatalf("run(%v) accepted bad flags", args)
+		}
+	}
+}

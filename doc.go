@@ -3,7 +3,10 @@
 // rendezvous-matrix theory of distributed name servers, its lower bounds
 // and matching constructions, the per-topology locate strategies, and the
 // Shotgun / Hash / Lighthouse Locate engines, all running over a
-// goroutine-based store-and-forward network simulator.
+// goroutine-based store-and-forward network simulator — plus a concurrent
+// serving layer (internal/cluster) that scales the same machinery to
+// high-throughput workloads without losing the paper's message-pass
+// accounting.
 //
 // The implementation lives in internal packages; see DESIGN.md for the
 // system inventory, EXPERIMENTS.md for paper-vs-measured results, and
@@ -15,8 +18,21 @@
 //   - internal/core — Shotgun Locate (the paper's main contribution)
 //   - internal/hashlocate, internal/lighthouse — §5 and §4 variants
 //   - internal/service — the Amoeba-style service model of §1.3
+//   - internal/cluster — sharded match-making service layer: a Transport
+//     seam with a paper-exact simulator backend and a lock-free
+//     in-process fast path, locate coalescing, per-shard worker pools
+//     and live metrics
 //   - internal/experiments — every table and figure, as code
 //
 // The benchmarks in this package (bench_test.go) regenerate each
-// experiment; `go run ./cmd/mmbench` prints all of them.
+// experiment and track the serving layer (BenchmarkClusterLocate reports
+// ns/op and message passes per locate for both transports); `go run
+// ./cmd/mmbench` prints all experiments.
+//
+// `go run ./cmd/mmload` load-tests a cluster: pick a transport
+// (-transport mem|sim), a port-popularity workload (-workload uniform,
+// or -workload zipf with -zipf-s/-zipf-v for skew), optional
+// crash/re-register churn (-churn 50ms), and closed-loop (-concurrency)
+// or open-loop (-rate) driving; it reports throughput, p50/p99 latency
+// and message passes per locate. DESIGN.md documents every flag.
 package matchmake

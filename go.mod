@@ -1,0 +1,3 @@
+module matchmake
+
+go 1.24

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+// Options configure a Cluster.
+type Options struct {
+	// Shards is the number of request shards (rounded up to a power of
+	// two). Each shard owns a coalescing table and a worker pool.
+	// Zero picks GOMAXPROCS rounded up to a power of two.
+	Shards int
+	// WorkersPerShard is the number of worker goroutines draining each
+	// shard's async queue. Zero means 2.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's async queue; submissions beyond it
+	// are shed with ErrOverload. Zero means 1024.
+	QueueDepth int
+	// Coalesce merges concurrent locates for the same (client, port)
+	// into one underlying query flood. Disabled by DisableCoalescing.
+	DisableCoalescing bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	size := 1
+	for size < o.Shards {
+		size <<= 1
+	}
+	o.Shards = size
+	if o.WorkersPerShard <= 0 {
+		o.WorkersPerShard = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// Cluster is the serving layer over a Transport: requests are sharded by
+// port, each shard coalesces concurrent locates for the same (client,
+// port) into one query flood and runs a worker pool for asynchronous
+// submissions, and every operation feeds the live metrics.
+type Cluster struct {
+	tr   Transport
+	opts Options
+	seed maphash.Seed
+
+	shards []*clusterShard
+	// closeMu is read-held across every public operation (and Submit's
+	// queue send) so Close — which takes it exclusively — cannot close
+	// the queues or the transport while an operation is mid-flight.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	metrics Metrics
+}
+
+// clusterShard owns the coalescing table and worker pool for one slice
+// of the port space.
+type clusterShard struct {
+	mu      sync.Mutex
+	flights map[flightKey]*flight
+	queue   chan task
+}
+
+type flightKey struct {
+	client graph.NodeID
+	port   core.Port
+}
+
+// flight is one in-progress locate shared by coalesced callers.
+type flight struct {
+	done  chan struct{}
+	entry core.Entry
+	err   error
+}
+
+// task is one asynchronous locate.
+type task struct {
+	client graph.NodeID
+	port   core.Port
+	cb     func(core.Entry, error)
+}
+
+// New builds a cluster over tr. The cluster does not own the transport's
+// lifecycle until Close is called, which closes it.
+func New(tr Transport, opts Options) *Cluster {
+	c := &Cluster{tr: tr, opts: opts.withDefaults(), seed: maphash.MakeSeed()}
+	c.metrics.start(tr)
+	c.shards = make([]*clusterShard, c.opts.Shards)
+	for i := range c.shards {
+		sh := &clusterShard{
+			flights: make(map[flightKey]*flight),
+			queue:   make(chan task, c.opts.QueueDepth),
+		}
+		c.shards[i] = sh
+		for w := 0; w < c.opts.WorkersPerShard; w++ {
+			c.wg.Add(1)
+			go c.runWorker(sh)
+		}
+	}
+	return c
+}
+
+func (c *Cluster) runWorker(sh *clusterShard) {
+	defer c.wg.Done()
+	// Workers bypass the closed check so tasks admitted before Close
+	// still complete while the queues drain.
+	for t := range sh.queue {
+		e, err := c.locate(t.client, t.port)
+		if t.cb != nil {
+			t.cb(e, err)
+		}
+	}
+}
+
+// Transport returns the transport the cluster serves from.
+func (c *Cluster) Transport() Transport { return c.tr }
+
+func (c *Cluster) shard(port core.Port) *clusterShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(string(port))
+	return c.shards[h.Sum64()&uint64(len(c.shards)-1)]
+}
+
+// Register announces a server for port at node and counts the posting.
+func (c *Cluster) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	ref, err := c.tr.Register(port, node)
+	if err == nil {
+		c.metrics.posts.Add(1)
+	}
+	return ref, err
+}
+
+// Locate resolves port from client synchronously. Concurrent locates
+// for the same (client, port) share one underlying query flood (unless
+// coalescing is disabled): the first caller becomes the flight leader
+// and executes the query; later callers wait on the leader's result.
+// Every caller is counted and timed in the metrics.
+//
+// Coalescing weakens read-your-writes: a caller that joins an already
+// in-flight query receives a result sampled when that flight started,
+// which may predate the caller's own call — e.g. a locate retried
+// immediately after a Register returned can re-join a stale flight and
+// still miss. Callers that need post-write visibility should disable
+// coalescing or retry after the flight's duration (one locate timeout
+// on the sim transport).
+func (c *Cluster) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return core.Entry{}, ErrClosed
+	}
+	return c.locate(client, port)
+}
+
+func (c *Cluster) locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	begin := time.Now()
+	var (
+		e   core.Entry
+		err error
+	)
+	if c.opts.DisableCoalescing {
+		e, err = c.tr.Locate(client, port)
+	} else {
+		e, err = c.locateCoalesced(client, port)
+	}
+	c.metrics.observeLocate(time.Since(begin), err)
+	return e, err
+}
+
+func (c *Cluster) locateCoalesced(client graph.NodeID, port core.Port) (core.Entry, error) {
+	sh := c.shard(port)
+	key := flightKey{client: client, port: port}
+	sh.mu.Lock()
+	if f := sh.flights[key]; f != nil {
+		sh.mu.Unlock()
+		<-f.done
+		c.metrics.coalesced.Add(1)
+		return f.entry, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+
+	f.entry, f.err = c.tr.Locate(client, port)
+
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	sh.mu.Unlock()
+	close(f.done)
+	return f.entry, f.err
+}
+
+// Submit enqueues an asynchronous locate on the owning shard's worker
+// pool; cb (optional) receives the result on a worker goroutine. When
+// the shard queue is full the request is shed immediately with
+// ErrOverload — open-loop load beyond capacity fails fast instead of
+// queueing without bound.
+func (c *Cluster) Submit(client graph.NodeID, port core.Port, cb func(core.Entry, error)) error {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	sh := c.shard(port)
+	select {
+	case sh.queue <- task{client: client, port: port, cb: cb}:
+		return nil
+	default:
+		c.metrics.shed.Add(1)
+		return ErrOverload
+	}
+}
+
+// LocateAll resolves every live instance of port visible from client.
+func (c *Cluster) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	begin := time.Now()
+	out, err := c.tr.LocateAll(client, port)
+	c.metrics.observeLocate(time.Since(begin), err)
+	return out, err
+}
+
+// Metrics returns a snapshot of the live serving metrics.
+func (c *Cluster) Metrics() MetricsSnapshot { return c.metrics.snapshot(c.tr) }
+
+// ResetMetrics zeroes the counters, the latency histogram and the
+// transport pass baseline (useful to measure a steady-state window).
+func (c *Cluster) ResetMetrics() { c.metrics.reset(c.tr) }
+
+// Close drains the worker pools and closes the transport. In-flight
+// synchronous operations finish first (Close waits for the read side of
+// closeMu), pending submissions are completed by the draining workers,
+// and Submit and Locate fail with ErrClosed afterwards.
+func (c *Cluster) Close() error {
+	c.closeMu.Lock()
+	if c.closed.Swap(true) {
+		c.closeMu.Unlock()
+		return nil
+	}
+	for _, sh := range c.shards {
+		close(sh.queue)
+	}
+	c.closeMu.Unlock()
+	c.wg.Wait()
+	return c.tr.Close()
+}

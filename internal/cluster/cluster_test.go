@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/sim"
+	"matchmake/internal/topology"
+)
+
+func newMemCluster(t *testing.T, n int, opts Options) *Cluster {
+	t.Helper()
+	tr, err := NewMemTransport(topology.Complete(n), rendezvous.Checkerboard(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(tr, opts)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterRegisterLocate(t *testing.T) {
+	c := newMemCluster(t, 16, Options{})
+	srv, err := c.Register("svc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for client := graph.NodeID(0); client < 16; client++ {
+		e, err := c.Locate(client, "svc")
+		if err != nil {
+			t.Fatalf("locate from %d: %v", client, err)
+		}
+		if e.Addr != 5 {
+			t.Fatalf("locate from %d = %d; want 5", client, e.Addr)
+		}
+	}
+	if _, err := c.Locate(0, "nope"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("locate missing port: %v; want ErrNotFound", err)
+	}
+
+	// Migrate and relocate: the fresher posting must win everywhere.
+	if err := srv.Migrate(11); err != nil {
+		t.Fatal(err)
+	}
+	for client := graph.NodeID(0); client < 16; client++ {
+		e, err := c.Locate(client, "svc")
+		if err != nil || e.Addr != 11 {
+			t.Fatalf("post-migrate locate from %d = %v, %v; want 11", client, e, err)
+		}
+	}
+
+	m := c.Metrics()
+	if m.Locates < 32 || m.Posts != 1 {
+		t.Fatalf("metrics = %+v; want ≥32 locates, 1 post", m)
+	}
+	if m.PassesPerLocate <= 0 {
+		t.Fatalf("PassesPerLocate = %v; want > 0", m.PassesPerLocate)
+	}
+}
+
+func TestClusterConcurrentLocates(t *testing.T) {
+	c := newMemCluster(t, 64, Options{})
+	for p := 0; p < 8; p++ {
+		if _, err := c.Register(core.Port(fmt.Sprintf("svc-%d", p)), graph.NodeID(p*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				port := core.Port(fmt.Sprintf("svc-%d", (w+i)%8))
+				if _, err := c.Locate(graph.NodeID((w*31+i)%64), port); err != nil {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d concurrent locates failed", n)
+	}
+	if m := c.Metrics(); m.Locates != 16*500 {
+		t.Fatalf("metrics.Locates = %d; want %d", m.Locates, 16*500)
+	}
+}
+
+// blockingTransport wraps a Transport and holds every Locate until
+// released, to force flights to overlap.
+type blockingTransport struct {
+	Transport
+	gate    chan struct{}
+	inCalls atomic.Int64
+}
+
+func (b *blockingTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	b.inCalls.Add(1)
+	<-b.gate
+	return b.Transport.Locate(client, port)
+}
+
+func TestClusterCoalescing(t *testing.T) {
+	tr, err := NewMemTransport(topology.Complete(16), rendezvous.Checkerboard(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := &blockingTransport{Transport: tr, gate: make(chan struct{})}
+	c := New(bt, Options{})
+	defer c.Close()
+	if _, err := c.Register("svc", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader first: its flight is registered before it blocks inside the
+	// transport, so every locate started while it is blocked coalesces.
+	var wg sync.WaitGroup
+	results := make([]error, 1+coalesceFollowers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, results[0] = c.Locate(2, "svc")
+	}()
+	for bt.inCalls.Load() == 0 {
+		runtime.Gosched()
+	}
+	var started atomic.Int64
+	for i := 1; i <= coalesceFollowers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Add(1)
+			_, results[i] = c.Locate(2, "svc")
+		}(i)
+	}
+	for started.Load() < coalesceFollowers {
+		runtime.Gosched()
+	}
+	time.Sleep(50 * time.Millisecond) // let followers reach the flight table
+	close(bt.gate)
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	m := c.Metrics()
+	if m.Coalesced == 0 {
+		t.Fatalf("no locates coalesced across %d concurrent callers for one key", 1+coalesceFollowers)
+	}
+}
+
+const coalesceFollowers = 7
+
+func TestClusterSubmit(t *testing.T) {
+	c := newMemCluster(t, 32, Options{Shards: 4, WorkersPerShard: 2})
+	if _, err := c.Register("svc", 9); err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 200
+	var done sync.WaitGroup
+	var bad atomic.Int64
+	done.Add(jobs)
+	for i := 0; i < jobs; i++ {
+		err := c.Submit(graph.NodeID(i%32), "svc", func(e core.Entry, err error) {
+			if err != nil || e.Addr != 9 {
+				bad.Add(1)
+			}
+			done.Done()
+		})
+		if err != nil {
+			// Shed under a tiny queue is allowed; complete the waiter.
+			if !errors.Is(err, ErrOverload) {
+				t.Fatal(err)
+			}
+			done.Done()
+		}
+	}
+	done.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d async locates failed", n)
+	}
+}
+
+func TestClusterOverloadSheds(t *testing.T) {
+	tr, err := NewMemTransport(topology.Complete(16), rendezvous.Checkerboard(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := &blockingTransport{Transport: tr, gate: make(chan struct{})}
+	c := New(bt, Options{Shards: 1, WorkersPerShard: 1, QueueDepth: 2, DisableCoalescing: true})
+	defer c.Close()
+	if _, err := c.Register("svc", 3); err != nil {
+		t.Fatal(err)
+	}
+	// One task occupies the worker (blocked at the gate); fill the queue
+	// and then some — the excess must shed, not block.
+	shed := 0
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(0, "svc", nil); errors.Is(err, ErrOverload) {
+			shed++
+		}
+	}
+	close(bt.gate)
+	if shed == 0 {
+		t.Fatal("no submissions shed past a full queue")
+	}
+	if m := c.Metrics(); m.Shed == 0 {
+		t.Fatal("metrics did not count shed submissions")
+	}
+}
+
+func TestClusterClose(t *testing.T) {
+	tr, err := NewMemTransport(topology.Complete(16), rendezvous.Checkerboard(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(tr, Options{})
+	if _, err := c.Register("svc", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := c.Locate(0, "svc"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("locate after close: %v; want ErrClosed", err)
+	}
+	if err := c.Submit(0, "svc", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v; want ErrClosed", err)
+	}
+	if _, err := c.Register("svc2", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v; want ErrClosed", err)
+	}
+}
+
+func TestClusterChurnCrashRestore(t *testing.T) {
+	c := newMemCluster(t, 36, Options{})
+	tr := c.Transport()
+	srv, err := c.Register("svc", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash a rendezvous node: locates that relied on it must still
+	// succeed through the surviving rendezvous set or fail cleanly.
+	if err := tr.Crash(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Restore(7); err != nil {
+		t.Fatal(err)
+	}
+	// The crash dropped node 7's cache; a repost heals it.
+	if err := srv.Repost(); err != nil {
+		t.Fatal(err)
+	}
+	for client := graph.NodeID(0); client < 36; client += 5 {
+		if e, err := c.Locate(client, "svc"); err != nil || e.Addr != 7 {
+			t.Fatalf("post-heal locate from %d = %v, %v", client, e, err)
+		}
+	}
+	// Full churn cycle: deregister, re-register elsewhere.
+	if err := srv.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("svc", 20); err != nil {
+		t.Fatal(err)
+	}
+	for client := graph.NodeID(0); client < 36; client += 5 {
+		if e, err := c.Locate(client, "svc"); err != nil || e.Addr != 20 {
+			t.Fatalf("post-churn locate from %d = %v, %v; want 20", client, e, err)
+		}
+	}
+}
+
+func TestMemTransportCrashedOriginParity(t *testing.T) {
+	memT, err := NewMemTransport(topology.Complete(16), rendezvous.Checkerboard(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memT.Register("svc", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := memT.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed client cannot query, as on the simulator.
+	if _, err := memT.Locate(5, "svc"); !errors.Is(err, sim.ErrCrashed) {
+		t.Fatalf("locate from crashed node: %v; want ErrCrashed", err)
+	}
+	if _, err := memT.LocateAll(5, "svc"); !errors.Is(err, sim.ErrCrashed) {
+		t.Fatalf("locate-all from crashed node: %v; want ErrCrashed", err)
+	}
+	// A crashed origin cannot register.
+	if _, err := memT.Register("svc2", 5); !errors.Is(err, sim.ErrCrashed) {
+		t.Fatalf("register at crashed node: %v; want ErrCrashed", err)
+	}
+	// Migration away from a crashed host still succeeds: the fresh
+	// posting wins even though the tombstone could not be sent.
+	srv, err := memT.Register("mover", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := memT.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Migrate(9); err != nil {
+		t.Fatalf("migrate from crashed host: %v", err)
+	}
+	if e, err := memT.Locate(0, "mover"); err != nil || e.Addr != 9 {
+		t.Fatalf("post-migrate locate = %v, %v; want addr 9", e, err)
+	}
+}
+
+// TestClusterCloseDuringLocates closes the cluster while synchronous
+// locates are in flight on the sim transport: in-flight calls must
+// finish (or fail cleanly with ErrClosed), never panic into the closing
+// network.
+func TestClusterCloseDuringLocates(t *testing.T) {
+	tr, err := NewSimTransport(topology.Complete(16), rendezvous.Checkerboard(16), fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(tr, Options{})
+	if _, err := c.Register("svc", 5); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if _, err := c.Locate(graph.NodeID((w+i)%16), "svc"); errors.Is(err, ErrClosed) {
+					return
+				} else if err != nil {
+					t.Errorf("locate during close: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestClusterSimTransport(t *testing.T) {
+	tr, err := NewSimTransport(topology.Complete(16), rendezvous.Checkerboard(16), fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(tr, Options{})
+	defer c.Close()
+	if _, err := c.Register("svc", 5); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				e, err := c.Locate(graph.NodeID((w+i)%16), "svc")
+				if err != nil || e.Addr != 5 {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d locates failed over the sim transport", n)
+	}
+	if m := c.Metrics(); m.Passes == 0 {
+		t.Fatal("sim transport charged no passes")
+	}
+}

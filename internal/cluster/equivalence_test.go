@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/strategy"
+	"matchmake/internal/topology"
+)
+
+// fastOpts keeps the simulator's collect window short so equivalence
+// runs stay quick.
+var fastOpts = core.Options{LocateTimeout: 2 * time.Second, CollectWindow: 2 * time.Millisecond}
+
+// eqCase is one topology/strategy pair checked for transport agreement.
+type eqCase struct {
+	name  string
+	g     *graph.Graph
+	strat rendezvous.Strategy
+}
+
+func equivalenceCases(t *testing.T) []eqCase {
+	t.Helper()
+	gr, err := topology.NewGrid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []eqCase{
+		{"complete-checkerboard", topology.Complete(36), rendezvous.Checkerboard(36)},
+		{"grid-manhattan", gr.G, strategy.Manhattan(gr)},
+	}
+}
+
+// TestTransportEquivalence drives the same scripted workload through the
+// simulator transport and the in-process fast path and demands identical
+// results and identical message-pass accounting: the fast path's
+// routing-derived costs must match the simulator's hop counter exactly
+// on a healthy network.
+func TestTransportEquivalence(t *testing.T) {
+	for _, tc := range equivalenceCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			simT, err := NewSimTransport(tc.g, tc.strat, fastOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer simT.Close()
+			memT, err := NewMemTransport(tc.g, tc.strat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			n := tc.g.N()
+			script := []struct {
+				port   core.Port
+				server graph.NodeID
+			}{
+				{"alpha", graph.NodeID(n / 3)},
+				{"beta", graph.NodeID(n - 1)},
+				{"gamma", 0},
+			}
+			simRefs := make(map[core.Port]ServerRef)
+			memRefs := make(map[core.Port]ServerRef)
+			for _, sc := range script {
+				r1, err := simT.Register(sc.port, sc.server)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := memT.Register(sc.port, sc.server)
+				if err != nil {
+					t.Fatal(err)
+				}
+				simRefs[sc.port], memRefs[sc.port] = r1, r2
+			}
+			simT.Network().Drain()
+
+			checkLocates := func(stage string) {
+				t.Helper()
+				for c := 0; c < n; c += 3 {
+					client := graph.NodeID(c)
+					for _, sc := range script {
+						simBefore, memBefore := simT.Passes(), memT.Passes()
+						e1, err1 := simT.Locate(client, sc.port)
+						simT.Network().Drain()
+						e2, err2 := memT.Locate(client, sc.port)
+						if (err1 == nil) != (err2 == nil) {
+							t.Fatalf("%s: locate %q from %d: sim err=%v mem err=%v",
+								stage, sc.port, client, err1, err2)
+						}
+						if err1 == nil && (e1.Addr != e2.Addr || e1.ServerID != e2.ServerID) {
+							t.Fatalf("%s: locate %q from %d: sim %+v != mem %+v",
+								stage, sc.port, client, e1, e2)
+						}
+						simCost := simT.Passes() - simBefore
+						memCost := memT.Passes() - memBefore
+						if simCost != memCost {
+							t.Fatalf("%s: locate %q from %d: sim charged %d passes, mem %d",
+								stage, sc.port, client, simCost, memCost)
+						}
+					}
+				}
+			}
+
+			checkLocates("steady")
+
+			// Migration: tombstone at the old address, fresh post at the
+			// new one; both transports must agree afterwards.
+			to := graph.NodeID(n / 2)
+			simBefore, memBefore := simT.Passes(), memT.Passes()
+			if err := simRefs["alpha"].Migrate(to); err != nil {
+				t.Fatal(err)
+			}
+			simT.Network().Drain()
+			if err := memRefs["alpha"].Migrate(to); err != nil {
+				t.Fatal(err)
+			}
+			if simCost, memCost := simT.Passes()-simBefore, memT.Passes()-memBefore; simCost != memCost {
+				t.Fatalf("migrate: sim charged %d passes, mem %d", simCost, memCost)
+			}
+			checkLocates("post-migrate")
+
+			// Deregistration: the port must stop resolving on both.
+			if err := simRefs["beta"].Deregister(); err != nil {
+				t.Fatal(err)
+			}
+			simT.Network().Drain()
+			if err := memRefs["beta"].Deregister(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := memT.Locate(1, "beta"); !errors.Is(err, core.ErrNotFound) {
+				t.Fatalf("mem locate after deregister: %v; want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+// TestTransportEquivalenceRegisterCost checks the posting flood cost in
+// isolation: the fast path's precomputed multicast-tree edge count must
+// equal the hops the simulator pays for the same registration.
+func TestTransportEquivalenceRegisterCost(t *testing.T) {
+	for _, tc := range equivalenceCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			simT, err := NewSimTransport(tc.g, tc.strat, fastOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer simT.Close()
+			memT, err := NewMemTransport(tc.g, tc.strat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < tc.g.N(); v += 5 {
+				simT.ResetPasses()
+				memT.ResetPasses()
+				if _, err := simT.Register("cost", graph.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+				simT.Network().Drain()
+				if _, err := memT.Register("cost", graph.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+				if simT.Passes() != memT.Passes() {
+					t.Fatalf("register at %d: sim %d passes, mem %d",
+						v, simT.Passes(), memT.Passes())
+				}
+			}
+		})
+	}
+}

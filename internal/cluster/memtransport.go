@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/sim"
+)
+
+// MemTransport is the in-process fast path: postings and queries apply
+// directly to a sharded Store, with no per-message goroutines, channels
+// or timeouts. It still charges the exact message-pass cost the
+// simulator would on a healthy network — the posting and query sets of
+// every node are fixed by the strategy, so their spanning-tree multicast
+// costs are precomputed once from the routing tables, and each
+// rendezvous reply is charged its hop distance back to the client.
+//
+// Crashes are modelled at the endpoints (a crashed origin cannot post
+// or query — sim.ErrCrashed, as on the simulator — and a crashed
+// rendezvous node drops postings and does not answer); unlike the
+// simulator, in-flight traffic is not charged partial paths through
+// crashed interior nodes. That partial-path charging is the one place
+// the two transports' accounting can diverge — see the package comment
+// and equivalence_test.go.
+type MemTransport struct {
+	g       *graph.Graph
+	routing *graph.Routing
+	strat   rendezvous.Strategy
+	store   *Store
+
+	post      [][]graph.NodeID // P(i), precomputed
+	query     [][]graph.NodeID // Q(j), precomputed
+	postCost  []int64          // multicast-tree edges of P(i) from i
+	queryCost []int64          // multicast-tree edges of Q(j) from j
+
+	crashed  []atomic.Bool
+	passes   atomic.Int64
+	serverID atomic.Uint64
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// NewMemTransport builds the fast path over g with strategy strat. The
+// strategy's universe must match the graph size; shards sizes the
+// backing store (0 picks a default).
+func NewMemTransport(g *graph.Graph, strat rendezvous.Strategy, shards int) (*MemTransport, error) {
+	n := g.N()
+	if strat.N() != n {
+		return nil, fmt.Errorf("cluster: strategy universe %d != graph size %d", strat.N(), n)
+	}
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	strat = rendezvous.Precompute(strat)
+	t := &MemTransport{
+		g:         g,
+		routing:   routing,
+		strat:     strat,
+		store:     NewStore(n, shards),
+		post:      make([][]graph.NodeID, n),
+		query:     make([][]graph.NodeID, n),
+		postCost:  make([]int64, n),
+		queryCost: make([]int64, n),
+		crashed:   make([]atomic.Bool, n),
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		t.post[v] = strat.Post(id)
+		t.query[v] = strat.Query(id)
+		pc, err := routing.MulticastCost(id, t.post[v])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: post set of %d: %w", v, err)
+		}
+		qc, err := routing.MulticastCost(id, t.query[v])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: query set of %d: %w", v, err)
+		}
+		t.postCost[v] = int64(pc)
+		t.queryCost[v] = int64(qc)
+	}
+	return t, nil
+}
+
+// Name implements Transport.
+func (t *MemTransport) Name() string { return "mem" }
+
+// N implements Transport.
+func (t *MemTransport) N() int { return t.g.N() }
+
+// Store exposes the backing rendezvous cache (for tests and reports).
+func (t *MemTransport) Store() *Store { return t.store }
+
+// Strategy returns the (precomputed) strategy in use.
+func (t *MemTransport) Strategy() rendezvous.Strategy { return t.strat }
+
+// memServer is a ServerRef on the fast path.
+type memServer struct {
+	t    *MemTransport
+	port core.Port
+	id   uint64
+
+	mu   sync.Mutex
+	node graph.NodeID
+	gone bool
+}
+
+// Register implements Transport.
+func (t *MemTransport) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
+	if !t.g.Valid(node) {
+		return nil, fmt.Errorf("cluster: register at %d: %w", node, graph.ErrNodeRange)
+	}
+	srv := &memServer{t: t, port: port, id: t.serverID.Add(1), node: node}
+	if err := t.postEntry(srv, node, true); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// postEntry delivers a posting (or tombstone) for srv from-and-about
+// node to every live node of P(node), charging the multicast-tree cost.
+// A crashed origin cannot post, matching the simulator's multicast.
+func (t *MemTransport) postEntry(srv *memServer, node graph.NodeID, active bool) error {
+	if t.crashed[node].Load() {
+		return fmt.Errorf("cluster: post %q from %d: %w", srv.port, node, sim.ErrCrashed)
+	}
+	e := core.Entry{
+		Port:     srv.port,
+		Addr:     node,
+		ServerID: srv.id,
+		Time:     t.store.NextTime(),
+		Active:   active,
+	}
+	t.passes.Add(t.postCost[node])
+	for _, v := range t.post[node] {
+		if t.crashed[v].Load() {
+			continue
+		}
+		t.store.Put(v, e)
+	}
+	return nil
+}
+
+// Locate implements Transport: it charges the query multicast flood,
+// reads every live rendezvous node's cache, charges each hit's reply
+// path, and returns the freshest active entry — the same winner the
+// engine's collect-window logic converges to.
+func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	if !t.g.Valid(client) {
+		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
+	}
+	if t.crashed[client].Load() {
+		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
+	}
+	t.passes.Add(t.queryCost[client])
+	var (
+		best  core.Entry
+		found bool
+	)
+	for _, v := range t.query[client] {
+		if t.crashed[v].Load() {
+			continue
+		}
+		e, ok := t.store.Get(v, port)
+		if !ok {
+			continue // misses are silent, as in §1.5
+		}
+		t.passes.Add(int64(t.routing.Dist(v, client)))
+		if !found || e.Time > best.Time {
+			best, found = e, true
+		}
+	}
+	if !found {
+		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
+	}
+	return best, nil
+}
+
+// LocateAll implements Transport.
+func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
+	if !t.g.Valid(client) {
+		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, graph.ErrNodeRange)
+	}
+	if t.crashed[client].Load() {
+		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
+	}
+	t.passes.Add(t.queryCost[client])
+	freshest := make(map[uint64]core.Entry)
+	for _, v := range t.query[client] {
+		if t.crashed[v].Load() {
+			continue
+		}
+		entries := t.store.GetAll(v, port)
+		if len(entries) == 0 {
+			continue
+		}
+		t.passes.Add(int64(t.routing.Dist(v, client)) * int64(len(entries)))
+		for _, e := range entries {
+			if cur, ok := freshest[e.ServerID]; !ok || e.Time > cur.Time {
+				freshest[e.ServerID] = e
+			}
+		}
+	}
+	var out []core.Entry
+	for _, e := range freshest {
+		if e.Active {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: locate-all %q from %d: %w", port, client, core.ErrNotFound)
+	}
+	return out, nil
+}
+
+// Crash implements Transport: the node stops accepting postings and
+// answering queries, and its volatile cache is lost.
+func (t *MemTransport) Crash(node graph.NodeID) error {
+	if !t.g.Valid(node) {
+		return fmt.Errorf("cluster: crash %d: %w", node, graph.ErrNodeRange)
+	}
+	t.crashed[node].Store(true)
+	t.store.ClearNode(node)
+	return nil
+}
+
+// Restore implements Transport.
+func (t *MemTransport) Restore(node graph.NodeID) error {
+	if !t.g.Valid(node) {
+		return fmt.Errorf("cluster: restore %d: %w", node, graph.ErrNodeRange)
+	}
+	t.crashed[node].Store(false)
+	return nil
+}
+
+// Passes implements Transport.
+func (t *MemTransport) Passes() int64 { return t.passes.Load() }
+
+// ResetPasses implements Transport.
+func (t *MemTransport) ResetPasses() { t.passes.Store(0) }
+
+// Close implements Transport.
+func (t *MemTransport) Close() error { return nil }
+
+// Port implements ServerRef.
+func (s *memServer) Port() core.Port { return s.port }
+
+// Node implements ServerRef.
+func (s *memServer) Node() graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node
+}
+
+// Repost implements ServerRef.
+func (s *memServer) Repost() error {
+	s.mu.Lock()
+	node, gone := s.node, s.gone
+	s.mu.Unlock()
+	if gone {
+		return core.ErrServerGone
+	}
+	return s.t.postEntry(s, node, true)
+}
+
+// Migrate implements ServerRef: tombstone first (the stale address must
+// lose), then announce the new address with a fresher timestamp. As in
+// the engine, a crashed old host cannot tombstone, but the fresh
+// posting's newer timestamp still wins wherever both are seen.
+func (s *memServer) Migrate(to graph.NodeID) error {
+	if !s.t.g.Valid(to) {
+		return fmt.Errorf("cluster: migrate to %d: %w", to, graph.ErrNodeRange)
+	}
+	s.mu.Lock()
+	if s.gone {
+		s.mu.Unlock()
+		return core.ErrServerGone
+	}
+	from := s.node
+	s.node = to
+	s.mu.Unlock()
+	tombErr := s.t.postEntry(s, from, false)
+	if err := s.t.postEntry(s, to, true); err != nil {
+		return errors.Join(tombErr, err)
+	}
+	return nil
+}
+
+// Deregister implements ServerRef.
+func (s *memServer) Deregister() error {
+	s.mu.Lock()
+	if s.gone {
+		s.mu.Unlock()
+		return core.ErrServerGone
+	}
+	s.gone = true
+	node := s.node
+	s.mu.Unlock()
+	return s.t.postEntry(s, node, false)
+}

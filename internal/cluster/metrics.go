@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"matchmake/internal/stats"
+)
+
+// Metrics accumulates the cluster's live serving counters. All fields
+// are updated atomically on the request path; snapshot reads race
+// benignly with writers.
+type Metrics struct {
+	locates   atomic.Int64
+	errors    atomic.Int64
+	coalesced atomic.Int64
+	posts     atomic.Int64
+	shed      atomic.Int64
+
+	// latency is swapped wholesale on reset rather than cleared in
+	// place: LiveHist.Reset must not race with writers, but a pointer
+	// swap may — in-flight observations land in whichever window's
+	// histogram they loaded, which is the most a live reset can promise.
+	latency atomic.Pointer[stats.LiveHist]
+
+	// epoch marks the start of the current measurement window; passes0
+	// is the transport pass counter at that instant.
+	epochNanos atomic.Int64
+	passes0    atomic.Int64
+}
+
+func (m *Metrics) start(tr Transport) {
+	m.latency.Store(&stats.LiveHist{})
+	m.epochNanos.Store(time.Now().UnixNano())
+	m.passes0.Store(tr.Passes())
+}
+
+func (m *Metrics) observeLocate(d time.Duration, err error) {
+	m.locates.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+	}
+	m.latency.Load().Observe(uint64(d.Nanoseconds()))
+}
+
+func (m *Metrics) reset(tr Transport) {
+	m.locates.Store(0)
+	m.errors.Store(0)
+	m.coalesced.Store(0)
+	m.posts.Store(0)
+	m.shed.Store(0)
+	m.start(tr)
+}
+
+// MetricsSnapshot is one point-in-time view of the serving metrics.
+type MetricsSnapshot struct {
+	// Locates counts completed locate calls (including failures);
+	// Errors the failed ones; Coalesced the callers served by another
+	// caller's flight; Posts the registrations; Shed the submissions
+	// rejected with ErrOverload.
+	Locates   int64
+	Errors    int64
+	Coalesced int64
+	Posts     int64
+	Shed      int64
+
+	// Elapsed is the measurement window; QPS is Locates/Elapsed.
+	Elapsed time.Duration
+	QPS     float64
+
+	// Latency quantiles of the locate path, in nanoseconds.
+	P50 float64
+	P99 float64
+	Max uint64
+
+	// Passes is the transport's message-pass count over the window;
+	// PassesPerLocate amortizes all match-making traffic in the window
+	// (queries, replies, and any posting churn) over the locates.
+	Passes          int64
+	PassesPerLocate float64
+}
+
+func (m *Metrics) snapshot(tr Transport) MetricsSnapshot {
+	hist := m.latency.Load()
+	s := MetricsSnapshot{
+		Locates:   m.locates.Load(),
+		Errors:    m.errors.Load(),
+		Coalesced: m.coalesced.Load(),
+		Posts:     m.posts.Load(),
+		Shed:      m.shed.Load(),
+		Elapsed:   time.Duration(time.Now().UnixNano() - m.epochNanos.Load()),
+		P50:       hist.Quantile(0.50),
+		P99:       hist.Quantile(0.99),
+		Max:       hist.Max(),
+		Passes:    tr.Passes() - m.passes0.Load(),
+	}
+	if s.Elapsed > 0 {
+		s.QPS = float64(s.Locates) / s.Elapsed.Seconds()
+	}
+	if s.Locates > 0 {
+		s.PassesPerLocate = float64(s.Passes) / float64(s.Locates)
+	}
+	return s
+}
+
+// String renders the snapshot as a one-stanza report.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf(
+		"locates=%d errors=%d coalesced=%d posts=%d shed=%d\n"+
+			"elapsed=%v throughput=%.0f locates/sec\n"+
+			"latency p50=%v p99=%v max=%v\n"+
+			"message passes=%d (%.2f per locate)",
+		s.Locates, s.Errors, s.Coalesced, s.Posts, s.Shed,
+		s.Elapsed.Round(time.Millisecond), s.QPS,
+		time.Duration(s.P50).Round(100*time.Nanosecond),
+		time.Duration(s.P99).Round(100*time.Nanosecond),
+		time.Duration(s.Max).Round(100*time.Nanosecond),
+		s.Passes, s.PassesPerLocate,
+	)
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/sim"
+)
+
+// SimTransport runs the existing internal/core engine over the
+// internal/sim store-and-forward network: every posting, query and reply
+// is a real simulated message routed hop by hop, and Passes reports the
+// network's exact hop counter — the paper's cost measure with no
+// approximation. It is the reference backend the fast path is checked
+// against, and the right one whenever fidelity beats throughput
+// (fault-injection studies, per-message traces, §2.4 robustness work).
+//
+// The transport owns its network and enables the simulator's inline
+// handler mode: the name-server handlers never block, so skipping the
+// per-delivery goroutine is safe and roughly doubles serving throughput.
+type SimTransport struct {
+	net *sim.Network
+	sys *core.System
+}
+
+var _ Transport = (*SimTransport)(nil)
+
+// NewSimTransport builds a fresh simulator network over g and installs
+// the core engine with strat. opts tune the engine's locate timeout and
+// collect window; the zero value picks the engine defaults.
+func NewSimTransport(g *graph.Graph, strat rendezvous.Strategy, opts core.Options) (*SimTransport, error) {
+	net, err := sim.New(g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	sys, err := core.NewSystem(net, rendezvous.Precompute(strat), opts)
+	if err != nil {
+		net.Close()
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	net.SetInlineHandlers(true)
+	return &SimTransport{net: net, sys: sys}, nil
+}
+
+// Name implements Transport.
+func (t *SimTransport) Name() string { return "sim" }
+
+// N implements Transport.
+func (t *SimTransport) N() int { return t.net.Graph().N() }
+
+// System exposes the underlying engine (for tests and fault injection).
+func (t *SimTransport) System() *core.System { return t.sys }
+
+// Network exposes the underlying simulator network.
+func (t *SimTransport) Network() *sim.Network { return t.net }
+
+// simServer adapts core.Server to ServerRef.
+type simServer struct{ srv *core.Server }
+
+// Register implements Transport.
+func (t *SimTransport) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
+	srv, err := t.sys.RegisterServer(port, node)
+	if err != nil {
+		return nil, err
+	}
+	return simServer{srv: srv}, nil
+}
+
+// Locate implements Transport.
+func (t *SimTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	res, err := t.sys.Locate(client, port)
+	if err != nil {
+		return core.Entry{}, err
+	}
+	return res.Entry, nil
+}
+
+// LocateAll implements Transport.
+func (t *SimTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
+	return t.sys.LocateAll(client, port)
+}
+
+// Crash implements Transport: the node is marked crashed on the network
+// and its volatile cache is dropped, as in the engine's crash model.
+func (t *SimTransport) Crash(node graph.NodeID) error {
+	if err := t.net.Crash(node); err != nil {
+		return err
+	}
+	t.sys.ClearCache(node)
+	return nil
+}
+
+// Restore implements Transport.
+func (t *SimTransport) Restore(node graph.NodeID) error {
+	return t.net.Restore(node)
+}
+
+// Passes implements Transport: the simulator's exact hop count.
+func (t *SimTransport) Passes() int64 { return t.net.Hops() }
+
+// ResetPasses implements Transport.
+func (t *SimTransport) ResetPasses() { t.net.ResetCounters() }
+
+// Close implements Transport.
+func (t *SimTransport) Close() error {
+	t.net.Close()
+	return nil
+}
+
+// Port implements ServerRef.
+func (s simServer) Port() core.Port { return s.srv.Port() }
+
+// Node implements ServerRef.
+func (s simServer) Node() graph.NodeID { return s.srv.Node() }
+
+// Repost implements ServerRef.
+func (s simServer) Repost() error { return s.srv.Repost() }
+
+// Migrate implements ServerRef.
+func (s simServer) Migrate(to graph.NodeID) error { return s.srv.Migrate(to) }
+
+// Deregister implements ServerRef.
+func (s simServer) Deregister() error { return s.srv.Deregister() }

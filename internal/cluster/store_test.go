@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+func TestStorePutGetSupersede(t *testing.T) {
+	s := NewStore(8, 0)
+	node := graph.NodeID(3)
+	s.Put(node, core.Entry{Port: "p", Addr: 1, ServerID: 1, Time: 5, Active: true})
+	s.Put(node, core.Entry{Port: "p", Addr: 2, ServerID: 1, Time: 9, Active: true})
+	// Stale posting for the same instance must be ignored.
+	s.Put(node, core.Entry{Port: "p", Addr: 7, ServerID: 1, Time: 4, Active: true})
+
+	e, ok := s.Get(node, "p")
+	if !ok || e.Addr != 2 || e.Time != 9 {
+		t.Fatalf("Get = %+v, %v; want addr 2 time 9", e, ok)
+	}
+	if _, ok := s.Get(node, "other"); ok {
+		t.Fatal("Get(other) hit on empty port")
+	}
+	if _, ok := s.Get(graph.NodeID(4), "p"); ok {
+		t.Fatal("Get hit on wrong node")
+	}
+}
+
+func TestStoreTombstone(t *testing.T) {
+	s := NewStore(8, 0)
+	node := graph.NodeID(0)
+	s.Put(node, core.Entry{Port: "p", Addr: 1, ServerID: 1, Time: 1, Active: true})
+	s.Put(node, core.Entry{Port: "p", Addr: 1, ServerID: 1, Time: 2, Active: false})
+	if _, ok := s.Get(node, "p"); ok {
+		t.Fatal("tombstoned entry still visible")
+	}
+	// A second live instance keeps the port resolvable.
+	s.Put(node, core.Entry{Port: "p", Addr: 5, ServerID: 2, Time: 3, Active: true})
+	e, ok := s.Get(node, "p")
+	if !ok || e.ServerID != 2 {
+		t.Fatalf("Get = %+v, %v; want live instance 2", e, ok)
+	}
+	all := s.GetAll(node, "p")
+	if len(all) != 1 || all[0].ServerID != 2 {
+		t.Fatalf("GetAll = %v; want only instance 2", all)
+	}
+}
+
+func TestStoreTombstonePruning(t *testing.T) {
+	s := NewStore(4, 0)
+	node := graph.NodeID(1)
+	// Churn far past the tombstone cap: every instance dies.
+	for i := 1; i <= 10*maxSlotTombstones; i++ {
+		id := uint64(i)
+		s.Put(node, core.Entry{Port: "p", Addr: 0, ServerID: id, Time: s.NextTime(), Active: true})
+		s.Put(node, core.Entry{Port: "p", Addr: 0, ServerID: id, Time: s.NextTime(), Active: false})
+	}
+	sl := s.slot(storeKey{node: node, port: "p"}, false)
+	if sl == nil {
+		t.Fatal("slot missing")
+	}
+	if n := len(*sl.entries.Load()); n > maxSlotTombstones+1 {
+		t.Fatalf("slot grew to %d entries; want ≤ %d", n, maxSlotTombstones+1)
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s := NewStore(64, 0)
+	const (
+		writers = 8
+		ports   = 16
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				p := core.Port(fmt.Sprintf("port-%d", r%ports))
+				node := graph.NodeID(r % 64)
+				s.Put(node, core.Entry{
+					Port: p, Addr: graph.NodeID(w), ServerID: uint64(w + 1),
+					Time: s.NextTime(), Active: true,
+				})
+				s.Get(node, p)
+				s.GetAll(node, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every port written at node 0 must resolve to some live instance.
+	for i := 0; i < ports; i++ {
+		p := core.Port(fmt.Sprintf("port-%d", i))
+		found := false
+		for v := graph.NodeID(0); v < 64 && !found; v++ {
+			_, found = s.Get(v, p)
+		}
+		if !found {
+			t.Fatalf("port %s lost after concurrent writes", p)
+		}
+	}
+}
+
+func TestStoreClearNode(t *testing.T) {
+	s := NewStore(8, 0)
+	s.Put(2, core.Entry{Port: "p", Addr: 1, ServerID: 1, Time: 1, Active: true})
+	s.Put(3, core.Entry{Port: "p", Addr: 1, ServerID: 1, Time: 1, Active: true})
+	s.ClearNode(2)
+	if _, ok := s.Get(2, "p"); ok {
+		t.Fatal("cleared node still answers")
+	}
+	if _, ok := s.Get(3, "p"); !ok {
+		t.Fatal("untouched node lost its entry")
+	}
+	if s.NodeSize(3) != 1 {
+		t.Fatalf("NodeSize(3) = %d; want 1", s.NodeSize(3))
+	}
+}

@@ -1,0 +1,88 @@
+// Package cluster is the concurrent match-making service layer: it
+// fronts the paper's rendezvous machinery (post at P(A), query at Q(B),
+// meet in the middle) behind a Transport interface and adds what a
+// serving system needs on top of a correct engine — sharded request
+// dispatch with per-shard worker pools, coalescing of concurrent locates
+// for the same (client, port), a read-mostly concurrent rendezvous cache,
+// and live metrics (throughput, latency quantiles, message passes per
+// locate).
+//
+// Two transports are provided. SimTransport runs the existing
+// internal/core engine over the internal/sim store-and-forward network,
+// preserving the paper's exact message-pass accounting hop by hop.
+// MemTransport is the in-process fast path: postings and queries apply
+// directly to a sharded in-memory store, while the same message-pass
+// cost the simulator would have charged is computed from the routing
+// tables (multicast-tree edges for floods, hop distance for replies), so
+// throughput work keeps honest paper-cost numbers. The two transports
+// agree on both results and costs on a healthy network; see
+// equivalence_test.go.
+package cluster
+
+import (
+	"errors"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+// Errors returned by the cluster layer.
+var (
+	// ErrOverload reports an async submission rejected because the
+	// owning shard's queue was full (the request was shed).
+	ErrOverload = errors.New("cluster: shard queue full")
+	// ErrClosed reports use of a closed cluster.
+	ErrClosed = errors.New("cluster: closed")
+)
+
+// Transport executes match-making operations against some substrate. It
+// is the seam between the service layer (sharding, coalescing, worker
+// pools, metrics) and the machinery that actually moves postings and
+// queries: the paper-faithful simulator today, real sockets in a later
+// iteration.
+//
+// Implementations must be safe for concurrent use; the cluster layer
+// issues operations from many goroutines at once.
+type Transport interface {
+	// Name identifies the transport in reports.
+	Name() string
+	// N returns the number of nodes served.
+	N() int
+	// Register announces a server process for port at node and returns
+	// a handle for its lifecycle (repost, migrate, deregister).
+	Register(port core.Port, node graph.NodeID) (ServerRef, error)
+	// Locate resolves port from client node, returning the freshest
+	// live posting visible at the client's query set. It fails with an
+	// error wrapping core.ErrNotFound when no rendezvous node answers.
+	Locate(client graph.NodeID, port core.Port) (core.Entry, error)
+	// LocateAll returns every live server instance for port visible
+	// from client.
+	LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error)
+	// Crash marks a node failed (it drops postings, queries and
+	// replies); Restore brings it back with its volatile cache lost.
+	Crash(node graph.NodeID) error
+	Restore(node graph.NodeID) error
+	// Passes returns the total message passes charged so far — the
+	// paper's cost measure, one unit per edge traversed.
+	Passes() int64
+	// ResetPasses zeroes the pass counter.
+	ResetPasses()
+	// Close releases transport resources.
+	Close() error
+}
+
+// ServerRef is a live server registration on some transport.
+type ServerRef interface {
+	// Port returns the registered port.
+	Port() core.Port
+	// Node returns the server's current address.
+	Node() graph.NodeID
+	// Repost refreshes the server's postings at its rendezvous nodes.
+	Repost() error
+	// Migrate moves the server to a new node: tombstones at the old
+	// rendezvous set, fresh postings at the new one.
+	Migrate(to graph.NodeID) error
+	// Deregister tombstones the server; further operations fail with
+	// core.ErrServerGone.
+	Deregister() error
+}

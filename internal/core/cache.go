@@ -38,6 +38,13 @@ func (c *cache) put(e Entry) {
 	}
 	if c.capacity > 0 && c.total >= c.capacity {
 		c.evictStalest()
+		// Eviction may have emptied and dropped this port's map (when
+		// the victim was its last instance); writing into the orphaned
+		// map would lose the entry while still counting it.
+		if byID = c.ports[e.Port]; byID == nil {
+			byID = make(map[uint64]Entry, 1)
+			c.ports[e.Port] = byID
+		}
 	}
 	byID[e.ServerID] = e
 	c.total++

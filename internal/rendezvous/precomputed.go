@@ -1,0 +1,59 @@
+package rendezvous
+
+import "matchmake/internal/graph"
+
+// precomputed materializes a strategy's posting and query sets once per
+// node. Strategies built from Funcs recompute their sets on every call
+// (Random even re-runs a PRNG permutation); on a hot serving path that
+// work dominates the lookup itself. Precompute trades O(n·(p+q)) memory
+// for O(1) set access and is what the cluster layer feeds its transports.
+type precomputed struct {
+	name  string
+	post  [][]graph.NodeID
+	query [][]graph.NodeID
+}
+
+var _ Strategy = (*precomputed)(nil)
+
+// Precompute returns a Strategy with the same Name, N, Post and Query as
+// s, but with every posting and query set materialized up front. The
+// returned sets are shared across calls; callers must not mutate them.
+// Precomputing an already-precomputed strategy returns it unchanged.
+func Precompute(s Strategy) Strategy {
+	if p, ok := s.(*precomputed); ok {
+		return p
+	}
+	n := s.N()
+	p := &precomputed{
+		name:  s.Name(),
+		post:  make([][]graph.NodeID, n),
+		query: make([][]graph.NodeID, n),
+	}
+	for v := 0; v < n; v++ {
+		p.post[v] = s.Post(graph.NodeID(v))
+		p.query[v] = s.Query(graph.NodeID(v))
+	}
+	return p
+}
+
+// Name implements Strategy.
+func (p *precomputed) Name() string { return p.name }
+
+// N implements Strategy.
+func (p *precomputed) N() int { return len(p.post) }
+
+// Post implements Strategy.
+func (p *precomputed) Post(i graph.NodeID) []graph.NodeID {
+	if int(i) < 0 || int(i) >= len(p.post) {
+		return nil
+	}
+	return p.post[i]
+}
+
+// Query implements Strategy.
+func (p *precomputed) Query(j graph.NodeID) []graph.NodeID {
+	if int(j) < 0 || int(j) >= len(p.query) {
+		return nil
+	}
+	return p.query[j]
+}

@@ -1,0 +1,47 @@
+package rendezvous
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+)
+
+func TestPrecomputeMatchesSource(t *testing.T) {
+	for _, src := range []Strategy{
+		Checkerboard(16),
+		Random(25, 5, 5, 42),
+		Broadcast(9),
+	} {
+		p := Precompute(src)
+		if p.Name() != src.Name() || p.N() != src.N() {
+			t.Fatalf("%s: identity mismatch", src.Name())
+		}
+		for v := 0; v < src.N(); v++ {
+			id := graph.NodeID(v)
+			if got, want := p.Post(id), src.Post(id); !equalIDs(got, want) {
+				t.Fatalf("%s: Post(%d) = %v; want %v", src.Name(), v, got, want)
+			}
+			if got, want := p.Query(id), src.Query(id); !equalIDs(got, want) {
+				t.Fatalf("%s: Query(%d) = %v; want %v", src.Name(), v, got, want)
+			}
+		}
+		if Precompute(p) != p {
+			t.Fatalf("%s: re-precompute did not return the same instance", src.Name())
+		}
+		if p.Post(graph.NodeID(-1)) != nil || p.Query(graph.NodeID(src.N())) != nil {
+			t.Fatalf("%s: out-of-range lookup not nil", src.Name())
+		}
+	}
+}
+
+func equalIDs(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

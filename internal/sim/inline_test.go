@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/topology"
+)
+
+// TestInlineHandlers checks that inline delivery preserves semantics:
+// every message is handled, hop accounting is unchanged, and handlers
+// may still issue one-way sends from inside a delivery.
+func TestInlineHandlers(t *testing.T) {
+	g := topology.Complete(8)
+	net, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.SetInlineHandlers(true)
+
+	var echoed atomic.Int64
+	var received atomic.Int64
+	// Node 1 echoes every payload back to node 0 with a one-way send.
+	if err := net.SetHandler(1, func(self graph.NodeID, msg Message) {
+		received.Add(1)
+		if err := net.Send(self, 0, msg.Payload); err != nil {
+			t.Errorf("echo send: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetHandler(0, func(self graph.NodeID, msg Message) {
+		echoed.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		if err := net.Send(0, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Drain()
+	if received.Load() != msgs || echoed.Load() != msgs {
+		t.Fatalf("received %d, echoed %d; want %d each", received.Load(), echoed.Load(), msgs)
+	}
+	// Complete graph: each send is 1 hop, each echo 1 hop.
+	if hops := net.Hops(); hops != 2*msgs {
+		t.Fatalf("hops = %d; want %d", hops, 2*msgs)
+	}
+
+	// Switching back re-enables goroutine-per-delivery semantics.
+	net.SetInlineHandlers(false)
+	if err := net.Send(0, 1, "again"); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	if received.Load() != msgs+1 {
+		t.Fatalf("received %d after mode switch; want %d", received.Load(), msgs+1)
+	}
+}

@@ -63,12 +63,17 @@ func (m *Message) Reply(payload any) error {
 	return nil
 }
 
-// Handler processes messages delivered to a node. Each delivery runs in
-// its own goroutine, so handlers of one node may run concurrently — a
-// node is a processor with internal concurrency, not a single thread.
-// This is what lets a server process block inside a handler on a nested
-// request/locate (§1.3's hierarchy of services) while the same node keeps
-// answering name-server traffic. Handlers must synchronize shared state.
+// Handler processes messages delivered to a node. By default each
+// delivery runs in its own goroutine, so handlers of one node may run
+// concurrently — a node is a processor with internal concurrency, not a
+// single thread. This is what lets a server process block inside a
+// handler on a nested request/locate (§1.3's hierarchy of services)
+// while the same node keeps answering name-server traffic. Handlers
+// must synchronize shared state. Note that a network switched to
+// SetInlineHandlers(true) — as the cluster layer's SimTransport does to
+// its own network — revokes the may-block allowance: there, handlers
+// run on the node's delivery loop and must never wait for a message
+// delivered to their own node.
 type Handler func(self graph.NodeID, msg Message)
 
 // Network is a running simulation over a fixed graph. Create with New,
@@ -85,9 +90,28 @@ type Network struct {
 	messages atomic.Int64 // total messages injected
 	dropped  atomic.Int64 // messages lost to crashes / no route
 
-	inflight sync.WaitGroup // undelivered or in-handler messages
-	closed   atomic.Bool
-	wg       sync.WaitGroup
+	// inflight counts undelivered or in-handler messages. It is a
+	// cond-guarded counter rather than a WaitGroup because senders keep
+	// injecting messages while other goroutines Drain: a WaitGroup
+	// forbids Add racing Wait across zero, a condition variable does
+	// not. Drain therefore means "the network was quiescent at some
+	// instant", which is all a concurrent serving layer can ask for.
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflightN    int
+
+	closed atomic.Bool
+	inline atomic.Bool
+	wg     sync.WaitGroup
+}
+
+func (n *Network) inflightAdd(delta int) {
+	n.inflightMu.Lock()
+	n.inflightN += delta
+	if n.inflightN == 0 {
+		n.inflightCond.Broadcast()
+	}
+	n.inflightMu.Unlock()
 }
 
 type node struct {
@@ -110,6 +134,7 @@ func New(g *graph.Graph) (*Network, error) {
 		nodes:   make([]*node, g.N()),
 		crashed: make([]atomic.Bool, g.N()),
 	}
+	n.inflightCond = sync.NewCond(&n.inflightMu)
 	n.routing.Store(routing)
 	for i := range n.nodes {
 		nd := &node{id: graph.NodeID(i), wake: make(chan struct{}, 1)}
@@ -126,9 +151,10 @@ func (n *Network) runNode(nd *node) {
 		nd.mu.Lock()
 		for len(nd.queue) == 0 {
 			nd.mu.Unlock()
-			if _, ok := <-nd.wake; !ok {
+			if n.closed.Load() {
 				return
 			}
+			<-nd.wake
 			nd.mu.Lock()
 		}
 		msg := nd.queue[0]
@@ -136,27 +162,42 @@ func (n *Network) runNode(nd *node) {
 		nd.mu.Unlock()
 
 		if h := nd.handler.Load(); h != nil && !n.crashed[nd.id].Load() {
+			if n.inline.Load() {
+				(*h)(nd.id, msg)
+				n.inflightAdd(-1)
+				continue
+			}
 			// Run the handler in its own goroutine so a handler that
 			// blocks (e.g. on a nested Call) does not stall the node's
 			// delivery loop and deadlock its own replies.
 			go func() {
 				(*h)(nd.id, msg)
-				n.inflight.Done()
+				n.inflightAdd(-1)
 			}()
 			continue
 		}
-		n.inflight.Done()
+		n.inflightAdd(-1)
 	}
 }
 
-// Close stops all node goroutines after in-flight messages drain.
+// Close stops all node goroutines after in-flight messages drain. The
+// wake channels are nudged, never closed, so a send racing Close gets
+// ErrClosed (or is processed) rather than panicking; each node loop
+// re-checks the closed flag before blocking again. Senders should still
+// quiesce before Close for deterministic delivery of their last
+// messages.
 func (n *Network) Close() {
 	if n.closed.Swap(true) {
 		return
 	}
-	n.inflight.Wait()
+	n.Drain()
 	for _, nd := range n.nodes {
-		close(nd.wake)
+		select {
+		case nd.wake <- struct{}{}:
+		default:
+			// A wake is already pending; the node will see the closed
+			// flag on its next pass.
+		}
 	}
 	n.wg.Wait()
 }
@@ -189,6 +230,19 @@ func (n *Network) RebuildRouting() error {
 	}
 	n.routing.Store(routing)
 	return nil
+}
+
+// SetInlineHandlers switches handler execution between one goroutine per
+// delivery (the default, required for handlers that block on nested
+// Calls, e.g. the service layer's request dispatch) and inline execution
+// on the node's delivery loop. Inline mode removes a goroutine
+// spawn/schedule from every message — a large win for high-throughput
+// serving layers whose handlers only touch caches and issue one-way
+// sends — but a handler that blocks waiting for a message delivered to
+// its own node will deadlock that node. Only enable it on networks whose
+// installed handlers never block.
+func (n *Network) SetInlineHandlers(inline bool) {
+	n.inline.Store(inline)
 }
 
 // SetHandler installs the message handler for a node. Installing nil
@@ -278,7 +332,7 @@ func (n *Network) traverse(u, v graph.NodeID) (int, error) {
 // deliver enqueues msg at its destination node.
 func (n *Network) deliver(msg Message) {
 	nd := n.nodes[msg.To]
-	n.inflight.Add(1)
+	n.inflightAdd(1)
 	nd.mu.Lock()
 	nd.queue = append(nd.queue, msg)
 	nd.mu.Unlock()
@@ -382,5 +436,15 @@ func (n *Network) Call(from, to graph.NodeID, payload any, timeout time.Duration
 	}
 }
 
-// Drain blocks until every delivered message has been processed.
-func (n *Network) Drain() { n.inflight.Wait() }
+// Drain blocks until every delivered message has been processed — i.e.
+// until the network passes through a quiescent instant. Messages
+// injected by other goroutines while Drain waits extend the wait; the
+// guarantee is quiescence at some moment, not a happens-before fence
+// against concurrent senders.
+func (n *Network) Drain() {
+	n.inflightMu.Lock()
+	for n.inflightN > 0 {
+		n.inflightCond.Wait()
+	}
+	n.inflightMu.Unlock()
+}

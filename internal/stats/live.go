@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// LiveHist is a concurrent log-linear histogram for live latency
+// tracking: values are bucketed by their power-of-two magnitude with
+// subBits bits of linear sub-bucket resolution (relative error ≤ 1/8 per
+// bucket). Observe is a single atomic add, so many goroutines can record
+// into one histogram on a hot path; quantile reads scan the fixed bucket
+// array and may run concurrently with writers (they see a slightly torn
+// but monotone-consistent view, fine for progress reports).
+//
+// The zero value is ready to use.
+type LiveHist struct {
+	buckets [liveHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+const (
+	subBits         = 3
+	subCount        = 1 << subBits
+	liveHistBuckets = (64-subBits)*subCount + subCount
+)
+
+// liveBucket maps a value to its bucket index. Values below subCount are
+// exact; larger values share a bucket with up to 1/subCount relative
+// spread.
+func liveBucket(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	major := bits.Len64(v) - 1 // ≥ subBits
+	sub := (v >> (uint(major) - subBits)) & (subCount - 1)
+	return (major-subBits+1)*subCount + int(sub)
+}
+
+// liveBucketLow returns the smallest value mapping to bucket idx.
+func liveBucketLow(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	major := idx/subCount + subBits - 1
+	sub := uint64(idx % subCount)
+	return (subCount + sub) << (uint(major) - subBits)
+}
+
+// Observe records one observation of v.
+func (h *LiveHist) Observe(v uint64) {
+	h.buckets[liveBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *LiveHist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observation (0 for an empty histogram).
+func (h *LiveHist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest observation so far.
+func (h *LiveHist) Max() uint64 { return h.max.Load() }
+
+// Quantile returns an estimate of the p-quantile (0 ≤ p ≤ 1), linearly
+// interpolated within the winning bucket. An empty histogram yields 0.
+func (h *LiveHist) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var seen float64
+	for i := range h.buckets {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo := float64(liveBucketLow(i))
+			var hi float64
+			if i+1 < liveHistBuckets {
+				hi = float64(liveBucketLow(i + 1))
+			} else {
+				hi = lo * 2
+			}
+			frac := 0.5
+			if c > 0 {
+				frac = (rank - seen) / c
+			}
+			return lo + (hi-lo)*frac
+		}
+		seen += c
+	}
+	return float64(h.max.Load())
+}
+
+// Reset zeroes the histogram. It must not race with writers.
+func (h *LiveHist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLiveBucketRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 8, 9, 15, 16, 24, 100, 1023, 1024, 1 << 20, 1 << 40, math.MaxUint64} {
+		idx := liveBucket(v)
+		lo := liveBucketLow(idx)
+		if lo > v {
+			t.Fatalf("bucket low %d > value %d (idx %d)", lo, v, idx)
+		}
+		if idx+1 < liveHistBuckets {
+			hi := liveBucketLow(idx + 1)
+			if hi <= v {
+				t.Fatalf("value %d not below next bucket low %d (idx %d)", v, hi, idx)
+			}
+		}
+	}
+	// Bucket indices must be monotone in the value.
+	prev := -1
+	for v := uint64(0); v < 4096; v++ {
+		idx := liveBucket(v)
+		if idx < prev {
+			t.Fatalf("bucket index regressed at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestLiveHistQuantiles(t *testing.T) {
+	var h LiveHist
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Fatalf("Mean = %v; want 500.5", got)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	// Log-linear buckets with 3 sub-bits guarantee ≤ 12.5% relative
+	// error; allow a bit of slack for interpolation.
+	for _, tc := range []struct{ p, want float64 }{
+		{0.50, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := h.Quantile(tc.p)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.15 {
+			t.Fatalf("Quantile(%v) = %v; want within 15%% of %v", tc.p, got, tc.want)
+		}
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}
+
+func TestLiveHistConcurrent(t *testing.T) {
+	var h LiveHist
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+				if i%1000 == 0 {
+					h.Quantile(0.99) // readers race benignly with writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("Count = %d; want %d", h.Count(), writers*per)
+	}
+}
