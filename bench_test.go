@@ -144,11 +144,14 @@ func BenchmarkLocateDecompositionRandom(b *testing.B) {
 }
 
 // BenchmarkClusterLocate measures the cluster serving layer on a
-// 64-node network under Zipfian port popularity, for both transports:
-// the in-process fast path (parallel clients) and the paper-exact
-// simulator backend. It reports the paper's cost measure (message
-// passes per locate) alongside ns/op, so the perf trajectory of the
-// serving path is tracked from this PR onward.
+// 64-node network under Zipfian port popularity, for both transports
+// and for the hot-path acceleration layer: hints=off is the cold full
+// P∩Q flood, hints=on the probe-validated address-hint path (the
+// acceptance bar: ≥5× the PR-1 mem baseline at 0 allocs/op), batch=16
+// the shard-grouped LocateBatch, and weighted the frequency-weighted
+// strategy with the hottest ports promoted. It reports the paper's cost
+// measure (message passes per locate) alongside ns/op, so the perf
+// trajectory of the serving path is tracked across PRs.
 func BenchmarkClusterLocate(b *testing.B) {
 	const (
 		n     = 64
@@ -160,9 +163,9 @@ func BenchmarkClusterLocate(b *testing.B) {
 	for p := range names {
 		names[p] = core.Port(fmt.Sprintf("svc-%04d", p))
 	}
-	setup := func(b *testing.B, tr cluster.Transport) *cluster.Cluster {
+	setup := func(b *testing.B, tr cluster.Transport, opts cluster.Options) *cluster.Cluster {
 		b.Helper()
-		c := cluster.New(tr, cluster.Options{})
+		c := cluster.New(tr, opts)
 		b.Cleanup(func() { c.Close() })
 		for p := 0; p < ports; p++ {
 			if _, err := c.Register(names[p], graph.NodeID((p*7919)%n)); err != nil {
@@ -174,22 +177,93 @@ func BenchmarkClusterLocate(b *testing.B) {
 	report := func(b *testing.B, tr cluster.Transport, before int64) {
 		b.ReportMetric(float64(tr.Passes()-before)/float64(b.N), "passes/locate")
 	}
-
-	b.Run("transport=mem", func(b *testing.B) {
-		tr, err := cluster.NewMemTransport(topology.Complete(n), rendezvous.Checkerboard(n), 0)
-		if err != nil {
-			b.Fatal(err)
+	// The workload tables are sampled once up front so the measured
+	// loops don't bill the Zipf sampler's log/exp math to the serving
+	// path; every goroutine walks the same tables from a different
+	// offset.
+	const sampleLen = 1 << 14
+	samplePorts := make([]core.Port, sampleLen)
+	sampleClients := make([]graph.NodeID, sampleLen)
+	{
+		rng := rand.New(rand.NewSource(1))
+		zipf := rand.NewZipf(rng, 1.2, 1, ports-1)
+		for i := range samplePorts {
+			samplePorts[i] = names[zipf.Uint64()]
+			sampleClients[i] = graph.NodeID(rng.Intn(n))
 		}
-		c := setup(b, tr)
+	}
+	runMemParallel := func(b *testing.B, c *cluster.Cluster, tr cluster.Transport) {
 		var seq atomic.Int64
 		b.ReportAllocs()
 		before := tr.Passes()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
-			rng := rand.New(rand.NewSource(seq.Add(1)))
-			zipf := rand.NewZipf(rng, 1.2, 1, ports-1)
+			i := int(seq.Add(1)) * 7919
 			for pb.Next() {
-				if _, err := c.Locate(graph.NodeID(rng.Intn(n)), names[zipf.Uint64()]); err != nil {
+				i++
+				k := i & (sampleLen - 1)
+				if _, err := c.Locate(sampleClients[k], samplePorts[k]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		report(b, tr, before)
+	}
+	newMem := func(b *testing.B) *cluster.MemTransport {
+		tr, err := cluster.NewMemTransport(topology.Complete(n), rendezvous.Checkerboard(n), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+
+	b.Run("transport=mem/hints=off", func(b *testing.B) {
+		tr := newMem(b)
+		runMemParallel(b, setup(b, tr, cluster.Options{}), tr)
+	})
+
+	b.Run("transport=mem/hints=on", func(b *testing.B) {
+		tr := newMem(b)
+		c := setup(b, tr, cluster.Options{Hints: true})
+		// Prime every (client, port) hint so the measured loop is the
+		// steady-state hit path.
+		for cl := 0; cl < n; cl++ {
+			for p := 0; p < ports; p++ {
+				if _, err := c.Locate(graph.NodeID(cl), names[p]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		runMemParallel(b, c, tr)
+	})
+
+	b.Run("transport=mem/batch=16", func(b *testing.B) {
+		tr := newMem(b)
+		c := setup(b, tr, cluster.Options{})
+		var seq atomic.Int64
+		b.ReportAllocs()
+		before := tr.Passes()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(seq.Add(1)) * 7919
+			reqs := make([]cluster.LocateReq, 16)
+			res := make([]cluster.LocateRes, 16)
+			for pb.Next() {
+				// One iteration = one batched locate: fill a slot per
+				// pb.Next() so ns/op stays per-locate comparable.
+				i++
+				k := i & (sampleLen - 1)
+				reqs[0] = cluster.LocateReq{Client: sampleClients[k], Port: samplePorts[k]}
+				filled := 1
+				for filled < len(reqs) && pb.Next() {
+					i++
+					k = i & (sampleLen - 1)
+					reqs[filled] = cluster.LocateReq{Client: sampleClients[k], Port: samplePorts[k]}
+					filled++
+				}
+				if err := c.LocateBatch(reqs[:filled], res[:filled]); err != nil {
 					b.Error(err)
 					return
 				}
@@ -199,15 +273,51 @@ func BenchmarkClusterLocate(b *testing.B) {
 		report(b, tr, before)
 	})
 
-	b.Run("transport=sim", func(b *testing.B) {
+	b.Run("transport=mem/weighted", func(b *testing.B) {
+		hot, err := strategy.PostHeavy(n, strategy.AlphaQuerySize(n, 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := strategy.NewWeighted(rendezvous.Checkerboard(n), hot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := cluster.NewWeightedMemTransport(topology.Complete(n), w, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := setup(b, tr, cluster.Options{HotPorts: 2})
+		// Warm the popularity counters with the Zipf head, then promote.
+		warm := rand.NewZipf(rand.New(rand.NewSource(1)), 1.2, 1, ports-1)
+		for i := 0; i < 4096; i++ {
+			if _, err := c.Locate(graph.NodeID(i%n), names[warm.Uint64()]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.ReclassifyHot(); err != nil {
+			b.Fatal(err)
+		}
+		runMemParallel(b, c, tr)
+	})
+
+	runSim := func(b *testing.B, opts cluster.Options, prime bool) {
 		tr, err := cluster.NewSimTransport(topology.Complete(n), rendezvous.Checkerboard(n),
 			core.Options{LocateTimeout: 2 * time.Second, CollectWindow: time.Millisecond})
 		if err != nil {
 			b.Fatal(err)
 		}
-		c := setup(b, tr)
+		c := setup(b, tr, opts)
 		rng := rand.New(rand.NewSource(1))
 		zipf := rand.NewZipf(rng, 1.2, 1, ports-1)
+		if prime {
+			for cl := 0; cl < n; cl++ {
+				for p := 0; p < ports; p++ {
+					if _, err := c.Locate(graph.NodeID(cl), names[p]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
 		b.ReportAllocs()
 		before := tr.Passes()
 		b.ResetTimer()
@@ -218,6 +328,14 @@ func BenchmarkClusterLocate(b *testing.B) {
 		}
 		b.StopTimer()
 		report(b, tr, before)
+	}
+
+	b.Run("transport=sim/hints=off", func(b *testing.B) {
+		runSim(b, cluster.Options{}, false)
+	})
+
+	b.Run("transport=sim/hints=on", func(b *testing.B) {
+		runSim(b, cluster.Options{Hints: true}, true)
 	})
 }
 

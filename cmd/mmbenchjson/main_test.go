@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: matchmake
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkClusterLocate/transport=mem/hints=off-8         	 2434659	      1098 ns/op	         8.862 passes/locate	     192 B/op	       2 allocs/op
+BenchmarkClusterLocate/transport=mem/hints=on-8          	17528206	       143.0 ns/op	         1.969 passes/locate	       0 B/op	       0 allocs/op
+BenchmarkClusterStore-8  	 9000000	       120.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkE01Matrices-8   	     100	    10000 ns/op	         6.000 tables
+PASS
+ok  	matchmake	12.923s
+`
+
+func TestRunFiltersAndParses(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-match", "ClusterLocate"}, strings.NewReader(benchOutput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Goos != "linux" || doc.Pkg != "matchmake" {
+		t.Fatalf("header not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2:\n%s", len(doc.Benchmarks), sb.String())
+	}
+	hit := doc.Benchmarks[1]
+	if hit.Name != "BenchmarkClusterLocate/transport=mem/hints=on-8" {
+		t.Fatalf("unexpected name %q", hit.Name)
+	}
+	if hit.NsPerOp != 143.0 || hit.AllocsOp != 0 || hit.Iterations != 17528206 {
+		t.Fatalf("misparsed result: %+v", hit)
+	}
+	if hit.Metrics["passes/locate"] != 1.969 {
+		t.Fatalf("custom metric lost: %+v", hit.Metrics)
+	}
+}
+
+func TestRunNoFilterKeepsAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, strings.NewReader(benchOutput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[3].Metrics["tables"] != 6 {
+		t.Fatalf("tables metric lost: %+v", doc.Benchmarks[3])
+	}
+}

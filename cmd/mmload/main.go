@@ -17,6 +17,9 @@
 //	mmload -workload zipf -zipf-s 1.4        # skew the port popularity
 //	mmload -churn 50ms                       # crash/re-register churn
 //	mmload -rate 200000                      # open-loop at 200k locates/sec
+//	mmload -hints                            # probe-validated address hint cache
+//	mmload -batch 16                         # batched locates via LocateBatch
+//	mmload -weighted -hot 2                  # frequency-weighted hot-port strategy
 //
 // Workload flags:
 //
@@ -39,6 +42,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -46,6 +50,7 @@ import (
 	"matchmake/internal/core"
 	"matchmake/internal/graph"
 	"matchmake/internal/rendezvous"
+	"matchmake/internal/strategy"
 	"matchmake/internal/topology"
 )
 
@@ -69,6 +74,12 @@ type config struct {
 	duration    time.Duration
 	concurrency int
 	rate        int
+	batch       int
+	hints       bool
+	weighted    bool
+	hotPorts    int
+	hotRefresh  time.Duration
+	hotAlpha    float64
 	shards      int
 	workers     int
 	queue       int
@@ -93,6 +104,12 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement duration")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop client goroutines")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
+	fs.IntVar(&cfg.batch, "batch", 0, "closed loop: issue locates in batches of N via LocateBatch (0 = single locates)")
+	fs.BoolVar(&cfg.hints, "hints", false, "enable the per-client address hint cache (probe-validated, generation-invalidated)")
+	fs.BoolVar(&cfg.weighted, "weighted", false, "mem transport: frequency-weighted strategy (hot ports switch to a post-heavy split)")
+	fs.IntVar(&cfg.hotPorts, "hot", 2, "weighted: number of ports to keep promoted")
+	fs.DurationVar(&cfg.hotRefresh, "hot-refresh", 250*time.Millisecond, "weighted: reclassification period")
+	fs.Float64Var(&cfg.hotAlpha, "hot-alpha", 16, "weighted: assumed locate:post frequency ratio (sets the hot query size √(n/α))")
 	fs.IntVar(&cfg.shards, "shards", 0, "cluster shards (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.workers, "workers", 0, "workers per shard (0 = default)")
 	fs.IntVar(&cfg.queue, "queue", 0, "per-shard async queue depth (0 = default)")
@@ -109,6 +126,9 @@ func run(args []string, out io.Writer) error {
 	if cfg.ports < 1 {
 		return fmt.Errorf("need at least 1 port")
 	}
+	if cfg.rate > 0 && cfg.batch > 0 {
+		return fmt.Errorf("-batch applies to the closed loop only; drop -rate to measure LocateBatch")
+	}
 
 	g, err := buildTopology(cfg.topo, cfg.nodes)
 	if err != nil {
@@ -122,25 +142,33 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	c := cluster.New(tr, cluster.Options{
+	copts := cluster.Options{
 		Shards:            cfg.shards,
 		WorkersPerShard:   cfg.workers,
 		QueueDepth:        cfg.queue,
 		DisableCoalescing: cfg.noCoalesce,
-	})
+		Hints:             cfg.hints,
+	}
+	if cfg.weighted {
+		copts.HotPorts = cfg.hotPorts
+		copts.HotRefresh = cfg.hotRefresh
+	}
+	c := cluster.New(tr, copts)
 	defer c.Close()
 
-	// One server per port, spread deterministically over the nodes.
+	// One server per port, spread deterministically over the nodes and
+	// announced through the batched posting path (one shard lock per
+	// store shard, bulk pass accounting).
 	names := makePortNames(cfg.ports)
-	reg := &registry{servers: make([]cluster.ServerRef, cfg.ports)}
+	regs := make([]cluster.Registration, cfg.ports)
 	for p := 0; p < cfg.ports; p++ {
-		node := graph.NodeID((p * 7919) % g.N())
-		ref, err := c.Register(names[p], node)
-		if err != nil {
-			return fmt.Errorf("register %s at %d: %w", names[p], node, err)
-		}
-		reg.servers[p] = ref
+		regs[p] = cluster.Registration{Port: names[p], Node: graph.NodeID((p * 7919) % g.N())}
 	}
+	refs, err := c.PostBatch(regs)
+	if err != nil {
+		return fmt.Errorf("register services: %w", err)
+	}
+	reg := &registry{servers: refs}
 
 	stop := make(chan struct{})
 	var churnWG sync.WaitGroup
@@ -153,11 +181,15 @@ func run(args []string, out io.Writer) error {
 	}
 
 	c.ResetMetrics()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	if cfg.rate > 0 {
 		err = openLoop(c, cfg, names, g.N())
 	} else {
 		err = closedLoop(c, cfg, names, g.N())
 	}
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(stop)
 	churnWG.Wait()
 	if err != nil {
@@ -168,6 +200,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
 		tr.Name(), cfg.topo, g.N(), strat.Name(), cfg.ports, cfg.workload, churnSuffix(cfg))
 	fmt.Fprintln(out, m.String())
+	if m.Locates > 0 {
+		// Process-wide allocation count over the window divided by
+		// locates: includes the harness's own allocations, so it is an
+		// upper bound on the serving path's allocs/op.
+		allocs := float64(memAfter.Mallocs-memBefore.Mallocs) / float64(m.Locates)
+		fmt.Fprintf(out, "allocs/locate≈%.2f (process-wide upper bound)\n", allocs)
+	}
 	return nil
 }
 
@@ -253,8 +292,22 @@ func buildStrategy(name string, n int, seed int64) (rendezvous.Strategy, error) 
 func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
 	switch cfg.transport {
 	case "mem":
+		if cfg.weighted {
+			hot, err := strategy.PostHeavy(g.N(), strategy.AlphaQuerySize(g.N(), cfg.hotAlpha))
+			if err != nil {
+				return nil, err
+			}
+			w, err := strategy.NewWeighted(strat, hot)
+			if err != nil {
+				return nil, err
+			}
+			return cluster.NewWeightedMemTransport(g, w, 0)
+		}
 		return cluster.NewMemTransport(g, strat, 0)
 	case "sim":
+		if cfg.weighted {
+			return nil, fmt.Errorf("-weighted needs -transport mem (the sim path runs the base strategy only)")
+		}
 		return cluster.NewSimTransport(g, strat, core.Options{
 			LocateTimeout: cfg.locateTO,
 			CollectWindow: cfg.collectWin,
@@ -288,6 +341,9 @@ func portPicker(cfg config, names []core.Port, workerSeed int64) (func() core.Po
 
 // closedLoop hammers the cluster from cfg.concurrency goroutines until
 // the deadline; each failed locate is already counted by the metrics.
+// With -batch N each worker issues its locates through LocateBatch in
+// groups of N (reused request/result slices, shard-grouped store
+// access).
 func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
 	deadline := time.Now().Add(cfg.duration)
 	var wg sync.WaitGroup
@@ -302,6 +358,20 @@ func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error 
 				return
 			}
 			rng := rand.New(rand.NewSource(cfg.seed*31 + int64(w)))
+			if cfg.batch > 0 {
+				reqs := make([]cluster.LocateReq, cfg.batch)
+				res := make([]cluster.LocateRes, cfg.batch)
+				for time.Now().Before(deadline) {
+					for i := range reqs {
+						reqs[i] = cluster.LocateReq{Client: graph.NodeID(rng.Intn(n)), Port: pick()}
+					}
+					if err := c.LocateBatch(reqs, res); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				return
+			}
 			for time.Now().Before(deadline) {
 				// Batch the deadline check amortization: 64 locates per
 				// clock read keeps the loop out of time.Now.
@@ -324,6 +394,15 @@ func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error 
 // openLoop submits arrivals at cfg.rate locates/sec onto the cluster's
 // shard worker pools, shedding (not queueing) when the pools fall
 // behind — the throughput-under-offered-load view.
+//
+// Pacing is by absolute deadline: the k-th arrival is due at
+// start + k/rate, and the loop sleeps until the next arrival's absolute
+// due time rather than a fixed relative interval. Relative ticks
+// accumulate scheduler drift and drop the final partial interval, which
+// undershoots the offered rate (and flatters the shedding stats) once
+// the rate climbs past ~100k/s; the absolute schedule self-corrects
+// after every oversleep and always issues exactly rate×duration
+// arrivals.
 func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
 	pick, err := portPicker(cfg, names, 0)
 	if err != nil {
@@ -332,18 +411,27 @@ func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
 	rng := rand.New(rand.NewSource(cfg.seed * 17))
 	var pending sync.WaitGroup
 	start := time.Now()
-	deadline := start.Add(cfg.duration)
+	total := int(float64(cfg.rate) * cfg.duration.Seconds())
+	perArrival := float64(time.Second) / float64(cfg.rate)
 	issued := 0
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
-	for now := start; now.Before(deadline); now = <-tick.C {
-		due := int(float64(cfg.rate) * now.Sub(start).Seconds())
+	for issued < total {
+		due := int(float64(cfg.rate) * time.Since(start).Seconds())
+		if due > total {
+			due = total
+		}
 		for ; issued < due; issued++ {
 			client := graph.NodeID(rng.Intn(n))
 			pending.Add(1)
 			if err := c.Submit(client, pick(), func(core.Entry, error) { pending.Done() }); err != nil {
 				pending.Done() // shed; already counted in metrics
 			}
+		}
+		if issued >= total {
+			break
+		}
+		next := start.Add(time.Duration(float64(issued+1) * perArrival))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
 		}
 	}
 	pending.Wait()

@@ -56,10 +56,55 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-workload", "bursty"},
 		{"-workload", "zipf", "-zipf-s", "0.5"},
 		{"-topology", "hypercube", "-nodes", "63"},
+		{"-transport", "sim", "-weighted"},
+		{"-rate", "1000", "-batch", "8"},
 	} {
 		var sb strings.Builder
 		if err := run(append(args, "-duration", "10ms"), &sb); err == nil {
 			t.Fatalf("run(%v) accepted bad flags", args)
 		}
+	}
+}
+
+func TestRunWithHints(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "64", "-workload", "zipf",
+		"-duration", "150ms", "-concurrency", "4", "-hints")
+	if !strings.Contains(out, "hints: hits=") {
+		t.Fatalf("output missing hint stats:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/locate") {
+		t.Fatalf("output missing allocs report:\n%s", out)
+	}
+}
+
+func TestRunWithBatch(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "64", "-workload", "uniform",
+		"-duration", "150ms", "-concurrency", "4", "-batch", "16")
+	if strings.Contains(out, "locates=0 ") {
+		t.Fatalf("no locates completed:\n%s", out)
+	}
+}
+
+func TestRunWeighted(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "64", "-workload", "zipf",
+		"-duration", "300ms", "-concurrency", "4",
+		"-weighted", "-hot", "2", "-hot-refresh", "50ms")
+	if !strings.Contains(out, "transport=mem-weighted") {
+		t.Fatalf("output missing weighted transport marker:\n%s", out)
+	}
+	if strings.Contains(out, "locates=0 ") {
+		t.Fatalf("no locates completed:\n%s", out)
+	}
+}
+
+func TestRunHintsWithChurn(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "36", "-workload", "zipf",
+		"-duration", "300ms", "-concurrency", "4", "-hints", "-churn", "50ms")
+	if !strings.Contains(out, "hints: hits=") {
+		t.Fatalf("output missing hint stats:\n%s", out)
 	}
 }

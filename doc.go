@@ -20,8 +20,11 @@
 //   - internal/service — the Amoeba-style service model of §1.3
 //   - internal/cluster — sharded match-making service layer: a Transport
 //     seam with a paper-exact simulator backend and a lock-free
-//     in-process fast path, locate coalescing, per-shard worker pools
-//     and live metrics
+//     in-process fast path, probe-validated address hints with a
+//     generation-based invalidation protocol, batched locate/post
+//     operations, a frequency-weighted hot-port strategy (E16/M3′
+//     live), locate coalescing, per-shard worker pools and live
+//     metrics
 //   - internal/experiments — every table and figure, as code
 //
 // The benchmarks in this package (bench_test.go) regenerate each
@@ -32,7 +35,11 @@
 // `go run ./cmd/mmload` load-tests a cluster: pick a transport
 // (-transport mem|sim), a port-popularity workload (-workload uniform,
 // or -workload zipf with -zipf-s/-zipf-v for skew), optional
-// crash/re-register churn (-churn 50ms), and closed-loop (-concurrency)
-// or open-loop (-rate) driving; it reports throughput, p50/p99 latency
-// and message passes per locate. DESIGN.md documents every flag.
+// crash/re-register churn (-churn 50ms), the hot-path accelerators
+// (-hints, -batch N, -weighted), and closed-loop (-concurrency) or
+// open-loop (-rate, absolute-deadline paced) driving; it reports
+// throughput, p50/p99 latency, hint hit-rate, allocs/locate and
+// message passes per locate. DESIGN.md documents every flag, and
+// cmd/mmbenchjson turns bench output into the BENCH_cluster.json CI
+// artifact.
 package matchmake

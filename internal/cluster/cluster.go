@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"hash/maphash"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +28,24 @@ type Options struct {
 	// Coalesce merges concurrent locates for the same (client, port)
 	// into one underlying query flood. Disabled by DisableCoalescing.
 	DisableCoalescing bool
+	// Hints enables the per-client address hint cache: a successful
+	// locate caches the resolved entry under the transport's current
+	// generation, and later locates for the same (client, port)
+	// validate it with one direct probe (2×Dist passes) instead of a
+	// full query flood. Stale hints fail fast: migrations,
+	// deregistrations, registrations and crashes bump the sharded
+	// generation index, and a probe that misses marks the hint dead.
+	Hints bool
+	// HotPorts, when positive, enables the frequency-weighted strategy
+	// loop: the cluster counts per-port locate popularity and promotes
+	// the HotPorts most-located ports on a transport that implements
+	// HotReclassifier (a weighted MemTransport). Zero disables
+	// popularity tracking entirely.
+	HotPorts int
+	// HotRefresh is the reclassification period when HotPorts is set.
+	// Zero disables the background loop; ReclassifyHot can still be
+	// called explicitly.
+	HotRefresh time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -55,15 +75,83 @@ type Cluster struct {
 	opts Options
 	seed maphash.Seed
 
-	shards []*clusterShard
+	shards   []*clusterShard
+	hints    *hintCache  // nil unless Options.Hints
+	genSlots genSlotter  // non-nil when the transport exposes generation slots
+	pop      *popularity // nil unless Options.HotPorts > 0
 	// closeMu is read-held across every public operation (and Submit's
 	// queue send) so Close — which takes it exclusively — cannot close
 	// the queues or the transport while an operation is mid-flight.
 	closeMu sync.RWMutex
 	closed  atomic.Bool
+	stopHot chan struct{}
 	wg      sync.WaitGroup
 
+	batchScratch sync.Pool // *clusterScratch for hint-aware LocateBatch
+
 	metrics Metrics
+}
+
+// clusterScratch is the pooled workspace of a hint-aware LocateBatch:
+// the sub-batch of hint misses forwarded to the transport.
+type clusterScratch struct {
+	reqs  []LocateReq
+	res   []LocateRes
+	idx   []int
+	gens  []uint64
+	slots []*atomic.Uint64
+}
+
+// popularity is the sharded-on-demand port-popularity counter feeding
+// the frequency-weighted strategy: one atomic per port, found through a
+// read-locked map, so the count on the locate hot path is two atomic
+// operations and no allocation after a port's first locate.
+type popularity struct {
+	mu sync.RWMutex
+	m  map[core.Port]*atomic.Int64
+}
+
+func (p *popularity) bump(port core.Port) {
+	p.mu.RLock()
+	ctr := p.m[port]
+	p.mu.RUnlock()
+	if ctr == nil {
+		p.mu.Lock()
+		if ctr = p.m[port]; ctr == nil {
+			ctr = new(atomic.Int64)
+			p.m[port] = ctr
+		}
+		p.mu.Unlock()
+	}
+	ctr.Add(1)
+}
+
+// top returns the k most-located ports, most popular first.
+func (p *popularity) top(k int) []core.Port {
+	type pc struct {
+		port  core.Port
+		count int64
+	}
+	p.mu.RLock()
+	all := make([]pc, 0, len(p.m))
+	for port, ctr := range p.m {
+		all = append(all, pc{port: port, count: ctr.Load()})
+	}
+	p.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].port < all[j].port
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]core.Port, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].port
+	}
+	return out
 }
 
 // clusterShard owns the coalescing table and worker pool for one slice
@@ -96,12 +184,20 @@ type task struct {
 // New builds a cluster over tr. The cluster does not own the transport's
 // lifecycle until Close is called, which closes it.
 func New(tr Transport, opts Options) *Cluster {
-	c := &Cluster{tr: tr, opts: opts.withDefaults(), seed: maphash.MakeSeed()}
+	c := &Cluster{tr: tr, opts: opts.withDefaults(), seed: maphash.MakeSeed(), stopHot: make(chan struct{})}
 	c.metrics.start(tr)
+	c.batchScratch.New = func() any { return &clusterScratch{} }
+	if c.opts.Hints {
+		c.hints = newHintCache(tr.N())
+		c.genSlots, _ = tr.(genSlotter)
+	}
+	if c.opts.HotPorts > 0 {
+		c.pop = &popularity{m: make(map[core.Port]*atomic.Int64, 64)}
+	}
 	c.shards = make([]*clusterShard, c.opts.Shards)
 	for i := range c.shards {
 		sh := &clusterShard{
-			flights: make(map[flightKey]*flight),
+			flights: make(map[flightKey]*flight, 32),
 			queue:   make(chan task, c.opts.QueueDepth),
 		}
 		c.shards[i] = sh
@@ -110,7 +206,40 @@ func New(tr Transport, opts Options) *Cluster {
 			go c.runWorker(sh)
 		}
 	}
+	if c.pop != nil && c.opts.HotRefresh > 0 && reclassifiable(tr) {
+		c.wg.Add(1)
+		go c.runHotLoop()
+	}
 	return c
+}
+
+// runHotLoop periodically re-derives the hot-port set from the live
+// popularity counters and pushes it to the transport.
+func (c *Cluster) runHotLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.opts.HotRefresh)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopHot:
+			return
+		case <-tick.C:
+			_ = c.ReclassifyHot()
+		}
+	}
+}
+
+// ReclassifyHot promotes the currently most-located HotPorts ports on
+// the transport's weighted strategy. It fails on transports without one
+// or when popularity tracking is disabled.
+func (c *Cluster) ReclassifyHot() error {
+	if !reclassifiable(c.tr) {
+		return errors.New("cluster: transport has no weighted strategy")
+	}
+	if c.pop == nil {
+		return errors.New("cluster: popularity tracking disabled (Options.HotPorts)")
+	}
+	return c.tr.(HotReclassifier).SetHotPorts(c.pop.top(c.opts.HotPorts))
 }
 
 func (c *Cluster) runWorker(sh *clusterShard) {
@@ -172,18 +301,84 @@ func (c *Cluster) Locate(client graph.NodeID, port core.Port) (core.Entry, error
 }
 
 func (c *Cluster) locate(client graph.NodeID, port core.Port) (core.Entry, error) {
-	begin := time.Now()
+	stripe := int(client)
+	sampled := c.metrics.sampleLocate(stripe)
+	var begin time.Time
+	if sampled {
+		begin = time.Now()
+	}
+	if c.pop != nil {
+		c.pop.bump(port)
+	}
+	if c.hints != nil {
+		if e, ok := c.hintLocate(client, port); ok {
+			var d time.Duration
+			if sampled {
+				d = time.Since(begin)
+			}
+			c.metrics.observeLocate(stripe, d, sampled, nil)
+			return e, nil
+		}
+	}
 	var (
-		e   core.Entry
-		err error
+		e       core.Entry
+		gen     uint64
+		genSlot *atomic.Uint64
+		err     error
 	)
+	if c.hints != nil {
+		// Sample the generation before the flood: if an invalidation
+		// lands mid-flood the cached hint carries a stale generation and
+		// the next locate falls back to a fresh flood.
+		gen, genSlot = c.genBefore(port)
+	}
 	if c.opts.DisableCoalescing {
 		e, err = c.tr.Locate(client, port)
 	} else {
 		e, err = c.locateCoalesced(client, port)
 	}
-	c.metrics.observeLocate(time.Since(begin), err)
+	if c.hints != nil && err == nil {
+		c.hints.put(client, port, e, gen, genSlot)
+	}
+	var d time.Duration
+	if sampled {
+		d = time.Since(begin)
+	}
+	c.metrics.observeLocate(stripe, d, sampled, err)
 	return e, err
+}
+
+// genBefore samples port's current generation (and its counter address,
+// when the transport exposes one) ahead of a flood.
+func (c *Cluster) genBefore(port core.Port) (uint64, *atomic.Uint64) {
+	if c.genSlots != nil {
+		slot := c.genSlots.genSlot(port)
+		return slot.Load(), slot
+	}
+	return c.tr.Gen(port), nil
+}
+
+// hintLocate serves a locate from the address hint cache when possible:
+// generation-checked, then confirmed by one direct probe. A failed
+// probe marks the hint dead so the pair goes straight to the flood
+// until the generation moves. The hit path performs no allocation.
+func (c *Cluster) hintLocate(client graph.NodeID, port core.Port) (core.Entry, bool) {
+	sl, hv := c.hints.lookup(client, port)
+	if sl == nil || hv == nil || hv.dead {
+		return core.Entry{}, false
+	}
+	if hv.stale(c.tr) {
+		c.metrics.hintStale.Add(1)
+		return core.Entry{}, false
+	}
+	e, err := c.tr.Probe(client, hv.entry)
+	if err != nil {
+		c.hints.markDead(sl, hv)
+		c.metrics.hintProbeFails.Add(1)
+		return core.Entry{}, false
+	}
+	c.metrics.hintHits.Add(int(client), 1)
+	return e, true
 }
 
 func (c *Cluster) locateCoalesced(client graph.NodeID, port core.Port) (core.Entry, error) {
@@ -230,6 +425,83 @@ func (c *Cluster) Submit(client graph.NodeID, port core.Port, cb func(core.Entry
 	}
 }
 
+// LocateBatch resolves reqs[i] into res[i] (res must be at least as
+// long as reqs) through the transport's batched path: shard-grouped
+// store access and bulk pass accounting on the fast path. With hints
+// enabled each request first tries its cached address; only the misses
+// are forwarded as a sub-batch. Batched locates are not coalesced with
+// concurrent single locates; every request is counted and timed in the
+// metrics (all requests of a batch share its wall-clock duration).
+func (c *Cluster) LocateBatch(reqs []LocateReq, res []LocateRes) error {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	n := len(reqs)
+	if n > len(res) {
+		return errors.New("cluster: LocateBatch result slice shorter than requests")
+	}
+	begin := time.Now()
+	if c.pop != nil {
+		for i := 0; i < n; i++ {
+			c.pop.bump(reqs[i].Port)
+		}
+	}
+	if c.hints == nil {
+		c.tr.LocateBatch(reqs, res[:n])
+	} else {
+		sc := c.batchScratch.Get().(*clusterScratch)
+		sc.reqs, sc.res, sc.idx = sc.reqs[:0], sc.res[:0], sc.idx[:0]
+		sc.gens, sc.slots = sc.gens[:0], sc.slots[:0]
+		for i := 0; i < n; i++ {
+			if e, ok := c.hintLocate(reqs[i].Client, reqs[i].Port); ok {
+				res[i] = LocateRes{Entry: e}
+				continue
+			}
+			gen, slot := c.genBefore(reqs[i].Port)
+			sc.idx = append(sc.idx, i)
+			sc.gens = append(sc.gens, gen)
+			sc.slots = append(sc.slots, slot)
+			sc.reqs = append(sc.reqs, reqs[i])
+		}
+		if len(sc.reqs) > 0 {
+			if cap(sc.res) < len(sc.reqs) {
+				sc.res = make([]LocateRes, len(sc.reqs))
+			}
+			sc.res = sc.res[:len(sc.reqs)]
+			c.tr.LocateBatch(sc.reqs, sc.res)
+			for j, i := range sc.idx {
+				res[i] = sc.res[j]
+				if sc.res[j].Err == nil {
+					c.hints.put(reqs[i].Client, reqs[i].Port, sc.res[j].Entry, sc.gens[j], sc.slots[j])
+				}
+			}
+		}
+		c.batchScratch.Put(sc)
+	}
+	elapsed := time.Since(begin)
+	for i := 0; i < n; i++ {
+		stripe := int(reqs[i].Client)
+		sampled := c.metrics.sampleLocate(stripe)
+		c.metrics.observeLocate(stripe, elapsed, sampled, res[i].Err)
+	}
+	return nil
+}
+
+// PostBatch registers many servers in one transport operation and
+// counts the postings.
+func (c *Cluster) PostBatch(regs []Registration) ([]ServerRef, error) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	refs, err := c.tr.PostBatch(regs)
+	c.metrics.posts.Add(int64(len(refs)))
+	return refs, err
+}
+
 // LocateAll resolves every live instance of port visible from client.
 func (c *Cluster) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
 	c.closeMu.RLock()
@@ -237,9 +509,11 @@ func (c *Cluster) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, 
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	stripe := int(client)
+	sampled := c.metrics.sampleLocate(stripe)
 	begin := time.Now()
 	out, err := c.tr.LocateAll(client, port)
-	c.metrics.observeLocate(time.Since(begin), err)
+	c.metrics.observeLocate(stripe, time.Since(begin), sampled, err)
 	return out, err
 }
 
@@ -260,6 +534,7 @@ func (c *Cluster) Close() error {
 		c.closeMu.Unlock()
 		return nil
 	}
+	close(c.stopHot)
 	for _, sh := range c.shards {
 		close(sh.queue)
 	}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +11,8 @@ import (
 	"matchmake/internal/graph"
 	"matchmake/internal/rendezvous"
 	"matchmake/internal/sim"
+	"matchmake/internal/stats"
+	"matchmake/internal/strategy"
 )
 
 // MemTransport is the in-process fast path: postings and queries apply
@@ -19,6 +22,14 @@ import (
 // every node are fixed by the strategy, so their spanning-tree multicast
 // costs are precomputed once from the routing tables, and each
 // rendezvous reply is charged its hop distance back to the client.
+//
+// Beyond single operations it implements the hot-path acceleration
+// seam: Probe (direct hint validation at 2×Dist), a sharded generation
+// index for hint invalidation, LocateBatch/PostBatch (shard-grouped
+// store access with bulk pass accounting), and an optional
+// frequency-weighted mode (strategy.Weighted) in which observed-hot
+// ports query a small post-heavy split while their servers post to the
+// union of the base and hot posting sets.
 //
 // Crashes are modelled at the endpoints (a crashed origin cannot post
 // or query — sim.ErrCrashed, as on the simulator — and a crashed
@@ -38,17 +49,72 @@ type MemTransport struct {
 	postCost  []int64          // multicast-tree edges of P(i) from i
 	queryCost []int64          // multicast-tree edges of Q(j) from j
 
+	// Weighted mode (nil when disabled): hot ports query hotQuery and
+	// their servers post to unionPost; hotSet is the published hot-port
+	// classification, swapped wholesale by SetHotPorts.
+	weighted      *strategy.Weighted
+	hotQuery      [][]graph.NodeID
+	hotQueryCost  []int64
+	unionPost     [][]graph.NodeID
+	unionPostCost []int64
+	hotSet        atomic.Pointer[map[core.Port]bool]
+
+	// The live registration table probes answer from. byID is a
+	// copy-on-write snapshot (rebuilt under regMu on every add/drop, a
+	// rare heavyweight event) so the probe hot path is one atomic load
+	// and a map read — no lock, no allocation, no reader contention.
+	// byPort is walked by SetHotPorts to repost newly hot ports; regMu
+	// also linearizes registration class decisions against
+	// reclassification.
+	regMu    sync.Mutex
+	byID     atomic.Pointer[map[uint64]*memServer]
+	byPort   map[core.Port]map[uint64]*memServer
+	gens     *genIndex
 	crashed  []atomic.Bool
-	passes   atomic.Int64
+	passes   stats.StripedCounter
 	serverID atomic.Uint64
+
+	scratch sync.Pool // *memScratch, reused by LocateBatch/PostBatch
 }
 
 var _ Transport = (*MemTransport)(nil)
+var _ HotReclassifier = (*MemTransport)(nil)
+
+// memScratch is the reusable workspace of a batched operation: keys
+// grouped by store shard plus per-request found flags. Pooled so a
+// steady stream of batches allocates nothing.
+type memScratch struct {
+	keys  []memBatchKey
+	found []bool
+}
+
+// memBatchKey locates one (rendezvous node, request) store access.
+type memBatchKey struct {
+	shard uint32
+	req   int32
+	node  graph.NodeID
+}
 
 // NewMemTransport builds the fast path over g with strategy strat. The
 // strategy's universe must match the graph size; shards sizes the
 // backing store (0 picks a default).
 func NewMemTransport(g *graph.Graph, strat rendezvous.Strategy, shards int) (*MemTransport, error) {
+	return newMemTransport(g, strat, nil, shards)
+}
+
+// NewWeightedMemTransport builds the fast path in frequency-weighted
+// mode: cold ports run w.Base(), and ports promoted by SetHotPorts run
+// the post-heavy split w.Hot() on the query side while their servers
+// post to the union sets — the (M3′) trade executed live. The serving
+// layer drives promotion from its port-popularity counters.
+func NewWeightedMemTransport(g *graph.Graph, w *strategy.Weighted, shards int) (*MemTransport, error) {
+	if w == nil {
+		return nil, fmt.Errorf("cluster: weighted transport needs a strategy.Weighted")
+	}
+	return newMemTransport(g, w.Base(), w, shards)
+}
+
+func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, shards int) (*MemTransport, error) {
 	n := g.N()
 	if strat.N() != n {
 		return nil, fmt.Errorf("cluster: strategy universe %d != graph size %d", strat.N(), n)
@@ -67,8 +133,14 @@ func NewMemTransport(g *graph.Graph, strat rendezvous.Strategy, shards int) (*Me
 		query:     make([][]graph.NodeID, n),
 		postCost:  make([]int64, n),
 		queryCost: make([]int64, n),
+		weighted:  w,
+		byPort:    make(map[core.Port]map[uint64]*memServer),
+		gens:      newGenIndex(),
 		crashed:   make([]atomic.Bool, n),
 	}
+	empty := make(map[uint64]*memServer)
+	t.byID.Store(&empty)
+	t.scratch.New = func() any { return &memScratch{} }
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
 		t.post[v] = strat.Post(id)
@@ -84,11 +156,38 @@ func NewMemTransport(g *graph.Graph, strat rendezvous.Strategy, shards int) (*Me
 		t.postCost[v] = int64(pc)
 		t.queryCost[v] = int64(qc)
 	}
+	if w != nil {
+		hot := w.Hot()
+		t.hotQuery = make([][]graph.NodeID, n)
+		t.hotQueryCost = make([]int64, n)
+		t.unionPost = make([][]graph.NodeID, n)
+		t.unionPostCost = make([]int64, n)
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			t.hotQuery[v] = hot.Query(id)
+			t.unionPost[v] = w.UnionPost(id)
+			qc, err := routing.MulticastCost(id, t.hotQuery[v])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: hot query set of %d: %w", v, err)
+			}
+			pc, err := routing.MulticastCost(id, t.unionPost[v])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: union post set of %d: %w", v, err)
+			}
+			t.hotQueryCost[v] = int64(qc)
+			t.unionPostCost[v] = int64(pc)
+		}
+	}
 	return t, nil
 }
 
 // Name implements Transport.
-func (t *MemTransport) Name() string { return "mem" }
+func (t *MemTransport) Name() string {
+	if t.weighted != nil {
+		return "mem-weighted"
+	}
+	return "mem"
+}
 
 // N implements Transport.
 func (t *MemTransport) N() int { return t.g.N() }
@@ -96,8 +195,63 @@ func (t *MemTransport) N() int { return t.g.N() }
 // Store exposes the backing rendezvous cache (for tests and reports).
 func (t *MemTransport) Store() *Store { return t.store }
 
-// Strategy returns the (precomputed) strategy in use.
+// Strategy returns the (precomputed) base strategy in use.
 func (t *MemTransport) Strategy() rendezvous.Strategy { return t.strat }
+
+// Gen implements Transport.
+func (t *MemTransport) Gen(port core.Port) uint64 { return t.gens.gen(port) }
+
+func (t *MemTransport) genSlot(port core.Port) *atomic.Uint64 { return t.gens.slot(port) }
+
+// isHot reports whether port currently runs the hot split.
+func (t *MemTransport) isHot(port core.Port) bool {
+	m := t.hotSet.Load()
+	return m != nil && (*m)[port]
+}
+
+// canReclassify reports whether SetHotPorts can succeed — i.e. the
+// transport was built with a weighted strategy. The cluster checks it
+// before starting a reclassification loop, so HotPorts on a plain
+// transport fails loudly instead of ticking in vain.
+func (t *MemTransport) canReclassify() bool { return t.weighted != nil }
+
+// HotPorts returns the currently published hot classification (for
+// tests and reports).
+func (t *MemTransport) HotPorts() []core.Port {
+	m := t.hotSet.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]core.Port, 0, len(*m))
+	for p := range *m {
+		out = append(out, p)
+	}
+	return out
+}
+
+// querySets returns the query flood targets and multicast cost for a
+// locate of port from client under the current classification.
+func (t *MemTransport) querySets(client graph.NodeID, port core.Port) ([]graph.NodeID, int64) {
+	if t.weighted != nil && t.isHot(port) {
+		return t.hotQuery[client], t.hotQueryCost[client]
+	}
+	return t.query[client], t.queryCost[client]
+}
+
+// postSets returns the posting targets and multicast cost for srv
+// posting from node. Once a server has posted under the union sets it
+// keeps doing so (postedHot is sticky), so a later tombstone always
+// covers every node a stale active entry could linger at.
+func (t *MemTransport) postSets(srv *memServer, node graph.NodeID) ([]graph.NodeID, int64) {
+	if t.weighted == nil {
+		return t.post[node], t.postCost[node]
+	}
+	if srv.postedHot.Load() || t.isHot(srv.port) {
+		srv.postedHot.Store(true)
+		return t.unionPost[node], t.unionPostCost[node]
+	}
+	return t.post[node], t.postCost[node]
+}
 
 // memServer is a ServerRef on the fast path.
 type memServer struct {
@@ -105,9 +259,39 @@ type memServer struct {
 	port core.Port
 	id   uint64
 
+	// postedHot is set the first time the server posts under the union
+	// sets and never cleared; see postSets.
+	postedHot atomic.Bool
+
+	// state packs (gone << 32 | node) so the probe hot path reads the
+	// server's whereabouts with one atomic load; mu serializes writers,
+	// which refresh state before releasing it.
+	state atomic.Uint64
+
 	mu   sync.Mutex
 	node graph.NodeID
 	gone bool
+}
+
+func newMemServer(t *MemTransport, port core.Port, node graph.NodeID) *memServer {
+	srv := &memServer{t: t, port: port, id: t.serverID.Add(1), node: node}
+	srv.state.Store(uint64(uint32(node)))
+	return srv
+}
+
+// loadState returns (node, gone) without taking the server mutex.
+func (s *memServer) loadState() (graph.NodeID, bool) {
+	st := s.state.Load()
+	return graph.NodeID(int32(uint32(st))), st>>32 != 0
+}
+
+// storeState republishes state; the caller holds s.mu.
+func (s *memServer) storeState() {
+	st := uint64(uint32(s.node))
+	if s.gone {
+		st |= 1 << 32
+	}
+	s.state.Store(st)
 }
 
 // Register implements Transport.
@@ -115,20 +299,133 @@ func (t *MemTransport) Register(port core.Port, node graph.NodeID) (ServerRef, e
 	if !t.g.Valid(node) {
 		return nil, fmt.Errorf("cluster: register at %d: %w", node, graph.ErrNodeRange)
 	}
-	srv := &memServer{t: t, port: port, id: t.serverID.Add(1), node: node}
+	srv := newMemServer(t, port, node)
+	t.addRegistration(srv)
 	if err := t.postEntry(srv, node, true); err != nil {
+		t.dropRegistration(srv)
 		return nil, err
 	}
+	// A fresh registration can change the freshest-entry winner for the
+	// port, so cached hints must re-resolve.
+	t.gens.bump(port)
 	return srv, nil
 }
 
+// addRegistration publishes srv in the live table. Under regMu the
+// class decision is linearized against SetHotPorts: either srv reads
+// the new classification here, or SetHotPorts finds srv in byPort and
+// reposts it.
+func (t *MemTransport) addRegistration(srv *memServer) {
+	t.regMu.Lock()
+	next := cloneByID(*t.byID.Load(), 1)
+	next[srv.id] = srv
+	t.byID.Store(&next)
+	m := t.byPort[srv.port]
+	if m == nil {
+		m = make(map[uint64]*memServer, 2)
+		t.byPort[srv.port] = m
+	}
+	m[srv.id] = srv
+	if t.weighted != nil && t.isHot(srv.port) {
+		srv.postedHot.Store(true)
+	}
+	t.regMu.Unlock()
+}
+
+func (t *MemTransport) dropRegistration(srv *memServer) {
+	t.regMu.Lock()
+	next := cloneByID(*t.byID.Load(), 0)
+	delete(next, srv.id)
+	t.byID.Store(&next)
+	if m := t.byPort[srv.port]; m != nil {
+		delete(m, srv.id)
+		if len(m) == 0 {
+			delete(t.byPort, srv.port)
+		}
+	}
+	t.regMu.Unlock()
+}
+
+func cloneByID(cur map[uint64]*memServer, extra int) map[uint64]*memServer {
+	next := make(map[uint64]*memServer, len(cur)+extra)
+	for k, v := range cur {
+		next[k] = v
+	}
+	return next
+}
+
+// PostBatch implements Transport: it validates every registration up
+// front, then applies all postings with each store shard locked once
+// and charges the summed multicast cost with one atomic add.
+func (t *MemTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
+	for _, r := range regs {
+		if !t.g.Valid(r.Node) {
+			return nil, fmt.Errorf("cluster: register at %d: %w", r.Node, graph.ErrNodeRange)
+		}
+		if t.crashed[r.Node].Load() {
+			return nil, fmt.Errorf("cluster: post %q from %d: %w", r.Port, r.Node, sim.ErrCrashed)
+		}
+	}
+	refs := make([]ServerRef, len(regs))
+	servers := make([]*memServer, len(regs))
+	entries := make([]core.Entry, len(regs))
+	for i, r := range regs {
+		servers[i] = newMemServer(t, r.Port, r.Node)
+		t.addRegistration(servers[i])
+		refs[i] = servers[i]
+	}
+	sc := t.scratch.Get().(*memScratch)
+	sc.keys = sc.keys[:0]
+	var bulk int64
+	for i, r := range regs {
+		targets, cost := t.postSets(servers[i], r.Node)
+		bulk += cost
+		entries[i] = core.Entry{
+			Port:     r.Port,
+			Addr:     r.Node,
+			ServerID: servers[i].id,
+			Time:     t.store.NextTime(),
+			Active:   true,
+		}
+		for _, v := range targets {
+			if t.crashed[v].Load() {
+				continue
+			}
+			k := storeKey{node: v, port: r.Port}
+			sc.keys = append(sc.keys, memBatchKey{shard: t.store.shardIndex(k), req: int32(i), node: v})
+		}
+	}
+	sortBatchKeys(sc.keys)
+	for lo := 0; lo < len(sc.keys); {
+		hi := lo
+		for hi < len(sc.keys) && sc.keys[hi].shard == sc.keys[lo].shard {
+			hi++
+		}
+		sh := &t.store.shards[sc.keys[lo].shard]
+		sh.mu.Lock()
+		for _, k := range sc.keys[lo:hi] {
+			sh.slotCreateLocked(storeKey{node: k.node, port: regs[k.req].Port}).merge(entries[k.req])
+		}
+		sh.mu.Unlock()
+		lo = hi
+	}
+	t.scratch.Put(sc)
+	t.passes.Add(0, bulk)
+	for _, r := range regs {
+		t.gens.bump(r.Port)
+	}
+	return refs, nil
+}
+
 // postEntry delivers a posting (or tombstone) for srv from-and-about
-// node to every live node of P(node), charging the multicast-tree cost.
-// A crashed origin cannot post, matching the simulator's multicast.
+// node to every live node of its posting set, charging the
+// multicast-tree cost. A crashed origin cannot post, matching the
+// simulator's multicast.
 func (t *MemTransport) postEntry(srv *memServer, node graph.NodeID, active bool) error {
 	if t.crashed[node].Load() {
 		return fmt.Errorf("cluster: post %q from %d: %w", srv.port, node, sim.ErrCrashed)
 	}
+	targets, cost := t.postSets(srv, node)
 	e := core.Entry{
 		Port:     srv.port,
 		Addr:     node,
@@ -136,8 +433,8 @@ func (t *MemTransport) postEntry(srv *memServer, node graph.NodeID, active bool)
 		Time:     t.store.NextTime(),
 		Active:   active,
 	}
-	t.passes.Add(t.postCost[node])
-	for _, v := range t.post[node] {
+	t.passes.Add(int(node), cost)
+	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
 		}
@@ -157,12 +454,13 @@ func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 	if t.crashed[client].Load() {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
-	t.passes.Add(t.queryCost[client])
+	targets, cost := t.querySets(client, port)
+	t.passes.Add(int(client), cost)
 	var (
 		best  core.Entry
 		found bool
 	)
-	for _, v := range t.query[client] {
+	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
 		}
@@ -170,7 +468,7 @@ func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 		if !ok {
 			continue // misses are silent, as in §1.5
 		}
-		t.passes.Add(int64(t.routing.Dist(v, client)))
+		t.passes.Add(int(client), int64(t.routing.Dist(v, client)))
 		if !found || e.Time > best.Time {
 			best, found = e, true
 		}
@@ -181,6 +479,136 @@ func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 	return best, nil
 }
 
+// LocateBatch implements Transport: the batch's store accesses are
+// grouped by shard so each shard lock is taken once, and the whole
+// batch's passes land in one atomic add. Answers and total cost are
+// identical to the equivalent sequence of Locate calls.
+func (t *MemTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
+	n := len(reqs)
+	if len(res) < n {
+		n = len(res)
+	}
+	sc := t.scratch.Get().(*memScratch)
+	sc.keys = sc.keys[:0]
+	if cap(sc.found) < n {
+		sc.found = make([]bool, n)
+	}
+	sc.found = sc.found[:n]
+	for i := range sc.found {
+		sc.found[i] = false
+	}
+	var bulk int64
+	for i := 0; i < n; i++ {
+		r := reqs[i]
+		res[i] = LocateRes{}
+		if !t.g.Valid(r.Client) {
+			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, graph.ErrNodeRange)
+			continue
+		}
+		if t.crashed[r.Client].Load() {
+			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, sim.ErrCrashed)
+			continue
+		}
+		targets, cost := t.querySets(r.Client, r.Port)
+		bulk += cost
+		for _, v := range targets {
+			if t.crashed[v].Load() {
+				continue
+			}
+			k := storeKey{node: v, port: r.Port}
+			sc.keys = append(sc.keys, memBatchKey{shard: t.store.shardIndex(k), req: int32(i), node: v})
+		}
+	}
+	sortBatchKeys(sc.keys)
+	for lo := 0; lo < len(sc.keys); {
+		hi := lo
+		for hi < len(sc.keys) && sc.keys[hi].shard == sc.keys[lo].shard {
+			hi++
+		}
+		sh := &t.store.shards[sc.keys[lo].shard]
+		sh.mu.RLock()
+		for _, k := range sc.keys[lo:hi] {
+			sl := sh.slotLocked(storeKey{node: k.node, port: reqs[k.req].Port})
+			if sl == nil {
+				continue
+			}
+			e, ok := sl.readFreshest()
+			if !ok {
+				continue
+			}
+			bulk += int64(t.routing.Dist(k.node, reqs[k.req].Client))
+			if !sc.found[k.req] || e.Time > res[k.req].Entry.Time {
+				res[k.req].Entry = e
+				sc.found[k.req] = true
+			}
+		}
+		sh.mu.RUnlock()
+		lo = hi
+	}
+	for i := 0; i < n; i++ {
+		if res[i].Err == nil && !sc.found[i] {
+			res[i].Err = fmt.Errorf("cluster: locate %q from %d: %w", reqs[i].Port, reqs[i].Client, core.ErrNotFound)
+		}
+	}
+	t.scratch.Put(sc)
+	t.passes.Add(0, bulk)
+}
+
+// sortBatchKeys orders keys by shard. Locate batches are small and
+// mostly pre-clustered, where insertion sort wins and stays
+// allocation-free; large batches (a PostBatch registering thousands of
+// services) fall back to the O(k log k) generic sort, which is also
+// allocation-free.
+func sortBatchKeys(keys []memBatchKey) {
+	if len(keys) > 128 {
+		slices.SortFunc(keys, func(a, b memBatchKey) int {
+			return int(a.shard) - int(b.shard)
+		})
+		return
+	}
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && keys[j].shard > k.shard {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
+}
+
+// Probe implements Transport: one direct request to the hinted address
+// and one reply back, 2×Dist(client, e.Addr) passes — against a full
+// query flood for a locate. The answer comes from the live registration
+// table, the way a real host knows its own processes: hit iff the
+// probed instance is live and still resides at e.Addr. A crashed
+// address swallows the request (one-way charge only, fail-stop at the
+// endpoint, like every other mem-path crash interaction).
+func (t *MemTransport) Probe(client graph.NodeID, e core.Entry) (core.Entry, error) {
+	if !t.g.Valid(client) {
+		return core.Entry{}, fmt.Errorf("cluster: probe from %d: %w", client, graph.ErrNodeRange)
+	}
+	if !t.g.Valid(e.Addr) {
+		return core.Entry{}, fmt.Errorf("cluster: probe at %d: %w", e.Addr, graph.ErrNodeRange)
+	}
+	if t.crashed[client].Load() {
+		return core.Entry{}, fmt.Errorf("cluster: probe from %d: %w", client, sim.ErrCrashed)
+	}
+	d := int64(t.routing.Dist(client, e.Addr))
+	if t.crashed[e.Addr].Load() {
+		t.passes.Add(int(client), d) // request swallowed by the crash
+		return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, sim.ErrCrashed)
+	}
+	t.passes.Add(int(client), 2*d) // request + reply (positive or negative)
+	srv := (*t.byID.Load())[e.ServerID]
+	if srv != nil && srv.port == e.Port {
+		if node, gone := srv.loadState(); !gone && node == e.Addr {
+			return core.Entry{Port: e.Port, Addr: e.Addr, ServerID: e.ServerID, Time: e.Time, Active: true}, nil
+		}
+	}
+	return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, core.ErrNotFound)
+}
+
 // LocateAll implements Transport.
 func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
 	if !t.g.Valid(client) {
@@ -189,17 +617,19 @@ func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 	if t.crashed[client].Load() {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
 	}
-	t.passes.Add(t.queryCost[client])
-	freshest := make(map[uint64]core.Entry)
-	for _, v := range t.query[client] {
+	targets, cost := t.querySets(client, port)
+	t.passes.Add(int(client), cost)
+	freshest := make(map[uint64]core.Entry, 4)
+	var buf [8]core.Entry
+	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
 		}
-		entries := t.store.GetAll(v, port)
+		entries := t.store.GetAllInto(v, port, buf[:0])
 		if len(entries) == 0 {
 			continue
 		}
-		t.passes.Add(int64(t.routing.Dist(v, client)) * int64(len(entries)))
+		t.passes.Add(int(client), int64(t.routing.Dist(v, client))*int64(len(entries)))
 		for _, e := range entries {
 			if cur, ok := freshest[e.ServerID]; !ok || e.Time > cur.Time {
 				freshest[e.ServerID] = e
@@ -218,14 +648,56 @@ func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 	return out, nil
 }
 
+// SetHotPorts implements HotReclassifier on a weighted transport: the
+// listed ports are promoted to the post-heavy hot split and all others
+// demoted to the base strategy. Newly hot ports have their live servers
+// reposted under the union sets *before* the classification is
+// published, so a hot query never races ahead of the postings it needs;
+// demoted ports are safe immediately because union ⊇ base. The repost
+// traffic is charged like any other posting.
+func (t *MemTransport) SetHotPorts(ports []core.Port) error {
+	if t.weighted == nil {
+		return fmt.Errorf("cluster: transport %q has no weighted strategy", t.Name())
+	}
+	newHot := make(map[core.Port]bool, len(ports))
+	for _, p := range ports {
+		newHot[p] = true
+	}
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	var errs []error
+	for p := range newHot {
+		if t.isHot(p) {
+			continue // already hot; servers already post union
+		}
+		for _, srv := range t.byPort[p] {
+			node, gone := srv.loadState()
+			if gone {
+				continue
+			}
+			srv.postedHot.Store(true)
+			if err := t.postEntry(srv, node, true); err != nil {
+				// A crashed origin cannot repost; its stale base-set
+				// postings stay visible to base queries only, exactly as
+				// if the port had stayed cold for that server.
+				errs = append(errs, err)
+			}
+		}
+	}
+	t.hotSet.Store(&newHot)
+	return errors.Join(errs...)
+}
+
 // Crash implements Transport: the node stops accepting postings and
-// answering queries, and its volatile cache is lost.
+// answering queries, and its volatile cache is lost. Every hint
+// generation is bumped — the crashed node may have hosted any port.
 func (t *MemTransport) Crash(node graph.NodeID) error {
 	if !t.g.Valid(node) {
 		return fmt.Errorf("cluster: crash %d: %w", node, graph.ErrNodeRange)
 	}
 	t.crashed[node].Store(true)
 	t.store.ClearNode(node)
+	t.gens.bumpAll()
 	return nil
 }
 
@@ -242,7 +714,7 @@ func (t *MemTransport) Restore(node graph.NodeID) error {
 func (t *MemTransport) Passes() int64 { return t.passes.Load() }
 
 // ResetPasses implements Transport.
-func (t *MemTransport) ResetPasses() { t.passes.Store(0) }
+func (t *MemTransport) ResetPasses() { t.passes.Reset() }
 
 // Close implements Transport.
 func (t *MemTransport) Close() error { return nil }
@@ -271,7 +743,8 @@ func (s *memServer) Repost() error {
 // Migrate implements ServerRef: tombstone first (the stale address must
 // lose), then announce the new address with a fresher timestamp. As in
 // the engine, a crashed old host cannot tombstone, but the fresh
-// posting's newer timestamp still wins wherever both are seen.
+// posting's newer timestamp still wins wherever both are seen. The
+// port's hint generation is bumped so cached addresses re-resolve.
 func (s *memServer) Migrate(to graph.NodeID) error {
 	if !s.t.g.Valid(to) {
 		return fmt.Errorf("cluster: migrate to %d: %w", to, graph.ErrNodeRange)
@@ -283,7 +756,9 @@ func (s *memServer) Migrate(to graph.NodeID) error {
 	}
 	from := s.node
 	s.node = to
+	s.storeState()
 	s.mu.Unlock()
+	defer s.t.gens.bump(s.port)
 	tombErr := s.t.postEntry(s, from, false)
 	if err := s.t.postEntry(s, to, true); err != nil {
 		return errors.Join(tombErr, err)
@@ -291,7 +766,9 @@ func (s *memServer) Migrate(to graph.NodeID) error {
 	return nil
 }
 
-// Deregister implements ServerRef.
+// Deregister implements ServerRef. The registration leaves the live
+// table before the tombstone posts, so a probe can never confirm a
+// deregistered instance.
 func (s *memServer) Deregister() error {
 	s.mu.Lock()
 	if s.gone {
@@ -300,6 +777,9 @@ func (s *memServer) Deregister() error {
 	}
 	s.gone = true
 	node := s.node
+	s.storeState()
 	s.mu.Unlock()
+	s.t.dropRegistration(s)
+	s.t.gens.bump(s.port)
 	return s.t.postEntry(s, node, false)
 }

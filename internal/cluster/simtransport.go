@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"matchmake/internal/core"
 	"matchmake/internal/graph"
@@ -21,8 +23,9 @@ import (
 // handler mode: the name-server handlers never block, so skipping the
 // per-delivery goroutine is safe and roughly doubles serving throughput.
 type SimTransport struct {
-	net *sim.Network
-	sys *core.System
+	net  *sim.Network
+	sys  *core.System
+	gens *genIndex
 }
 
 var _ Transport = (*SimTransport)(nil)
@@ -41,7 +44,7 @@ func NewSimTransport(g *graph.Graph, strat rendezvous.Strategy, opts core.Option
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	net.SetInlineHandlers(true)
-	return &SimTransport{net: net, sys: sys}, nil
+	return &SimTransport{net: net, sys: sys, gens: newGenIndex()}, nil
 }
 
 // Name implements Transport.
@@ -57,7 +60,10 @@ func (t *SimTransport) System() *core.System { return t.sys }
 func (t *SimTransport) Network() *sim.Network { return t.net }
 
 // simServer adapts core.Server to ServerRef.
-type simServer struct{ srv *core.Server }
+type simServer struct {
+	srv  *core.Server
+	gens *genIndex
+}
 
 // Register implements Transport.
 func (t *SimTransport) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
@@ -65,7 +71,32 @@ func (t *SimTransport) Register(port core.Port, node graph.NodeID) (ServerRef, e
 	if err != nil {
 		return nil, err
 	}
-	return simServer{srv: srv}, nil
+	t.gens.bump(port)
+	return simServer{srv: srv, gens: t.gens}, nil
+}
+
+// PostBatch implements Transport. The simulator gains nothing from
+// batching — every posting is still a real multicast — so the batch is
+// the equivalent sequence of Registers; it is the reference semantics
+// the fast path's shard-grouped implementation is checked against.
+func (t *SimTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
+	for _, r := range regs {
+		if !t.net.Graph().Valid(r.Node) {
+			return nil, fmt.Errorf("cluster: register at %d: %w", r.Node, graph.ErrNodeRange)
+		}
+		if t.net.Crashed(r.Node) {
+			return nil, fmt.Errorf("cluster: post %q from %d: %w", r.Port, r.Node, sim.ErrCrashed)
+		}
+	}
+	refs := make([]ServerRef, len(regs))
+	for i, r := range regs {
+		ref, err := t.Register(r.Port, r.Node)
+		if err != nil {
+			return refs[:i], err
+		}
+		refs[i] = ref
+	}
+	return refs, nil
 }
 
 // Locate implements Transport.
@@ -76,6 +107,29 @@ func (t *SimTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 	}
 	return res.Entry, nil
 }
+
+// LocateBatch implements Transport: the equivalent sequence of single
+// locates, each a real query flood with collected replies.
+func (t *SimTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
+	n := len(reqs)
+	if len(res) < n {
+		n = len(res)
+	}
+	for i := 0; i < n; i++ {
+		res[i].Entry, res[i].Err = t.Locate(reqs[i].Client, reqs[i].Port)
+	}
+}
+
+// Probe implements Transport: a real request/reply call to the hinted
+// address, request and reply hops both counted by the network.
+func (t *SimTransport) Probe(client graph.NodeID, e core.Entry) (core.Entry, error) {
+	return t.sys.Probe(client, e)
+}
+
+// Gen implements Transport.
+func (t *SimTransport) Gen(port core.Port) uint64 { return t.gens.gen(port) }
+
+func (t *SimTransport) genSlot(port core.Port) *atomic.Uint64 { return t.gens.slot(port) }
 
 // LocateAll implements Transport.
 func (t *SimTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
@@ -89,6 +143,7 @@ func (t *SimTransport) Crash(node graph.NodeID) error {
 		return err
 	}
 	t.sys.ClearCache(node)
+	t.gens.bumpAll()
 	return nil
 }
 
@@ -118,8 +173,21 @@ func (s simServer) Node() graph.NodeID { return s.srv.Node() }
 // Repost implements ServerRef.
 func (s simServer) Repost() error { return s.srv.Repost() }
 
-// Migrate implements ServerRef.
-func (s simServer) Migrate(to graph.NodeID) error { return s.srv.Migrate(to) }
+// Migrate implements ServerRef. The move invalidates cached hints for
+// the port.
+func (s simServer) Migrate(to graph.NodeID) error {
+	err := s.srv.Migrate(to)
+	if err == nil || !errors.Is(err, core.ErrServerGone) {
+		s.gens.bump(s.srv.Port())
+	}
+	return err
+}
 
 // Deregister implements ServerRef.
-func (s simServer) Deregister() error { return s.srv.Deregister() }
+func (s simServer) Deregister() error {
+	err := s.srv.Deregister()
+	if err == nil || !errors.Is(err, core.ErrServerGone) {
+		s.gens.bump(s.srv.Port())
+	}
+	return err
+}

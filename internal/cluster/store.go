@@ -71,7 +71,7 @@ func NewStore(n, shards int) *Store {
 		seed:   maphash.MakeSeed(),
 	}
 	for i := range s.shards {
-		s.shards[i].m = make(map[storeKey]*storeSlot)
+		s.shards[i].m = make(map[storeKey]*storeSlot, 16)
 	}
 	return s
 }
@@ -79,12 +79,70 @@ func NewStore(n, shards int) *Store {
 // NextTime returns a fresh logical posting timestamp.
 func (s *Store) NextTime() uint64 { return s.clock.Add(1) }
 
-func (s *Store) shard(k storeKey) *storeShard {
+// shardIndex returns the shard owning k; batched operations group their
+// accesses by this index so each shard lock is taken once per batch.
+func (s *Store) shardIndex(k storeKey) uint32 {
 	var h maphash.Hash
 	h.SetSeed(s.seed)
 	h.WriteString(string(k.port))
-	idx := (h.Sum64() ^ uint64(k.node)*0x9e3779b97f4a7c15) & s.mask
-	return &s.shards[idx]
+	return uint32((h.Sum64() ^ uint64(k.node)*0x9e3779b97f4a7c15) & s.mask)
+}
+
+func (s *Store) shard(k storeKey) *storeShard {
+	return &s.shards[s.shardIndex(k)]
+}
+
+// slotLocked returns the slot for k in sh, which the caller holds at
+// least read-locked; nil when absent.
+func (sh *storeShard) slotLocked(k storeKey) *storeSlot {
+	return sh.m[k]
+}
+
+// slotCreateLocked returns the slot for k in sh, creating it; the
+// caller holds the shard write-locked.
+func (sh *storeShard) slotCreateLocked(k storeKey) *storeSlot {
+	sl := sh.m[k]
+	if sl == nil {
+		sl = &storeSlot{}
+		sh.m[k] = sl
+	}
+	return sl
+}
+
+// readFreshest scans a loaded slot for the freshest active entry.
+func (sl *storeSlot) readFreshest() (core.Entry, bool) {
+	curp := sl.entries.Load()
+	if curp == nil {
+		return core.Entry{}, false
+	}
+	var (
+		best  core.Entry
+		found bool
+	)
+	for _, e := range *curp {
+		if e.Active && (!found || e.Time > best.Time) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// merge folds e into the slot with the copy-on-write CAS loop of Put.
+func (sl *storeSlot) merge(e core.Entry) {
+	for {
+		curp := sl.entries.Load()
+		var cur []core.Entry
+		if curp != nil {
+			cur = *curp
+		}
+		next := mergeEntry(cur, e)
+		if next == nil {
+			return
+		}
+		if sl.entries.CompareAndSwap(curp, &next) {
+			return
+		}
+	}
 }
 
 // slot returns the slot for k, creating it if create is set.
@@ -111,21 +169,7 @@ func (s *Store) slot(k storeKey, create bool) *storeSlot {
 // loop on the slot's immutable slice, so concurrent posts for the same
 // port serialize without a lock.
 func (s *Store) Put(node graph.NodeID, e core.Entry) {
-	sl := s.slot(storeKey{node: node, port: e.Port}, true)
-	for {
-		curp := sl.entries.Load()
-		var cur []core.Entry
-		if curp != nil {
-			cur = *curp
-		}
-		next := mergeEntry(cur, e)
-		if next == nil {
-			return // stale; nothing to do
-		}
-		if sl.entries.CompareAndSwap(curp, &next) {
-			return
-		}
-	}
+	s.slot(storeKey{node: node, port: e.Port}, true).merge(e)
 }
 
 // mergeEntry returns a fresh slice with e merged in, or nil when e is
@@ -175,39 +219,32 @@ func (s *Store) Get(node graph.NodeID, port core.Port) (core.Entry, bool) {
 	if sl == nil {
 		return core.Entry{}, false
 	}
-	curp := sl.entries.Load()
-	if curp == nil {
-		return core.Entry{}, false
-	}
-	var (
-		best  core.Entry
-		found bool
-	)
-	for _, e := range *curp {
-		if e.Active && (!found || e.Time > best.Time) {
-			best, found = e, true
-		}
-	}
-	return best, found
+	return sl.readFreshest()
 }
 
 // GetAll returns every active entry for port cached at node.
 func (s *Store) GetAll(node graph.NodeID, port core.Port) []core.Entry {
+	return s.GetAllInto(node, port, nil)
+}
+
+// GetAllInto appends every active entry for port cached at node to buf
+// and returns it, letting hot callers reuse a pooled reply buffer
+// instead of allocating one per rendezvous node.
+func (s *Store) GetAllInto(node graph.NodeID, port core.Port, buf []core.Entry) []core.Entry {
 	sl := s.slot(storeKey{node: node, port: port}, false)
 	if sl == nil {
-		return nil
+		return buf
 	}
 	curp := sl.entries.Load()
 	if curp == nil {
-		return nil
+		return buf
 	}
-	var out []core.Entry
 	for _, e := range *curp {
 		if e.Active {
-			out = append(out, e)
+			buf = append(buf, e)
 		}
 	}
-	return out
+	return buf
 }
 
 // ClearNode drops everything cached at node, modelling the loss of

@@ -55,9 +55,33 @@ type Transport interface {
 	// live posting visible at the client's query set. It fails with an
 	// error wrapping core.ErrNotFound when no rendezvous node answers.
 	Locate(client graph.NodeID, port core.Port) (core.Entry, error)
+	// LocateBatch resolves reqs[i] into res[i], one full locate per
+	// request with the same answers and the same total pass charge as
+	// the equivalent sequence of Locate calls. Implementations may take
+	// per-shard locks once per batch and account passes in bulk; res
+	// must have the same length as reqs.
+	LocateBatch(reqs []LocateReq, res []LocateRes)
+	// Probe validates a previously located entry with one direct
+	// request/reply to its cached address, charged 2×Dist(client,
+	// e.Addr) passes — the hint-validation message of the address
+	// cache. A live node that no longer hosts the instance answers
+	// negatively (an error wrapping core.ErrNotFound); a crashed
+	// address fails without an answer.
+	Probe(client graph.NodeID, e core.Entry) (core.Entry, error)
+	// Gen returns the current invalidation generation of port's shard
+	// in the transport's generation index. Registrations, migrations
+	// and deregistrations bump the port's shard; a crash bumps every
+	// shard. A cached hint is only worth probing while its recorded
+	// generation still matches.
+	Gen(port core.Port) uint64
 	// LocateAll returns every live server instance for port visible
 	// from client.
 	LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error)
+	// PostBatch registers several servers in one transport operation,
+	// with the same effects and total pass charge as the equivalent
+	// sequence of Register calls. Inputs are validated up front; on a
+	// validation error no server is registered.
+	PostBatch(regs []Registration) ([]ServerRef, error)
 	// Crash marks a node failed (it drops postings, queries and
 	// replies); Restore brings it back with its volatile cache lost.
 	Crash(node graph.NodeID) error
@@ -69,6 +93,52 @@ type Transport interface {
 	ResetPasses()
 	// Close releases transport resources.
 	Close() error
+}
+
+// LocateReq is one locate in a batched transport operation.
+type LocateReq struct {
+	Client graph.NodeID
+	Port   core.Port
+}
+
+// LocateRes is the result slot LocateBatch fills for one request.
+type LocateRes struct {
+	Entry core.Entry
+	Err   error
+}
+
+// Registration is one server announcement in a PostBatch.
+type Registration struct {
+	Port core.Port
+	Node graph.NodeID
+}
+
+// HotReclassifier is implemented by transports that support the
+// frequency-weighted strategy (strategy.Weighted): SetHotPorts switches
+// the given ports to the post-heavy hot split (reposting their servers
+// to the union posting sets first, so rendezvous never breaks) and
+// demotes every port not listed back to the base strategy.
+type HotReclassifier interface {
+	SetHotPorts(ports []core.Port) error
+}
+
+// hotCapable refines HotReclassifier for implementations whose support
+// is conditional (a MemTransport built without a weighted strategy
+// still has the method, but every call would fail).
+type hotCapable interface {
+	canReclassify() bool
+}
+
+// reclassifiable reports whether tr can actually serve SetHotPorts.
+func reclassifiable(tr Transport) bool {
+	hr, ok := tr.(HotReclassifier)
+	if !ok {
+		return false
+	}
+	if hc, ok := hr.(hotCapable); ok {
+		return hc.canReclassify()
+	}
+	return true
 }
 
 // ServerRef is a live server registration on some transport.

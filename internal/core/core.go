@@ -91,6 +91,12 @@ type System struct {
 	mu      sync.Mutex
 	pending map[uint64]chan Entry
 
+	// srvMu guards servers, the live registration table probes consult:
+	// a probe delivered at node v answers from the registrations whose
+	// current address is v, the way a real host knows its own processes.
+	srvMu   sync.Mutex
+	servers map[uint64]*Server
+
 	postsSent   atomic.Int64 // posting messages addressed (Σ #P reached)
 	queriesSent atomic.Int64 // query messages addressed (Σ #Q reached)
 	repliesSent atomic.Int64 // rendezvous replies sent
@@ -112,6 +118,20 @@ type (
 		reqID uint64
 		entry Entry
 	}
+	// probeMsg asks the receiving node whether the server instance
+	// (port, serverID) currently resides there; it travels as a direct
+	// request/reply call, so a probe costs 2×Dist(client, addr) passes.
+	probeMsg struct {
+		port     Port
+		serverID uint64
+		// time echoes the prober's cached posting timestamp back in the
+		// confirmation, so a hint hit does not fabricate freshness.
+		time uint64
+	}
+	probeReply struct {
+		entry Entry
+		ok    bool
+	}
 )
 
 // NewSystem installs the name-server handlers on every node of net.
@@ -127,6 +147,7 @@ func NewSystem(net *sim.Network, strat rendezvous.Strategy, opts Options) (*Syst
 		opts:    opts.withDefaults(),
 		caches:  make([]*cache, n),
 		pending: make(map[uint64]chan Entry),
+		servers: make(map[uint64]*Server),
 	}
 	for v := 0; v < n; v++ {
 		s.caches[v] = newCache(s.opts.CacheCapacity)
@@ -170,7 +191,57 @@ func (s *System) HandleMessage(self graph.NodeID, msg sim.Message) {
 			default:
 			}
 		}
+	case probeMsg:
+		if !msg.CanReply() {
+			return
+		}
+		entry, ok := s.probeLocal(self, m)
+		_ = msg.Reply(probeReply{entry: entry, ok: ok})
 	}
+}
+
+// probeLocal answers a probe from the registration table: hit iff the
+// probed server instance is live and its current address is this node.
+func (s *System) probeLocal(self graph.NodeID, m probeMsg) (Entry, bool) {
+	s.srvMu.Lock()
+	srv := s.servers[m.serverID]
+	s.srvMu.Unlock()
+	if srv == nil || srv.port != m.port {
+		return Entry{}, false
+	}
+	srv.mu.Lock()
+	node, gone := srv.node, srv.gone
+	srv.mu.Unlock()
+	if gone || node != self {
+		return Entry{}, false
+	}
+	return Entry{Port: m.port, Addr: self, ServerID: m.serverID, Time: m.time, Active: true}, true
+}
+
+// Probe validates a previously located entry with one direct
+// request/reply to its address — the hint-validation message of the
+// serving layer's address cache. On a hit it returns a confirmed entry;
+// a live node that no longer hosts the instance answers negatively
+// (ErrNotFound), and a crashed or unreachable address fails with the
+// network's error. Cost: 2×Dist(client, e.Addr) passes on a hit or
+// negative answer, against a full P∩Q flood for a locate.
+func (s *System) Probe(client graph.NodeID, e Entry) (Entry, error) {
+	if !s.net.Graph().Valid(client) {
+		return Entry{}, fmt.Errorf("core: probe from %d: %w", client, graph.ErrNodeRange)
+	}
+	if !s.net.Graph().Valid(e.Addr) {
+		return Entry{}, fmt.Errorf("core: probe at %d: %w", e.Addr, graph.ErrNodeRange)
+	}
+	v, err := s.net.Call(client, e.Addr,
+		probeMsg{port: e.Port, serverID: e.ServerID, time: e.Time}, s.opts.LocateTimeout)
+	if err != nil {
+		return Entry{}, fmt.Errorf("core: probe %q at %d: %w", e.Port, e.Addr, err)
+	}
+	r, ok := v.(probeReply)
+	if !ok || !r.ok {
+		return Entry{}, fmt.Errorf("core: probe %q at %d: %w", e.Port, e.Addr, ErrNotFound)
+	}
+	return r.entry, nil
 }
 
 // Server is a registered server process handle.
@@ -195,6 +266,9 @@ func (s *System) RegisterServer(port Port, node graph.NodeID) (*Server, error) {
 	if err := s.post(srv, node, true); err != nil {
 		return nil, err
 	}
+	s.srvMu.Lock()
+	s.servers[srv.id] = srv
+	s.srvMu.Unlock()
 	return srv, nil
 }
 
@@ -282,6 +356,9 @@ func (srv *Server) Deregister() error {
 	srv.gone = true
 	node := srv.node
 	srv.mu.Unlock()
+	srv.sys.srvMu.Lock()
+	delete(srv.sys.servers, srv.id)
+	srv.sys.srvMu.Unlock()
 	return srv.sys.post(srv, node, false)
 }
 

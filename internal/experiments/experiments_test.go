@@ -367,6 +367,17 @@ func TestE16WeightedOptimum(t *testing.T) {
 			t.Fatalf("row %d: cost %.2f beat the continuous bound %.2f", r, best, bound)
 		}
 	}
+	// The measured serving table must show the weighted promotion
+	// strictly lowering passes/locate on the same Zipf sample.
+	if len(tables) < 2 {
+		t.Fatal("E16 missing the measured weighted-serving table")
+	}
+	measured := tables[1]
+	base := cellFloat(t, measured, 0, 2)
+	weighted := cellFloat(t, measured, 1, 2)
+	if weighted >= base {
+		t.Fatalf("measured weighted passes/locate %.2f not below balanced %.2f", weighted, base)
+	}
 }
 
 func TestE17DecompositionRuns(t *testing.T) {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"time"
 
+	"matchmake/internal/cluster"
 	"matchmake/internal/core"
 	"matchmake/internal/graph"
 	"matchmake/internal/hashlocate"
@@ -629,7 +631,10 @@ func E15Ring() ([]Table, error) {
 
 // E16Weighted reproduces the (M3′) adjustment: when queries are α times
 // more frequent than posts, the optimal grid split shifts to
-// p = √(n/α) rows, with cost 2√(αn).
+// p = √(n/α) rows, with cost 2√(αn). A second table measures the live
+// serving realization (strategy.Weighted over the cluster fast path):
+// promoting the observed-hot ports of a Zipf workload to the post-heavy
+// split lowers the measured message passes per locate.
 func E16Weighted() ([]Table, error) {
 	const n = 64
 	t := Table{
@@ -651,7 +656,101 @@ func E16Weighted() ([]Table, error) {
 			f2(balanced),
 		})
 	}
-	return []Table{t}, nil
+	measured, err := e16Measured(n)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t, measured}, nil
+}
+
+// e16Measured runs the same Zipf locate sample against the balanced
+// checkerboard and against the weighted strategy with the top-2 ports
+// promoted, reporting measured passes/locate on the in-process fast
+// path.
+func e16Measured(n int) (Table, error) {
+	const (
+		ports   = 8
+		locates = 4000
+	)
+	t := Table{
+		ID:    "E16",
+		Title: "measured weighted serving (mem transport, Zipf s=1.2)",
+		Note:  "top-2 ports promoted to the post-heavy split (α=16 ⇒ #Q=2); same sample both rows.",
+		Columns: []string{
+			"strategy", "hot ports", "passes/locate",
+		},
+	}
+	hot, err := strategy.PostHeavy(n, strategy.AlphaQuerySize(n, 16))
+	if err != nil {
+		return t, err
+	}
+	w, err := strategy.NewWeighted(rendezvous.Checkerboard(n), hot)
+	if err != nil {
+		return t, err
+	}
+	// One deterministic Zipf sample, replayed against both configs.
+	rng := rand.New(rand.NewPCG(42, 7))
+	zipf := rand.NewZipf(rng, 1.2, 1, ports-1)
+	sample := make([]struct {
+		client graph.NodeID
+		port   core.Port
+	}, locates)
+	counts := make(map[core.Port]int, ports)
+	for i := range sample {
+		sample[i].client = graph.NodeID(rng.IntN(n))
+		sample[i].port = core.Port(fmt.Sprintf("svc-%04d", zipf.Uint64()))
+		counts[sample[i].port]++
+	}
+	top := make([]core.Port, 0, len(counts))
+	for p := range counts {
+		top = append(top, p)
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if counts[top[i]] != counts[top[j]] {
+			return counts[top[i]] > counts[top[j]]
+		}
+		return top[i] < top[j]
+	})
+	if len(top) > 2 {
+		top = top[:2]
+	}
+
+	run := func(promote bool) (float64, error) {
+		tr, err := cluster.NewWeightedMemTransport(topology.Complete(n), w, 0)
+		if err != nil {
+			return 0, err
+		}
+		for p := 0; p < ports; p++ {
+			if _, err := tr.Register(core.Port(fmt.Sprintf("svc-%04d", p)), graph.NodeID((p*7919)%n)); err != nil {
+				return 0, err
+			}
+		}
+		if promote {
+			if err := tr.SetHotPorts(top); err != nil {
+				return 0, err
+			}
+		}
+		tr.ResetPasses()
+		for _, s := range sample {
+			if _, err := tr.Locate(s.client, s.port); err != nil {
+				return 0, err
+			}
+		}
+		return float64(tr.Passes()) / float64(locates), nil
+	}
+	base, err := run(false)
+	if err != nil {
+		return t, err
+	}
+	weighted, err := run(true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"checkerboard-64 (balanced)", "0", f2(base)},
+		[]string{"weighted checkerboard + post-heavy", "2", f2(weighted)},
+	)
+	return t, nil
 }
 
 // E17Decomposition reproduces the generic §3 method: O(√n) connected

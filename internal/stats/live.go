@@ -116,6 +116,27 @@ func (h *LiveHist) Quantile(p float64) float64 {
 	return float64(h.max.Load())
 }
 
+// Merge folds src's observations into h. It is a read-side helper for
+// striped histograms (merge the stripes into a scratch LiveHist, then
+// query quantiles); merging while writers are active yields the usual
+// slightly-torn but monotone-consistent view.
+func (h *LiveHist) Merge(src *LiveHist) {
+	for i := range src.buckets {
+		if c := src.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	for {
+		m := src.max.Load()
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
 // Reset zeroes the histogram. It must not race with writers.
 func (h *LiveHist) Reset() {
 	for i := range h.buckets {

@@ -1,0 +1,49 @@
+package stats
+
+import "sync/atomic"
+
+// CounterStripes is the stripe count of StripedCounter, a power of two.
+const CounterStripes = 16
+
+// paddedCounter occupies its own cache line so stripes never false-share.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// StripedCounter is a write-mostly int64 counter split across
+// cacheline-padded stripes: concurrent writers that pass different
+// stripe hints touch different cache lines, so a hot serving path does
+// not serialize on one contended atomic. Reads sum the stripes and are
+// accurate at any quiescent instant (torn-by-a-few mid-flight, like any
+// statistics counter).
+//
+// The zero value is ready to use.
+type StripedCounter struct {
+	stripes [CounterStripes]paddedCounter
+}
+
+// Add adds delta to the stripe selected by hint (any int; it is masked
+// down) and returns the stripe's new value — a cheap per-stripe tick
+// callers can use for sampling decisions. Callers pass something cheap
+// and well-spread as the hint — a client id, a shard index.
+func (c *StripedCounter) Add(hint int, delta int64) int64 {
+	return c.stripes[hint&(CounterStripes-1)].v.Add(delta)
+}
+
+// Load returns the sum over all stripes.
+func (c *StripedCounter) Load() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Reset zeroes every stripe. Like LiveHist.Reset it is meant for
+// quiescent moments; adds racing a reset land in either window.
+func (c *StripedCounter) Reset() {
+	for i := range c.stripes {
+		c.stripes[i].v.Store(0)
+	}
+}

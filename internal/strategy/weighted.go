@@ -1,0 +1,143 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// PostHeavy returns the (M3′) post-heavy split on an n-node universe for
+// services whose locates far outnumber their posts: the universe is cut
+// into ⌈n/querySize⌉ consecutive blocks of at most querySize nodes, a
+// client queries only its own block, and a server posts at every block's
+// leading node. P(i) ∩ Q(j) always contains the leader of j's block, so
+// the rendezvous property holds with #Q ≤ querySize and #P = ⌈n/q⌉ —
+// the frequency-weighted corner of the p·q ≥ n trade-off, where query
+// traffic is α times more frequent than posting and the optimum shifts
+// to #Q ≈ √(n/α).
+func PostHeavy(n, querySize int) (rendezvous.Strategy, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("strategy: post-heavy needs n ≥ 1, got %d", n)
+	}
+	if querySize < 1 || querySize > n {
+		return nil, fmt.Errorf("strategy: post-heavy query size %d out of [1,%d]", querySize, n)
+	}
+	leaders := make([]graph.NodeID, 0, (n+querySize-1)/querySize)
+	for start := 0; start < n; start += querySize {
+		leaders = append(leaders, graph.NodeID(start))
+	}
+	return rendezvous.Funcs{
+		StrategyName: fmt.Sprintf("post-heavy-%d-q%d", n, querySize),
+		Universe:     n,
+		PostFunc: func(graph.NodeID) []graph.NodeID {
+			return leaders
+		},
+		QueryFunc: func(j graph.NodeID) []graph.NodeID {
+			start := (int(j) / querySize) * querySize
+			end := start + querySize
+			if end > n {
+				end = n
+			}
+			out := make([]graph.NodeID, 0, end-start)
+			for v := start; v < end; v++ {
+				out = append(out, graph.NodeID(v))
+			}
+			return out
+		},
+	}, nil
+}
+
+// AlphaQuerySize returns the query-set size the (M3′) optimum prescribes
+// when locates are alpha times more frequent than posts: q* ≈ √(n/α),
+// clamped to [1, n].
+func AlphaQuerySize(n int, alpha float64) int {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	q := int(math.Round(math.Sqrt(float64(n) / alpha)))
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		q = n
+	}
+	return q
+}
+
+// Weighted pairs a balanced base strategy with a post-heavy hot split,
+// realizing the paper's (M3′) frequency-weighted measure as a live
+// serving policy: cold ports run the base strategy, observed-hot ports
+// switch their queries to the (smaller) hot query sets while their
+// servers post to the union of both posting sets, so rendezvous is
+// guaranteed for every mix of hot and cold traffic during and after a
+// reclassification.
+//
+// Weighted itself is pure geometry — which ports are currently hot is
+// decided by the serving layer (internal/cluster) from its live
+// port-popularity counters.
+type Weighted struct {
+	base rendezvous.Strategy
+	hot  rendezvous.Strategy
+
+	union [][]graph.NodeID // base post ∪ hot post, per node, sorted
+}
+
+// NewWeighted builds the weighted pairing of base and hot. Both
+// strategies must share the same universe. The strategies are
+// precomputed; the per-node union posting sets are materialized up
+// front.
+func NewWeighted(base, hot rendezvous.Strategy) (*Weighted, error) {
+	if base.N() != hot.N() {
+		return nil, fmt.Errorf("strategy: weighted universes differ: base %d, hot %d", base.N(), hot.N())
+	}
+	base = rendezvous.Precompute(base)
+	hot = rendezvous.Precompute(hot)
+	n := base.N()
+	w := &Weighted{base: base, hot: hot, union: make([][]graph.NodeID, n)}
+	for v := 0; v < n; v++ {
+		w.union[v] = unionSets(base.Post(graph.NodeID(v)), hot.Post(graph.NodeID(v)))
+	}
+	return w, nil
+}
+
+// Name identifies the pairing in reports.
+func (w *Weighted) Name() string {
+	return fmt.Sprintf("weighted(%s|%s)", w.base.Name(), w.hot.Name())
+}
+
+// N returns the universe size.
+func (w *Weighted) N() int { return w.base.N() }
+
+// Base returns the balanced strategy cold ports run.
+func (w *Weighted) Base() rendezvous.Strategy { return w.base }
+
+// Hot returns the post-heavy split hot ports run.
+func (w *Weighted) Hot() rendezvous.Strategy { return w.hot }
+
+// UnionPost returns base-post(i) ∪ hot-post(i), the set a hot port's
+// server posts to so both hot and cold query sets can rendezvous with
+// it. The returned slice is shared; callers must not mutate it.
+func (w *Weighted) UnionPost(i graph.NodeID) []graph.NodeID {
+	if int(i) < 0 || int(i) >= len(w.union) {
+		return nil
+	}
+	return w.union[i]
+}
+
+func unionSets(a, b []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, len(a)+len(b))
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	for _, s := range [][]graph.NodeID{a, b} {
+		for _, v := range s {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// TestPostHeavyRendezvous verifies the rendezvous property of the
+// post-heavy split across sizes, including non-divisible block counts.
+func TestPostHeavyRendezvous(t *testing.T) {
+	for _, tc := range []struct{ n, q int }{
+		{16, 2}, {16, 4}, {17, 3}, {64, 2}, {64, 8}, {100, 7}, {5, 1}, {5, 5},
+	} {
+		s, err := PostHeavy(tc.n, tc.q)
+		if err != nil {
+			t.Fatalf("PostHeavy(%d,%d): %v", tc.n, tc.q, err)
+		}
+		m, err := rendezvous.Build(s)
+		if err != nil {
+			t.Fatalf("PostHeavy(%d,%d): build: %v", tc.n, tc.q, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("PostHeavy(%d,%d): %v", tc.n, tc.q, err)
+		}
+		for j := 0; j < tc.n; j++ {
+			if got := len(s.Query(graph.NodeID(j))); got > tc.q {
+				t.Fatalf("PostHeavy(%d,%d): #Q(%d) = %d > %d", tc.n, tc.q, j, got, tc.q)
+			}
+		}
+	}
+	if _, err := PostHeavy(8, 0); err == nil {
+		t.Fatal("PostHeavy(8,0) should fail")
+	}
+	if _, err := PostHeavy(8, 9); err == nil {
+		t.Fatal("PostHeavy(8,9) should fail")
+	}
+}
+
+// TestAlphaQuerySize pins the (M3′) optimum: q* = √(n/α), clamped.
+func TestAlphaQuerySize(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		alpha float64
+		want  int
+	}{
+		{64, 16, 2}, {64, 4, 4}, {64, 1, 8}, {64, 0.25, 16},
+		{64, 1 << 20, 1}, {64, 1e-9, 64}, {64, 0, 8},
+	} {
+		if got := AlphaQuerySize(tc.n, tc.alpha); got != tc.want {
+			t.Fatalf("AlphaQuerySize(%d, %v) = %d, want %d", tc.n, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+// TestWeightedUnion checks the union posting sets contain both halves,
+// so every hot/cold query mix can rendezvous with a hot server.
+func TestWeightedUnion(t *testing.T) {
+	const n = 36
+	base := rendezvous.Checkerboard(n)
+	hot, err := PostHeavy(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWeighted(base, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != n {
+		t.Fatalf("N = %d, want %d", w.N(), n)
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		u := w.UnionPost(id)
+		in := make(map[graph.NodeID]bool, len(u))
+		prev := graph.NodeID(-1)
+		for _, x := range u {
+			if x <= prev {
+				t.Fatalf("UnionPost(%d) not sorted/deduped: %v", v, u)
+			}
+			prev = x
+			in[x] = true
+		}
+		for _, x := range w.Base().Post(id) {
+			if !in[x] {
+				t.Fatalf("UnionPost(%d) missing base node %d", v, x)
+			}
+		}
+		for _, x := range w.Hot().Post(id) {
+			if !in[x] {
+				t.Fatalf("UnionPost(%d) missing hot node %d", v, x)
+			}
+		}
+	}
+	// Mismatched universes must be rejected.
+	small, err := PostHeavy(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWeighted(base, small); err == nil {
+		t.Fatal("NewWeighted with mismatched universes should fail")
+	}
+}
