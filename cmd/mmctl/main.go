@@ -1,0 +1,353 @@
+// Command mmctl spawns, partitions, verifies, kills and tears down
+// local NetTransport clusters — the process-orchestration companion to
+// cmd/mmnode for tests, demos and CI.
+//
+// Every worker it spawns is a re-exec of mmctl itself (selected by an
+// environment variable), so a single binary carries the whole cluster;
+// production deployments run cmd/mmnode per host instead, with the
+// same wire protocol and partition layout (cluster.PartitionRange).
+//
+// Subcommands:
+//
+//	mmctl up -nodes 36 -procs 3 -state mm.json
+//	    Spawn a cluster, print "ADDRS a,b,c" (feed it to `mmload
+//	    -transport net -addrs ...`), persist pids/addresses to -state,
+//	    then serve until SIGINT/SIGTERM and drain the workers.
+//
+//	mmctl verify -nodes 36 -procs 3 -locates 10000
+//	    Spawn a cluster and drive the same seeded workload (batched
+//	    registrations, locates, migrations, probes) through the socket
+//	    transport and the in-process MemTransport side by side; exit 1
+//	    on any answer or pass-count divergence. The CI net-smoke gate.
+//
+//	mmctl demo
+//	    Spawn 3 processes, register services, locate them, kill -9 one
+//	    process mid-run, and narrate the recovery (hint generations
+//	    bump, surviving rendezvous nodes keep answering).
+//
+//	mmctl kill -state mm.json -index 1 [-9]
+//	    Signal one worker of an `up` cluster (SIGTERM, or SIGKILL with
+//	    -9) — fault injection against a live cluster.
+//
+//	mmctl down -state mm.json
+//	    SIGTERM every worker recorded in the state file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"matchmake/internal/cluster"
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+func main() {
+	if os.Getenv("MMCTL_NODE") != "" {
+		if err := workerMain(); err != nil {
+			fmt.Fprintln(os.Stderr, "mmctl worker:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmctl:", err)
+		os.Exit(1)
+	}
+}
+
+// workerMain is the re-exec'd node-server process: read the partition
+// from the environment, then hand the whole serve-announce-drain
+// lifecycle to the shared cluster.RunNodeWorker (which only returns
+// after a SIGTERM drain has finished).
+func workerMain() error {
+	atoi := func(k string) (int, error) { return strconv.Atoi(os.Getenv(k)) }
+	n, err := atoi("MMCTL_N")
+	if err != nil {
+		return fmt.Errorf("MMCTL_N: %w", err)
+	}
+	lo, err := atoi("MMCTL_LO")
+	if err != nil {
+		return fmt.Errorf("MMCTL_LO: %w", err)
+	}
+	hi, err := atoi("MMCTL_HI")
+	if err != nil {
+		return fmt.Errorf("MMCTL_HI: %w", err)
+	}
+	return cluster.RunNodeWorker(n, lo, hi, "127.0.0.1:0", os.Stdout)
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mmctl up|verify|demo|kill|down [flags] (see `go doc ./cmd/mmctl`)")
+	}
+	switch args[0] {
+	case "up":
+		return cmdUp(args[1:], out)
+	case "verify":
+		return cmdVerify(args[1:], out)
+	case "demo":
+		return cmdDemo(args[1:], out)
+	case "kill":
+		return cmdKill(args[1:], out)
+	case "down":
+		return cmdDown(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want up, verify, demo, kill or down)", args[0])
+	}
+}
+
+func cmdUp(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl up", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 36, "cluster size n")
+	procs := fs.Int("procs", 3, "node processes to spawn")
+	state := fs.String("state", "", "write pids/addresses to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ps, err := spawnCluster(*nodes, *procs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ADDRS %s\n", strings.Join(addrs(ps), ","))
+	for _, p := range ps {
+		fmt.Fprintf(out, "mmctl: worker %d pid %d serves [%d,%d) at %s\n", p.Index, p.Pid, p.Lo, p.Hi, p.Addr)
+	}
+	if *state != "" {
+		if err := writeState(*state, *nodes, ps); err != nil {
+			teardown(ps, 5*time.Second)
+			return err
+		}
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	fmt.Fprintln(out, "mmctl: draining workers")
+	return teardown(ps, 10*time.Second)
+}
+
+func cmdKill(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl kill", flag.ContinueOnError)
+	state := fs.String("state", "", "state file written by `mmctl up` (required)")
+	index := fs.Int("index", -1, "worker index to signal (required)")
+	nine := fs.Bool("9", false, "SIGKILL instead of SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := readState(*state)
+	if err != nil {
+		return err
+	}
+	if *index < 0 || *index >= len(st.Procs) {
+		return fmt.Errorf("-index %d out of range (cluster has %d workers)", *index, len(st.Procs))
+	}
+	p := st.Procs[*index]
+	sig := syscall.SIGTERM
+	if *nine {
+		sig = syscall.SIGKILL
+	}
+	if err := syscall.Kill(p.Pid, sig); err != nil {
+		return fmt.Errorf("signal pid %d: %w", p.Pid, err)
+	}
+	fmt.Fprintf(out, "mmctl: sent %v to worker %d (pid %d, nodes [%d,%d))\n", sig, p.Index, p.Pid, p.Lo, p.Hi)
+	return nil
+}
+
+func cmdDown(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl down", flag.ContinueOnError)
+	state := fs.String("state", "", "state file written by `mmctl up` (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := readState(*state)
+	if err != nil {
+		return err
+	}
+	for _, p := range st.Procs {
+		if err := syscall.Kill(p.Pid, syscall.SIGTERM); err == nil {
+			fmt.Fprintf(out, "mmctl: SIGTERM worker %d (pid %d)\n", p.Index, p.Pid)
+		}
+	}
+	// Wake the `up` coordinator so it reaps its workers and exits
+	// instead of waiting on a signal that will never come.
+	if st.CoordPid > 0 {
+		if err := syscall.Kill(st.CoordPid, syscall.SIGTERM); err == nil {
+			fmt.Fprintf(out, "mmctl: SIGTERM coordinator (pid %d)\n", st.CoordPid)
+		}
+	}
+	return nil
+}
+
+// cmdVerify is the divergence gate: the same seeded workload through
+// the socket cluster and the in-process fast path, with answers
+// compared request by request and pass totals compared after every
+// phase.
+func cmdVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl verify", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 36, "cluster size n")
+	procs := fs.Int("procs", 3, "node processes to spawn")
+	locates := fs.Int("locates", 10000, "locates to compare")
+	ports := fs.Int("ports", 8, "services to register")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ps, err := spawnCluster(*nodes, *procs)
+	if err != nil {
+		return err
+	}
+	defer teardown(ps, 10*time.Second)
+
+	g := topology.Complete(*nodes)
+	strat := rendezvous.Checkerboard(*nodes)
+	memT, err := cluster.NewMemTransport(g, strat, 0)
+	if err != nil {
+		return err
+	}
+	netT, err := cluster.NewNetTransport(g, strat, addrs(ps), cluster.NetOptions{CallTimeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer netT.Close()
+
+	// Registrations through the batched path on both.
+	regs := make([]cluster.Registration, *ports)
+	for p := 0; p < *ports; p++ {
+		regs[p] = cluster.Registration{
+			Port: core.Port(fmt.Sprintf("svc-%04d", p)),
+			Node: graph.NodeID((p * 7919) % *nodes),
+		}
+	}
+	memRefs, err := memT.PostBatch(regs)
+	if err != nil {
+		return err
+	}
+	netRefs, err := netT.PostBatch(regs)
+	if err != nil {
+		return err
+	}
+	if memT.Passes() != netT.Passes() {
+		return fmt.Errorf("verify: PostBatch diverged: mem %d passes, net %d", memT.Passes(), netT.Passes())
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	var netOnly time.Duration
+	for i := 0; i < *locates; i++ {
+		client := graph.NodeID(rng.Intn(*nodes))
+		port := regs[rng.Intn(len(regs))].Port
+		e1, err1 := memT.Locate(client, port)
+		t0 := time.Now()
+		e2, err2 := netT.Locate(client, port)
+		netOnly += time.Since(t0)
+		if (err1 == nil) != (err2 == nil) {
+			return fmt.Errorf("verify: locate %d (%q from %d): mem err=%v net err=%v", i, port, client, err1, err2)
+		}
+		if err1 == nil && (e1.Addr != e2.Addr || e1.ServerID != e2.ServerID) {
+			return fmt.Errorf("verify: locate %d (%q from %d): mem %+v != net %+v", i, port, client, e1, e2)
+		}
+		if memT.Passes() != netT.Passes() {
+			return fmt.Errorf("verify: locate %d (%q from %d): pass totals diverged: mem %d, net %d",
+				i, port, client, memT.Passes(), netT.Passes())
+		}
+		// Sprinkle the lifecycle into the stream: occasional probes of
+		// the fresh answer and occasional migrations.
+		if err1 == nil && i%97 == 0 {
+			_, merr := memT.Probe(client, e1)
+			_, nerr := netT.Probe(client, e2)
+			if (merr == nil) != (nerr == nil) || memT.Passes() != netT.Passes() {
+				return fmt.Errorf("verify: probe at locate %d: mem err=%v net err=%v (passes %d vs %d)",
+					i, merr, nerr, memT.Passes(), netT.Passes())
+			}
+		}
+		if i%1009 == 1008 {
+			s := rng.Intn(len(regs))
+			to := graph.NodeID(rng.Intn(*nodes))
+			merr := memRefs[s].Migrate(to)
+			nerr := netRefs[s].Migrate(to)
+			if (merr == nil) != (nerr == nil) || memT.Passes() != netT.Passes() {
+				return fmt.Errorf("verify: migrate at locate %d: mem err=%v net err=%v (passes %d vs %d)",
+					i, merr, nerr, memT.Passes(), netT.Passes())
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "verify: OK — %d locates over %d nodes / %d processes: answers and pass totals identical (mem=net=%d passes)\n",
+		*locates, *nodes, *procs, netT.Passes())
+	fmt.Fprintf(out, "verify: net locate throughput ~%.0f/s sequential (%.1fs wall total)\n",
+		float64(*locates)/netOnly.Seconds(), elapsed.Seconds())
+	return nil
+}
+
+// cmdDemo narrates the socket cluster's crash story on a 3-process
+// partition: register, locate, kill -9, recover.
+func cmdDemo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl demo", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 36, "cluster size n")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ps, err := spawnCluster(*nodes, 3)
+	if err != nil {
+		return err
+	}
+	defer teardown(ps, 10*time.Second)
+	for _, p := range ps {
+		fmt.Fprintf(out, "demo: worker %d (pid %d) serves nodes [%d,%d) at %s\n", p.Index, p.Pid, p.Lo, p.Hi, p.Addr)
+	}
+	g := topology.Complete(*nodes)
+	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(*nodes), addrs(ps),
+		cluster.NetOptions{CallTimeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	mid := graph.NodeID((ps[1].Lo + ps[1].Hi) / 2)
+	if _, err := tr.Register("printer", mid); err != nil {
+		return err
+	}
+	if _, err := tr.Register("mail", 3); err != nil {
+		return err
+	}
+	e, err := tr.Locate(0, "printer")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "demo: located \"printer\" at node %d (%d passes charged so far)\n", e.Addr, tr.Passes())
+
+	gen := tr.Gen("mail")
+	fmt.Fprintf(out, "demo: kill -9 worker 1 (pid %d) — nodes [%d,%d) go dark\n", ps[1].Pid, ps[1].Lo, ps[1].Hi)
+	ps[1].kill(syscall.SIGKILL)
+	ps[1].cmd.Wait()
+	if _, err := tr.Probe(0, e); err != nil {
+		fmt.Fprintf(out, "demo: probe of the cached \"printer\" address fails without an answer: %v\n", err)
+	}
+	if tr.Gen("mail") != gen {
+		fmt.Fprintln(out, "demo: every hint generation bumped — cached addresses will re-flood, not probe a black hole")
+	}
+	if e, err = tr.Locate(0, "mail"); err == nil {
+		fmt.Fprintf(out, "demo: \"mail\" still resolves to node %d from the surviving rendezvous nodes\n", e.Addr)
+	} else {
+		return fmt.Errorf("demo: mail stopped resolving after the kill: %w", err)
+	}
+	if _, err := tr.Register("fresh", 30); err != nil {
+		return err
+	}
+	if e, err = tr.Locate(4, "fresh"); err != nil {
+		return fmt.Errorf("demo: fresh service did not resolve: %w", err)
+	}
+	fmt.Fprintf(out, "demo: new \"fresh\" service registers and resolves (node %d) on the degraded cluster\n", e.Addr)
+	fmt.Fprintln(out, "demo: draining survivors")
+	return nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"matchmake/internal/cluster"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+)
+
+// TestMain re-execs the test binary as a node-server worker when
+// spawnCluster launches it with MMCTL_NODE set — the same trick the
+// mmctl binary itself uses, so the orchestration paths under test are
+// the production ones.
+func TestMain(m *testing.M) {
+	if os.Getenv("MMCTL_NODE") != "" {
+		if err := workerMain(); err != nil {
+			fmt.Fprintln(os.Stderr, "mmctl worker:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestSpawnKillDrain covers the orchestration lifecycle: spawn a
+// 3-process loopback cluster, serve traffic over it, kill -9 one
+// worker, drain another gracefully, tear the rest down.
+func TestSpawnKillDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	ps, err := spawnCluster(24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown(ps, 5*time.Second)
+	if len(ps) != 3 {
+		t.Fatalf("spawned %d workers, want 3", len(ps))
+	}
+	for i, p := range ps {
+		wantLo, wantHi := cluster.PartitionRange(24, 3, i)
+		if p.Lo != wantLo || p.Hi != wantHi {
+			t.Fatalf("worker %d owns [%d,%d), want [%d,%d)", i, p.Lo, p.Hi, wantLo, wantHi)
+		}
+		if p.Addr == "" || p.Pid == 0 {
+			t.Fatalf("worker %d missing addr/pid: %+v", i, p)
+		}
+	}
+
+	g := topology.Complete(24)
+	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(24), addrs(ps),
+		cluster.NetOptions{CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Register("svc", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Locate(20, "svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9 the last worker: it dies immediately and unclean.
+	if err := ps[2].kill(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps[2].cmd.Wait(); err == nil {
+		t.Fatal("SIGKILL'd worker reported a clean exit")
+	}
+	// The cluster still serves the surviving partitions.
+	if _, err := tr.Locate(1, "svc"); err != nil {
+		t.Fatalf("locate after kill -9: %v", err)
+	}
+
+	// drain the middle worker: SIGTERM, in-flight finished, exit 0.
+	if err := ps[1].drain(5 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mm.json")
+	ps := []*nodeProc{
+		{Index: 0, Pid: 1234, Addr: "127.0.0.1:7001", Lo: 0, Hi: 12},
+		{Index: 1, Pid: 1235, Addr: "127.0.0.1:7002", Lo: 12, Hi: 24},
+	}
+	if err := writeState(path, 24, ps); err != nil {
+		t.Fatal(err)
+	}
+	st, err := readState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 24 || len(st.Procs) != 2 {
+		t.Fatalf("state = %+v", st)
+	}
+	for i := range ps {
+		if st.Procs[i].Pid != ps[i].Pid || st.Procs[i].Addr != ps[i].Addr {
+			t.Fatalf("proc %d = %+v, want %+v", i, st.Procs[i], *ps[i])
+		}
+	}
+	if _, err := readState(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("want error for missing state file")
+	}
+}
+
+// TestVerifySmoke runs the CI divergence gate end to end on a small
+// workload: identical answers and pass totals between net and mem.
+func TestVerifySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	var out bytes.Buffer
+	err := run([]string{"verify", "-nodes", "36", "-procs", "3", "-locates", "800"}, &out)
+	if err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: OK") {
+		t.Fatalf("unexpected verify output:\n%s", out.String())
+	}
+}
+
+// TestDemoSmoke runs the kill -9 demo end to end.
+func TestDemoSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"demo"}, &out); err != nil {
+		t.Fatalf("demo: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"kill -9 worker 1", "still resolves", "hint generation bumped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("demo output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("want error for unknown subcommand")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Fatal("want usage error for no subcommand")
+	}
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"matchmake/internal/cluster"
+)
+
+// nodeProc is one spawned node-server process of a local cluster.
+type nodeProc struct {
+	Index int    `json:"index"`
+	Pid   int    `json:"pid"`
+	Addr  string `json:"addr"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+
+	cmd *exec.Cmd // nil when loaded from a state file
+}
+
+// clusterState is what `mmctl up` persists so later `mmctl kill` and
+// `mmctl down` invocations can address the running processes. CoordPid
+// is the `mmctl up` process itself: `down` signals it too, so it reaps
+// its workers and exits instead of blocking on a signal forever.
+type clusterState struct {
+	Nodes    int        `json:"nodes"`
+	CoordPid int        `json:"coord_pid"`
+	Procs    []nodeProc `json:"procs"`
+}
+
+// spawnCluster launches procs node-server worker processes (re-execs
+// of this binary, selected by the MMCTL_NODE environment variable)
+// partitioning nodes contiguous ranges, and collects the ephemeral
+// address each worker prints. On any failure the already-started
+// workers are killed.
+func spawnCluster(nodes, procs int) ([]*nodeProc, error) {
+	if nodes < 2 || procs < 1 || procs > nodes {
+		return nil, fmt.Errorf("need 1 <= procs (%d) <= nodes (%d)", procs, nodes)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]*nodeProc, 0, procs)
+	fail := func(err error) ([]*nodeProc, error) {
+		for _, p := range ps {
+			p.kill(syscall.SIGKILL)
+			p.cmd.Wait()
+		}
+		return nil, err
+	}
+	for i := 0; i < procs; i++ {
+		lo, hi := cluster.PartitionRange(nodes, procs, i)
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"MMCTL_NODE=1",
+			fmt.Sprintf("MMCTL_N=%d", nodes),
+			fmt.Sprintf("MMCTL_LO=%d", lo),
+			fmt.Sprintf("MMCTL_HI=%d", hi),
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("spawn worker %d: %w", i, err))
+		}
+		p := &nodeProc{Index: i, Pid: cmd.Process.Pid, Lo: lo, Hi: hi, cmd: cmd}
+		ps = append(ps, p)
+		addr, err := readAddrLine(out)
+		if err != nil {
+			return fail(fmt.Errorf("worker %d: %w", i, err))
+		}
+		p.Addr = addr
+	}
+	return ps, nil
+}
+
+// readAddrLine consumes the worker's "ADDR host:port" banner and
+// leaves a goroutine draining any further output.
+func readAddrLine(r interface{ Read([]byte) (int, error) }) (string, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return "", fmt.Errorf("no ADDR line (%v)", sc.Err())
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, "ADDR ") {
+		return "", fmt.Errorf("unexpected banner %q", line)
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return strings.TrimPrefix(line, "ADDR "), nil
+}
+
+// addrs returns the processes' addresses in partition order.
+func addrs(ps []*nodeProc) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Addr
+	}
+	return out
+}
+
+// kill delivers sig to the process. Loaded-from-state processes are
+// signalled by pid.
+func (p *nodeProc) kill(sig syscall.Signal) error {
+	if p.cmd != nil && p.cmd.Process != nil {
+		return p.cmd.Process.Signal(sig)
+	}
+	return syscall.Kill(p.Pid, sig)
+}
+
+// drain asks the process to shut down gracefully (SIGTERM → finish
+// in-flight requests → exit 0) and waits up to timeout before
+// escalating to SIGKILL. It reports whether the exit was clean.
+func (p *nodeProc) drain(timeout time.Duration) error {
+	if err := p.kill(syscall.SIGTERM); err != nil {
+		if p.cmd != nil && errors.Is(err, os.ErrProcessDone) {
+			p.cmd.Wait() // already exited (e.g. SIGTERM'd by `down`); reap it
+			return nil
+		}
+		return err
+	}
+	if p.cmd == nil {
+		return nil // not our child; we can signal but not wait
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		p.kill(syscall.SIGKILL)
+		<-done
+		return fmt.Errorf("worker %d did not drain within %v; killed", p.Index, timeout)
+	}
+}
+
+// teardown drains every process, returning the first failure.
+func teardown(ps []*nodeProc, timeout time.Duration) error {
+	var first error
+	for _, p := range ps {
+		if err := p.drain(timeout); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// writeState persists the cluster layout for later mmctl invocations.
+func writeState(path string, nodes int, ps []*nodeProc) error {
+	st := clusterState{Nodes: nodes, CoordPid: os.Getpid(), Procs: make([]nodeProc, len(ps))}
+	for i, p := range ps {
+		st.Procs[i] = *p
+		st.Procs[i].cmd = nil
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// readState loads a cluster layout written by writeState.
+func readState(path string) (*clusterState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st clusterState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("state file %s: %w", path, err)
+	}
+	return &st, nil
+}

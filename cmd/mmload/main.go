@@ -13,6 +13,8 @@
 //
 //	mmload                                   # 64-node Zipfian fast-path run
 //	mmload -transport sim -duration 5s       # same load over the simulator
+//	mmload -transport net -addrs a,b,c       # real sockets: a node-process
+//	                                         # cluster from `mmctl up` or mmnode
 //	mmload -workload uniform -ports 64
 //	mmload -workload zipf -zipf-s 1.4        # skew the port popularity
 //	mmload -churn 50ms                       # crash/re-register churn
@@ -43,6 +45,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,6 +66,8 @@ func main() {
 
 type config struct {
 	transport   string
+	addrs       string
+	netConns    int
 	topo        string
 	nodes       int
 	strategy    string
@@ -92,7 +97,9 @@ type config struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmload", flag.ContinueOnError)
 	var cfg config
-	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator)")
+	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator) | net (socket cluster; needs -addrs)")
+	fs.StringVar(&cfg.addrs, "addrs", "", "net transport: comma-separated node-process addresses in partition order (from `mmctl up` or mmnode)")
+	fs.IntVar(&cfg.netConns, "net-conns", 0, "net transport: connections per node process (0 = default)")
 	fs.StringVar(&cfg.topo, "topology", "complete", "topology: complete|grid|ring|hypercube")
 	fs.IntVar(&cfg.nodes, "nodes", 64, "network size (grid needs a rectangle, hypercube a power of two)")
 	fs.StringVar(&cfg.strategy, "strategy", "checkerboard", "strategy: checkerboard|random|broadcast|sweep")
@@ -293,11 +300,7 @@ func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (clus
 	switch cfg.transport {
 	case "mem":
 		if cfg.weighted {
-			hot, err := strategy.PostHeavy(g.N(), strategy.AlphaQuerySize(g.N(), cfg.hotAlpha))
-			if err != nil {
-				return nil, err
-			}
-			w, err := strategy.NewWeighted(strat, hot)
+			w, err := buildWeighted(g.N(), strat, cfg.hotAlpha)
 			if err != nil {
 				return nil, err
 			}
@@ -306,15 +309,40 @@ func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (clus
 		return cluster.NewMemTransport(g, strat, 0)
 	case "sim":
 		if cfg.weighted {
-			return nil, fmt.Errorf("-weighted needs -transport mem (the sim path runs the base strategy only)")
+			return nil, fmt.Errorf("-weighted needs -transport mem or net (the sim path runs the base strategy only)")
 		}
 		return cluster.NewSimTransport(g, strat, core.Options{
 			LocateTimeout: cfg.locateTO,
 			CollectWindow: cfg.collectWin,
 		})
+	case "net":
+		if cfg.addrs == "" {
+			return nil, fmt.Errorf("-transport net needs -addrs (boot a cluster with `mmctl up` or mmnode)")
+		}
+		addrs := strings.Split(cfg.addrs, ",")
+		opts := cluster.NetOptions{ConnsPerProc: cfg.netConns, CallTimeout: 30 * time.Second}
+		if cfg.weighted {
+			w, err := buildWeighted(g.N(), strat, cfg.hotAlpha)
+			if err != nil {
+				return nil, err
+			}
+			return cluster.NewWeightedNetTransport(g, w, addrs, opts)
+		}
+		return cluster.NewNetTransport(g, strat, addrs, opts)
 	default:
 		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
 	}
+}
+
+// buildWeighted assembles the frequency-weighted strategy pair: the
+// base strategy plus the (M3′) post-heavy hot split sized for an
+// assumed locate:post ratio of alpha.
+func buildWeighted(n int, base rendezvous.Strategy, alpha float64) (*strategy.Weighted, error) {
+	hot, err := strategy.PostHeavy(n, strategy.AlphaQuerySize(n, alpha))
+	if err != nil {
+		return nil, err
+	}
+	return strategy.NewWeighted(base, hot)
 }
 
 // portPicker returns a per-goroutine port-popularity sampler over the

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"net"
 	"strings"
 	"testing"
+
+	"matchmake/internal/cluster"
 )
 
 func runLoad(t *testing.T, args ...string) string {
@@ -106,5 +109,61 @@ func TestRunHintsWithChurn(t *testing.T) {
 		"-duration", "300ms", "-concurrency", "4", "-hints", "-churn", "50ms")
 	if !strings.Contains(out, "hints: hits=") {
 		t.Fatalf("output missing hint stats:\n%s", out)
+	}
+}
+
+// startNodeServers boots an in-process pair of NodeServers on real TCP
+// listeners, covering nodes [0,n) in two halves, and returns their
+// addresses — the lightest way to exercise -transport net end to end.
+func startNodeServers(t *testing.T, n int) string {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		lo, hi := cluster.PartitionRange(n, 2, i)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := cluster.NewNodeServer(n, lo, hi, ln)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return strings.Join(addrs, ",")
+}
+
+func TestRunNet(t *testing.T) {
+	addrs := startNodeServers(t, 36)
+	out := runLoad(t,
+		"-transport", "net", "-addrs", addrs, "-nodes", "36",
+		"-workload", "zipf", "-duration", "150ms", "-concurrency", "4")
+	for _, want := range []string{"transport=net", "locates/sec", "per locate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "locates=0 ") {
+		t.Fatalf("no locates completed:\n%s", out)
+	}
+}
+
+func TestRunNetWithHintsAndChurn(t *testing.T) {
+	addrs := startNodeServers(t, 36)
+	out := runLoad(t,
+		"-transport", "net", "-addrs", addrs, "-nodes", "36",
+		"-workload", "zipf", "-duration", "300ms", "-concurrency", "4",
+		"-hints", "-churn", "100ms")
+	if !strings.Contains(out, "hints: hits=") {
+		t.Fatalf("output missing hint stats:\n%s", out)
+	}
+}
+
+func TestRunNetRejectsMissingAddrs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-transport", "net", "-duration", "10ms"}, &sb); err == nil {
+		t.Fatal("run accepted -transport net without -addrs")
 	}
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+	"time"
+
+	"matchmake/internal/cluster"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/topology"
+
+	"io"
+)
+
+func TestNodeRange(t *testing.T) {
+	cases := []struct {
+		nodes, procs, index, lo, hi int
+		wantLo, wantHi              int
+		wantErr                     bool
+	}{
+		{nodes: 36, procs: 3, index: 1, lo: -1, hi: -1, wantLo: 12, wantHi: 24},
+		{nodes: 36, procs: 3, index: 0, lo: -1, hi: -1, wantLo: 0, wantHi: 12},
+		{nodes: 10, procs: 3, index: 2, lo: -1, hi: -1, wantLo: 6, wantHi: 10},
+		{nodes: 36, procs: 0, index: -1, lo: 5, hi: 9, wantLo: 5, wantHi: 9},
+		{nodes: 36, procs: 0, index: -1, lo: -1, hi: -1, wantErr: true}, // no range given
+		{nodes: 36, procs: 3, index: 1, lo: 0, hi: 12, wantErr: true},   // both forms
+		{nodes: 36, procs: 3, index: 3, lo: -1, hi: -1, wantErr: true},  // slot out of range
+		{nodes: 36, procs: 0, index: -1, lo: 9, hi: 5, wantErr: true},   // inverted
+		{nodes: 0, procs: 3, index: 0, lo: -1, hi: -1, wantErr: true},   // missing n
+		{nodes: 2, procs: 3, index: 0, lo: -1, hi: -1, wantErr: true},   // empty slot
+	}
+	for _, c := range cases {
+		lo, hi, err := nodeRange(c.nodes, c.procs, c.index, c.lo, c.hi)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("nodeRange(%+v): want error, got [%d,%d)", c, lo, hi)
+			}
+			continue
+		}
+		if err != nil || lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("nodeRange(%+v) = [%d,%d), %v; want [%d,%d)", c, lo, hi, err, c.wantLo, c.wantHi)
+		}
+	}
+}
+
+// TestServeRoundTrip boots run() in-process on an ephemeral port and
+// does a full transport round trip against it (plus a second in-process
+// worker for the other half of the partition).
+func TestServeRoundTrip(t *testing.T) {
+	pr1, w1 := io.Pipe()
+	pr2, w2 := io.Pipe()
+	for i, w := range []io.Writer{w1, w2} {
+		go func(i int, w io.Writer) {
+			err := run([]string{"-nodes", "16", "-procs", "2", "-index",
+				[]string{"0", "1"}[i], "-listen", "127.0.0.1:0"}, w)
+			if err != nil {
+				t.Errorf("run worker %d: %v", i, err)
+			}
+		}(i, w)
+	}
+	readAddr := func(r io.Reader) string {
+		sc := bufio.NewScanner(r)
+		if !sc.Scan() {
+			t.Fatalf("no ADDR line: %v", sc.Err())
+		}
+		line := sc.Text()
+		if !strings.HasPrefix(line, "ADDR ") {
+			t.Fatalf("unexpected line %q", line)
+		}
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		return strings.TrimPrefix(line, "ADDR ")
+	}
+	addrs := []string{readAddr(pr1), readAddr(pr2)}
+
+	g := topology.Complete(16)
+	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(16), addrs,
+		cluster.NetOptions{CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Register("svc", 5); err != nil {
+		t.Fatal(err)
+	}
+	e, err := tr.Locate(12, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Addr != 5 {
+		t.Fatalf("located at %d, want 5", e.Addr)
+	}
+}

@@ -8,9 +8,12 @@
 // high-throughput workloads without losing the paper's message-pass
 // accounting.
 //
-// The implementation lives in internal packages; see DESIGN.md for the
-// system inventory, EXPERIMENTS.md for paper-vs-measured results, and
-// examples/ for runnable entry points:
+// The implementation lives in internal packages; see README.md for the
+// quickstart and architecture tour, docs/PAPER_MAP.md for the
+// paper-to-code concordance (every definition, proposition and method
+// mapped to the symbol that implements it and the test that pins it),
+// DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and examples/ for runnable entry points:
 //
 //   - internal/graph, internal/topology, internal/sim — substrates
 //   - internal/rendezvous — §2 theory (strategies, matrix, bounds)
@@ -19,12 +22,15 @@
 //   - internal/hashlocate, internal/lighthouse — §5 and §4 variants
 //   - internal/service — the Amoeba-style service model of §1.3
 //   - internal/cluster — sharded match-making service layer: a Transport
-//     seam with a paper-exact simulator backend and a lock-free
-//     in-process fast path, probe-validated address hints with a
+//     seam with three backends (the paper-exact simulator, a lock-free
+//     in-process fast path, and a real-socket multi-process cluster of
+//     NodeServer processes), probe-validated address hints with a
 //     generation-based invalidation protocol, batched locate/post
 //     operations, a frequency-weighted hot-port strategy (E16/M3′
 //     live), locate coalescing, per-shard worker pools and live
 //     metrics
+//   - internal/netwire — the socket transport's wire layer: varint
+//     framing, pooled buffers, pipelined connections
 //   - internal/experiments — every table and figure, as code
 //
 // The benchmarks in this package (bench_test.go) regenerate each
@@ -33,7 +39,9 @@
 // ./cmd/mmbench` prints all experiments.
 //
 // `go run ./cmd/mmload` load-tests a cluster: pick a transport
-// (-transport mem|sim), a port-popularity workload (-workload uniform,
+// (-transport mem|sim|net, the net backend taking -addrs from a
+// cluster booted by cmd/mmctl or cmd/mmnode), a port-popularity
+// workload (-workload uniform,
 // or -workload zipf with -zipf-s/-zipf-v for skew), optional
 // crash/re-register churn (-churn 50ms), the hot-path accelerators
 // (-hints, -batch N, -weighted), and closed-loop (-concurrency) or
@@ -42,4 +50,10 @@
 // message passes per locate. DESIGN.md documents every flag, and
 // cmd/mmbenchjson turns bench output into the BENCH_cluster.json CI
 // artifact.
+//
+// `go run ./cmd/mmctl demo` spawns a real 3-process socket cluster,
+// kills one process with SIGKILL mid-run and narrates the recovery;
+// `mmctl up` boots a cluster for mmload, and `mmctl verify` is the CI
+// gate that pins the socket backend's answers and pass counts to the
+// in-process transport's.
 package matchmake

@@ -1,0 +1,110 @@
+package matchmake
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// doclintPackages are the packages whose exported API must be fully
+// documented: the serving layer and its strategy/metrics dependencies,
+// where each doc comment is expected to state the symbol's
+// pass-accounting contract where it has one. CI runs this test as the
+// missing-doc-comment lint.
+var doclintPackages = []string{
+	"internal/cluster",
+	"internal/strategy",
+	"internal/stats",
+}
+
+// TestExportedSymbolsDocumented fails for every exported top-level
+// declaration (type, func, method, const, var) in doclintPackages that
+// lacks a doc comment.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range doclintPackages {
+		t.Run(strings.ReplaceAll(dir, "/", "_"), func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pkg := range pkgs {
+				for _, file := range pkg.Files {
+					for _, decl := range file.Decls {
+						for _, miss := range undocumented(decl) {
+							pos := fset.Position(miss.pos)
+							t.Errorf("%s:%d: exported %s %s has no doc comment", pos.Filename, pos.Line, miss.kind, miss.name)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+type docMiss struct {
+	kind string
+	name string
+	pos  token.Pos
+}
+
+// undocumented returns the exported, comment-less declarations in decl.
+func undocumented(decl ast.Decl) []docMiss {
+	var out []docMiss
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		if d.Recv != nil && len(d.Recv.List) == 1 && !exportedRecv(d.Recv.List[0].Type) {
+			return nil // method on an unexported type
+		}
+		kind := "function"
+		if d.Recv != nil {
+			kind = "method"
+		}
+		out = append(out, docMiss{kind: kind, name: d.Name.Name, pos: d.Pos()})
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					out = append(out, docMiss{kind: "type", name: s.Name.Name, pos: s.Pos()})
+				}
+			case *ast.ValueSpec:
+				// A group doc comment, a per-spec doc comment or a trailing
+				// line comment all count for consts and vars.
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, docMiss{kind: fmt.Sprintf("%v", d.Tok), name: name.Name, pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type.
+func exportedRecv(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return exportedRecv(e.X)
+	case *ast.IndexExpr: // generic receiver
+		return exportedRecv(e.X)
+	case *ast.Ident:
+		return e.IsExported()
+	default:
+		return true // be conservative: flag unusual shapes
+	}
+}

@@ -44,20 +44,11 @@ type MemTransport struct {
 	strat   rendezvous.Strategy
 	store   *Store
 
-	post      [][]graph.NodeID // P(i), precomputed
-	query     [][]graph.NodeID // Q(j), precomputed
-	postCost  []int64          // multicast-tree edges of P(i) from i
-	queryCost []int64          // multicast-tree edges of Q(j) from j
-
-	// Weighted mode (nil when disabled): hot ports query hotQuery and
-	// their servers post to unionPost; hotSet is the published hot-port
-	// classification, swapped wholesale by SetHotPorts.
-	weighted      *strategy.Weighted
-	hotQuery      [][]graph.NodeID
-	hotQueryCost  []int64
-	unionPost     [][]graph.NodeID
-	unionPostCost []int64
-	hotSet        atomic.Pointer[map[core.Port]bool]
+	// hot holds the precomputed P/Q set/cost tables, the weighted-mode
+	// strategy (nil when disabled) and the published hot-port
+	// classification — the set-selection logic shared with NetTransport
+	// (see setcosts.go).
+	hot hotTables
 
 	// The live registration table probes answer from. byID is a
 	// copy-on-write snapshot (rebuilt under regMu on every add/drop, a
@@ -124,66 +115,29 @@ func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	strat = rendezvous.Precompute(strat)
+	sets, err := newStratSets(g, routing, strat, w)
+	if err != nil {
+		return nil, err
+	}
 	t := &MemTransport{
-		g:         g,
-		routing:   routing,
-		strat:     strat,
-		store:     NewStore(n, shards),
-		post:      make([][]graph.NodeID, n),
-		query:     make([][]graph.NodeID, n),
-		postCost:  make([]int64, n),
-		queryCost: make([]int64, n),
-		weighted:  w,
-		byPort:    make(map[core.Port]map[uint64]*memServer),
-		gens:      newGenIndex(),
-		crashed:   make([]atomic.Bool, n),
+		g:       g,
+		routing: routing,
+		strat:   strat,
+		store:   NewStore(n, shards),
+		hot:     hotTables{sets: sets, weighted: w},
+		byPort:  make(map[core.Port]map[uint64]*memServer),
+		gens:    newGenIndex(),
+		crashed: make([]atomic.Bool, n),
 	}
 	empty := make(map[uint64]*memServer)
 	t.byID.Store(&empty)
 	t.scratch.New = func() any { return &memScratch{} }
-	for v := 0; v < n; v++ {
-		id := graph.NodeID(v)
-		t.post[v] = strat.Post(id)
-		t.query[v] = strat.Query(id)
-		pc, err := routing.MulticastCost(id, t.post[v])
-		if err != nil {
-			return nil, fmt.Errorf("cluster: post set of %d: %w", v, err)
-		}
-		qc, err := routing.MulticastCost(id, t.query[v])
-		if err != nil {
-			return nil, fmt.Errorf("cluster: query set of %d: %w", v, err)
-		}
-		t.postCost[v] = int64(pc)
-		t.queryCost[v] = int64(qc)
-	}
-	if w != nil {
-		hot := w.Hot()
-		t.hotQuery = make([][]graph.NodeID, n)
-		t.hotQueryCost = make([]int64, n)
-		t.unionPost = make([][]graph.NodeID, n)
-		t.unionPostCost = make([]int64, n)
-		for v := 0; v < n; v++ {
-			id := graph.NodeID(v)
-			t.hotQuery[v] = hot.Query(id)
-			t.unionPost[v] = w.UnionPost(id)
-			qc, err := routing.MulticastCost(id, t.hotQuery[v])
-			if err != nil {
-				return nil, fmt.Errorf("cluster: hot query set of %d: %w", v, err)
-			}
-			pc, err := routing.MulticastCost(id, t.unionPost[v])
-			if err != nil {
-				return nil, fmt.Errorf("cluster: union post set of %d: %w", v, err)
-			}
-			t.hotQueryCost[v] = int64(qc)
-			t.unionPostCost[v] = int64(pc)
-		}
-	}
 	return t, nil
 }
 
 // Name implements Transport.
 func (t *MemTransport) Name() string {
-	if t.weighted != nil {
+	if t.hot.weighted != nil {
 		return "mem-weighted"
 	}
 	return "mem"
@@ -204,53 +158,29 @@ func (t *MemTransport) Gen(port core.Port) uint64 { return t.gens.gen(port) }
 func (t *MemTransport) genSlot(port core.Port) *atomic.Uint64 { return t.gens.slot(port) }
 
 // isHot reports whether port currently runs the hot split.
-func (t *MemTransport) isHot(port core.Port) bool {
-	m := t.hotSet.Load()
-	return m != nil && (*m)[port]
-}
+func (t *MemTransport) isHot(port core.Port) bool { return t.hot.isHot(port) }
 
 // canReclassify reports whether SetHotPorts can succeed — i.e. the
 // transport was built with a weighted strategy. The cluster checks it
 // before starting a reclassification loop, so HotPorts on a plain
 // transport fails loudly instead of ticking in vain.
-func (t *MemTransport) canReclassify() bool { return t.weighted != nil }
+func (t *MemTransport) canReclassify() bool { return t.hot.weighted != nil }
 
 // HotPorts returns the currently published hot classification (for
 // tests and reports).
-func (t *MemTransport) HotPorts() []core.Port {
-	m := t.hotSet.Load()
-	if m == nil {
-		return nil
-	}
-	out := make([]core.Port, 0, len(*m))
-	for p := range *m {
-		out = append(out, p)
-	}
-	return out
-}
+func (t *MemTransport) HotPorts() []core.Port { return t.hot.hotPorts() }
 
 // querySets returns the query flood targets and multicast cost for a
 // locate of port from client under the current classification.
 func (t *MemTransport) querySets(client graph.NodeID, port core.Port) ([]graph.NodeID, int64) {
-	if t.weighted != nil && t.isHot(port) {
-		return t.hotQuery[client], t.hotQueryCost[client]
-	}
-	return t.query[client], t.queryCost[client]
+	return t.hot.querySets(client, port)
 }
 
 // postSets returns the posting targets and multicast cost for srv
-// posting from node. Once a server has posted under the union sets it
-// keeps doing so (postedHot is sticky), so a later tombstone always
-// covers every node a stale active entry could linger at.
+// posting from node, with the shared sticky posted-under-union rule
+// (see hotTables.postSets).
 func (t *MemTransport) postSets(srv *memServer, node graph.NodeID) ([]graph.NodeID, int64) {
-	if t.weighted == nil {
-		return t.post[node], t.postCost[node]
-	}
-	if srv.postedHot.Load() || t.isHot(srv.port) {
-		srv.postedHot.Store(true)
-		return t.unionPost[node], t.unionPostCost[node]
-	}
-	return t.post[node], t.postCost[node]
+	return t.hot.postSets(&srv.postedHot, srv.port, node)
 }
 
 // memServer is a ServerRef on the fast path.
@@ -326,7 +256,7 @@ func (t *MemTransport) addRegistration(srv *memServer) {
 		t.byPort[srv.port] = m
 	}
 	m[srv.id] = srv
-	if t.weighted != nil && t.isHot(srv.port) {
+	if t.hot.weighted != nil && t.isHot(srv.port) {
 		srv.postedHot.Store(true)
 	}
 	t.regMu.Unlock()
@@ -656,7 +586,7 @@ func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 // demoted ports are safe immediately because union ⊇ base. The repost
 // traffic is charged like any other posting.
 func (t *MemTransport) SetHotPorts(ports []core.Port) error {
-	if t.weighted == nil {
+	if t.hot.weighted == nil {
 		return fmt.Errorf("cluster: transport %q has no weighted strategy", t.Name())
 	}
 	newHot := make(map[core.Port]bool, len(ports))
@@ -684,7 +614,7 @@ func (t *MemTransport) SetHotPorts(ports []core.Port) error {
 			}
 		}
 	}
-	t.hotSet.Store(&newHot)
+	t.hot.publish(&newHot)
 	return errors.Join(errs...)
 }
 

@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/netwire"
+)
+
+// NodeServer hosts one node-shard of a NetTransport cluster as a
+// network service: the rendezvous caches (a Store partition) and the
+// live-server table for a contiguous range [lo, hi) of graph nodes,
+// served over the internal/netwire protocol. It holds state and
+// answers requests but charges no message passes — the paper's cost
+// accounting lives in the client-side NetTransport, which knows the
+// routing tables. cmd/mmnode wraps one NodeServer per OS process;
+// cmd/mmctl spawns, partitions and kills whole local clusters of them.
+type NodeServer struct {
+	n      int
+	lo, hi int
+
+	store *Store
+
+	// live is the registration table probes answer from — the node
+	// server's equivalent of a host knowing its own processes. Guarded
+	// by mu; probe traffic is light relative to store reads.
+	mu   sync.Mutex
+	live map[uint64]liveRec
+
+	crashed []atomic.Bool
+
+	srv *netwire.Server
+}
+
+// liveRec is one registered server instance: the port it serves and
+// the owned node it currently lives at.
+type liveRec struct {
+	port core.Port
+	node graph.NodeID
+}
+
+// NewNodeServer builds a node server owning [lo, hi) of an n-node
+// cluster, serving on ln. Call Serve to start accepting.
+func NewNodeServer(n, lo, hi int, ln net.Listener) (*NodeServer, error) {
+	if n <= 0 || lo < 0 || hi <= lo || hi > n {
+		return nil, fmt.Errorf("cluster: node server range [%d,%d) invalid for n=%d", lo, hi, n)
+	}
+	s := &NodeServer{
+		n:       n,
+		lo:      lo,
+		hi:      hi,
+		store:   NewStore(n, 0),
+		live:    make(map[uint64]liveRec, 64),
+		crashed: make([]atomic.Bool, n),
+	}
+	s.srv = netwire.NewServer(ln, s.handle)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *NodeServer) Addr() net.Addr { return s.srv.Addr() }
+
+// Serve accepts and serves requests until Drain or Close; it returns
+// nil on a clean shutdown.
+func (s *NodeServer) Serve() error { return s.srv.Serve() }
+
+// Drain gracefully shuts the server down: stop accepting, finish
+// in-flight requests, then close connections — the SIGTERM path of
+// cmd/mmnode.
+func (s *NodeServer) Drain() { s.srv.Drain() }
+
+// Close shuts down immediately, abandoning in-flight requests.
+func (s *NodeServer) Close() error { return s.srv.Close() }
+
+// ServeUntilTerm serves until SIGTERM or SIGINT, then drains
+// gracefully — stop accepting, finish in-flight requests, close — and
+// only then returns. It is the one shutdown sequence every worker
+// entry point (cmd/mmnode, cmd/mmctl's re-exec workers, the test
+// workers) shares, so none of them can exit before the drain finishes.
+func (s *NodeServer) ServeUntilTerm() error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	drained := make(chan struct{})
+	go func() {
+		<-sig
+		s.Drain()
+		close(drained)
+	}()
+	if err := s.Serve(); err != nil {
+		return err
+	}
+	// Serve returned because Drain closed the listener; wait for the
+	// in-flight requests to finish before letting the process exit.
+	<-drained
+	return nil
+}
+
+// RunNodeWorker is the whole body of a spawned node-server worker
+// process: listen on listenAddr, announce the bound address as an
+// "ADDR host:port" line on out (orchestrators scan for it to collect
+// ephemeral ports), serve the node range [lo, hi) of an n-node
+// cluster, and drain gracefully on SIGTERM before returning.
+func RunNodeWorker(n, lo, hi int, listenAddr string, out io.Writer) error {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	srv, err := NewNodeServer(n, lo, hi, ln)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	fmt.Fprintf(out, "ADDR %s\n", ln.Addr())
+	fmt.Fprintf(out, "serving nodes [%d,%d) of %d\n", lo, hi, n)
+	return srv.ServeUntilTerm()
+}
+
+// owned reports whether node falls in the server's range.
+func (s *NodeServer) owned(node graph.NodeID) bool {
+	return int(node) >= s.lo && int(node) < s.hi
+}
+
+// handle serves one decoded request frame; it runs concurrently.
+func (s *NodeServer) handle(op byte, req, resp []byte) (byte, []byte) {
+	d := netwire.NewDec(req)
+	switch op {
+	case opHello:
+		resp = netwire.AppendUvarint(resp, uint64(s.n))
+		resp = netwire.AppendUvarint(resp, uint64(s.lo))
+		resp = netwire.AppendUvarint(resp, uint64(s.hi))
+		return stOK, resp
+	case opPost:
+		return s.handlePost(&d, resp)
+	case opQuery:
+		return s.handleQuery(&d, resp)
+	case opQueryAll:
+		return s.handleQueryAll(&d, resp)
+	case opProbe:
+		return s.handleProbe(&d, resp)
+	case opRegister:
+		return s.handleRegister(&d, resp)
+	case opDeregister:
+		id := d.Uvarint()
+		if d.Err() != nil {
+			return stBadRequest, resp
+		}
+		s.mu.Lock()
+		delete(s.live, id)
+		s.mu.Unlock()
+		return stOK, resp
+	case opCrash:
+		return s.handleCrash(&d, resp, true)
+	case opRestore:
+		return s.handleCrash(&d, resp, false)
+	default:
+		return stBadRequest, resp
+	}
+}
+
+func (s *NodeServer) handlePost(d *netwire.Dec, resp []byte) (byte, []byte) {
+	for d.Len() > 0 {
+		node := graph.NodeID(d.Uvarint())
+		e := decodeEntry(d)
+		if d.Err() != nil {
+			return stBadRequest, resp
+		}
+		if !s.owned(node) {
+			return stBadRequest, resp
+		}
+		if s.crashed[node].Load() {
+			continue // a crashed rendezvous node drops postings
+		}
+		s.store.Put(node, e)
+	}
+	return stOK, resp
+}
+
+func (s *NodeServer) handleQuery(d *netwire.Dec, resp []byte) (byte, []byte) {
+	for d.Len() > 0 {
+		port := core.Port(d.String())
+		cnt := int(d.Uvarint())
+		for i := 0; i < cnt; i++ {
+			node := graph.NodeID(d.Uvarint())
+			if d.Err() != nil {
+				return stBadRequest, resp
+			}
+			if !s.owned(node) {
+				return stBadRequest, resp
+			}
+			if s.crashed[node].Load() {
+				resp = append(resp, 0) // crashed nodes do not answer
+				continue
+			}
+			e, ok := s.store.Get(node, port)
+			if !ok {
+				resp = append(resp, 0) // misses are silent (§1.5)
+				continue
+			}
+			resp = append(resp, 1)
+			resp = appendEntry(resp, e)
+		}
+		if d.Err() != nil {
+			return stBadRequest, resp
+		}
+	}
+	return stOK, resp
+}
+
+func (s *NodeServer) handleQueryAll(d *netwire.Dec, resp []byte) (byte, []byte) {
+	port := core.Port(d.String())
+	cnt := int(d.Uvarint())
+	var buf [8]core.Entry
+	for i := 0; i < cnt; i++ {
+		node := graph.NodeID(d.Uvarint())
+		if d.Err() != nil {
+			return stBadRequest, resp
+		}
+		if !s.owned(node) {
+			return stBadRequest, resp
+		}
+		var entries []core.Entry
+		if !s.crashed[node].Load() {
+			entries = s.store.GetAllInto(node, port, buf[:0])
+		}
+		resp = netwire.AppendUvarint(resp, uint64(len(entries)))
+		for _, e := range entries {
+			resp = appendEntry(resp, e)
+		}
+	}
+	return stOK, resp
+}
+
+func (s *NodeServer) handleProbe(d *netwire.Dec, resp []byte) (byte, []byte) {
+	port := core.Port(d.String())
+	addr := graph.NodeID(d.Uvarint())
+	id := d.Uvarint()
+	if d.Err() != nil || !s.owned(addr) {
+		return stBadRequest, resp
+	}
+	if s.crashed[addr].Load() {
+		return stCrashed, resp
+	}
+	s.mu.Lock()
+	rec, ok := s.live[id]
+	s.mu.Unlock()
+	if ok && rec.port == port && rec.node == addr {
+		return stOK, resp
+	}
+	return stNotFound, resp
+}
+
+func (s *NodeServer) handleRegister(d *netwire.Dec, resp []byte) (byte, []byte) {
+	id := d.Uvarint()
+	port := core.Port(d.String())
+	node := graph.NodeID(d.Uvarint())
+	if d.Err() != nil || !s.owned(node) {
+		return stBadRequest, resp
+	}
+	if s.crashed[node].Load() {
+		return stCrashed, resp
+	}
+	s.mu.Lock()
+	s.live[id] = liveRec{port: port, node: node}
+	s.mu.Unlock()
+	return stOK, resp
+}
+
+func (s *NodeServer) handleCrash(d *netwire.Dec, resp []byte, down bool) (byte, []byte) {
+	node := graph.NodeID(d.Uvarint())
+	if d.Err() != nil || !s.owned(node) {
+		return stBadRequest, resp
+	}
+	s.crashed[node].Store(down)
+	if down {
+		s.store.ClearNode(node)
+	}
+	return stOK, resp
+}

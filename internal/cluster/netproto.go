@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/netwire"
+)
+
+// The node protocol: every request body is a sequence of varint-coded
+// fields (see internal/netwire for the frame and codec layer). A node
+// process serves a contiguous range of graph nodes; the client-side
+// NetTransport fans each match-making operation out to the processes
+// owning the involved nodes and keeps the paper's pass accounting
+// locally, so the wire layer moves state but never charges costs.
+const (
+	// opHello returns (n, lo, hi): the graph size the process was built
+	// for and the node range it owns. The transport handshakes every
+	// process with it and refuses mismatched layouts.
+	opHello byte = iota + 1
+	// opPost merges postings into the receiver's store: a sequence of
+	// (targetNode, entry) items until end of body. Items for crashed or
+	// foreign nodes are dropped, matching the fast path's silent skip of
+	// crashed rendezvous nodes.
+	opPost
+	// opQuery reads rendezvous caches: a sequence of sub-requests
+	// (port, nodeCount, nodes...). The response answers node by node in
+	// request order: flag byte 0 (miss — silent, as in §1.5) or 1
+	// followed by the freshest entry.
+	opQuery
+	// opQueryAll is opQuery returning every active entry per node:
+	// response is per node (count, entries...).
+	opQueryAll
+	// opProbe asks the owner of a hinted address whether (serverID,
+	// port) still lives at addr: stOK, stNotFound (live node, negative
+	// answer) or stCrashed (the address is down — no answer).
+	opProbe
+	// opRegister records a server instance (serverID, port, node) in
+	// the owner's live table, the table opProbe answers from.
+	opRegister
+	// opDeregister removes a server instance from the live table.
+	opDeregister
+	// opCrash marks an owned node failed: postings and queries for it
+	// are dropped and its volatile store is cleared.
+	opCrash
+	// opRestore brings an owned node back (volatile cache stays lost).
+	opRestore
+)
+
+// Response status bytes.
+const (
+	stOK byte = iota
+	stNotFound
+	stCrashed
+	stBadRequest
+)
+
+// appendEntry appends one core.Entry to b in wire form.
+func appendEntry(b []byte, e core.Entry) []byte {
+	b = netwire.AppendString(b, string(e.Port))
+	b = netwire.AppendUvarint(b, uint64(e.Addr))
+	b = netwire.AppendUvarint(b, e.ServerID)
+	b = netwire.AppendUvarint(b, e.Time)
+	if e.Active {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// decodeEntry consumes one wire-form entry from d.
+func decodeEntry(d *netwire.Dec) core.Entry {
+	return core.Entry{
+		Port:     core.Port(d.String()),
+		Addr:     graph.NodeID(d.Uvarint()),
+		ServerID: d.Uvarint(),
+		Time:     d.Uvarint(),
+		Active:   d.Byte() == 1,
+	}
+}
+
+// PartitionRange returns the contiguous node range [lo, hi) that
+// process i of procs owns in an n-node cluster — the node-shard layout
+// cmd/mmctl spawns and NewNetTransport verifies against each process's
+// opHello answer.
+func PartitionRange(n, procs, i int) (lo, hi int) {
+	return i * n / procs, (i + 1) * n / procs
+}

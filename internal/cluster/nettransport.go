@@ -1,0 +1,911 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/netwire"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/sim"
+	"matchmake/internal/stats"
+	"matchmake/internal/strategy"
+)
+
+// NetTransport is the socket backend: the cluster's graph nodes are
+// partitioned into contiguous ranges, each range hosted by its own OS
+// process (a NodeServer, usually cmd/mmnode) reached over TCP with the
+// internal/netwire protocol. Postings, queries, probes and liveness
+// records live in the node processes; the transport fans every
+// operation out to the owning processes over pooled, pipelined
+// connections and keeps the paper's cost accounting locally — exactly
+// the routing-derived charges MemTransport computes, so the two
+// backends give identical answers and identical pass counts on a
+// healthy cluster (pinned, operation by operation, by the net
+// equivalence tests).
+//
+// Partial failure is fail-silent, matching the crash model of the
+// in-memory path: a node process that dies (kill -9, crash, network
+// loss) makes its whole node range behave like crashed nodes — its
+// postings drop, its rendezvous caches stop answering (silent misses,
+// §1.5), and probes into it fail without an answer. The first observed
+// process death bumps every hint generation, so cached addresses
+// re-resolve by flooding instead of probing a black hole; a restarted
+// process is redialed transparently on the next operation.
+//
+// Logical posting timestamps and server ids are allocated by this
+// transport, which therefore acts as the cluster's single write
+// coordinator: run many reading NetTransports if you like, but all
+// registrations, migrations and crash events must flow through one
+// instance for the freshest-entry tie-break to stay globally ordered.
+type NetTransport struct {
+	g       *graph.Graph
+	routing *graph.Routing
+	strat   rendezvous.Strategy
+
+	// hot holds the precomputed P/Q set/cost tables, the weighted-mode
+	// strategy (nil when disabled) and the published hot-port
+	// classification — the same shared set-selection logic MemTransport
+	// uses (see setcosts.go), which is what keeps the two backends'
+	// charges in lockstep.
+	hot hotTables
+
+	addrs   []string
+	pools   []*netwire.Pool
+	ownerOf []int         // node -> owning process index
+	downP   []atomic.Bool // observed-dead processes (sticky until a call succeeds)
+
+	// regMu guards the client-side registration mirror (byPort), used
+	// by SetHotPorts to repost newly hot ports; the authoritative live
+	// table probes consult is on the node processes.
+	regMu  sync.Mutex
+	byPort map[core.Port]map[uint64]*netServer
+
+	gens     *genIndex
+	crashed  []atomic.Bool // client-side crash mirror, same charges as mem
+	clock    atomic.Uint64 // logical posting timestamps
+	serverID atomic.Uint64
+	passes   stats.StripedCounter
+
+	scratch sync.Pool // *netScratch
+}
+
+var _ Transport = (*NetTransport)(nil)
+var _ HotReclassifier = (*NetTransport)(nil)
+
+// NetOptions tune a NetTransport.
+type NetOptions struct {
+	// ConnsPerProc is the connection-pool size per node process
+	// (default 2). Each connection pipelines any number of in-flight
+	// requests.
+	ConnsPerProc int
+	// CallTimeout bounds each request round trip; 0 means wait until
+	// the connection delivers or breaks. A kill -9'd peer breaks its
+	// connections immediately, so the default is fine on loopback; set
+	// a timeout when the network itself can black-hole traffic.
+	CallTimeout time.Duration
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+}
+
+// netScratch is the pooled per-operation workspace: request/response
+// buffers and node groupings per process, so the steady-state fan-out
+// path reuses everything it touches.
+type netScratch struct {
+	nodes [][]graph.NodeID // per-proc flat node list across sub-requests
+	cnts  [][]int          // per-proc node count per sub-request
+	idx   [][]int          // per-proc original request index per sub-request
+	reqs  [][]byte         // per-proc request bodies
+	resps [][]byte         // per-proc response bodies
+	errs  []error          // per-proc call errors
+	found []bool           // per-request found flags (LocateBatch)
+}
+
+// reset readies the scratch for a fan-out over procs processes.
+func (sc *netScratch) reset(procs int) {
+	for len(sc.nodes) < procs {
+		sc.nodes = append(sc.nodes, nil)
+		sc.cnts = append(sc.cnts, nil)
+		sc.idx = append(sc.idx, nil)
+		sc.reqs = append(sc.reqs, nil)
+		sc.resps = append(sc.resps, nil)
+		sc.errs = append(sc.errs, nil)
+	}
+	for p := 0; p < procs; p++ {
+		sc.nodes[p] = sc.nodes[p][:0]
+		sc.cnts[p] = sc.cnts[p][:0]
+		sc.idx[p] = sc.idx[p][:0]
+		sc.reqs[p] = sc.reqs[p][:0]
+		sc.errs[p] = nil
+	}
+}
+
+// NewNetTransport connects to a running node-process cluster at addrs
+// (one address per process, in partition order) and verifies via the
+// hello handshake that the processes cover the n nodes of g in
+// contiguous ranges. The strategy's universe must match the graph.
+func NewNetTransport(g *graph.Graph, strat rendezvous.Strategy, addrs []string, opts NetOptions) (*NetTransport, error) {
+	return newNetTransport(g, strat, nil, addrs, opts)
+}
+
+// NewWeightedNetTransport is NewNetTransport in frequency-weighted
+// mode: cold ports run w.Base() and ports promoted by SetHotPorts run
+// the post-heavy hot split, with the same union-post promotion protocol
+// (and the same pass charges) as the weighted MemTransport.
+func NewWeightedNetTransport(g *graph.Graph, w *strategy.Weighted, addrs []string, opts NetOptions) (*NetTransport, error) {
+	if w == nil {
+		return nil, fmt.Errorf("cluster: weighted transport needs a strategy.Weighted")
+	}
+	return newNetTransport(g, w.Base(), w, addrs, opts)
+}
+
+func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, addrs []string, opts NetOptions) (*NetTransport, error) {
+	n := g.N()
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: net transport needs at least one node-process address")
+	}
+	if strat.N() != n {
+		return nil, fmt.Errorf("cluster: strategy universe %d != graph size %d", strat.N(), n)
+	}
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	strat = rendezvous.Precompute(strat)
+	sets, err := newStratSets(g, routing, strat, w)
+	if err != nil {
+		return nil, err
+	}
+	t := &NetTransport{
+		g:       g,
+		routing: routing,
+		strat:   strat,
+		hot:     hotTables{sets: sets, weighted: w},
+		addrs:   addrs,
+		pools:   make([]*netwire.Pool, len(addrs)),
+		ownerOf: make([]int, n),
+		downP:   make([]atomic.Bool, len(addrs)),
+		byPort:  make(map[core.Port]map[uint64]*netServer),
+		gens:    newGenIndex(),
+		crashed: make([]atomic.Bool, n),
+	}
+	t.scratch.New = func() any { return &netScratch{} }
+	conns := opts.ConnsPerProc
+	if conns <= 0 {
+		conns = 2
+	}
+	for i, addr := range addrs {
+		p := netwire.NewPool(addr, conns)
+		if opts.DialTimeout > 0 {
+			p.DialTimeout = opts.DialTimeout
+		}
+		p.CallTimeout = opts.CallTimeout
+		t.pools[i] = p
+	}
+	if err := t.handshake(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// handshake hellos every node process and builds the node→process
+// ownership table, demanding contiguous ranges that cover [0, n).
+func (t *NetTransport) handshake() error {
+	next := 0
+	for i := range t.pools {
+		st, body, err := t.pools[i].Call(opHello, nil, nil)
+		if err != nil {
+			return fmt.Errorf("cluster: hello %s: %w", t.addrs[i], err)
+		}
+		if st != stOK {
+			return fmt.Errorf("cluster: hello %s: status %d", t.addrs[i], st)
+		}
+		d := netwire.NewDec(body)
+		pn, lo, hi := int(d.Uvarint()), int(d.Uvarint()), int(d.Uvarint())
+		if d.Err() != nil {
+			return fmt.Errorf("cluster: hello %s: %w", t.addrs[i], d.Err())
+		}
+		if pn != t.g.N() {
+			return fmt.Errorf("cluster: process %s built for n=%d, transport for n=%d", t.addrs[i], pn, t.g.N())
+		}
+		if lo != next || hi <= lo || hi > t.g.N() {
+			return fmt.Errorf("cluster: process %s owns [%d,%d), want contiguous from %d", t.addrs[i], lo, hi, next)
+		}
+		for v := lo; v < hi; v++ {
+			t.ownerOf[v] = i
+		}
+		next = hi
+	}
+	if next != t.g.N() {
+		return fmt.Errorf("cluster: processes cover [0,%d) of %d nodes", next, t.g.N())
+	}
+	return nil
+}
+
+// callProc issues one request to process p and tracks its health: the
+// first failure after a healthy period bumps every hint generation
+// (the dead process may have hosted servers of any port), and a later
+// success clears the mark so a restarted process heals transparently.
+func (t *NetTransport) callProc(p int, op byte, req, resp []byte) (byte, []byte, error) {
+	st, body, err := t.pools[p].Call(op, req, resp)
+	if err != nil {
+		if !t.downP[p].Swap(true) {
+			t.gens.bumpAll()
+		}
+		return 0, nil, err
+	}
+	t.downP[p].Store(false)
+	return st, body, err
+}
+
+// Name implements Transport.
+func (t *NetTransport) Name() string {
+	if t.hot.weighted != nil {
+		return "net-weighted"
+	}
+	return "net"
+}
+
+// N implements Transport.
+func (t *NetTransport) N() int { return t.g.N() }
+
+// Procs returns the number of node processes behind the transport.
+func (t *NetTransport) Procs() int { return len(t.pools) }
+
+// Strategy returns the (precomputed) base strategy in use.
+func (t *NetTransport) Strategy() rendezvous.Strategy { return t.strat }
+
+// Gen implements Transport: the generation index is maintained by the
+// coordinating transport (bumped on register, migrate, deregister,
+// crash, and on an observed process death), not on the wire.
+func (t *NetTransport) Gen(port core.Port) uint64 { return t.gens.gen(port) }
+
+func (t *NetTransport) genSlot(port core.Port) *atomic.Uint64 { return t.gens.slot(port) }
+
+// isHot reports whether port currently runs the hot split.
+func (t *NetTransport) isHot(port core.Port) bool { return t.hot.isHot(port) }
+
+// canReclassify reports whether SetHotPorts can succeed.
+func (t *NetTransport) canReclassify() bool { return t.hot.weighted != nil }
+
+// HotPorts returns the currently published hot classification.
+func (t *NetTransport) HotPorts() []core.Port { return t.hot.hotPorts() }
+
+// querySets returns the query flood targets and multicast cost for a
+// locate of port from client under the current classification.
+func (t *NetTransport) querySets(client graph.NodeID, port core.Port) ([]graph.NodeID, int64) {
+	return t.hot.querySets(client, port)
+}
+
+// postSets returns the posting targets and multicast cost for srv
+// posting from node, with the shared sticky posted-under-union rule
+// (see hotTables.postSets) — identical selection, identical charges,
+// to MemTransport.
+func (t *NetTransport) postSets(srv *netServer, node graph.NodeID) ([]graph.NodeID, int64) {
+	return t.hot.postSets(&srv.postedHot, srv.port, node)
+}
+
+// netServer is a ServerRef on the socket transport. The client-side
+// fields mirror the liveness record held by the owning node process;
+// probes are answered remotely, lifecycle operations update both.
+type netServer struct {
+	t    *NetTransport
+	port core.Port
+	id   uint64
+
+	postedHot atomic.Bool
+
+	mu   sync.Mutex
+	node graph.NodeID
+	gone bool
+}
+
+// Register implements Transport: the liveness record lands on the
+// process owning node, the postings on the processes owning the
+// posting set, and the posting multicast cost is charged locally —
+// identical passes to MemTransport.Register.
+func (t *NetTransport) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
+	if !t.g.Valid(node) {
+		return nil, fmt.Errorf("cluster: register at %d: %w", node, graph.ErrNodeRange)
+	}
+	srv := &netServer{t: t, port: port, id: t.serverID.Add(1), node: node}
+	t.addRegistration(srv)
+	if err := t.registerRemote(srv.id, port, node); err != nil {
+		t.dropRegistration(srv)
+		return nil, err
+	}
+	if err := t.postEntry(srv, node, true); err != nil {
+		t.dropRegistration(srv)
+		_ = t.deregisterRemote(srv.id, node)
+		return nil, err
+	}
+	t.gens.bump(port)
+	return srv, nil
+}
+
+// registerRemote records the liveness entry on node's owner process.
+func (t *NetTransport) registerRemote(id uint64, port core.Port, node graph.NodeID) error {
+	buf := netwire.GetBuf()
+	defer netwire.PutBuf(buf)
+	req := netwire.AppendUvarint(*buf, id)
+	req = netwire.AppendString(req, string(port))
+	req = netwire.AppendUvarint(req, uint64(node))
+	*buf = req
+	st, _, err := t.callProc(t.ownerOf[node], opRegister, req, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: register %q at %d: node process unreachable: %w", port, node, err)
+	}
+	if st == stCrashed {
+		return fmt.Errorf("cluster: post %q from %d: %w", port, node, sim.ErrCrashed)
+	}
+	if st != stOK {
+		return fmt.Errorf("cluster: register %q at %d: status %d", port, node, st)
+	}
+	return nil
+}
+
+// deregisterRemote removes the liveness entry from node's owner.
+func (t *NetTransport) deregisterRemote(id uint64, node graph.NodeID) error {
+	buf := netwire.GetBuf()
+	defer netwire.PutBuf(buf)
+	req := netwire.AppendUvarint(*buf, id)
+	*buf = req
+	_, _, err := t.callProc(t.ownerOf[node], opDeregister, req, nil)
+	return err
+}
+
+// addRegistration publishes srv in the client-side mirror; under regMu
+// the hot-class decision is linearized against SetHotPorts exactly as
+// on MemTransport.
+func (t *NetTransport) addRegistration(srv *netServer) {
+	t.regMu.Lock()
+	m := t.byPort[srv.port]
+	if m == nil {
+		m = make(map[uint64]*netServer, 2)
+		t.byPort[srv.port] = m
+	}
+	m[srv.id] = srv
+	if t.hot.weighted != nil && t.isHot(srv.port) {
+		srv.postedHot.Store(true)
+	}
+	t.regMu.Unlock()
+}
+
+func (t *NetTransport) dropRegistration(srv *netServer) {
+	t.regMu.Lock()
+	if m := t.byPort[srv.port]; m != nil {
+		delete(m, srv.id)
+		if len(m) == 0 {
+			delete(t.byPort, srv.port)
+		}
+	}
+	t.regMu.Unlock()
+}
+
+// postEntry multicasts a posting (or tombstone) for srv from node to
+// its posting set: one opPost per owning process, full multicast cost
+// charged up front (as on MemTransport, targets on crashed nodes or
+// dead processes are skipped silently but still paid for — the flood
+// was sent). A crashed origin cannot post.
+func (t *NetTransport) postEntry(srv *netServer, node graph.NodeID, active bool) error {
+	if t.crashed[node].Load() {
+		return fmt.Errorf("cluster: post %q from %d: %w", srv.port, node, sim.ErrCrashed)
+	}
+	targets, cost := t.postSets(srv, node)
+	e := core.Entry{
+		Port:     srv.port,
+		Addr:     node,
+		ServerID: srv.id,
+		Time:     t.clock.Add(1),
+		Active:   active,
+	}
+	t.passes.Add(int(node), cost)
+	sc := t.scratch.Get().(*netScratch)
+	sc.reset(len(t.pools))
+	for _, v := range targets {
+		if t.crashed[v].Load() {
+			continue
+		}
+		p := t.ownerOf[v]
+		sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(v))
+		sc.reqs[p] = appendEntry(sc.reqs[p], e)
+	}
+	t.fanout(sc, opPost)
+	t.scratch.Put(sc)
+	return nil
+}
+
+// fanout issues one call per process with a non-empty request body, in
+// parallel, landing responses in sc.resps and errors in sc.errs. Calls
+// to dead processes fail fast and are recorded; the operation treats
+// them as silence, the fail-silent crash semantics of the paper.
+func (t *NetTransport) fanout(sc *netScratch, op byte) {
+	var wg sync.WaitGroup
+	for p := range t.pools {
+		if len(sc.reqs[p]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			st, body, err := t.callProc(p, op, sc.reqs[p], sc.resps[p][:0])
+			if err == nil && st != stOK {
+				err = fmt.Errorf("cluster: %s op %d: status %d", t.addrs[p], op, st)
+			}
+			if body != nil {
+				sc.resps[p] = body
+			}
+			sc.errs[p] = err
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Locate implements Transport: the query multicast cost is charged up
+// front, the flood fans out to the owning processes, and every
+// rendezvous hit is charged its reply distance — the same charges, and
+// the same freshest-entry winner, as MemTransport.Locate.
+func (t *NetTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	if !t.g.Valid(client) {
+		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
+	}
+	if t.crashed[client].Load() {
+		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
+	}
+	targets, cost := t.querySets(client, port)
+	t.passes.Add(int(client), cost)
+	sc := t.scratch.Get().(*netScratch)
+	sc.reset(len(t.pools))
+	t.groupQuery(sc, 0, port, targets)
+	t.fanout(sc, opQuery)
+	var (
+		best  core.Entry
+		found bool
+		bulk  int64
+	)
+	for p := range t.pools {
+		if len(sc.nodes[p]) == 0 || sc.errs[p] != nil {
+			continue // a dead process's caches are silent misses
+		}
+		d := netwire.NewDec(sc.resps[p])
+		for _, v := range sc.nodes[p] {
+			if d.Byte() == 0 {
+				continue
+			}
+			e := decodeEntry(&d)
+			if d.Err() != nil {
+				break
+			}
+			bulk += int64(t.routing.Dist(v, client))
+			if !found || e.Time > best.Time {
+				best, found = e, true
+			}
+		}
+	}
+	t.scratch.Put(sc)
+	if bulk != 0 {
+		t.passes.Add(int(client), bulk)
+	}
+	if !found {
+		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
+	}
+	return best, nil
+}
+
+// groupQuery appends one sub-request (for original request index req)
+// to each process owning any of targets, skipping locally-crashed
+// nodes, and records the grouping for response decoding.
+func (t *NetTransport) groupQuery(sc *netScratch, req int, port core.Port, targets []graph.NodeID) {
+	for p := range t.pools {
+		// Snapshot the include/skip decision for each target exactly once
+		// (into sc.nodes), then encode from the snapshot: a concurrent
+		// Crash flipping t.crashed mid-grouping must not let the declared
+		// node count disagree with the ids that follow it on the wire.
+		start := len(sc.nodes[p])
+		for _, v := range targets {
+			if t.ownerOf[v] == p && !t.crashed[v].Load() {
+				sc.nodes[p] = append(sc.nodes[p], v)
+			}
+		}
+		n := len(sc.nodes[p]) - start
+		if n == 0 {
+			continue
+		}
+		sc.reqs[p] = netwire.AppendString(sc.reqs[p], string(port))
+		sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(n))
+		for _, v := range sc.nodes[p][start:] {
+			sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(v))
+		}
+		sc.cnts[p] = append(sc.cnts[p], n)
+		sc.idx[p] = append(sc.idx[p], req)
+	}
+}
+
+// LocateBatch implements Transport: the whole batch's store accesses
+// are grouped per owning process — each process sees one request frame
+// per batch — and the total charge is identical to the equivalent
+// sequence of Locate calls, as on the other transports.
+func (t *NetTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
+	n := len(reqs)
+	if len(res) < n {
+		n = len(res)
+	}
+	sc := t.scratch.Get().(*netScratch)
+	sc.reset(len(t.pools))
+	if cap(sc.found) < n {
+		sc.found = make([]bool, n)
+	}
+	sc.found = sc.found[:n]
+	for i := range sc.found {
+		sc.found[i] = false
+	}
+	var bulk int64
+	for i := 0; i < n; i++ {
+		r := reqs[i]
+		res[i] = LocateRes{}
+		if !t.g.Valid(r.Client) {
+			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, graph.ErrNodeRange)
+			continue
+		}
+		if t.crashed[r.Client].Load() {
+			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, sim.ErrCrashed)
+			continue
+		}
+		targets, cost := t.querySets(r.Client, r.Port)
+		bulk += cost
+		t.groupQuery(sc, i, r.Port, targets)
+	}
+	t.fanout(sc, opQuery)
+	for p := range t.pools {
+		if len(sc.idx[p]) == 0 || sc.errs[p] != nil {
+			continue
+		}
+		d := netwire.NewDec(sc.resps[p])
+		off := 0
+		for j, req := range sc.idx[p] {
+			for k := 0; k < sc.cnts[p][j]; k++ {
+				v := sc.nodes[p][off]
+				off++
+				if d.Byte() == 0 {
+					continue
+				}
+				e := decodeEntry(&d)
+				if d.Err() != nil {
+					break
+				}
+				bulk += int64(t.routing.Dist(v, reqs[req].Client))
+				if !sc.found[req] || e.Time > res[req].Entry.Time {
+					res[req].Entry = e
+					sc.found[req] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if res[i].Err == nil && !sc.found[i] {
+			res[i].Err = fmt.Errorf("cluster: locate %q from %d: %w", reqs[i].Port, reqs[i].Client, core.ErrNotFound)
+		}
+	}
+	t.scratch.Put(sc)
+	t.passes.Add(0, bulk)
+}
+
+// PostBatch implements Transport: registrations are validated up
+// front, liveness records land on their owners, and the whole batch's
+// postings are delivered with one opPost frame per process, the summed
+// multicast cost charged in one add — the same totals as the
+// equivalent sequence of Registers.
+func (t *NetTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
+	for _, r := range regs {
+		if !t.g.Valid(r.Node) {
+			return nil, fmt.Errorf("cluster: register at %d: %w", r.Node, graph.ErrNodeRange)
+		}
+		if t.crashed[r.Node].Load() {
+			return nil, fmt.Errorf("cluster: post %q from %d: %w", r.Port, r.Node, sim.ErrCrashed)
+		}
+	}
+	refs := make([]ServerRef, len(regs))
+	servers := make([]*netServer, len(regs))
+	for i, r := range regs {
+		servers[i] = &netServer{t: t, port: r.Port, id: t.serverID.Add(1), node: r.Node}
+		t.addRegistration(servers[i])
+		refs[i] = servers[i]
+		if err := t.registerRemote(servers[i].id, r.Port, r.Node); err != nil {
+			for j := 0; j <= i; j++ {
+				t.dropRegistration(servers[j])
+				_ = t.deregisterRemote(servers[j].id, regs[j].Node)
+			}
+			return nil, err
+		}
+	}
+	sc := t.scratch.Get().(*netScratch)
+	sc.reset(len(t.pools))
+	var bulk int64
+	for i, r := range regs {
+		targets, cost := t.postSets(servers[i], r.Node)
+		bulk += cost
+		e := core.Entry{
+			Port:     r.Port,
+			Addr:     r.Node,
+			ServerID: servers[i].id,
+			Time:     t.clock.Add(1),
+			Active:   true,
+		}
+		for _, v := range targets {
+			if t.crashed[v].Load() {
+				continue
+			}
+			p := t.ownerOf[v]
+			sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(v))
+			sc.reqs[p] = appendEntry(sc.reqs[p], e)
+		}
+	}
+	t.fanout(sc, opPost)
+	t.scratch.Put(sc)
+	t.passes.Add(0, bulk)
+	for _, r := range regs {
+		t.gens.bump(r.Port)
+	}
+	return refs, nil
+}
+
+// Probe implements Transport: the owner process of the hinted address
+// answers from its live table, and the transport charges 2×Dist for an
+// answered probe (positive or negative) or 1×Dist when the address is
+// crashed or its process is gone — the request was swallowed, exactly
+// the MemTransport charge.
+func (t *NetTransport) Probe(client graph.NodeID, e core.Entry) (core.Entry, error) {
+	if !t.g.Valid(client) {
+		return core.Entry{}, fmt.Errorf("cluster: probe from %d: %w", client, graph.ErrNodeRange)
+	}
+	if !t.g.Valid(e.Addr) {
+		return core.Entry{}, fmt.Errorf("cluster: probe at %d: %w", e.Addr, graph.ErrNodeRange)
+	}
+	if t.crashed[client].Load() {
+		return core.Entry{}, fmt.Errorf("cluster: probe from %d: %w", client, sim.ErrCrashed)
+	}
+	d := int64(t.routing.Dist(client, e.Addr))
+	if t.crashed[e.Addr].Load() {
+		t.passes.Add(int(client), d) // request swallowed by the crash
+		return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, sim.ErrCrashed)
+	}
+	buf := netwire.GetBuf()
+	req := netwire.AppendString(*buf, string(e.Port))
+	req = netwire.AppendUvarint(req, uint64(e.Addr))
+	req = netwire.AppendUvarint(req, e.ServerID)
+	*buf = req
+	st, _, err := t.callProc(t.ownerOf[e.Addr], opProbe, req, nil)
+	netwire.PutBuf(buf)
+	if err != nil || st == stCrashed {
+		t.passes.Add(int(client), d) // no answer came back
+		return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, sim.ErrCrashed)
+	}
+	t.passes.Add(int(client), 2*d) // request + reply (positive or negative)
+	if st == stOK {
+		return core.Entry{Port: e.Port, Addr: e.Addr, ServerID: e.ServerID, Time: e.Time, Active: true}, nil
+	}
+	return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, core.ErrNotFound)
+}
+
+// LocateAll implements Transport, with MemTransport's charges: the
+// query flood cost plus each answering node's reply distance times its
+// entry count.
+func (t *NetTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
+	if !t.g.Valid(client) {
+		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, graph.ErrNodeRange)
+	}
+	if t.crashed[client].Load() {
+		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
+	}
+	targets, cost := t.querySets(client, port)
+	t.passes.Add(int(client), cost)
+	sc := t.scratch.Get().(*netScratch)
+	sc.reset(len(t.pools))
+	t.groupQuery(sc, 0, port, targets)
+	t.fanout(sc, opQueryAll)
+	freshest := make(map[uint64]core.Entry, 4)
+	for p := range t.pools {
+		if len(sc.nodes[p]) == 0 || sc.errs[p] != nil {
+			continue
+		}
+		d := netwire.NewDec(sc.resps[p])
+		for _, v := range sc.nodes[p] {
+			cnt := int(d.Uvarint())
+			if cnt > 0 {
+				t.passes.Add(int(client), int64(t.routing.Dist(v, client))*int64(cnt))
+			}
+			for k := 0; k < cnt; k++ {
+				e := decodeEntry(&d)
+				if d.Err() != nil {
+					break
+				}
+				if cur, ok := freshest[e.ServerID]; !ok || e.Time > cur.Time {
+					freshest[e.ServerID] = e
+				}
+			}
+		}
+	}
+	t.scratch.Put(sc)
+	var out []core.Entry
+	for _, e := range freshest {
+		if e.Active {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: locate-all %q from %d: %w", port, client, core.ErrNotFound)
+	}
+	return out, nil
+}
+
+// SetHotPorts implements HotReclassifier with MemTransport's promotion
+// protocol: newly hot ports have their live servers reposted under the
+// union sets (the repost traffic charged like any posting) before the
+// classification is published, so a hot query never races ahead of the
+// postings it needs; demotion is safe immediately because union ⊇ base.
+func (t *NetTransport) SetHotPorts(ports []core.Port) error {
+	if t.hot.weighted == nil {
+		return fmt.Errorf("cluster: transport %q has no weighted strategy", t.Name())
+	}
+	newHot := make(map[core.Port]bool, len(ports))
+	for _, p := range ports {
+		newHot[p] = true
+	}
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	var errs []error
+	for p := range newHot {
+		if t.isHot(p) {
+			continue // already hot; servers already post union
+		}
+		for _, srv := range t.byPort[p] {
+			srv.mu.Lock()
+			node, gone := srv.node, srv.gone
+			srv.mu.Unlock()
+			if gone {
+				continue
+			}
+			srv.postedHot.Store(true)
+			if err := t.postEntry(srv, node, true); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	t.hot.publish(&newHot)
+	return errors.Join(errs...)
+}
+
+// Crash implements Transport: the crash mark is mirrored locally (for
+// the same origin/target charges as MemTransport) and delivered to the
+// owning process, which clears the node's volatile cache and stops
+// answering for it. Every hint generation is bumped.
+func (t *NetTransport) Crash(node graph.NodeID) error {
+	if !t.g.Valid(node) {
+		return fmt.Errorf("cluster: crash %d: %w", node, graph.ErrNodeRange)
+	}
+	t.crashed[node].Store(true)
+	t.crashRemote(node, opCrash)
+	t.gens.bumpAll()
+	return nil
+}
+
+// Restore implements Transport.
+func (t *NetTransport) Restore(node graph.NodeID) error {
+	if !t.g.Valid(node) {
+		return fmt.Errorf("cluster: restore %d: %w", node, graph.ErrNodeRange)
+	}
+	t.crashed[node].Store(false)
+	t.crashRemote(node, opRestore)
+	return nil
+}
+
+// crashRemote delivers a crash/restore mark to node's owner; a dead
+// process is already maximally crashed, so delivery failures are
+// ignored.
+func (t *NetTransport) crashRemote(node graph.NodeID, op byte) {
+	buf := netwire.GetBuf()
+	req := netwire.AppendUvarint(*buf, uint64(node))
+	*buf = req
+	_, _, _ = t.callProc(t.ownerOf[node], op, req, nil)
+	netwire.PutBuf(buf)
+}
+
+// Passes implements Transport: the routing-derived pass total, charged
+// locally by the coordinator — the wire traffic itself is an
+// implementation vehicle and is never counted.
+func (t *NetTransport) Passes() int64 { return t.passes.Load() }
+
+// ResetPasses implements Transport.
+func (t *NetTransport) ResetPasses() { t.passes.Reset() }
+
+// Close implements Transport: it closes the connection pools. The node
+// processes keep running — their lifecycle belongs to cmd/mmctl (or
+// whoever spawned them).
+func (t *NetTransport) Close() error {
+	for _, p := range t.pools {
+		if p != nil {
+			p.Close()
+		}
+	}
+	return nil
+}
+
+// Port implements ServerRef.
+func (s *netServer) Port() core.Port { return s.port }
+
+// Node implements ServerRef.
+func (s *netServer) Node() graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node
+}
+
+// Repost implements ServerRef: a fresh posting multicast, charged at
+// the posting-set cost.
+func (s *netServer) Repost() error {
+	s.mu.Lock()
+	node, gone := s.node, s.gone
+	s.mu.Unlock()
+	if gone {
+		return core.ErrServerGone
+	}
+	return s.t.postEntry(s, node, true)
+}
+
+// Migrate implements ServerRef: the liveness record moves to the new
+// owner (so probes at the old address answer negatively), then
+// tombstone at the old posting set and fresh posting at the new one —
+// the same two multicast charges as MemTransport. The port's hint
+// generation is bumped so cached addresses re-resolve.
+func (s *netServer) Migrate(to graph.NodeID) error {
+	if !s.t.g.Valid(to) {
+		return fmt.Errorf("cluster: migrate to %d: %w", to, graph.ErrNodeRange)
+	}
+	s.mu.Lock()
+	if s.gone {
+		s.mu.Unlock()
+		return core.ErrServerGone
+	}
+	from := s.node
+	s.node = to
+	s.mu.Unlock()
+	// Re-point the liveness record: same owner → one overwrite; owner
+	// change → drop the old record first so a concurrent probe can at
+	// worst see a transient miss, never a stale confirmation.
+	if s.t.ownerOf[from] != s.t.ownerOf[to] {
+		_ = s.t.deregisterRemote(s.id, from)
+	}
+	regErr := s.t.registerRemote(s.id, s.port, to)
+	defer s.t.gens.bump(s.port)
+	tombErr := s.t.postEntry(s, from, false)
+	if err := s.t.postEntry(s, to, true); err != nil {
+		return errors.Join(regErr, tombErr, err)
+	}
+	if regErr != nil {
+		return regErr
+	}
+	return nil
+}
+
+// Deregister implements ServerRef: the liveness record is removed
+// before the tombstone posts, so a probe can never confirm a
+// deregistered instance.
+func (s *netServer) Deregister() error {
+	s.mu.Lock()
+	if s.gone {
+		s.mu.Unlock()
+		return core.ErrServerGone
+	}
+	s.gone = true
+	node := s.node
+	s.mu.Unlock()
+	s.t.dropRegistration(s)
+	_ = s.t.deregisterRemote(s.id, node)
+	s.t.gens.bump(s.port)
+	return s.t.postEntry(s, node, false)
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/strategy"
+)
+
+// stratSets holds the per-node posting and query sets of a strategy
+// together with their multicast-tree pass costs, precomputed once from
+// the routing tables. Both off-simulator transports (MemTransport and
+// NetTransport) charge the paper's costs from these tables: a posting
+// from node v costs postCost[v] passes (the spanning-tree edges of
+// P(v)), a query flood from v costs queryCost[v], and each rendezvous
+// reply is charged its hop distance separately by the caller.
+//
+// When a strategy.Weighted is supplied, the hot split's query sets and
+// the base∪hot union posting sets are precomputed too, so promoting a
+// port at runtime changes which table is read, never what is computed.
+type stratSets struct {
+	post      [][]graph.NodeID // P(v), precomputed
+	query     [][]graph.NodeID // Q(v), precomputed
+	postCost  []int64          // multicast-tree edges of P(v) from v
+	queryCost []int64          // multicast-tree edges of Q(v) from v
+
+	// Weighted-mode tables (nil when no strategy.Weighted is in play).
+	hotQuery      [][]graph.NodeID
+	hotQueryCost  []int64
+	unionPost     [][]graph.NodeID
+	unionPostCost []int64
+}
+
+// hotTables couples the precomputed set tables with the published
+// hot-port classification and implements the set-selection rules the
+// off-simulator transports share: a cold port floods the base sets, a
+// promoted port queries the post-heavy hot split while its servers
+// post to the union sets, and a server that has ever posted under the
+// union sets keeps doing so (sticky), so a later tombstone always
+// covers every node a stale entry could linger at. Both MemTransport
+// and NetTransport delegate here, which is what keeps their charges —
+// and therefore the equivalence suite — in lockstep.
+type hotTables struct {
+	sets     *stratSets
+	weighted *strategy.Weighted // nil when weighted mode is disabled
+
+	// hotSet is the published hot-port classification, swapped
+	// wholesale by SetHotPorts.
+	hotSet atomic.Pointer[map[core.Port]bool]
+}
+
+// isHot reports whether port currently runs the hot split.
+func (h *hotTables) isHot(port core.Port) bool {
+	m := h.hotSet.Load()
+	return m != nil && (*m)[port]
+}
+
+// publish swaps in a new hot classification.
+func (h *hotTables) publish(m *map[core.Port]bool) { h.hotSet.Store(m) }
+
+// hotPorts returns the currently published hot classification.
+func (h *hotTables) hotPorts() []core.Port {
+	m := h.hotSet.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]core.Port, 0, len(*m))
+	for p := range *m {
+		out = append(out, p)
+	}
+	return out
+}
+
+// querySets returns the query flood targets and multicast cost for a
+// locate of port from client under the current classification.
+func (h *hotTables) querySets(client graph.NodeID, port core.Port) ([]graph.NodeID, int64) {
+	if h.weighted != nil && h.isHot(port) {
+		return h.sets.hotQuery[client], h.sets.hotQueryCost[client]
+	}
+	return h.sets.query[client], h.sets.queryCost[client]
+}
+
+// postSets returns the posting targets and multicast cost for a server
+// of port posting from node; postedHot is the server's sticky
+// posted-under-union flag, set here the first time the union sets are
+// chosen.
+func (h *hotTables) postSets(postedHot *atomic.Bool, port core.Port, node graph.NodeID) ([]graph.NodeID, int64) {
+	if h.weighted == nil {
+		return h.sets.post[node], h.sets.postCost[node]
+	}
+	if postedHot.Load() || h.isHot(port) {
+		postedHot.Store(true)
+		return h.sets.unionPost[node], h.sets.unionPostCost[node]
+	}
+	return h.sets.post[node], h.sets.postCost[node]
+}
+
+// newStratSets precomputes the set/cost tables for strat (already
+// Precompute-wrapped) over g with routing, plus the weighted tables
+// when w is non-nil.
+func newStratSets(g *graph.Graph, routing *graph.Routing, strat rendezvous.Strategy, w *strategy.Weighted) (*stratSets, error) {
+	n := g.N()
+	s := &stratSets{
+		post:      make([][]graph.NodeID, n),
+		query:     make([][]graph.NodeID, n),
+		postCost:  make([]int64, n),
+		queryCost: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		s.post[v] = strat.Post(id)
+		s.query[v] = strat.Query(id)
+		pc, err := routing.MulticastCost(id, s.post[v])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: post set of %d: %w", v, err)
+		}
+		qc, err := routing.MulticastCost(id, s.query[v])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: query set of %d: %w", v, err)
+		}
+		s.postCost[v] = int64(pc)
+		s.queryCost[v] = int64(qc)
+	}
+	if w != nil {
+		hot := w.Hot()
+		s.hotQuery = make([][]graph.NodeID, n)
+		s.hotQueryCost = make([]int64, n)
+		s.unionPost = make([][]graph.NodeID, n)
+		s.unionPostCost = make([]int64, n)
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			s.hotQuery[v] = hot.Query(id)
+			s.unionPost[v] = w.UnionPost(id)
+			qc, err := routing.MulticastCost(id, s.hotQuery[v])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: hot query set of %d: %w", v, err)
+			}
+			pc, err := routing.MulticastCost(id, s.unionPost[v])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: union post set of %d: %w", v, err)
+			}
+			s.hotQueryCost[v] = int64(qc)
+			s.unionPostCost[v] = int64(pc)
+		}
+	}
+	return s, nil
+}

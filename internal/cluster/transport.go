@@ -7,16 +7,23 @@
 // and live metrics (throughput, latency quantiles, message passes per
 // locate).
 //
-// Two transports are provided. SimTransport runs the existing
+// Three transports are provided. SimTransport runs the existing
 // internal/core engine over the internal/sim store-and-forward network,
 // preserving the paper's exact message-pass accounting hop by hop.
 // MemTransport is the in-process fast path: postings and queries apply
 // directly to a sharded in-memory store, while the same message-pass
 // cost the simulator would have charged is computed from the routing
 // tables (multicast-tree edges for floods, hop distance for replies), so
-// throughput work keeps honest paper-cost numbers. The two transports
-// agree on both results and costs on a healthy network; see
-// equivalence_test.go.
+// throughput work keeps honest paper-cost numbers. NetTransport crosses
+// the process boundary: the node space is partitioned across OS
+// processes (NodeServer, usually cmd/mmnode) speaking a compact
+// length-prefixed binary protocol over TCP (internal/netwire), with the
+// same routing-derived pass accounting kept by the coordinating client —
+// kill -9 a process and its node range fails silently, like crashed
+// nodes in the paper's model. All transports agree on both results and
+// costs on a healthy network; see equivalence_test.go and
+// nettransport_test.go, and docs/PAPER_MAP.md for the paper-to-code
+// concordance.
 package cluster
 
 import (
@@ -38,8 +45,11 @@ var (
 // Transport executes match-making operations against some substrate. It
 // is the seam between the service layer (sharding, coalescing, worker
 // pools, metrics) and the machinery that actually moves postings and
-// queries: the paper-faithful simulator today, real sockets in a later
-// iteration.
+// queries: the paper-faithful simulator, the in-process fast path, or
+// real sockets to a multi-process cluster. Whatever the substrate, an
+// implementation must charge the paper's message passes for every
+// operation — the accounting is the contract, the substrate is the
+// vehicle.
 //
 // Implementations must be safe for concurrent use; the cluster layer
 // issues operations from many goroutines at once.

@@ -1,0 +1,296 @@
+package netwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientClosed reports a call on a closed Pool.
+var ErrClientClosed = errors.New("netwire: client closed")
+
+// call is one in-flight request awaiting its response. done is a
+// buffered signal channel so the reader goroutine never blocks handing
+// a result over; calls (and their response buffers) are pooled so a
+// steady request stream allocates no bookkeeping. resp belongs to the
+// call, not the caller — an abandoned (timed-out) call can then receive
+// its late response without scribbling on a buffer the caller has
+// already reused.
+type call struct {
+	done   chan struct{}
+	resp   []byte
+	status byte
+	err    error
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+// Conn is one TCP connection with request pipelining: any number of
+// calls may be outstanding at once, matched to responses by request id.
+// A broken connection fails every pending call; the owning Pool redials
+// on the next use.
+type Conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	dead    bool
+	err     error
+
+	nextID atomic.Uint64
+}
+
+// NewConn wraps an established connection and starts its reader.
+func NewConn(nc net.Conn) *Conn {
+	c := &Conn{
+		nc:      nc,
+		bw:      bufio.NewWriter(nc),
+		pending: make(map[uint64]*call, 16),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop dispatches response frames to their pending calls until the
+// connection breaks, then fails everything still outstanding.
+func (c *Conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	var buf []byte
+	for {
+		payload, err := ReadFrame(br, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("netwire: read: %w", err))
+			return
+		}
+		buf = payload
+		d := NewDec(payload)
+		id := d.Uvarint()
+		status := d.Byte()
+		if d.Err() != nil {
+			c.fail(fmt.Errorf("netwire: bad response frame: %w", d.Err()))
+			return
+		}
+		c.mu.Lock()
+		cl := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if cl == nil {
+			continue // cancelled (timed out); drop the late response
+		}
+		cl.status = status
+		cl.resp = append(cl.resp[:0], d.b...)
+		cl.done <- struct{}{}
+	}
+}
+
+// fail marks the connection dead and fails every pending call with err.
+func (c *Conn) fail(err error) {
+	c.nc.Close()
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, cl := range pending {
+		cl.err = err
+		cl.done <- struct{}{}
+	}
+}
+
+// Dead reports whether the connection has failed.
+func (c *Conn) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Close tears the connection down, failing any pending calls.
+func (c *Conn) Close() error {
+	c.fail(ErrClientClosed)
+	return nil
+}
+
+// Call sends one request and blocks for its response. req is the body
+// (without id/op); the response body is appended to resp's backing
+// array when it fits, so hot callers can pass a pooled buffer and see
+// no allocation. timeout 0 waits for the connection to deliver or
+// break.
+func (c *Conn) Call(op byte, req []byte, resp []byte, timeout time.Duration) (byte, []byte, error) {
+	cl := callPool.Get().(*call)
+	cl.err = nil
+
+	id := c.nextID.Add(1)
+	c.mu.Lock()
+	if c.dead {
+		err := c.err
+		c.mu.Unlock()
+		callPool.Put(cl)
+		return 0, nil, err
+	}
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	hdr := GetBuf()
+	head := AppendUvarint(*hdr, id)
+	head = append(head, op)
+	c.wmu.Lock()
+	err := WriteFrame2(c.bw, head, req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	*hdr = head
+	PutBuf(hdr)
+	if err != nil {
+		c.fail(fmt.Errorf("netwire: write: %w", err))
+		<-cl.done // fail delivered the error
+		err = cl.err
+		callPool.Put(cl)
+		return 0, nil, err
+	}
+
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		select {
+		case <-cl.done:
+			t.Stop()
+		case <-t.C:
+			// Abandon the call: the reader drops the late response on the
+			// floor, and the pooled call is not reused (its done signal
+			// may still arrive).
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				// The response raced the timeout; use it.
+			default:
+				return 0, nil, fmt.Errorf("netwire: call op=%d: timeout after %v", op, timeout)
+			}
+		}
+	} else {
+		<-cl.done
+	}
+	status, err := cl.status, cl.err
+	body := append(resp[:0], cl.resp...)
+	callPool.Put(cl)
+	return status, body, err
+}
+
+// Pool is a small fixed-size pool of pipelined connections to one
+// address. Calls spread round-robin over the connections; a dead
+// connection is redialed on next use, so a restarted peer heals
+// without intervention.
+type Pool struct {
+	addr  string
+	conns []atomic.Pointer[Conn]
+	next  atomic.Uint64
+
+	// DialTimeout bounds connection establishment (default 2s);
+	// CallTimeout bounds each call (0 = none). DialCooldown is the
+	// fast-fail window after a failed dial (default 1s): while it
+	// lasts, calls needing a new connection fail immediately instead
+	// of each paying DialTimeout against a black-holing peer — at most
+	// one dial attempt per cooldown keeps the pool self-healing.
+	DialTimeout  time.Duration
+	CallTimeout  time.Duration
+	DialCooldown time.Duration
+
+	failUntil atomic.Int64 // unix nanos; fast-fail until then
+
+	mu     sync.Mutex // serializes redials per slot
+	closed atomic.Bool
+}
+
+// NewPool builds a pool of size connections to addr (dialed lazily).
+func NewPool(addr string, size int) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	return &Pool{
+		addr:         addr,
+		conns:        make([]atomic.Pointer[Conn], size),
+		DialTimeout:  2 * time.Second,
+		DialCooldown: time.Second,
+	}
+}
+
+// Addr returns the pool's target address.
+func (p *Pool) Addr() string { return p.addr }
+
+// conn returns a live connection for slot i, dialing if needed. After
+// a failed dial the pool fast-fails for DialCooldown, so callers fan
+// out to a dead peer pay one dial timeout per window, not one each.
+func (p *Pool) conn(i int) (*Conn, error) {
+	if c := p.conns[i].Load(); c != nil && !c.Dead() {
+		return c, nil
+	}
+	if time.Now().UnixNano() < p.failUntil.Load() {
+		return nil, fmt.Errorf("netwire: dial %s: recently failed (cooling down)", p.addr)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if c := p.conns[i].Load(); c != nil && !c.Dead() {
+		return c, nil
+	}
+	// Re-check under the lock: callers queued behind a failing dial
+	// should drain through the cooldown, not dial again themselves.
+	if time.Now().UnixNano() < p.failUntil.Load() {
+		return nil, fmt.Errorf("netwire: dial %s: recently failed (cooling down)", p.addr)
+	}
+	nc, err := net.DialTimeout("tcp", p.addr, p.DialTimeout)
+	if err != nil {
+		if p.DialCooldown > 0 {
+			p.failUntil.Store(time.Now().Add(p.DialCooldown).UnixNano())
+		}
+		return nil, fmt.Errorf("netwire: dial %s: %w", p.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := NewConn(nc)
+	p.conns[i].Store(c)
+	return c, nil
+}
+
+// Call issues one request on the next connection in round-robin order.
+// The response body lands in resp's backing array when it fits.
+func (p *Pool) Call(op byte, req []byte, resp []byte) (byte, []byte, error) {
+	if p.closed.Load() {
+		return 0, nil, ErrClientClosed
+	}
+	i := int(p.next.Add(1)) % len(p.conns)
+	c, err := p.conn(i)
+	if err != nil {
+		return 0, nil, err
+	}
+	return c.Call(op, req, resp, p.CallTimeout)
+}
+
+// Close closes every connection; later calls fail with ErrClientClosed.
+func (p *Pool) Close() error {
+	p.closed.Store(true)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.conns {
+		if c := p.conns[i].Swap(nil); c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}

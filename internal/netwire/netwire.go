@@ -1,0 +1,188 @@
+// Package netwire is the compact binary wire layer under the cluster's
+// socket transport: length-prefixed frames, a varint codec, pooled
+// buffers, and a request-pipelining client/server pair over TCP.
+//
+// A frame is a uvarint payload length followed by the payload. Request
+// payloads are [reqID uvarint][op byte][body]; response payloads are
+// [reqID uvarint][status byte][body]. Responses are matched to requests
+// by reqID, so many calls can be in flight on one connection at once
+// and the server may answer them out of order.
+//
+// The package knows nothing about match-making: opcodes, statuses and
+// body layouts are the caller's (internal/cluster defines the node
+// protocol). It charges no message passes — the paper's cost accounting
+// lives entirely in the transport above it.
+package netwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrame bounds a single frame's payload so a corrupt or hostile
+// length prefix cannot make a reader allocate without bound.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooBig reports a frame whose length prefix exceeds MaxFrame.
+var ErrFrameTooBig = errors.New("netwire: frame exceeds MaxFrame")
+
+// bufPool recycles payload buffers across calls and handler
+// invocations; steady-state request traffic allocates no new backing
+// arrays once buffers have grown to the working-set frame size.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuf returns a pooled byte buffer with zero length. Callers append
+// into it and hand it back with PutBuf when done.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) { bufPool.Put(b) }
+
+// AppendUvarint appends v to b in unsigned varint encoding.
+func AppendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// AppendBytes appends p length-prefixed (uvarint length, then raw
+// bytes) to b.
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendString appends s length-prefixed to b.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Dec is a consuming decoder over one payload. Decoding errors are
+// sticky: after the first short read every accessor returns a zero
+// value and Err reports the failure, so call sites can decode a whole
+// body and check once.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec returns a decoder consuming b.
+func NewDec(b []byte) Dec { return Dec{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of undecoded bytes remaining.
+func (d *Dec) Len() int { return len(d.b) }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = io.ErrUnexpectedEOF
+	}
+}
+
+// Uvarint consumes one unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Byte consumes one byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// Bytes consumes one length-prefixed byte string. The returned slice
+// aliases the decoder's buffer and is only valid until the buffer is
+// reused.
+func (d *Dec) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil || uint64(len(d.b)) < n {
+		d.fail()
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// String consumes one length-prefixed string, copying it out of the
+// decoder's buffer.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// WriteFrame writes payload as one frame (uvarint length + payload) to
+// w. The caller flushes.
+func WriteFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteFrame2 writes one frame whose payload is the concatenation of
+// hdr and body, without copying them into a single buffer first — the
+// client's request path writes its tiny [id][op] header and the
+// caller's body as two writes under one length prefix.
+func WriteFrame2(w *bufio.Writer, hdr, body []byte) error {
+	if len(hdr)+len(body) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var pre [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pre[:], uint64(len(hdr)+len(body)))
+	if _, err := w.Write(pre[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame from r into buf (growing it as needed) and
+// returns the payload.
+func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("netwire: short frame: %w", err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,229 @@
+package netwire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer starts a server whose handler echoes the request body,
+// optionally transformed, and returns its pool-ready address.
+func echoServer(t *testing.T, h Handler) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(ln, h)
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+func TestRoundTrip(t *testing.T) {
+	_, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		resp = append(resp, op)
+		resp = append(resp, req...)
+		return 7, resp
+	})
+	p := NewPool(addr, 2)
+	defer p.Close()
+	for i := 0; i < 100; i++ {
+		req := []byte(fmt.Sprintf("payload-%d", i))
+		status, body, err := p.Call(3, req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != 7 {
+			t.Fatalf("status = %d, want 7", status)
+		}
+		want := append([]byte{3}, req...)
+		if !bytes.Equal(body, want) {
+			t.Fatalf("body = %q, want %q", body, want)
+		}
+	}
+}
+
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	_, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		d := NewDec(req)
+		v := d.Uvarint()
+		if v%3 == 0 {
+			time.Sleep(time.Millisecond) // force out-of-order completion
+		}
+		return 0, AppendUvarint(resp, v*2)
+	})
+	p := NewPool(addr, 1) // one conn: everything pipelines on it
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := AppendUvarint(nil, uint64(i))
+			_, body, err := p.Call(1, req, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			d := NewDec(body)
+			if got := d.Uvarint(); got != uint64(i*2) {
+				errs[i] = fmt.Errorf("call %d: got %d, want %d", i, got, i*2)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40)
+	b = AppendString(b, "svc-0001")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	d := NewDec(b)
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Uvarint(); v != 1<<40 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if s := d.String(); s != "svc-0001" {
+		t.Fatalf("string = %q", s)
+	}
+	if p := d.Bytes(); !bytes.Equal(p, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", p)
+	}
+	if d.Err() != nil || d.Len() != 0 {
+		t.Fatalf("err=%v len=%d", d.Err(), d.Len())
+	}
+	// Truncated input turns sticky.
+	d = NewDec(b[:3])
+	d.Uvarint()
+	d.Uvarint()
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("want sticky decode error on truncated input")
+	}
+}
+
+func TestDeadPeerFailsCalls(t *testing.T) {
+	s, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) { return 0, resp })
+	p := NewPool(addr, 1)
+	defer p.Close()
+	if _, _, err := p.Call(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := p.Call(1, nil, nil); err != nil {
+			break // the dead peer surfaced as an error
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls kept succeeding after server close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDrainFinishesInFlight(t *testing.T) {
+	release := make(chan struct{})
+	s, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		<-release
+		return 9, append(resp, 'k')
+	})
+	p := NewPool(addr, 1)
+	defer p.Close()
+
+	type res struct {
+		status byte
+		err    error
+	}
+	got := make(chan res, 1)
+	go func() {
+		status, _, err := p.Call(1, nil, nil)
+		got <- res{status, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the handler
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not finish after handlers completed")
+	}
+	r := <-got
+	if r.err != nil || r.status != 9 {
+		t.Fatalf("in-flight call: status=%d err=%v; want 9, nil", r.status, r.err)
+	}
+	// New connections are refused after drain.
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("dial succeeded after Drain")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		<-block
+		return 0, resp
+	})
+	p := NewPool(addr, 1)
+	defer p.Close()
+	p.CallTimeout = 50 * time.Millisecond
+	start := time.Now()
+	if _, _, err := p.Call(1, nil, nil); err == nil {
+		t.Fatal("want timeout error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+}
+
+func TestDialCooldownFastFails(t *testing.T) {
+	// Grab a port with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	p := NewPool(addr, 1)
+	defer p.Close()
+	if _, _, err := p.Call(1, nil, nil); err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	start := time.Now()
+	_, _, err = p.Call(1, nil, nil)
+	if err == nil {
+		t.Fatal("second call succeeded")
+	}
+	if !strings.Contains(err.Error(), "cooling down") {
+		t.Fatalf("second call did not fast-fail via cooldown: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("fast-fail took %v", d)
+	}
+}

@@ -1,0 +1,184 @@
+package netwire
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler serves one decoded request. op and req come off the wire
+// (req aliases a per-request buffer, valid for the handler's duration);
+// the handler appends its response body to resp and returns the status
+// byte plus the (possibly regrown) body. Handlers run concurrently —
+// one goroutine per in-flight request — and must be safe for that.
+type Handler func(op byte, req []byte, resp []byte) (byte, []byte)
+
+// Server accepts pipelined connections and dispatches every request
+// frame to its Handler. Responses are written as handlers finish, in
+// completion order — the reqID matching on the client side restores
+// pairing.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	inflight sync.WaitGroup // accepted requests not yet responded to
+	draining atomic.Bool
+	closed   atomic.Bool
+}
+
+// NewServer wraps an open listener; Serve starts accepting.
+func NewServer(ln net.Listener, h Handler) *Server {
+	return &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until the listener closes (via Drain or
+// Close). It returns nil on a clean shutdown.
+func (s *Server) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() || s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// serveConn reads request frames and spawns a handler per request; a
+// shared locked writer interleaves the response frames. When the
+// server is draining, the read loop stops *without* closing the
+// connection — handlers admitted earlier may still be writing their
+// responses on it, and Drain closes every connection only after the
+// in-flight count reaches zero.
+func (s *Server) serveConn(nc net.Conn) {
+	closeOnExit := true
+	defer func() {
+		if closeOnExit {
+			nc.Close()
+			s.mu.Lock()
+			delete(s.conns, nc)
+			s.mu.Unlock()
+		}
+	}()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	var wmu sync.Mutex
+	for {
+		if s.draining.Load() && !s.closed.Load() {
+			closeOnExit = false // Drain closes after in-flight finishes
+			return
+		}
+		if s.closed.Load() {
+			return
+		}
+		buf := GetBuf()
+		payload, err := ReadFrame(br, (*buf)[:0])
+		if err != nil {
+			PutBuf(buf)
+			return
+		}
+		*buf = payload
+		d := NewDec(payload)
+		id := d.Uvarint()
+		op := d.Byte()
+		if d.Err() != nil {
+			PutBuf(buf)
+			return // protocol garbage: drop the connection
+		}
+		// Admission is linearized against Drain under mu: either this
+		// request is counted before Drain reads the waitgroup, or the
+		// drain flag is already visible and the request is dropped.
+		s.mu.Lock()
+		if s.draining.Load() || s.closed.Load() {
+			draining := s.draining.Load() && !s.closed.Load()
+			s.mu.Unlock()
+			PutBuf(buf)
+			closeOnExit = !draining
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.inflight.Done()
+			defer PutBuf(buf)
+			out := GetBuf()
+			resp := AppendUvarint(*out, id)
+			resp = append(resp, 0) // status, patched below
+			statusPos := len(resp) - 1
+			n := len(resp)
+			status, body := s.handler(op, d.b, resp[n:])
+			if len(body) > 0 && cap(resp) > n && &body[0] == &resp[n : n+1][0] {
+				// The handler appended in place; extend rather than copy.
+				resp = resp[:n+len(body)]
+			} else {
+				resp = append(resp[:n], body...)
+			}
+			resp[statusPos] = status
+			wmu.Lock()
+			werr := WriteFrame(bw, resp)
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			wmu.Unlock()
+			*out = resp
+			PutBuf(out)
+			if werr != nil {
+				nc.Close()
+			}
+		}()
+	}
+}
+
+// Drain performs a graceful shutdown: stop accepting connections and
+// new requests, wait for in-flight handlers to finish and their
+// responses to be written, then close every connection.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	already := s.draining.Swap(true)
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.ln.Close()
+	s.inflight.Wait()
+	s.closeConns()
+}
+
+// Close shuts down immediately: in-flight requests are abandoned.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.closeConns()
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+}
