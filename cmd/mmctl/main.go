@@ -25,6 +25,16 @@
 //	    process mid-run, and narrate the recovery (hint generations
 //	    bump, surviving rendezvous nodes keep answering).
 //
+//	mmctl chaos -replicas 2 -duration 5s
+//	    Spawn a cluster and a continuous locate load, then kill -9 one
+//	    node process on a timer, respawning each victim on its old
+//	    address — while the replicated transport's fallthrough bridges
+//	    every outage and its repair loop re-posts after every recovery.
+//	    Prints the measured availability and exits non-zero when
+//	    -replicas ≥ 2 and any serviceable locate failed; with
+//	    -replicas 1 the failures are the point (the fragility baseline)
+//	    and only the report is produced.
+//
 //	mmctl kill -state mm.json -index 1 [-9]
 //	    Signal one worker of an `up` cluster (SIGTERM, or SIGKILL with
 //	    -9) — fault injection against a live cluster.
@@ -42,6 +52,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -49,6 +60,7 @@ import (
 	"matchmake/internal/core"
 	"matchmake/internal/graph"
 	"matchmake/internal/rendezvous"
+	"matchmake/internal/strategy"
 	"matchmake/internal/topology"
 )
 
@@ -84,12 +96,16 @@ func workerMain() error {
 	if err != nil {
 		return fmt.Errorf("MMCTL_HI: %w", err)
 	}
-	return cluster.RunNodeWorker(n, lo, hi, "127.0.0.1:0", os.Stdout)
+	listen := os.Getenv("MMCTL_ADDR")
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	return cluster.RunNodeWorker(n, lo, hi, listen, os.Stdout)
 }
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mmctl up|verify|demo|kill|down [flags] (see `go doc ./cmd/mmctl`)")
+		return fmt.Errorf("usage: mmctl up|verify|demo|chaos|kill|down [flags] (see `go doc ./cmd/mmctl`)")
 	}
 	switch args[0] {
 	case "up":
@@ -98,12 +114,14 @@ func run(args []string, out io.Writer) error {
 		return cmdVerify(args[1:], out)
 	case "demo":
 		return cmdDemo(args[1:], out)
+	case "chaos":
+		return cmdChaos(args[1:], out)
 	case "kill":
 		return cmdKill(args[1:], out)
 	case "down":
 		return cmdDown(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want up, verify, demo, kill or down)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want up, verify, demo, chaos, kill or down)", args[0])
 	}
 }
 
@@ -286,6 +304,110 @@ func cmdVerify(args []string, out io.Writer) error {
 		*locates, *nodes, *procs, netT.Passes())
 	fmt.Fprintf(out, "verify: net locate throughput ~%.0f/s sequential (%.1fs wall total)\n",
 		float64(*locates)/netOnly.Seconds(), elapsed.Seconds())
+	return nil
+}
+
+// cmdChaos is the availability gate: a continuous locate load over a
+// live cluster while node processes are kill -9'd on a timer and
+// respawned on their old addresses. With -replicas ≥ 2 the replica
+// fallthrough must bridge every outage — any serviceable locate
+// failure exits non-zero; with -replicas 1 the report simply shows the
+// fragility the paper warns about.
+func cmdChaos(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl chaos", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 36, "cluster size n")
+	procs := fs.Int("procs", 3, "node processes to spawn")
+	replicas := fs.Int("replicas", 2, "replication factor r of the rendezvous strategy")
+	ports := fs.Int("ports", 6, "services to register")
+	duration := fs.Duration("duration", 5*time.Second, "chaos run length")
+	killEvery := fs.Duration("kill-every", 900*time.Millisecond, "kill -9 one node process this often")
+	respawnAfter := fs.Duration("respawn-after", 250*time.Millisecond, "outage length before the victim respawns")
+	repair := fs.Duration("repair", 100*time.Millisecond, "transport repair-loop interval (re-posts after each recovery)")
+	concurrency := fs.Int("concurrency", 4, "loader goroutines")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be ≥ 1, got %d", *replicas)
+	}
+	if *replicas > *procs {
+		return fmt.Errorf("-replicas %d > -procs %d: a replica shift narrower than a node-shard range cannot escape a killed process", *replicas, *procs)
+	}
+	ps, err := spawnCluster(*nodes, *procs)
+	if err != nil {
+		return err
+	}
+	defer teardown(ps, 10*time.Second)
+
+	g := topology.Complete(*nodes)
+	base := rendezvous.Checkerboard(*nodes)
+	opts := cluster.NetOptions{CallTimeout: 30 * time.Second, RepairInterval: *repair}
+	var tr cluster.Transport
+	if *replicas > 1 {
+		rp, err := strategy.NewReplicated(base, *replicas)
+		if err != nil {
+			return err
+		}
+		if tr, err = cluster.NewReplicatedNetTransport(g, rp, addrs(ps), opts); err != nil {
+			return err
+		}
+	} else if tr, err = cluster.NewNetTransport(g, base, addrs(ps), opts); err != nil {
+		return err
+	}
+	c := cluster.New(tr, cluster.Options{})
+	defer c.Close()
+
+	regs := make([]cluster.Registration, *ports)
+	names := make([]core.Port, *ports)
+	for p := 0; p < *ports; p++ {
+		names[p] = core.Port(fmt.Sprintf("svc-%04d", p))
+		regs[p] = cluster.Registration{Port: names[p], Node: graph.NodeID((p * 7919) % *nodes)}
+	}
+	if _, err := c.PostBatch(regs); err != nil {
+		return err
+	}
+	c.ResetMetrics()
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*31 + int64(w)))
+			for time.Now().Before(deadline) {
+				client := graph.NodeID(rng.Intn(*nodes))
+				_, _ = c.Locate(client, names[rng.Intn(len(names))])
+			}
+		}(w)
+	}
+
+	kills := 0
+	rng := rand.New(rand.NewSource(*seed * 97))
+	for time.Now().Add(*killEvery).Before(deadline) {
+		time.Sleep(*killEvery)
+		victim := ps[rng.Intn(len(ps))]
+		fmt.Fprintf(out, "chaos: kill -9 worker %d (pid %d, nodes [%d,%d))\n", victim.Index, victim.Pid, victim.Lo, victim.Hi)
+		if err := victim.kill(syscall.SIGKILL); err != nil {
+			return err
+		}
+		victim.cmd.Wait()
+		kills++
+		time.Sleep(*respawnAfter)
+		if err := respawn(*nodes, victim); err != nil {
+			return fmt.Errorf("respawn worker %d: %w", victim.Index, err)
+		}
+		fmt.Fprintf(out, "chaos: worker %d respawned (pid %d) at %s\n", victim.Index, victim.Pid, victim.Addr)
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	fmt.Fprintf(out, "chaos: r=%d kills=%d locates=%d failed=%d availability=%.4f fallthroughs=%d passes/locate=%.2f\n",
+		*replicas, kills, m.Locates, m.NotFound, m.Availability, m.ReplicaFallthroughs, m.PassesPerLocate)
+	if *replicas >= 2 && m.NotFound > 0 {
+		return fmt.Errorf("chaos: %d serviceable locates failed despite r=%d", m.NotFound, *replicas)
+	}
 	return nil
 }
 

@@ -84,6 +84,48 @@ func spawnCluster(nodes, procs int) ([]*nodeProc, error) {
 	return ps, nil
 }
 
+// respawn restarts a dead worker on its previous partition AND its
+// previous address (via MMCTL_ADDR), so a transport holding the
+// original address list redials it transparently. Binding can race the
+// kernel releasing the old port, so the spawn retries briefly.
+func respawn(nodes int, p *nodeProc) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"MMCTL_NODE=1",
+			fmt.Sprintf("MMCTL_N=%d", nodes),
+			fmt.Sprintf("MMCTL_LO=%d", p.Lo),
+			fmt.Sprintf("MMCTL_HI=%d", p.Hi),
+			"MMCTL_ADDR="+p.Addr,
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		if addr, err := readAddrLine(out); err == nil {
+			p.Addr = addr
+			p.Pid = cmd.Process.Pid
+			p.cmd = cmd
+			return nil
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		if time.Now().After(deadline) {
+			return fmt.Errorf("worker %d would not rebind %s", p.Index, p.Addr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // readAddrLine consumes the worker's "ADDR host:port" banner and
 // leaves a goroutine draining any further output.
 func readAddrLine(r interface{ Read([]byte) (int, error) }) (string, error) {

@@ -35,6 +35,17 @@
 //	                         and the crashed node is restored on the next
 //	                         churn tick — §1.3's crash/re-register dynamics
 //	                         as a sustained background process
+//	-replicas r              r-fold replicated rendezvous (strategy
+//	                         .Replicated): servers post to every replica
+//	                         family, locates fall through the families when
+//	                         rendezvous nodes are dead; the report gains
+//	                         availability and replica-depth lines
+//	-kill-rate k             crash k random rendezvous nodes per second
+//	                         (caches lost, no re-registration), restoring
+//	                         the previous victim so one node is down at a
+//	                         time — the §2.4/§5 fault model that replication
+//	                         is measured against; with r=1 affected pairs
+//	                         fail, with r≥2 they fall through and succeed
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -76,6 +88,8 @@ type config struct {
 	zipfS       float64
 	zipfV       float64
 	churn       time.Duration
+	replicas    int
+	killRate    float64
 	duration    time.Duration
 	concurrency int
 	rate        int
@@ -108,6 +122,8 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "Zipf skew exponent (> 1)")
 	fs.Float64Var(&cfg.zipfV, "zipf-v", 1, "Zipf value offset (≥ 1)")
 	fs.DurationVar(&cfg.churn, "churn", 0, "crash/re-register one service this often (0 = off)")
+	fs.IntVar(&cfg.replicas, "replicas", 1, "replication factor r of the rendezvous strategy (1 = unreplicated)")
+	fs.Float64Var(&cfg.killRate, "kill-rate", 0, "crash random non-server nodes at this rate per second (0 = off)")
 	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement duration")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop client goroutines")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
@@ -135,6 +151,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.rate > 0 && cfg.batch > 0 {
 		return fmt.Errorf("-batch applies to the closed loop only; drop -rate to measure LocateBatch")
+	}
+	if cfg.replicas < 1 {
+		return fmt.Errorf("-replicas must be ≥ 1, got %d", cfg.replicas)
+	}
+	if cfg.replicas > 1 && cfg.weighted {
+		return fmt.Errorf("-replicas and -weighted are mutually exclusive")
+	}
+	if cfg.killRate < 0 {
+		return fmt.Errorf("-kill-rate must be ≥ 0, got %v", cfg.killRate)
 	}
 
 	g, err := buildTopology(cfg.topo, cfg.nodes)
@@ -186,6 +211,14 @@ func run(args []string, out io.Writer) error {
 			runChurn(c, reg, cfg, g.N(), stop)
 		}()
 	}
+	var kills int64
+	if cfg.killRate > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			kills = runKiller(c, reg, cfg, g.N(), stop)
+		}()
+	}
 
 	c.ResetMetrics()
 	var memBefore runtime.MemStats
@@ -206,6 +239,9 @@ func run(args []string, out io.Writer) error {
 	m := c.Metrics()
 	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
 		tr.Name(), cfg.topo, g.N(), strat.Name(), cfg.ports, cfg.workload, churnSuffix(cfg))
+	if cfg.killRate > 0 {
+		fmt.Fprintf(out, "kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", kills, cfg.killRate)
+	}
 	fmt.Fprintln(out, m.String())
 	if m.Locates > 0 {
 		// Process-wide allocation count over the window divided by
@@ -297,6 +333,13 @@ func buildStrategy(name string, n int, seed int64) (rendezvous.Strategy, error) 
 }
 
 func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
+	var rp *strategy.Replicated
+	if cfg.replicas > 1 {
+		var err error
+		if rp, err = strategy.NewReplicated(strat, cfg.replicas); err != nil {
+			return nil, err
+		}
+	}
 	switch cfg.transport {
 	case "mem":
 		if cfg.weighted {
@@ -306,15 +349,19 @@ func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (clus
 			}
 			return cluster.NewWeightedMemTransport(g, w, 0)
 		}
+		if rp != nil {
+			return cluster.NewReplicatedMemTransport(g, rp, 0)
+		}
 		return cluster.NewMemTransport(g, strat, 0)
 	case "sim":
 		if cfg.weighted {
 			return nil, fmt.Errorf("-weighted needs -transport mem or net (the sim path runs the base strategy only)")
 		}
-		return cluster.NewSimTransport(g, strat, core.Options{
-			LocateTimeout: cfg.locateTO,
-			CollectWindow: cfg.collectWin,
-		})
+		opts := core.Options{LocateTimeout: cfg.locateTO, CollectWindow: cfg.collectWin}
+		if rp != nil {
+			return cluster.NewReplicatedSimTransport(g, rp, opts)
+		}
+		return cluster.NewSimTransport(g, strat, opts)
 	case "net":
 		if cfg.addrs == "" {
 			return nil, fmt.Errorf("-transport net needs -addrs (boot a cluster with `mmctl up` or mmnode)")
@@ -327,6 +374,9 @@ func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (clus
 				return nil, err
 			}
 			return cluster.NewWeightedNetTransport(g, w, addrs, opts)
+		}
+		if rp != nil {
+			return cluster.NewReplicatedNetTransport(g, rp, addrs, opts)
 		}
 		return cluster.NewNetTransport(g, strat, addrs, opts)
 	default:
@@ -464,6 +514,75 @@ func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
 	}
 	pending.Wait()
 	return nil
+}
+
+// runKiller crashes random rendezvous nodes at cfg.killRate per
+// second, restoring the previous victim before each new kill so one
+// node is down at any moment. A restored node comes back with its
+// volatile cache lost, so the killer performs the paper's §5 repair
+// duty — every server reposts — before the next kill; what remains
+// unrepairable is the live outage window, which is exactly what
+// replication is measured against: with r=1 the pairs meeting at the
+// dead node fail until it returns, with r≥2 they fall through to the
+// next family and succeed. Nodes currently hosting a server are spared
+// so every failure observed is a rendezvous failure, not a dead
+// service. It returns the number of kills issued.
+func runKiller(c *cluster.Cluster, reg *registry, cfg config, n int, stop <-chan struct{}) int64 {
+	rng := rand.New(rand.NewSource(cfg.seed * 7919))
+	tr := c.Transport()
+	var (
+		kills int64
+		dead  []graph.NodeID
+	)
+	tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.killRate))
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			for _, v := range dead {
+				_ = tr.Restore(v)
+			}
+			return kills
+		case <-tick.C:
+		}
+		reg.mu.Lock()
+		homes := make(map[graph.NodeID]bool, len(reg.servers))
+		for _, ref := range reg.servers {
+			homes[ref.Node()] = true
+		}
+		reg.mu.Unlock()
+		victim := graph.NodeID(-1)
+		for tries := 0; tries < 64; tries++ {
+			v := graph.NodeID(rng.Intn(n))
+			if homes[v] || slices.Contains(dead, v) {
+				continue
+			}
+			victim = v
+			break
+		}
+		if victim < 0 {
+			continue
+		}
+		restored := false
+		for len(dead) > 0 {
+			_ = tr.Restore(dead[0])
+			dead = dead[1:]
+			restored = true
+		}
+		if restored {
+			// Refill the restored node's wiped cache: the repair duty
+			// the net transport's repair loop automates.
+			reg.mu.Lock()
+			for _, ref := range reg.servers {
+				_ = ref.Repost()
+			}
+			reg.mu.Unlock()
+		}
+		if err := tr.Crash(victim); err == nil {
+			dead = append(dead, victim)
+			kills++
+		}
+	}
 }
 
 // runChurn tears one service down per tick: deregister, crash the old

@@ -27,8 +27,10 @@
 //     NodeServer processes), probe-validated address hints with a
 //     generation-based invalidation protocol, batched locate/post
 //     operations, a frequency-weighted hot-port strategy (E16/M3′
-//     live), locate coalescing, per-shard worker pools and live
-//     metrics
+//     live), r-fold replicated rendezvous with crash-tolerant replica
+//     fallthrough and a background re-post repair loop, locate
+//     coalescing, per-shard worker pools and live metrics (including
+//     availability and replica-depth counters)
 //   - internal/netwire — the socket transport's wire layer: varint
 //     framing, pooled buffers, pipelined connections
 //   - internal/experiments — every table and figure, as code
@@ -43,17 +45,21 @@
 // cluster booted by cmd/mmctl or cmd/mmnode), a port-popularity
 // workload (-workload uniform,
 // or -workload zipf with -zipf-s/-zipf-v for skew), optional
-// crash/re-register churn (-churn 50ms), the hot-path accelerators
-// (-hints, -batch N, -weighted), and closed-loop (-concurrency) or
-// open-loop (-rate, absolute-deadline paced) driving; it reports
-// throughput, p50/p99 latency, hint hit-rate, allocs/locate and
-// message passes per locate. DESIGN.md documents every flag, and
+// crash/re-register churn (-churn 50ms) and crash injection
+// (-replicas r, -kill-rate k — replicated rendezvous measured against
+// node kills), the hot-path accelerators (-hints, -batch N,
+// -weighted), and closed-loop (-concurrency) or open-loop (-rate,
+// absolute-deadline paced) driving; it reports throughput, p50/p99
+// latency, hint hit-rate, availability, allocs/locate and message
+// passes per locate. DESIGN.md documents every flag, and
 // cmd/mmbenchjson turns bench output into the BENCH_cluster.json CI
 // artifact.
 //
 // `go run ./cmd/mmctl demo` spawns a real 3-process socket cluster,
 // kills one process with SIGKILL mid-run and narrates the recovery;
-// `mmctl up` boots a cluster for mmload, and `mmctl verify` is the CI
+// `mmctl up` boots a cluster for mmload, `mmctl verify` is the CI
 // gate that pins the socket backend's answers and pass counts to the
-// in-process transport's.
+// in-process transport's, and `mmctl chaos` is the availability gate:
+// kill -9 node processes on a timer under continuous load and demand
+// zero failed locates at replication factor ≥ 2.
 package matchmake

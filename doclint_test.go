@@ -19,6 +19,8 @@ var doclintPackages = []string{
 	"internal/cluster",
 	"internal/strategy",
 	"internal/stats",
+	"internal/rendezvous",
+	"internal/netwire",
 }
 
 // TestExportedSymbolsDocumented fails for every exported top-level

@@ -79,6 +79,13 @@ type Cluster struct {
 	hints    *hintCache  // nil unless Options.Hints
 	genSlots genSlotter  // non-nil when the transport exposes generation slots
 	pop      *popularity // nil unless Options.HotPorts > 0
+	// repl is the transport's replicated view when it runs an r-fold
+	// replicated strategy with r > 1; the cluster then drives the
+	// crash-tolerant locate path itself — deterministic replica
+	// fallthrough with depth accounting, and hint invalidations that
+	// retry the next replica first — instead of the transport's opaque
+	// Locate.
+	repl ReplicatedTransport
 	// closeMu is read-held across every public operation (and Submit's
 	// queue send) so Close — which takes it exclusively — cannot close
 	// the queues or the transport while an operation is mid-flight.
@@ -167,11 +174,14 @@ type flightKey struct {
 	port   core.Port
 }
 
-// flight is one in-progress locate shared by coalesced callers.
+// flight is one in-progress locate shared by coalesced callers; replica
+// records which replica family resolved it (always 0 on unreplicated
+// transports).
 type flight struct {
-	done  chan struct{}
-	entry core.Entry
-	err   error
+	done    chan struct{}
+	entry   core.Entry
+	replica int
+	err     error
 }
 
 // task is one asynchronous locate.
@@ -185,6 +195,9 @@ type task struct {
 // lifecycle until Close is called, which closes it.
 func New(tr Transport, opts Options) *Cluster {
 	c := &Cluster{tr: tr, opts: opts.withDefaults(), seed: maphash.MakeSeed(), stopHot: make(chan struct{})}
+	if rt, ok := tr.(ReplicatedTransport); ok && rt.Replicas() > 1 {
+		c.repl = rt
+	}
 	c.metrics.start(tr)
 	c.batchScratch.New = func() any { return &clusterScratch{} }
 	if c.opts.Hints {
@@ -310,8 +323,10 @@ func (c *Cluster) locate(client graph.NodeID, port core.Port) (core.Entry, error
 	if c.pop != nil {
 		c.pop.bump(port)
 	}
+	start := 0
 	if c.hints != nil {
-		if e, ok := c.hintLocate(client, port); ok {
+		e, ok, retry := c.hintLocate(client, port)
+		if ok {
 			var d time.Duration
 			if sampled {
 				d = time.Since(begin)
@@ -319,11 +334,17 @@ func (c *Cluster) locate(client graph.NodeID, port core.Port) (core.Entry, error
 			c.metrics.observeLocate(stripe, d, sampled, nil)
 			return e, nil
 		}
+		// An invalidated hint steers the fallback flood: the replica
+		// that produced the now-dead hint is the one most likely broken
+		// by the same crash, so the fallthrough starts at the next
+		// family and wraps, instead of re-flooding the suspect first.
+		start = retry
 	}
 	var (
 		e       core.Entry
 		gen     uint64
 		genSlot *atomic.Uint64
+		replica int
 		err     error
 	)
 	if c.hints != nil {
@@ -333,12 +354,12 @@ func (c *Cluster) locate(client graph.NodeID, port core.Port) (core.Entry, error
 		gen, genSlot = c.genBefore(port)
 	}
 	if c.opts.DisableCoalescing {
-		e, err = c.tr.Locate(client, port)
+		e, replica, err = c.floodLocate(client, port, start)
 	} else {
-		e, err = c.locateCoalesced(client, port)
+		e, replica, err = c.locateCoalesced(client, port, start)
 	}
 	if c.hints != nil && err == nil {
-		c.hints.put(client, port, e, gen, genSlot)
+		c.hints.put(client, port, e, gen, genSlot, replica)
 	}
 	var d time.Duration
 	if sampled {
@@ -362,26 +383,66 @@ func (c *Cluster) genBefore(port core.Port) (uint64, *atomic.Uint64) {
 // generation-checked, then confirmed by one direct probe. A failed
 // probe marks the hint dead so the pair goes straight to the flood
 // until the generation moves. The hit path performs no allocation.
-func (c *Cluster) hintLocate(client graph.NodeID, port core.Port) (core.Entry, bool) {
+//
+// The third result is the replica the fallback flood should start at:
+// 0 when there was no usable hint, and — on a replicated transport —
+// the family after the one that resolved the invalidated hint when the
+// hint was stale (a crash bumps every generation) or its probe failed,
+// so the flood retries the next replica before re-flooding the one the
+// crash most likely broke.
+func (c *Cluster) hintLocate(client graph.NodeID, port core.Port) (core.Entry, bool, int) {
 	sl, hv := c.hints.lookup(client, port)
-	if sl == nil || hv == nil || hv.dead {
-		return core.Entry{}, false
+	if sl == nil || hv == nil {
+		return core.Entry{}, false, 0
+	}
+	if hv.dead {
+		return core.Entry{}, false, c.nextReplica(hv.replica)
 	}
 	if hv.stale(c.tr) {
 		c.metrics.hintStale.Add(1)
-		return core.Entry{}, false
+		return core.Entry{}, false, c.nextReplica(hv.replica)
 	}
 	e, err := c.tr.Probe(client, hv.entry)
 	if err != nil {
 		c.hints.markDead(sl, hv)
 		c.metrics.hintProbeFails.Add(1)
-		return core.Entry{}, false
+		return core.Entry{}, false, c.nextReplica(hv.replica)
 	}
 	c.metrics.hintHits.Add(int(client), 1)
-	return e, true
+	return e, true, 0
 }
 
-func (c *Cluster) locateCoalesced(client graph.NodeID, port core.Port) (core.Entry, error) {
+// nextReplica returns the replica after k in the fallthrough order, or
+// 0 on an unreplicated transport.
+func (c *Cluster) nextReplica(k int) int {
+	if c.repl == nil {
+		return 0
+	}
+	return (k + 1) % c.repl.Replicas()
+}
+
+// floodLocate runs the transport flood for one locate. On a replicated
+// transport it is the cluster's crash-tolerant locate path: replica
+// families are tried in deterministic order from start (wrapping), each
+// attempt charged its own flood, with the resolution depth and
+// availability fed to the metrics. It returns the replica that
+// answered.
+func (c *Cluster) floodLocate(client graph.NodeID, port core.Port, start int) (core.Entry, int, error) {
+	if c.repl == nil {
+		e, err := c.tr.Locate(client, port)
+		return e, 0, err
+	}
+	e, replica, err := locateFallthrough(c.repl, client, port, start)
+	if err == nil {
+		r := c.repl.Replicas()
+		c.metrics.replicaDepth.Observe((replica - start + r) % r)
+	} else if errors.Is(err, core.ErrNotFound) {
+		c.metrics.replicaDepth.Fail()
+	}
+	return e, replica, err
+}
+
+func (c *Cluster) locateCoalesced(client graph.NodeID, port core.Port, start int) (core.Entry, int, error) {
 	sh := c.shard(port)
 	key := flightKey{client: client, port: port}
 	sh.mu.Lock()
@@ -389,19 +450,19 @@ func (c *Cluster) locateCoalesced(client graph.NodeID, port core.Port) (core.Ent
 		sh.mu.Unlock()
 		<-f.done
 		c.metrics.coalesced.Add(1)
-		return f.entry, f.err
+		return f.entry, f.replica, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	sh.flights[key] = f
 	sh.mu.Unlock()
 
-	f.entry, f.err = c.tr.Locate(client, port)
+	f.entry, f.replica, f.err = c.floodLocate(client, port, start)
 
 	sh.mu.Lock()
 	delete(sh.flights, key)
 	sh.mu.Unlock()
 	close(f.done)
-	return f.entry, f.err
+	return f.entry, f.replica, f.err
 }
 
 // Submit enqueues an asynchronous locate on the owning shard's worker
@@ -455,7 +516,7 @@ func (c *Cluster) LocateBatch(reqs []LocateReq, res []LocateRes) error {
 		sc.reqs, sc.res, sc.idx = sc.reqs[:0], sc.res[:0], sc.idx[:0]
 		sc.gens, sc.slots = sc.gens[:0], sc.slots[:0]
 		for i := 0; i < n; i++ {
-			if e, ok := c.hintLocate(reqs[i].Client, reqs[i].Port); ok {
+			if e, ok, _ := c.hintLocate(reqs[i].Client, reqs[i].Port); ok {
 				res[i] = LocateRes{Entry: e}
 				continue
 			}
@@ -474,7 +535,11 @@ func (c *Cluster) LocateBatch(reqs []LocateReq, res []LocateRes) error {
 			for j, i := range sc.idx {
 				res[i] = sc.res[j]
 				if sc.res[j].Err == nil {
-					c.hints.put(reqs[i].Client, reqs[i].Port, sc.res[j].Entry, sc.gens[j], sc.slots[j])
+					// Batched floods fall through inside the transport,
+					// which does not report the resolving replica; record
+					// the hint under replica 0, the family the next
+					// invalidation's wrap order starts after.
+					c.hints.put(reqs[i].Client, reqs[i].Port, sc.res[j].Entry, sc.gens[j], sc.slots[j], 0)
 				}
 			}
 		}

@@ -48,10 +48,14 @@ type hintSlot struct {
 // for the pair skips straight to the flood, and the flood only revives
 // the slot when it resolves to a different server or a newer generation
 // — so a stale address costs at most one wasted probe per generation.
+// replica records which replica family resolved the entry (0 on
+// unreplicated transports): when a crash invalidates the hint, the
+// fallback flood retries the next family before re-flooding this one.
 type hintVal struct {
 	entry   core.Entry
 	gen     uint64
 	genSlot *atomic.Uint64
+	replica int
 	dead    bool
 }
 
@@ -87,11 +91,12 @@ func (h *hintCache) lookup(client graph.NodeID, port core.Port) (*hintSlot, *hin
 }
 
 // put records a flood-resolved entry under gen (read from genSlot, when
-// the transport exposes one, before the flood began). If the slot
-// currently holds a dead hint for the same generation and the same
-// server instance, the slot stays dead: re-arming it would buy one
-// failed probe per locate until something bumps the generation.
-func (h *hintCache) put(client graph.NodeID, port core.Port, e core.Entry, gen uint64, genSlot *atomic.Uint64) {
+// the transport exposes one, before the flood began) together with the
+// replica family that resolved it. If the slot currently holds a dead
+// hint for the same generation and the same server instance, the slot
+// stays dead: re-arming it would buy one failed probe per locate until
+// something bumps the generation.
+func (h *hintCache) put(client graph.NodeID, port core.Port, e core.Entry, gen uint64, genSlot *atomic.Uint64, replica int) {
 	if int(client) < 0 || int(client) >= len(h.clients) {
 		return
 	}
@@ -124,7 +129,7 @@ func (h *hintCache) put(client graph.NodeID, port core.Port, e core.Entry, gen u
 		cur.entry.Addr == e.Addr && cur.entry.ServerID == e.ServerID {
 		return
 	}
-	sl.v.Store(&hintVal{entry: e, gen: gen, genSlot: genSlot})
+	sl.v.Store(&hintVal{entry: e, gen: gen, genSlot: genSlot, replica: replica})
 }
 
 // markDead flags a probed-and-missed hint so later locates skip the

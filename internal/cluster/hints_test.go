@@ -270,7 +270,7 @@ func TestHintCacheDeadSlot(t *testing.T) {
 	h := newHintCache(4)
 	e := core.Entry{Port: "svc", Addr: 3, ServerID: 7, Time: 1, Active: true}
 
-	h.put(1, "svc", e, 5, nil)
+	h.put(1, "svc", e, 5, nil, 0)
 	sl, hv := h.lookup(1, "svc")
 	if sl == nil || hv == nil || hv.dead {
 		t.Fatalf("expected live hint, got %+v", hv)
@@ -280,12 +280,12 @@ func TestHintCacheDeadSlot(t *testing.T) {
 		t.Fatalf("expected dead hint, got %+v", hv)
 	}
 	// Same instance, same generation: stays dead.
-	h.put(1, "svc", e, 5, nil)
+	h.put(1, "svc", e, 5, nil, 0)
 	if _, hv = h.lookup(1, "svc"); hv == nil || !hv.dead {
 		t.Fatalf("same-gen same-server put revived a dead hint: %+v", hv)
 	}
 	// New generation revives.
-	h.put(1, "svc", e, 6, nil)
+	h.put(1, "svc", e, 6, nil, 0)
 	if _, hv = h.lookup(1, "svc"); hv == nil || hv.dead {
 		t.Fatalf("new-generation put did not revive: %+v", hv)
 	}
@@ -293,12 +293,12 @@ func TestHintCacheDeadSlot(t *testing.T) {
 	h.markDead(h.lookup(1, "svc"))
 	e2 := e
 	e2.Addr, e2.ServerID = 9, 8
-	h.put(1, "svc", e2, 6, nil)
+	h.put(1, "svc", e2, 6, nil, 0)
 	if _, hv = h.lookup(1, "svc"); hv == nil || hv.dead || hv.entry.Addr != 9 {
 		t.Fatalf("different-winner put did not revive: %+v", hv)
 	}
 	// Out-of-range clients are ignored gracefully.
-	h.put(99, "svc", e, 1, nil)
+	h.put(99, "svc", e, 1, nil, 0)
 	if sl, hv := h.lookup(99, "svc"); sl != nil || hv != nil {
 		t.Fatal("out-of-range client produced a hint")
 	}

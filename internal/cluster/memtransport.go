@@ -50,6 +50,12 @@ type MemTransport struct {
 	// (see setcosts.go).
 	hot hotTables
 
+	// rp is the replicated strategy when the transport runs r-fold
+	// replicated rendezvous with r > 1 (nil otherwise): reads are then
+	// family-scoped through rp.InPost, so the replica families stay
+	// independent channels even where their node sets overlap.
+	rp *strategy.Replicated
+
 	// The live registration table probes answer from. byID is a
 	// copy-on-write snapshot (rebuilt under regMu on every add/drop, a
 	// rare heavyweight event) so the probe hot path is one atomic load
@@ -70,6 +76,7 @@ type MemTransport struct {
 
 var _ Transport = (*MemTransport)(nil)
 var _ HotReclassifier = (*MemTransport)(nil)
+var _ ReplicatedTransport = (*MemTransport)(nil)
 
 // memScratch is the reusable workspace of a batched operation: keys
 // grouped by store shard plus per-request found flags. Pooled so a
@@ -90,7 +97,21 @@ type memBatchKey struct {
 // strategy's universe must match the graph size; shards sizes the
 // backing store (0 picks a default).
 func NewMemTransport(g *graph.Graph, strat rendezvous.Strategy, shards int) (*MemTransport, error) {
-	return newMemTransport(g, strat, nil, shards)
+	return newMemTransport(g, strat, nil, nil, shards)
+}
+
+// NewReplicatedMemTransport builds the fast path in r-fold replicated
+// rendezvous mode: servers post to the union of every replica family's
+// posting sets (one multicast, charged at the union's tree cost), and a
+// locate floods replica 0's query set first, falling through to the
+// next family — at one extra flood per attempt — when no rendezvous
+// node answered. Replication is mutually exclusive with the weighted
+// mode.
+func NewReplicatedMemTransport(g *graph.Graph, rp *strategy.Replicated, shards int) (*MemTransport, error) {
+	if rp == nil {
+		return nil, fmt.Errorf("cluster: replicated transport needs a strategy.Replicated")
+	}
+	return newMemTransport(g, rp.Base(), nil, rp, shards)
 }
 
 // NewWeightedMemTransport builds the fast path in frequency-weighted
@@ -102,10 +123,10 @@ func NewWeightedMemTransport(g *graph.Graph, w *strategy.Weighted, shards int) (
 	if w == nil {
 		return nil, fmt.Errorf("cluster: weighted transport needs a strategy.Weighted")
 	}
-	return newMemTransport(g, w.Base(), w, shards)
+	return newMemTransport(g, w.Base(), w, nil, shards)
 }
 
-func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, shards int) (*MemTransport, error) {
+func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, rp *strategy.Replicated, shards int) (*MemTransport, error) {
 	n := g.N()
 	if strat.N() != n {
 		return nil, fmt.Errorf("cluster: strategy universe %d != graph size %d", strat.N(), n)
@@ -115,7 +136,7 @@ func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	strat = rendezvous.Precompute(strat)
-	sets, err := newStratSets(g, routing, strat, w)
+	sets, err := newStratSets(g, routing, strat, w, rp)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +150,9 @@ func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		gens:    newGenIndex(),
 		crashed: make([]atomic.Bool, n),
 	}
+	if rp != nil && rp.Replicas() > 1 {
+		t.rp = rp
+	}
 	empty := make(map[uint64]*memServer)
 	t.byID.Store(&empty)
 	t.scratch.New = func() any { return &memScratch{} }
@@ -140,8 +164,15 @@ func (t *MemTransport) Name() string {
 	if t.hot.weighted != nil {
 		return "mem-weighted"
 	}
+	if r := t.hot.replicas(); r > 1 {
+		return fmt.Sprintf("mem-r%d", r)
+	}
 	return "mem"
 }
+
+// Replicas implements ReplicatedTransport: the replication factor of
+// the strategy in use (1 when unreplicated).
+func (t *MemTransport) Replicas() int { return t.hot.replicas() }
 
 // N implements Transport.
 func (t *MemTransport) N() int { return t.g.N() }
@@ -376,25 +407,45 @@ func (t *MemTransport) postEntry(srv *memServer, node graph.NodeID, active bool)
 // Locate implements Transport: it charges the query multicast flood,
 // reads every live rendezvous node's cache, charges each hit's reply
 // path, and returns the freshest active entry — the same winner the
-// engine's collect-window logic converges to.
+// engine's collect-window logic converges to. On a replicated transport
+// a rendezvous miss falls through the replica families in order, each
+// attempt charged its own flood.
 func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	e, _, err := locateFallthrough(t, client, port, 0)
+	return e, err
+}
+
+// LocateReplica implements ReplicatedTransport: one query flood over
+// replica k's query set only.
+func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
+	if replica < 0 || replica >= t.Replicas() {
+		return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+	}
 	if !t.g.Valid(client) {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.querySets(client, port)
+	targets, cost := t.hot.replicaQuerySets(client, port, replica)
 	t.passes.Add(int(client), cost)
 	var (
 		best  core.Entry
 		found bool
+		at    graph.NodeID
+		keep  func(core.Entry) bool
 	)
+	if t.rp != nil {
+		// Family-scope the read: node at only answers a family-k query
+		// with postings it holds as a member of Pₖ(origin).
+		keep = func(e core.Entry) bool { return t.rp.InPost(replica, e.Addr, at) }
+	}
 	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
 		}
-		e, ok := t.store.Get(v, port)
+		at = v
+		e, ok := t.store.GetWhere(v, port, keep)
 		if !ok {
 			continue // misses are silent, as in §1.5
 		}
@@ -412,12 +463,56 @@ func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 // LocateBatch implements Transport: the batch's store accesses are
 // grouped by shard so each shard lock is taken once, and the whole
 // batch's passes land in one atomic add. Answers and total cost are
-// identical to the equivalent sequence of Locate calls.
+// identical to the equivalent sequence of Locate calls — including, on
+// a replicated transport, the per-request replica fallthrough: misses
+// of one pass are re-floods over the next family as a sub-batch.
 func (t *MemTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 	n := len(reqs)
 	if len(res) < n {
 		n = len(res)
 	}
+	t.locateBatchReplica(reqs[:n], res[:n], 0)
+	if r := t.Replicas(); r > 1 {
+		batchFallthrough(reqs[:n], res[:n], r, t.locateBatchReplica)
+	}
+}
+
+// batchFallthrough re-runs the not-found requests of a batch against
+// each remaining replica family in order, scattering the sub-batch
+// results back — the batched form of locateFallthrough, shared by the
+// mem and net transports.
+func batchFallthrough(reqs []LocateReq, res []LocateRes, replicas int, pass func([]LocateReq, []LocateRes, int)) {
+	var (
+		retryReqs []LocateReq
+		retryIdx  []int
+		retryRes  []LocateRes
+	)
+	for k := 1; k < replicas; k++ {
+		retryReqs, retryIdx = retryReqs[:0], retryIdx[:0]
+		for i := range res {
+			if res[i].Err != nil && errors.Is(res[i].Err, core.ErrNotFound) {
+				retryReqs = append(retryReqs, reqs[i])
+				retryIdx = append(retryIdx, i)
+			}
+		}
+		if len(retryReqs) == 0 {
+			return
+		}
+		if cap(retryRes) < len(retryReqs) {
+			retryRes = make([]LocateRes, len(retryReqs))
+		}
+		rr := retryRes[:len(retryReqs)]
+		pass(retryReqs, rr, k)
+		for j, i := range retryIdx {
+			res[i] = rr[j]
+		}
+	}
+}
+
+// locateBatchReplica runs one shard-grouped batch pass over replica k's
+// query sets; reqs and res have equal length.
+func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, replica int) {
+	n := len(reqs)
 	sc := t.scratch.Get().(*memScratch)
 	sc.keys = sc.keys[:0]
 	if cap(sc.found) < n {
@@ -439,7 +534,7 @@ func (t *MemTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, sim.ErrCrashed)
 			continue
 		}
-		targets, cost := t.querySets(r.Client, r.Port)
+		targets, cost := t.hot.replicaQuerySets(r.Client, r.Port, replica)
 		bulk += cost
 		for _, v := range targets {
 			if t.crashed[v].Load() {
@@ -450,6 +545,13 @@ func (t *MemTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 		}
 	}
 	sortBatchKeys(sc.keys)
+	var (
+		at   graph.NodeID
+		keep func(core.Entry) bool
+	)
+	if t.rp != nil {
+		keep = func(e core.Entry) bool { return t.rp.InPost(replica, e.Addr, at) }
+	}
 	for lo := 0; lo < len(sc.keys); {
 		hi := lo
 		for hi < len(sc.keys) && sc.keys[hi].shard == sc.keys[lo].shard {
@@ -462,7 +564,8 @@ func (t *MemTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 			if sl == nil {
 				continue
 			}
-			e, ok := sl.readFreshest()
+			at = k.node
+			e, ok := sl.readFreshestWhere(keep)
 			if !ok {
 				continue
 			}
@@ -539,15 +642,23 @@ func (t *MemTransport) Probe(client graph.NodeID, e core.Entry) (core.Entry, err
 	return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, core.ErrNotFound)
 }
 
-// LocateAll implements Transport.
+// LocateAll implements Transport, falling through the replica families
+// like Locate when no rendezvous node of a family answers.
 func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
+	return locateAllFallthrough(t.Replicas(), func(k int) ([]core.Entry, error) {
+		return t.locateAllReplica(client, port, k)
+	})
+}
+
+// locateAllReplica is one locate-all flood over replica k's query set.
+func (t *MemTransport) locateAllReplica(client graph.NodeID, port core.Port, replica int) ([]core.Entry, error) {
 	if !t.g.Valid(client) {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.querySets(client, port)
+	targets, cost := t.hot.replicaQuerySets(client, port, replica)
 	t.passes.Add(int(client), cost)
 	freshest := make(map[uint64]core.Entry, 4)
 	var buf [8]core.Entry
@@ -556,6 +667,17 @@ func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 			continue
 		}
 		entries := t.store.GetAllInto(v, port, buf[:0])
+		if t.rp != nil {
+			// Family-scope the replies: only entries posted here as part
+			// of this replica family answer (and are charged).
+			kept := entries[:0]
+			for _, e := range entries {
+				if t.rp.InPost(replica, e.Addr, v) {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
+		}
 		if len(entries) == 0 {
 			continue
 		}

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
+	"matchmake/internal/core"
 	"matchmake/internal/stats"
 )
 
@@ -32,6 +34,7 @@ func (h *stripedHist) merged() *stats.LiveHist {
 type Metrics struct {
 	locates   stats.StripedCounter
 	errors    atomic.Int64 // failures are off the fast path
+	notFound  atomic.Int64 // the errors that were rendezvous misses
 	coalesced atomic.Int64
 	posts     atomic.Int64
 	shed      atomic.Int64
@@ -44,6 +47,12 @@ type Metrics struct {
 	hintHits       stats.StripedCounter
 	hintStale      atomic.Int64
 	hintProbeFails atomic.Int64
+
+	// replicaDepth is the crash-tolerance ledger of the replicated
+	// locate path: which replica family resolved each flood (depth 0 =
+	// first family tried), and how many locates no family could answer.
+	// It only ticks on replicated transports.
+	replicaDepth stats.DepthCounter
 
 	// latency is swapped wholesale on reset rather than cleared in
 	// place: the stripes must not be zeroed under writers, but a pointer
@@ -83,6 +92,9 @@ func (m *Metrics) sampleLocate(stripe int) bool {
 func (m *Metrics) observeLocate(stripe int, d time.Duration, sampled bool, err error) {
 	if err != nil {
 		m.errors.Add(1)
+		if errors.Is(err, core.ErrNotFound) {
+			m.notFound.Add(1)
+		}
 	}
 	if sampled {
 		m.latency.Load().stripes[stripe&(histStripes-1)].Observe(uint64(d.Nanoseconds()))
@@ -92,23 +104,28 @@ func (m *Metrics) observeLocate(stripe int, d time.Duration, sampled bool, err e
 func (m *Metrics) reset(tr Transport) {
 	m.locates.Reset()
 	m.errors.Store(0)
+	m.notFound.Store(0)
 	m.coalesced.Store(0)
 	m.posts.Store(0)
 	m.shed.Store(0)
 	m.hintHits.Reset()
 	m.hintStale.Store(0)
 	m.hintProbeFails.Store(0)
+	m.replicaDepth.Reset()
 	m.start(tr)
 }
 
 // MetricsSnapshot is one point-in-time view of the serving metrics.
 type MetricsSnapshot struct {
 	// Locates counts completed locate calls (including failures);
-	// Errors the failed ones; Coalesced the callers served by another
-	// caller's flight; Posts the registrations; Shed the submissions
-	// rejected with ErrOverload.
+	// Errors the failed ones; NotFound the errors that were rendezvous
+	// misses (no replica family answered) as opposed to a crashed or
+	// invalid caller; Coalesced the callers served by another caller's
+	// flight; Posts the registrations; Shed the submissions rejected
+	// with ErrOverload.
 	Locates   int64
 	Errors    int64
+	NotFound  int64
 	Coalesced int64
 	Posts     int64
 	Shed      int64
@@ -121,6 +138,25 @@ type MetricsSnapshot struct {
 	HintStale      int64
 	HintProbeFails int64
 	HintHitRate    float64
+
+	// Availability is the fraction of serviceable locates the
+	// rendezvous machinery answered over the window: rendezvous misses
+	// count against it, while locates whose caller was itself crashed
+	// or invalid (nothing any name server could do) are excluded from
+	// the denominator. 1 when no locate was serviceable.
+	// ReplicaFallthroughs counts locates resolved only by a replica
+	// family deeper than the first tried, MeanReplicaDepth the average
+	// resolution depth of successful replicated floods, and
+	// ReplicaDepths the full per-depth distribution; all three stay
+	// zero on unreplicated transports. The depth counters cover single
+	// locate floods only — batched locates fall through inside the
+	// transport, which does not report per-request depth, so a batch's
+	// fallthroughs show up in passes and NotFound/Availability but not
+	// here.
+	Availability        float64
+	ReplicaFallthroughs int64
+	MeanReplicaDepth    float64
+	ReplicaDepths       []int64
 
 	// Elapsed is the measurement window; QPS is Locates/Elapsed.
 	Elapsed time.Duration
@@ -141,19 +177,26 @@ type MetricsSnapshot struct {
 func (m *Metrics) snapshot(tr Transport) MetricsSnapshot {
 	hist := m.latency.Load().merged()
 	s := MetricsSnapshot{
-		Locates:        m.locates.Load(),
-		Errors:         m.errors.Load(),
-		Coalesced:      m.coalesced.Load(),
-		Posts:          m.posts.Load(),
-		Shed:           m.shed.Load(),
-		HintHits:       m.hintHits.Load(),
-		HintStale:      m.hintStale.Load(),
-		HintProbeFails: m.hintProbeFails.Load(),
-		Elapsed:        time.Duration(time.Now().UnixNano() - m.epochNanos.Load()),
-		P50:            hist.Quantile(0.50),
-		P99:            hist.Quantile(0.99),
-		Max:            hist.Max(),
-		Passes:         tr.Passes() - m.passes0.Load(),
+		Locates:             m.locates.Load(),
+		Errors:              m.errors.Load(),
+		NotFound:            m.notFound.Load(),
+		Coalesced:           m.coalesced.Load(),
+		Posts:               m.posts.Load(),
+		Shed:                m.shed.Load(),
+		HintHits:            m.hintHits.Load(),
+		HintStale:           m.hintStale.Load(),
+		HintProbeFails:      m.hintProbeFails.Load(),
+		Availability:        1,
+		ReplicaFallthroughs: m.replicaDepth.Fallthroughs(),
+		MeanReplicaDepth:    m.replicaDepth.MeanDepth(),
+		Elapsed:             time.Duration(time.Now().UnixNano() - m.epochNanos.Load()),
+		P50:                 hist.Quantile(0.50),
+		P99:                 hist.Quantile(0.99),
+		Max:                 hist.Max(),
+		Passes:              tr.Passes() - m.passes0.Load(),
+	}
+	if m.replicaDepth.Total() > 0 {
+		s.ReplicaDepths = m.replicaDepth.Counts()
 	}
 	if s.Elapsed > 0 {
 		s.QPS = float64(s.Locates) / s.Elapsed.Seconds()
@@ -162,17 +205,20 @@ func (m *Metrics) snapshot(tr Transport) MetricsSnapshot {
 		s.PassesPerLocate = float64(s.Passes) / float64(s.Locates)
 		s.HintHitRate = float64(s.HintHits) / float64(s.Locates)
 	}
+	if serviceable := s.Locates - (s.Errors - s.NotFound); serviceable > 0 {
+		s.Availability = 1 - float64(s.NotFound)/float64(serviceable)
+	}
 	return s
 }
 
 // String renders the snapshot as a one-stanza report.
 func (s MetricsSnapshot) String() string {
 	out := fmt.Sprintf(
-		"locates=%d errors=%d coalesced=%d posts=%d shed=%d\n"+
+		"locates=%d errors=%d (not-found=%d) coalesced=%d posts=%d shed=%d\n"+
 			"elapsed=%v throughput=%.0f locates/sec\n"+
 			"latency p50=%v p99=%v max=%v\n"+
 			"message passes=%d (%.2f per locate)",
-		s.Locates, s.Errors, s.Coalesced, s.Posts, s.Shed,
+		s.Locates, s.Errors, s.NotFound, s.Coalesced, s.Posts, s.Shed,
 		s.Elapsed.Round(time.Millisecond), s.QPS,
 		time.Duration(s.P50).Round(100*time.Nanosecond),
 		time.Duration(s.P99).Round(100*time.Nanosecond),
@@ -182,6 +228,12 @@ func (s MetricsSnapshot) String() string {
 	if s.HintHits > 0 || s.HintStale > 0 || s.HintProbeFails > 0 {
 		out += fmt.Sprintf("\nhints: hits=%d (%.1f%% of locates) stale=%d probe-misses=%d",
 			s.HintHits, 100*s.HintHitRate, s.HintStale, s.HintProbeFails)
+	}
+	if s.ReplicaDepths != nil {
+		out += fmt.Sprintf("\navailability=%.4f replica fallthroughs=%d mean depth=%.3f depths=%v",
+			s.Availability, s.ReplicaFallthroughs, s.MeanReplicaDepth, s.ReplicaDepths)
+	} else if s.Errors > 0 {
+		out += fmt.Sprintf("\navailability=%.4f", s.Availability)
 	}
 	return out
 }

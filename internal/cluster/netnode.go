@@ -215,25 +215,34 @@ func (s *NodeServer) handleQuery(d *netwire.Dec, resp []byte) (byte, []byte) {
 	return stOK, resp
 }
 
+// handleQueryAll answers opQueryAll: like handleQuery it consumes a
+// sequence of (port, nodeCount, nodes...) sub-requests until end of
+// body — replicated batch floods pack many sub-requests per frame —
+// answering each node with (count, entries...).
 func (s *NodeServer) handleQueryAll(d *netwire.Dec, resp []byte) (byte, []byte) {
-	port := core.Port(d.String())
-	cnt := int(d.Uvarint())
 	var buf [8]core.Entry
-	for i := 0; i < cnt; i++ {
-		node := graph.NodeID(d.Uvarint())
+	for d.Len() > 0 {
+		port := core.Port(d.String())
+		cnt := int(d.Uvarint())
+		for i := 0; i < cnt; i++ {
+			node := graph.NodeID(d.Uvarint())
+			if d.Err() != nil {
+				return stBadRequest, resp
+			}
+			if !s.owned(node) {
+				return stBadRequest, resp
+			}
+			var entries []core.Entry
+			if !s.crashed[node].Load() {
+				entries = s.store.GetAllInto(node, port, buf[:0])
+			}
+			resp = netwire.AppendUvarint(resp, uint64(len(entries)))
+			for _, e := range entries {
+				resp = appendEntry(resp, e)
+			}
+		}
 		if d.Err() != nil {
 			return stBadRequest, resp
-		}
-		if !s.owned(node) {
-			return stBadRequest, resp
-		}
-		var entries []core.Entry
-		if !s.crashed[node].Load() {
-			entries = s.store.GetAllInto(node, port, buf[:0])
-		}
-		resp = netwire.AppendUvarint(resp, uint64(len(entries)))
-		for _, e := range entries {
-			resp = appendEntry(resp, e)
 		}
 	}
 	return stOK, resp

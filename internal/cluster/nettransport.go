@@ -57,7 +57,23 @@ type NetTransport struct {
 	addrs   []string
 	pools   []*netwire.Pool
 	ownerOf []int         // node -> owning process index
+	ranges  [][2]int      // process index -> owned [lo, hi)
 	downP   []atomic.Bool // observed-dead processes (sticky until a call succeeds)
+
+	// rp is the replicated strategy when the transport runs r-fold
+	// replicated rendezvous with r > 1 (nil otherwise). The replica
+	// query tables live in hot.sets like every other precomputed set;
+	// rp itself supplies the family-scoping predicate (InPost) the
+	// coordinator filters replies through. Replicated floods travel as
+	// opQueryAll so the coordinator sees every candidate entry per
+	// node; the node processes stay family-agnostic.
+	rp *strategy.Replicated
+
+	// Repair loop state (see runRepair): started when
+	// NetOptions.RepairInterval is set, stopped by Close.
+	stopRepair chan struct{}
+	repairWG   sync.WaitGroup
+	needRepair []atomic.Bool // process observed dead since its last repair
 
 	// regMu guards the client-side registration mirror (byPort), used
 	// by SetHotPorts to repost newly hot ports; the authoritative live
@@ -76,6 +92,7 @@ type NetTransport struct {
 
 var _ Transport = (*NetTransport)(nil)
 var _ HotReclassifier = (*NetTransport)(nil)
+var _ ReplicatedTransport = (*NetTransport)(nil)
 
 // NetOptions tune a NetTransport.
 type NetOptions struct {
@@ -90,6 +107,17 @@ type NetOptions struct {
 	CallTimeout time.Duration
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// RepairInterval enables the background re-post repair loop: every
+	// interval the transport hellos each node process, and when a
+	// process observed dead answers again (it was restarted with its
+	// volatile stores lost), every live registration is re-posted and
+	// re-registered so the replication factor — and probe liveness — of
+	// the recovered node range is restored. Repair traffic is charged
+	// like any other posting (the paper's §5 "services regularly poll
+	// their rendezvous nodes" maintenance), so leave it zero (disabled)
+	// when pinning pass-accounting equivalence against another
+	// transport.
+	RepairInterval time.Duration
 }
 
 // netScratch is the pooled per-operation workspace: request/response
@@ -129,7 +157,23 @@ func (sc *netScratch) reset(procs int) {
 // hello handshake that the processes cover the n nodes of g in
 // contiguous ranges. The strategy's universe must match the graph.
 func NewNetTransport(g *graph.Graph, strat rendezvous.Strategy, addrs []string, opts NetOptions) (*NetTransport, error) {
-	return newNetTransport(g, strat, nil, addrs, opts)
+	return newNetTransport(g, strat, nil, nil, addrs, opts)
+}
+
+// NewReplicatedNetTransport is NewNetTransport in r-fold replicated
+// rendezvous mode: servers post to the union of every replica family's
+// posting sets, and a locate that gets no rendezvous answer — because
+// the meeting nodes are marked crashed, or because the node process
+// hosting them was killed — falls through to the next family instead of
+// failing, at one extra flood charge per attempt. Combined with
+// NetOptions.RepairInterval this is the crash-tolerance story of the
+// socket cluster: fallthrough bridges the outage, repair restores the
+// replication factor once the process comes back.
+func NewReplicatedNetTransport(g *graph.Graph, rp *strategy.Replicated, addrs []string, opts NetOptions) (*NetTransport, error) {
+	if rp == nil {
+		return nil, fmt.Errorf("cluster: replicated transport needs a strategy.Replicated")
+	}
+	return newNetTransport(g, rp.Base(), nil, rp, addrs, opts)
 }
 
 // NewWeightedNetTransport is NewNetTransport in frequency-weighted
@@ -140,10 +184,10 @@ func NewWeightedNetTransport(g *graph.Graph, w *strategy.Weighted, addrs []strin
 	if w == nil {
 		return nil, fmt.Errorf("cluster: weighted transport needs a strategy.Weighted")
 	}
-	return newNetTransport(g, w.Base(), w, addrs, opts)
+	return newNetTransport(g, w.Base(), w, nil, addrs, opts)
 }
 
-func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, addrs []string, opts NetOptions) (*NetTransport, error) {
+func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, rp *strategy.Replicated, addrs []string, opts NetOptions) (*NetTransport, error) {
 	n := g.N()
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: net transport needs at least one node-process address")
@@ -156,22 +200,28 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	strat = rendezvous.Precompute(strat)
-	sets, err := newStratSets(g, routing, strat, w)
+	sets, err := newStratSets(g, routing, strat, w, rp)
 	if err != nil {
 		return nil, err
 	}
 	t := &NetTransport{
-		g:       g,
-		routing: routing,
-		strat:   strat,
-		hot:     hotTables{sets: sets, weighted: w},
-		addrs:   addrs,
-		pools:   make([]*netwire.Pool, len(addrs)),
-		ownerOf: make([]int, n),
-		downP:   make([]atomic.Bool, len(addrs)),
-		byPort:  make(map[core.Port]map[uint64]*netServer),
-		gens:    newGenIndex(),
-		crashed: make([]atomic.Bool, n),
+		g:          g,
+		routing:    routing,
+		strat:      strat,
+		hot:        hotTables{sets: sets, weighted: w},
+		addrs:      addrs,
+		pools:      make([]*netwire.Pool, len(addrs)),
+		ownerOf:    make([]int, n),
+		ranges:     make([][2]int, len(addrs)),
+		downP:      make([]atomic.Bool, len(addrs)),
+		stopRepair: make(chan struct{}),
+		needRepair: make([]atomic.Bool, len(addrs)),
+		byPort:     make(map[core.Port]map[uint64]*netServer),
+		gens:       newGenIndex(),
+		crashed:    make([]atomic.Bool, n),
+	}
+	if rp != nil && rp.Replicas() > 1 {
+		t.rp = rp
 	}
 	t.scratch.New = func() any { return &netScratch{} }
 	conns := opts.ConnsPerProc
@@ -189,6 +239,10 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 	if err := t.handshake(); err != nil {
 		t.Close()
 		return nil, err
+	}
+	if opts.RepairInterval > 0 {
+		t.repairWG.Add(1)
+		go t.runRepair(opts.RepairInterval)
 	}
 	return t, nil
 }
@@ -219,6 +273,7 @@ func (t *NetTransport) handshake() error {
 		for v := lo; v < hi; v++ {
 			t.ownerOf[v] = i
 		}
+		t.ranges[i] = [2]int{lo, hi}
 		next = hi
 	}
 	if next != t.g.N() {
@@ -229,13 +284,15 @@ func (t *NetTransport) handshake() error {
 
 // callProc issues one request to process p and tracks its health: the
 // first failure after a healthy period bumps every hint generation
-// (the dead process may have hosted servers of any port), and a later
-// success clears the mark so a restarted process heals transparently.
+// (the dead process may have hosted servers of any port) and marks the
+// process for repair, and a later success clears the down mark so a
+// restarted process heals transparently.
 func (t *NetTransport) callProc(p int, op byte, req, resp []byte) (byte, []byte, error) {
 	st, body, err := t.pools[p].Call(op, req, resp)
 	if err != nil {
 		if !t.downP[p].Swap(true) {
 			t.gens.bumpAll()
+			t.needRepair[p].Store(true)
 		}
 		return 0, nil, err
 	}
@@ -243,13 +300,92 @@ func (t *NetTransport) callProc(p int, op byte, req, resp []byte) (byte, []byte,
 	return st, body, err
 }
 
+// runRepair is the background re-post repair loop: every interval it
+// hellos each node process (detecting deaths that no foreground traffic
+// has tripped over yet), and when a process that was observed dead
+// answers again — a restart, with the volatile stores and live table of
+// its node range lost — it re-registers every live server homed in the
+// recovered range and re-posts every live server whose posting set
+// touches it, restoring the replication factor the crash ate. Reposts
+// go through the ordinary posting path and are charged like any other
+// posting.
+func (t *NetTransport) runRepair(interval time.Duration) {
+	defer t.repairWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stopRepair:
+			return
+		case <-tick.C:
+		}
+		for p := range t.pools {
+			// The hello both probes health and, via callProc, flips the
+			// down/needRepair marks on a state change.
+			_, _, err := t.callProc(p, opHello, nil, nil)
+			if err == nil && t.needRepair[p].Swap(false) {
+				t.repairProc(p)
+			}
+		}
+	}
+}
+
+// repairProc rebuilds process p's lost state from the client-side
+// registration mirror: liveness records for servers homed in p's node
+// range, then a fresh posting multicast for every live server whose
+// posting set reaches into the range. Every hint generation is bumped
+// afterwards so cached addresses re-resolve against the repaired
+// stores. Each server's mutex is held across its liveness check AND
+// its re-post: a repair posting carries a fresh timestamp, so letting
+// it race a concurrent Deregister or Migrate could stamp an Active
+// entry fresher than the lifecycle operation's tombstone and resurrect
+// a gone (or moved-away) server at every rendezvous node.
+func (t *NetTransport) repairProc(p int) {
+	lo, hi := t.ranges[p][0], t.ranges[p][1]
+	t.regMu.Lock()
+	var servers []*netServer
+	for _, m := range t.byPort {
+		for _, srv := range m {
+			servers = append(servers, srv)
+		}
+	}
+	t.regMu.Unlock()
+	for _, srv := range servers {
+		srv.mu.Lock()
+		if srv.gone {
+			srv.mu.Unlock()
+			continue
+		}
+		node := srv.node
+		if int(node) >= lo && int(node) < hi && !t.crashed[node].Load() {
+			_ = t.registerRemote(srv.id, srv.port, node)
+		}
+		targets, _ := t.postSets(srv, node)
+		for _, v := range targets {
+			if int(v) >= lo && int(v) < hi {
+				_ = t.postEntry(srv, node, true)
+				break
+			}
+		}
+		srv.mu.Unlock()
+	}
+	t.gens.bumpAll()
+}
+
 // Name implements Transport.
 func (t *NetTransport) Name() string {
 	if t.hot.weighted != nil {
 		return "net-weighted"
 	}
+	if r := t.hot.replicas(); r > 1 {
+		return fmt.Sprintf("net-r%d", r)
+	}
 	return "net"
 }
+
+// Replicas implements ReplicatedTransport: the replication factor of
+// the strategy in use (1 when unreplicated).
+func (t *NetTransport) Replicas() int { return t.hot.replicas() }
 
 // N implements Transport.
 func (t *NetTransport) N() int { return t.g.N() }
@@ -449,20 +585,32 @@ func (t *NetTransport) fanout(sc *netScratch, op byte) {
 // Locate implements Transport: the query multicast cost is charged up
 // front, the flood fans out to the owning processes, and every
 // rendezvous hit is charged its reply distance — the same charges, and
-// the same freshest-entry winner, as MemTransport.Locate.
+// the same freshest-entry winner, as MemTransport.Locate. On a
+// replicated transport a silent flood — crashed rendezvous nodes or a
+// killed node process — falls through the replica families in order.
 func (t *NetTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
+	e, _, err := locateFallthrough(t, client, port, 0)
+	return e, err
+}
+
+// LocateReplica implements ReplicatedTransport: one query flood over
+// replica k's query set only, with MemTransport's exact charges.
+func (t *NetTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
+	if replica < 0 || replica >= t.Replicas() {
+		return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+	}
 	if !t.g.Valid(client) {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.querySets(client, port)
+	targets, cost := t.hot.replicaQuerySets(client, port, replica)
 	t.passes.Add(int(client), cost)
 	sc := t.scratch.Get().(*netScratch)
 	sc.reset(len(t.pools))
 	t.groupQuery(sc, 0, port, targets)
-	t.fanout(sc, opQuery)
+	t.fanout(sc, t.queryOp())
 	var (
 		best  core.Entry
 		found bool
@@ -474,12 +622,9 @@ func (t *NetTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 		}
 		d := netwire.NewDec(sc.resps[p])
 		for _, v := range sc.nodes[p] {
-			if d.Byte() == 0 {
+			e, ok := t.decodeNodeAnswer(&d, v, replica)
+			if !ok {
 				continue
-			}
-			e := decodeEntry(&d)
-			if d.Err() != nil {
-				break
 			}
 			bulk += int64(t.routing.Dist(v, client))
 			if !found || e.Time > best.Time {
@@ -495,6 +640,52 @@ func (t *NetTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
 	}
 	return best, nil
+}
+
+// queryOp returns the wire operation a locate flood travels as:
+// opQuery (one flag+freshest answer per node) normally, opQueryAll when
+// replicated — the coordinator must see every candidate entry per node
+// to reduce them to the family's freshest itself, since the node
+// processes are family-agnostic.
+func (t *NetTransport) queryOp() byte {
+	if t.rp != nil {
+		return opQueryAll
+	}
+	return opQuery
+}
+
+// decodeNodeAnswer consumes node v's answer from d in queryOp's wire
+// format and reduces it to this flood's model-level reply: the entry
+// the node answered with, or — on a replicated flood — the freshest
+// entry the node holds as a member of the flood's replica family. ok
+// is false for a silent miss (including "holds entries, none of this
+// family", which the model treats as silence and charges nothing for).
+func (t *NetTransport) decodeNodeAnswer(d *netwire.Dec, v graph.NodeID, replica int) (core.Entry, bool) {
+	if t.rp == nil {
+		if d.Byte() == 0 {
+			return core.Entry{}, false
+		}
+		e := decodeEntry(d)
+		return e, d.Err() == nil
+	}
+	cnt := int(d.Uvarint())
+	var (
+		best  core.Entry
+		found bool
+	)
+	for j := 0; j < cnt; j++ {
+		e := decodeEntry(d)
+		if d.Err() != nil {
+			return core.Entry{}, false
+		}
+		if !t.rp.InPost(replica, e.Addr, v) {
+			continue
+		}
+		if !found || e.Time > best.Time {
+			best, found = e, true
+		}
+	}
+	return best, found
 }
 
 // groupQuery appends one sub-request (for original request index req)
@@ -529,12 +720,24 @@ func (t *NetTransport) groupQuery(sc *netScratch, req int, port core.Port, targe
 // LocateBatch implements Transport: the whole batch's store accesses
 // are grouped per owning process — each process sees one request frame
 // per batch — and the total charge is identical to the equivalent
-// sequence of Locate calls, as on the other transports.
+// sequence of Locate calls, as on the other transports; on a replicated
+// transport the misses of one pass re-flood the next family as a
+// sub-batch, exactly like mem.
 func (t *NetTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 	n := len(reqs)
 	if len(res) < n {
 		n = len(res)
 	}
+	t.locateBatchReplica(reqs[:n], res[:n], 0)
+	if r := t.Replicas(); r > 1 {
+		batchFallthrough(reqs[:n], res[:n], r, t.locateBatchReplica)
+	}
+}
+
+// locateBatchReplica runs one process-grouped batch pass over replica
+// k's query sets; reqs and res have equal length.
+func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, replica int) {
+	n := len(reqs)
 	sc := t.scratch.Get().(*netScratch)
 	sc.reset(len(t.pools))
 	if cap(sc.found) < n {
@@ -556,11 +759,11 @@ func (t *NetTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, sim.ErrCrashed)
 			continue
 		}
-		targets, cost := t.querySets(r.Client, r.Port)
+		targets, cost := t.hot.replicaQuerySets(r.Client, r.Port, replica)
 		bulk += cost
 		t.groupQuery(sc, i, r.Port, targets)
 	}
-	t.fanout(sc, opQuery)
+	t.fanout(sc, t.queryOp())
 	for p := range t.pools {
 		if len(sc.idx[p]) == 0 || sc.errs[p] != nil {
 			continue
@@ -571,12 +774,9 @@ func (t *NetTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 			for k := 0; k < sc.cnts[p][j]; k++ {
 				v := sc.nodes[p][off]
 				off++
-				if d.Byte() == 0 {
+				e, ok := t.decodeNodeAnswer(&d, v, replica)
+				if !ok {
 					continue
-				}
-				e := decodeEntry(&d)
-				if d.Err() != nil {
-					break
 				}
 				bulk += int64(t.routing.Dist(v, reqs[req].Client))
 				if !sc.found[req] || e.Time > res[req].Entry.Time {
@@ -694,15 +894,22 @@ func (t *NetTransport) Probe(client graph.NodeID, e core.Entry) (core.Entry, err
 
 // LocateAll implements Transport, with MemTransport's charges: the
 // query flood cost plus each answering node's reply distance times its
-// entry count.
+// entry count — and the same replica fallthrough as Locate.
 func (t *NetTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
+	return locateAllFallthrough(t.Replicas(), func(k int) ([]core.Entry, error) {
+		return t.locateAllReplica(client, port, k)
+	})
+}
+
+// locateAllReplica is one locate-all flood over replica k's query set.
+func (t *NetTransport) locateAllReplica(client graph.NodeID, port core.Port, replica int) ([]core.Entry, error) {
 	if !t.g.Valid(client) {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.querySets(client, port)
+	targets, cost := t.hot.replicaQuerySets(client, port, replica)
 	t.passes.Add(int(client), cost)
 	sc := t.scratch.Get().(*netScratch)
 	sc.reset(len(t.pools))
@@ -716,17 +923,22 @@ func (t *NetTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 		d := netwire.NewDec(sc.resps[p])
 		for _, v := range sc.nodes[p] {
 			cnt := int(d.Uvarint())
-			if cnt > 0 {
-				t.passes.Add(int(client), int64(t.routing.Dist(v, client))*int64(cnt))
-			}
+			answered := int64(0)
 			for k := 0; k < cnt; k++ {
 				e := decodeEntry(&d)
 				if d.Err() != nil {
 					break
 				}
+				if t.rp != nil && !t.rp.InPost(replica, e.Addr, v) {
+					continue // not this family's posting here: model silence
+				}
+				answered++
 				if cur, ok := freshest[e.ServerID]; !ok || e.Time > cur.Time {
 					freshest[e.ServerID] = e
 				}
+			}
+			if answered > 0 {
+				t.passes.Add(int(client), int64(t.routing.Dist(v, client))*answered)
 			}
 		}
 	}
@@ -823,10 +1035,16 @@ func (t *NetTransport) Passes() int64 { return t.passes.Load() }
 // ResetPasses implements Transport.
 func (t *NetTransport) ResetPasses() { t.passes.Reset() }
 
-// Close implements Transport: it closes the connection pools. The node
-// processes keep running — their lifecycle belongs to cmd/mmctl (or
-// whoever spawned them).
+// Close implements Transport: it stops the repair loop and closes the
+// connection pools. The node processes keep running — their lifecycle
+// belongs to cmd/mmctl (or whoever spawned them).
 func (t *NetTransport) Close() error {
+	select {
+	case <-t.stopRepair:
+	default:
+		close(t.stopRepair)
+	}
+	t.repairWG.Wait()
 	for _, p := range t.pools {
 		if p != nil {
 			p.Close()

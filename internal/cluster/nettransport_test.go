@@ -42,7 +42,11 @@ func runTestNodeWorker() {
 		return v
 	}
 	n, lo, hi := atoi("MM_NET_N"), atoi("MM_NET_LO"), atoi("MM_NET_HI")
-	if err := RunNodeWorker(n, lo, hi, "127.0.0.1:0", os.Stdout); err != nil {
+	listen := os.Getenv("MM_NET_ADDR")
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if err := RunNodeWorker(n, lo, hi, listen, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(2)
 	}
@@ -567,6 +571,265 @@ func TestNetTransportKillDash9(t *testing.T) {
 	}
 	if _, err := netT.Locate(4, "fresh"); err != nil {
 		t.Fatalf("locate fresh service after kill -9: %v", err)
+	}
+}
+
+// TestNetReplicatedKillEquivalence is the replicated fault-injection
+// gate: a 3-process r=2 cluster loses one whole node-shard process to
+// kill -9 mid-run, and the socket transport must keep matching the
+// in-process fast path — answers and exact pass charges — on the
+// failure path, first with the process death fail-silent on the wire
+// (mem models it with crash flags), then with the same crash flags
+// applied to both. With r=2, every locate from a live client must still
+// succeed on both backends.
+func TestNetReplicatedKillEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	n, procs := 36, 3
+	g := topology.Complete(n)
+	rp, err := strategy.NewReplicated(rendezvous.Checkerboard(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, cmds := spawnNetCluster(t, n, procs)
+	memT, err := NewReplicatedMemTransport(g, rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netT, err := NewReplicatedNetTransport(g, rp, addrs, NetOptions{CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { netT.Close() })
+
+	ports := map[core.Port]graph.NodeID{"alpha": 7, "beta": 29}
+	for port, node := range ports {
+		memBefore, netBefore := memT.Passes(), netT.Passes()
+		if _, err := memT.Register(port, node); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netT.Register(port, node); err != nil {
+			t.Fatal(err)
+		}
+		if mc, nc := memT.Passes()-memBefore, netT.Passes()-netBefore; mc != nc {
+			t.Fatalf("register %q: mem charged %d (union post), net %d", port, mc, nc)
+		}
+	}
+
+	// Kill the middle process: nodes [12, 24) go dark.
+	lo, hi := PartitionRange(n, procs, 1)
+	if err := cmds[1].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmds[1].Wait()
+	// Wait until the transport has observed the death (a probe into the
+	// dead range fails without an answer).
+	probe := core.Entry{Port: "alpha", Addr: graph.NodeID(lo + 3), ServerID: 99, Time: 1, Active: true}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := netT.Probe(0, probe); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe into killed process kept succeeding")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase A — fail-silent: the wire knows nothing of the crash flags;
+	// the dead process's node range is silence. Mem models the same
+	// state with crash flags on that range. Answers and charges from
+	// every live client must match, and with r=2 every one succeeds.
+	for v := lo; v < hi; v++ {
+		if err := memT.Crash(graph.NodeID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memT.ResetPasses()
+	netT.ResetPasses()
+	sweep := func(stage string, skipDead bool) {
+		t.Helper()
+		for c := 0; c < n; c++ {
+			client := graph.NodeID(c)
+			if skipDead && c >= lo && c < hi {
+				continue
+			}
+			for port := range ports {
+				memBefore, netBefore := memT.Passes(), netT.Passes()
+				e1, err1 := memT.Locate(client, port)
+				e2, err2 := netT.Locate(client, port)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s: locate %q from %d: mem err=%v net err=%v", stage, port, client, err1, err2)
+				}
+				if err1 == nil && (e1.Addr != e2.Addr || e1.ServerID != e2.ServerID) {
+					t.Fatalf("%s: locate %q from %d: mem %+v != net %+v", stage, port, client, e1, e2)
+				}
+				if err1 != nil && errors.Is(err1, core.ErrNotFound) {
+					t.Fatalf("%s: locate %q from %d failed despite r=2: %v", stage, port, client, err1)
+				}
+				if mc, nc := memT.Passes()-memBefore, netT.Passes()-netBefore; mc != nc {
+					t.Fatalf("%s: locate %q from %d: mem charged %d passes, net %d", stage, port, client, mc, nc)
+				}
+			}
+		}
+	}
+	sweep("fail-silent", true)
+
+	// Phase B — the same crash flags applied to both backends: crashed
+	// clients error identically, every live locate still succeeds, and
+	// the batched path agrees too.
+	for v := lo; v < hi; v++ {
+		if err := netT.Crash(graph.NodeID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memT.ResetPasses()
+	netT.ResetPasses()
+	sweep("crash-flagged", false)
+
+	var reqs []LocateReq
+	for c := 0; c < n; c += 2 {
+		reqs = append(reqs,
+			LocateReq{Client: graph.NodeID(c), Port: "alpha"},
+			LocateReq{Client: graph.NodeID(c), Port: "nope"})
+	}
+	memRes := make([]LocateRes, len(reqs))
+	netRes := make([]LocateRes, len(reqs))
+	memT.ResetPasses()
+	netT.ResetPasses()
+	memT.LocateBatch(reqs, memRes)
+	netT.LocateBatch(reqs, netRes)
+	if memT.Passes() != netT.Passes() {
+		t.Fatalf("failure-path LocateBatch: mem charged %d passes, net %d", memT.Passes(), netT.Passes())
+	}
+	for i := range reqs {
+		if (memRes[i].Err == nil) != (netRes[i].Err == nil) {
+			t.Fatalf("req %d (%+v): mem err=%v net err=%v", i, reqs[i], memRes[i].Err, netRes[i].Err)
+		}
+		if memRes[i].Err == nil && memRes[i].Entry.Addr != netRes[i].Entry.Addr {
+			t.Fatalf("req %d (%+v): mem %+v != net %+v", i, reqs[i], memRes[i].Entry, netRes[i].Entry)
+		}
+	}
+}
+
+// TestNetReplicatedRepairLoop covers the background re-post repair
+// loop: kill -9 a node-shard process, restart a fresh worker on the
+// same partition, and watch the repair loop detect the recovery,
+// re-register the liveness records and re-post the postings the crash
+// destroyed — restoring full replication (and probe service) without
+// any client-driven re-registration.
+func TestNetReplicatedRepairLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	n, procs := 36, 3
+	g := topology.Complete(n)
+	rp, err := strategy.NewReplicated(rendezvous.Checkerboard(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, cmds := spawnNetCluster(t, n, procs)
+	netT, err := NewReplicatedNetTransport(g, rp, addrs, NetOptions{
+		CallTimeout:    10 * time.Second,
+		RepairInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { netT.Close() })
+
+	// A server homed on the middle process: its liveness record and its
+	// postings at rendezvous nodes in [12,24) die with the process.
+	if _, err := netT.Register("svc", 15); err != nil {
+		t.Fatal(err)
+	}
+	e, err := netT.Locate(0, "svc")
+	if err != nil || e.Addr != 15 {
+		t.Fatalf("pre-kill locate: %+v, %v", e, err)
+	}
+	if err := cmds[1].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmds[1].Wait()
+
+	// Locates survive the outage via replica fallthrough.
+	if _, err := netT.Locate(0, "svc"); err != nil {
+		t.Fatalf("locate during outage: %v", err)
+	}
+
+	// Restart a worker on the same partition and address.
+	lo, hi := PartitionRange(n, procs, 1)
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restarted *exec.Cmd
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"MM_NET_NODE=1",
+			fmt.Sprintf("MM_NET_N=%d", n),
+			fmt.Sprintf("MM_NET_LO=%d", lo),
+			fmt.Sprintf("MM_NET_HI=%d", hi),
+			"MM_NET_ADDR="+addrs[1],
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(out)
+		if sc.Scan() && strings.HasPrefix(sc.Text(), "ADDR ") {
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			restarted = cmd
+			break
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind worker to the old address")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Cleanup(func() {
+		restarted.Process.Kill()
+		restarted.Wait()
+	})
+
+	// The repair loop must re-register the liveness record (probes into
+	// the recovered range answer positively again) and re-post, so the
+	// replica-0 rendezvous in the recovered range serves depth-0 floods
+	// again.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if _, err := netT.Probe(0, e); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("repair loop never restored the liveness record")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	rv := rendezvous.Intersect(rp.Base().Post(15), rp.Base().Query(2))
+	found := false
+	for _, v := range rv {
+		if int(v) >= lo && int(v) < hi {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("test geometry broke: rendezvous %v not in recovered range [%d,%d)", rv, lo, hi)
+	}
+	if e2, err := netT.Locate(2, "svc"); err != nil || e2.Addr != 15 {
+		t.Fatalf("post-repair locate: %+v, %v", e2, err)
 	}
 }
 

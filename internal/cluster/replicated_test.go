@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+	"matchmake/internal/strategy"
+	"matchmake/internal/topology"
+)
+
+// repOpts keeps the simulator's locate timeout short: a replica
+// fallthrough on the sim costs one full timeout per silent family, and
+// with inline handlers a live rendezvous answers before Multicast
+// returns, so a short timeout only ever delays true misses.
+var repOpts = core.Options{LocateTimeout: 500 * time.Millisecond, CollectWindow: 2 * time.Millisecond}
+
+// mkReplicated builds the r-fold replicated checkerboard over n nodes.
+func mkReplicated(t *testing.T, n, r int) *strategy.Replicated {
+	t.Helper()
+	rp, err := strategy.NewReplicated(rendezvous.Checkerboard(n), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+// replica0Rendezvous returns the base-family rendezvous set of a
+// (server node, client node) pair.
+func replica0Rendezvous(rp *strategy.Replicated, server, client graph.NodeID) []graph.NodeID {
+	base := rp.Base()
+	return rendezvous.Intersect(base.Post(server), base.Query(client))
+}
+
+// TestReplicatedStoreUnionPostings checks a registration on the
+// replicated fast path lands at every replica family's rendezvous
+// nodes, so any family's query flood can answer for it.
+func TestReplicatedStoreUnionPostings(t *testing.T) {
+	n := 36
+	rp := mkReplicated(t, n, 2)
+	memT, err := NewReplicatedMemTransport(topology.Complete(n), rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := graph.NodeID(7)
+	if _, err := memT.Register("svc", server); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rp.Replicas(); k++ {
+		for _, v := range rp.Replica(k).Post(server) {
+			if _, ok := memT.Store().Get(v, "svc"); !ok {
+				t.Fatalf("replica %d posting target %d holds no entry", k, v)
+			}
+		}
+	}
+	if got := memT.Store().NodeSize(rp.Replica(1).Post(server)[0]); got != 1 {
+		t.Fatalf("replica-1 rendezvous node size = %d, want 1", got)
+	}
+}
+
+// TestReplicatedSimMemEquivalence drives the replicated mode through
+// the paper-exact simulator and the fast path on a complete topology
+// and demands identical answers and identical pass charges — healthy
+// floods first, then the failure path: with a replica-0 rendezvous
+// node crashed on both, locates fall through to replica 1 on both, at
+// the same total charge (base flood paid in vain + replica-1 flood +
+// replies).
+func TestReplicatedSimMemEquivalence(t *testing.T) {
+	n := 36
+	g := topology.Complete(n)
+	rp := mkReplicated(t, n, 2)
+	simT, err := NewReplicatedSimTransport(g, rp, repOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simT.Close()
+	memT, err := NewReplicatedMemTransport(g, rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servers := map[core.Port]graph.NodeID{"alpha": 7, "beta": 29}
+	for port, node := range servers {
+		simBefore, memBefore := simT.Passes(), memT.Passes()
+		if _, err := simT.Register(port, node); err != nil {
+			t.Fatal(err)
+		}
+		simT.Network().Drain()
+		if _, err := memT.Register(port, node); err != nil {
+			t.Fatal(err)
+		}
+		if sc, mc := simT.Passes()-simBefore, memT.Passes()-memBefore; sc != mc {
+			t.Fatalf("register %q: sim charged %d passes (union post), mem %d", port, sc, mc)
+		}
+	}
+
+	checkLocates := func(stage string, skip graph.NodeID) {
+		t.Helper()
+		for c := 0; c < n; c += 3 {
+			client := graph.NodeID(c)
+			if client == skip {
+				continue // a crashed client legitimately cannot query
+			}
+			for port := range servers {
+				simBefore, memBefore := simT.Passes(), memT.Passes()
+				e1, err1 := simT.Locate(client, port)
+				simT.Network().Drain()
+				e2, err2 := memT.Locate(client, port)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: locate %q from %d: sim err=%v mem err=%v", stage, port, client, err1, err2)
+				}
+				if e1.Addr != e2.Addr || e1.ServerID != e2.ServerID {
+					t.Fatalf("%s: locate %q from %d: sim %+v != mem %+v", stage, port, client, e1, e2)
+				}
+				if sc, mc := simT.Passes()-simBefore, memT.Passes()-memBefore; sc != mc {
+					t.Fatalf("%s: locate %q from %d: sim charged %d passes, mem %d", stage, port, client, sc, mc)
+				}
+			}
+		}
+	}
+	checkLocates("healthy", -1)
+
+	// Kill the replica-0 rendezvous of ("alpha", client 1) on both
+	// transports; every locate must still succeed on both, with
+	// identical fallthrough charges, and replication must have made the
+	// two families' meeting points disjoint so the victim cannot also
+	// be the replica-1 rendezvous.
+	victim := replica0Rendezvous(rp, servers["alpha"], 1)[0]
+	if err := simT.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := memT.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	checkLocates("one rendezvous crashed", victim)
+}
+
+// TestReplicatedMemSurvivesAnySingleCrash pins the r=2 availability
+// claim on the fast path: whichever single node dies, every (client,
+// port) locate still succeeds, resolved by replica 0 or by one
+// fallthrough to replica 1.
+func TestReplicatedMemSurvivesAnySingleCrash(t *testing.T) {
+	n := 36
+	rp := mkReplicated(t, n, 2)
+	memT, err := NewReplicatedMemTransport(topology.Complete(n), rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]ServerRef, 0, 2)
+	for port, node := range map[core.Port]graph.NodeID{"alpha": 7, "beta": 29} {
+		ref, err := memT.Register(port, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	for victim := 0; victim < n; victim++ {
+		if err := memT.Crash(graph.NodeID(victim)); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < n; c++ {
+			client := graph.NodeID(c)
+			if client == graph.NodeID(victim) {
+				continue // a crashed client legitimately cannot query
+			}
+			for _, ref := range refs {
+				if _, err := memT.Locate(client, ref.Port()); err != nil {
+					t.Fatalf("victim %d: locate %q from %d failed: %v", victim, ref.Port(), client, err)
+				}
+			}
+		}
+		if err := memT.Restore(graph.NodeID(victim)); err != nil {
+			t.Fatal(err)
+		}
+		// The restored node lost its volatile cache; repost so the next
+		// iteration starts from full replication again — the repair
+		// duty the net transport's repair loop automates.
+		for _, ref := range refs {
+			if err := ref.Repost(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestReplicatedLocateBatchFallthrough checks the batched locate path
+// falls through per request: a batch mixing healthy pairs, pairs whose
+// replica-0 rendezvous is crashed, and a nonexistent port must return
+// the same answers and charge the same total as the equivalent
+// sequence of single locates.
+func TestReplicatedLocateBatchFallthrough(t *testing.T) {
+	n := 36
+	g := topology.Complete(n)
+	rp := mkReplicated(t, n, 2)
+	mkT := func() *MemTransport {
+		memT, err := NewReplicatedMemTransport(g, rp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := memT.Register("alpha", 7); err != nil {
+			t.Fatal(err)
+		}
+		return memT
+	}
+	batchT, seqT := mkT(), mkT()
+	victim := replica0Rendezvous(rp, 7, 1)[0]
+	for _, tr := range []*MemTransport{batchT, seqT} {
+		if err := tr.Crash(victim); err != nil {
+			t.Fatal(err)
+		}
+		tr.ResetPasses()
+	}
+
+	var reqs []LocateReq
+	for c := 0; c < n; c += 4 {
+		reqs = append(reqs,
+			LocateReq{Client: graph.NodeID(c), Port: "alpha"},
+			LocateReq{Client: graph.NodeID(c), Port: "nope"})
+	}
+	batchRes := make([]LocateRes, len(reqs))
+	batchT.LocateBatch(reqs, batchRes)
+	for i, r := range reqs {
+		e, err := seqT.Locate(r.Client, r.Port)
+		if (err == nil) != (batchRes[i].Err == nil) {
+			t.Fatalf("req %d (%+v): batch err=%v single err=%v", i, r, batchRes[i].Err, err)
+		}
+		if err == nil && (e.Addr != batchRes[i].Entry.Addr || e.ServerID != batchRes[i].Entry.ServerID) {
+			t.Fatalf("req %d (%+v): batch %+v != single %+v", i, r, batchRes[i].Entry, e)
+		}
+		if r.Port == "alpha" && batchRes[i].Err != nil {
+			t.Fatalf("req %d: locate alpha from %d failed on the failure path: %v", i, r.Client, batchRes[i].Err)
+		}
+	}
+	if bp, sp := batchT.Passes(), seqT.Passes(); bp != sp {
+		t.Fatalf("batch charged %d passes, sequence %d", bp, sp)
+	}
+}
+
+// TestClusterReplicatedFallthroughMetrics runs the full serving layer
+// (hints on) over a replicated fast path with a crashed rendezvous
+// node: every locate still succeeds, the metrics report full
+// availability with a nonzero fallthrough count, and hinted answers
+// stay equal to unhinted ones.
+func TestClusterReplicatedFallthroughMetrics(t *testing.T) {
+	n := 36
+	g := topology.Complete(n)
+	rp := mkReplicated(t, n, 2)
+	memT, err := NewReplicatedMemTransport(g, rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainT, err := NewReplicatedMemTransport(g, rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(memT, Options{Hints: true})
+	defer c.Close()
+	if _, err := c.Register("alpha", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plainT.Register("alpha", 7); err != nil {
+		t.Fatal(err)
+	}
+	victim := replica0Rendezvous(rp, 7, 1)[0]
+	if err := memT.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := plainT.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for cl := 0; cl < n; cl += 2 {
+			if cl == int(victim) {
+				continue
+			}
+			hinted, err := c.Locate(graph.NodeID(cl), "alpha")
+			if err != nil {
+				t.Fatalf("round %d client %d: %v", round, cl, err)
+			}
+			plain, err := plainT.Locate(graph.NodeID(cl), "alpha")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hinted.Addr != plain.Addr || hinted.ServerID != plain.ServerID {
+				t.Fatalf("round %d client %d: hinted %+v != plain %+v", round, cl, hinted, plain)
+			}
+		}
+	}
+	m := c.Metrics()
+	if m.Errors != 0 || m.Availability != 1 {
+		t.Fatalf("degraded cluster lost availability: %+v", m)
+	}
+	if m.ReplicaFallthroughs == 0 {
+		t.Fatalf("no replica fallthroughs recorded despite a dead rendezvous: %+v", m)
+	}
+	if m.HintHits == 0 {
+		t.Fatalf("no hint hits on the replicated path: %+v", m)
+	}
+}
+
+// TestClusterHintRetriesNextReplica pins the hint-invalidation order:
+// a hint resolved by replica 0 whose generation was bumped by a crash
+// re-floods starting at replica 1 (wrapping), so the family the crash
+// most likely broke is retried last.
+func TestClusterHintRetriesNextReplica(t *testing.T) {
+	n := 36
+	g := topology.Complete(n)
+	rp := mkReplicated(t, n, 2)
+	memT, err := NewReplicatedMemTransport(g, rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(memT, Options{Hints: true, DisableCoalescing: true})
+	defer c.Close()
+	if _, err := c.Register("alpha", 7); err != nil {
+		t.Fatal(err)
+	}
+	client := graph.NodeID(1)
+	if _, err := c.Locate(client, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// The cached hint was resolved by replica 0. Crash its rendezvous
+	// (bumping every generation): the next locate must skip the probe,
+	// start the flood at replica 1 and succeed without ever reading the
+	// dead family.
+	victim := replica0Rendezvous(rp, 7, client)[0]
+	if err := memT.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	before := memT.Passes()
+	e, err := c.Locate(client, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Addr != 7 {
+		t.Fatalf("post-crash locate resolved %+v, want addr 7", e)
+	}
+	charged := memT.Passes() - before
+	// Replica 1's flood cost from the client plus one reply from the
+	// replica-1 rendezvous: the stale-hint retry went to the next
+	// family first, not back through replica 0.
+	routing := memT.routing
+	targets := rp.Replica(1).Query(client)
+	want, rerr := routing.MulticastCost(client, targets)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	rv := rendezvous.Intersect(rp.Replica(1).Post(7), targets)
+	wantTotal := int64(want)
+	for range rv {
+		wantTotal += int64(routing.Dist(rv[0], client))
+	}
+	if charged != wantTotal {
+		t.Fatalf("stale-hint retry charged %d passes, want %d (replica-1 flood only)", charged, wantTotal)
+	}
+	if m := c.Metrics(); m.ReplicaFallthroughs != 0 {
+		t.Fatalf("retry-next-replica counted as fallthrough depth >0: %+v", m)
+	}
+}
+
+// TestReplicatedTransportErrors pins constructor and replica-bounds
+// validation across the replicated API.
+func TestReplicatedTransportErrors(t *testing.T) {
+	if _, err := NewReplicatedMemTransport(topology.Complete(9), nil, 0); err == nil {
+		t.Fatal("nil Replicated accepted by mem")
+	}
+	if _, err := NewReplicatedSimTransport(topology.Complete(9), nil, repOpts); err == nil {
+		t.Fatal("nil Replicated accepted by sim")
+	}
+	rp := mkReplicated(t, 9, 2)
+	memT, err := NewReplicatedMemTransport(topology.Complete(9), rp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memT.LocateReplica(0, "x", 2); err == nil || errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("out-of-range replica: %v; want a range error", err)
+	}
+}

@@ -32,6 +32,14 @@ type stratSets struct {
 	hotQueryCost  []int64
 	unionPost     [][]graph.NodeID
 	unionPostCost []int64
+
+	// Replicated-mode tables (nil when no strategy.Replicated is in
+	// play): repQuery[k][v] is replica k's query set at node v with its
+	// multicast cost, repQuery[0] aliasing the base query tables. In
+	// this mode post/postCost hold the union posting sets (∪ₖ Pₖ), so
+	// one posting multicast serves every replica family.
+	repQuery     [][][]graph.NodeID
+	repQueryCost [][]int64
 }
 
 // hotTables couples the precomputed set tables with the published
@@ -83,6 +91,27 @@ func (h *hotTables) querySets(client graph.NodeID, port core.Port) ([]graph.Node
 	return h.sets.query[client], h.sets.queryCost[client]
 }
 
+// replicas returns the number of replica families in the tables (1 when
+// unreplicated).
+func (h *hotTables) replicas() int {
+	if h.sets.repQuery == nil {
+		return 1
+	}
+	return len(h.sets.repQuery)
+}
+
+// replicaQuerySets returns replica k's query flood targets and multicast
+// cost for a locate of port from client. Replica 0 is the base strategy
+// (and honors the weighted hot classification, which is mutually
+// exclusive with replication anyway); higher replicas read the
+// replicated-mode tables.
+func (h *hotTables) replicaQuerySets(client graph.NodeID, port core.Port, k int) ([]graph.NodeID, int64) {
+	if k == 0 || h.sets.repQuery == nil {
+		return h.querySets(client, port)
+	}
+	return h.sets.repQuery[k][client], h.sets.repQueryCost[k][client]
+}
+
 // postSets returns the posting targets and multicast cost for a server
 // of port posting from node; postedHot is the server's sticky
 // posted-under-union flag, set here the first time the union sets are
@@ -99,9 +128,14 @@ func (h *hotTables) postSets(postedHot *atomic.Bool, port core.Port, node graph.
 }
 
 // newStratSets precomputes the set/cost tables for strat (already
-// Precompute-wrapped) over g with routing, plus the weighted tables
-// when w is non-nil.
-func newStratSets(g *graph.Graph, routing *graph.Routing, strat rendezvous.Strategy, w *strategy.Weighted) (*stratSets, error) {
+// Precompute-wrapped) over g with routing, plus the weighted tables when
+// w is non-nil and the replicated tables when rp is non-nil (in which
+// case the posting tables hold the union sets and strat must be rp's
+// base). Weighted and replicated modes are mutually exclusive.
+func newStratSets(g *graph.Graph, routing *graph.Routing, strat rendezvous.Strategy, w *strategy.Weighted, rp *strategy.Replicated) (*stratSets, error) {
+	if w != nil && rp != nil {
+		return nil, fmt.Errorf("cluster: weighted and replicated modes are mutually exclusive")
+	}
 	n := g.N()
 	s := &stratSets{
 		post:      make([][]graph.NodeID, n),
@@ -111,7 +145,11 @@ func newStratSets(g *graph.Graph, routing *graph.Routing, strat rendezvous.Strat
 	}
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
-		s.post[v] = strat.Post(id)
+		if rp != nil {
+			s.post[v] = rp.UnionPost(id)
+		} else {
+			s.post[v] = strat.Post(id)
+		}
 		s.query[v] = strat.Query(id)
 		pc, err := routing.MulticastCost(id, s.post[v])
 		if err != nil {
@@ -123,6 +161,26 @@ func newStratSets(g *graph.Graph, routing *graph.Routing, strat rendezvous.Strat
 		}
 		s.postCost[v] = int64(pc)
 		s.queryCost[v] = int64(qc)
+	}
+	if rp != nil && rp.Replicas() > 1 {
+		r := rp.Replicas()
+		s.repQuery = make([][][]graph.NodeID, r)
+		s.repQueryCost = make([][]int64, r)
+		s.repQuery[0], s.repQueryCost[0] = s.query, s.queryCost
+		for k := 1; k < r; k++ {
+			rep := rp.Replica(k)
+			s.repQuery[k] = make([][]graph.NodeID, n)
+			s.repQueryCost[k] = make([]int64, n)
+			for v := 0; v < n; v++ {
+				id := graph.NodeID(v)
+				s.repQuery[k][v] = rep.Query(id)
+				qc, err := routing.MulticastCost(id, s.repQuery[k][v])
+				if err != nil {
+					return nil, fmt.Errorf("cluster: replica %d query set of %d: %w", k, v, err)
+				}
+				s.repQueryCost[k][v] = int64(qc)
+			}
+		}
 	}
 	if w != nil {
 		hot := w.Hot()

@@ -9,6 +9,7 @@ import (
 	"matchmake/internal/graph"
 	"matchmake/internal/rendezvous"
 	"matchmake/internal/sim"
+	"matchmake/internal/strategy"
 )
 
 // SimTransport runs the existing internal/core engine over the
@@ -26,29 +27,85 @@ type SimTransport struct {
 	net  *sim.Network
 	sys  *core.System
 	gens *genIndex
+	rp   *strategy.Replicated // nil unless replicated
 }
 
 var _ Transport = (*SimTransport)(nil)
+var _ ReplicatedTransport = (*SimTransport)(nil)
 
 // NewSimTransport builds a fresh simulator network over g and installs
 // the core engine with strat. opts tune the engine's locate timeout and
 // collect window; the zero value picks the engine defaults.
 func NewSimTransport(g *graph.Graph, strat rendezvous.Strategy, opts core.Options) (*SimTransport, error) {
+	return newSimTransport(g, rendezvous.Precompute(strat), nil, opts)
+}
+
+// NewReplicatedSimTransport builds the paper-exact reference for the
+// r-fold replicated rendezvous mode: the engine posts over the union of
+// every replica family's posting sets (one real multicast), and a
+// locate floods replica 0's query set, falling through family by family
+// — each attempt a real simulated flood with its hops counted by the
+// network, so the fast paths' fallthrough charges are checked against
+// the genuine article. Note a fallthrough attempt on the simulator
+// costs a full locate timeout before the next family is tried; keep
+// opts.LocateTimeout short in fault studies.
+func NewReplicatedSimTransport(g *graph.Graph, rp *strategy.Replicated, opts core.Options) (*SimTransport, error) {
+	if rp == nil {
+		return nil, fmt.Errorf("cluster: replicated transport needs a strategy.Replicated")
+	}
+	// The engine's own strategy: union posts, replica-0 queries. The
+	// higher replica floods go through LocateVia with explicit targets.
+	comp := rendezvous.Precompute(rendezvous.Funcs{
+		StrategyName: rp.Name(),
+		Universe:     rp.N(),
+		PostFunc:     rp.UnionPost,
+		QueryFunc:    rp.Base().Query,
+	})
+	t, err := newSimTransport(g, comp, rp, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rp.Replicas() > 1 {
+		// Family-scope the rendezvous answers: a node only answers a
+		// family-k query with postings it holds as a member of Pₖ of the
+		// posting's origin, which keeps the replica families independent
+		// channels even where their node sets overlap.
+		t.sys.SetReplicaFilter(func(self graph.NodeID, family int, e core.Entry) bool {
+			return rp.InPost(family, e.Addr, self)
+		})
+	}
+	return t, nil
+}
+
+func newSimTransport(g *graph.Graph, strat rendezvous.Strategy, rp *strategy.Replicated, opts core.Options) (*SimTransport, error) {
 	net, err := sim.New(g)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	sys, err := core.NewSystem(net, rendezvous.Precompute(strat), opts)
+	sys, err := core.NewSystem(net, strat, opts)
 	if err != nil {
 		net.Close()
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	net.SetInlineHandlers(true)
-	return &SimTransport{net: net, sys: sys, gens: newGenIndex()}, nil
+	return &SimTransport{net: net, sys: sys, gens: newGenIndex(), rp: rp}, nil
 }
 
 // Name implements Transport.
-func (t *SimTransport) Name() string { return "sim" }
+func (t *SimTransport) Name() string {
+	if r := t.Replicas(); r > 1 {
+		return fmt.Sprintf("sim-r%d", r)
+	}
+	return "sim"
+}
+
+// Replicas implements ReplicatedTransport.
+func (t *SimTransport) Replicas() int {
+	if t.rp == nil {
+		return 1
+	}
+	return t.rp.Replicas()
+}
 
 // N implements Transport.
 func (t *SimTransport) N() int { return t.net.Graph().N() }
@@ -99,13 +156,38 @@ func (t *SimTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
 	return refs, nil
 }
 
-// Locate implements Transport.
+// Locate implements Transport; on a replicated transport a rendezvous
+// miss falls through the replica families in order, each attempt a real
+// simulated flood.
 func (t *SimTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, error) {
-	res, err := t.sys.Locate(client, port)
+	e, _, err := locateFallthrough(t, client, port, 0)
+	return e, err
+}
+
+// LocateReplica implements ReplicatedTransport: one real query flood
+// over replica k's query set (the engine's own strategy for replica 0).
+func (t *SimTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
+	targets, err := t.replicaTargets(client, replica)
+	if err != nil {
+		return core.Entry{}, err
+	}
+	res, err := t.sys.LocateVia(client, port, targets, replica)
 	if err != nil {
 		return core.Entry{}, err
 	}
 	return res.Entry, nil
+}
+
+// replicaTargets returns the explicit query set for replica k (nil for
+// replica 0, meaning the engine's own strategy).
+func (t *SimTransport) replicaTargets(client graph.NodeID, replica int) ([]graph.NodeID, error) {
+	if replica < 0 || replica >= t.Replicas() {
+		return nil, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+	}
+	if replica == 0 {
+		return nil, nil
+	}
+	return t.rp.Replica(replica).Query(client), nil
 }
 
 // LocateBatch implements Transport: the equivalent sequence of single
@@ -131,9 +213,16 @@ func (t *SimTransport) Gen(port core.Port) uint64 { return t.gens.gen(port) }
 
 func (t *SimTransport) genSlot(port core.Port) *atomic.Uint64 { return t.gens.slot(port) }
 
-// LocateAll implements Transport.
+// LocateAll implements Transport, with the same replica fallthrough as
+// Locate.
 func (t *SimTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
-	return t.sys.LocateAll(client, port)
+	return locateAllFallthrough(t.Replicas(), func(k int) ([]core.Entry, error) {
+		targets, err := t.replicaTargets(client, k)
+		if err != nil {
+			return nil, err
+		}
+		return t.sys.LocateAllVia(client, port, targets, k)
+	})
 }
 
 // Crash implements Transport: the node is marked crashed on the network

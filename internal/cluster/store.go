@@ -111,6 +111,15 @@ func (sh *storeShard) slotCreateLocked(k storeKey) *storeSlot {
 
 // readFreshest scans a loaded slot for the freshest active entry.
 func (sl *storeSlot) readFreshest() (core.Entry, bool) {
+	return sl.readFreshestWhere(nil)
+}
+
+// readFreshestWhere scans a loaded slot for the freshest active entry
+// accepted by keep (nil keeps everything). It is how the replicated
+// mode family-scopes its reads: the same physical slot serves every
+// replica family, and a family-k flood only sees the entries whose
+// origin posted here as part of family k.
+func (sl *storeSlot) readFreshestWhere(keep func(core.Entry) bool) (core.Entry, bool) {
 	curp := sl.entries.Load()
 	if curp == nil {
 		return core.Entry{}, false
@@ -120,7 +129,10 @@ func (sl *storeSlot) readFreshest() (core.Entry, bool) {
 		found bool
 	)
 	for _, e := range *curp {
-		if e.Active && (!found || e.Time > best.Time) {
+		if !e.Active || (keep != nil && !keep(e)) {
+			continue
+		}
+		if !found || e.Time > best.Time {
 			best, found = e, true
 		}
 	}
@@ -215,11 +227,18 @@ func pruneTombstones(entries []core.Entry) []core.Entry {
 
 // Get returns the freshest active entry for port cached at node.
 func (s *Store) Get(node graph.NodeID, port core.Port) (core.Entry, bool) {
+	return s.GetWhere(node, port, nil)
+}
+
+// GetWhere returns the freshest active entry for port cached at node
+// among those accepted by keep (nil keeps everything) — the
+// family-scoped read of the replicated rendezvous mode.
+func (s *Store) GetWhere(node graph.NodeID, port core.Port, keep func(core.Entry) bool) (core.Entry, bool) {
 	sl := s.slot(storeKey{node: node, port: port}, false)
 	if sl == nil {
 		return core.Entry{}, false
 	}
-	return sl.readFreshest()
+	return sl.readFreshestWhere(keep)
 }
 
 // GetAll returns every active entry for port cached at node.

@@ -20,10 +20,15 @@
 // length-prefixed binary protocol over TCP (internal/netwire), with the
 // same routing-derived pass accounting kept by the coordinating client —
 // kill -9 a process and its node range fails silently, like crashed
-// nodes in the paper's model. All transports agree on both results and
-// costs on a healthy network; see equivalence_test.go and
-// nettransport_test.go, and docs/PAPER_MAP.md for the paper-to-code
-// concordance.
+// nodes in the paper's model. All three also implement the r-fold
+// replicated rendezvous mode (strategy.Replicated): servers post to
+// every replica family and a locate falls through the families when
+// rendezvous nodes are dead, so one crashed node — or one killed node
+// process — costs an extra flood instead of an outage. All transports
+// agree on both results and costs on a healthy network and on the
+// crash fallthrough path; see equivalence_test.go, replicated_test.go
+// and nettransport_test.go, and docs/PAPER_MAP.md for the
+// paper-to-code concordance.
 package cluster
 
 import (
@@ -121,6 +126,69 @@ type LocateRes struct {
 type Registration struct {
 	Port core.Port
 	Node graph.NodeID
+}
+
+// ReplicatedTransport is implemented by transports running an r-fold
+// replicated strategy (strategy.Replicated): servers post to the union
+// of every replica family's posting sets, and a locate floods replica
+// 0's query set first, falling through to replica 1, 2, … only when no
+// rendezvous node of the previous family answered. Each attempt is
+// charged its own flood — the paper-honest price of redundancy — so a
+// healthy network pays exactly the base strategy's locate cost while a
+// crashed rendezvous node (or a killed node-shard process) costs one
+// extra flood instead of an outage.
+type ReplicatedTransport interface {
+	// Replicas returns the replication factor r; 1 means unreplicated.
+	Replicas() int
+	// LocateReplica floods only replica k's query set, charging that
+	// replica's multicast cost plus each rendezvous hit's reply
+	// distance — one fallthrough attempt of a crash-tolerant locate. It
+	// fails with an error wrapping core.ErrNotFound when no rendezvous
+	// node of that family answers.
+	LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error)
+}
+
+// locateFallthrough is the deterministic replica-fallthrough loop shared
+// by every replicated transport's Locate: families are tried in order
+// from start (wrapping), stopping at the first answer. Only a rendezvous
+// miss (core.ErrNotFound) falls through; any other failure — crashed
+// client, invalid node — aborts immediately. It returns the replica that
+// answered alongside the result.
+func locateFallthrough(rt ReplicatedTransport, client graph.NodeID, port core.Port, start int) (core.Entry, int, error) {
+	r := rt.Replicas()
+	if start < 0 || start >= r {
+		start = 0
+	}
+	var (
+		e   core.Entry
+		err error
+	)
+	for a := 0; a < r; a++ {
+		k := (start + a) % r
+		e, err = rt.LocateReplica(client, port, k)
+		if err == nil || !errors.Is(err, core.ErrNotFound) {
+			return e, k, err
+		}
+	}
+	return e, start, err
+}
+
+// locateAllFallthrough is locateFallthrough's locate-all twin, shared
+// by every replicated transport's LocateAll: attempt(k) floods replica
+// k's query set, and only a rendezvous miss (core.ErrNotFound) falls
+// through to the next family.
+func locateAllFallthrough(replicas int, attempt func(k int) ([]core.Entry, error)) ([]core.Entry, error) {
+	var (
+		out []core.Entry
+		err error
+	)
+	for k := 0; k < replicas; k++ {
+		out, err = attempt(k)
+		if err == nil || !errors.Is(err, core.ErrNotFound) {
+			return out, err
+		}
+	}
+	return out, err
 }
 
 // HotReclassifier is implemented by transports that support the

@@ -97,6 +97,13 @@ type System struct {
 	srvMu   sync.Mutex
 	servers map[uint64]*Server
 
+	// repFilter, when set, scopes query answers to replica families: a
+	// node self only answers a family-k query with entry e when
+	// repFilter(self, k, e) holds. Installed by the serving layer's
+	// replicated mode (SetReplicaFilter); nil means every cached entry
+	// answers, the unreplicated §1.5 behaviour.
+	repFilter func(self graph.NodeID, family int, e Entry) bool
+
 	postsSent   atomic.Int64 // posting messages addressed (Σ #P reached)
 	queriesSent atomic.Int64 // query messages addressed (Σ #Q reached)
 	repliesSent atomic.Int64 // rendezvous replies sent
@@ -113,6 +120,9 @@ type (
 		reqID  uint64
 		// all asks for every live instance, not just the freshest.
 		all bool
+		// family is the replica family the query is scoped to; it only
+		// matters when the system has a replica filter installed.
+		family int
 	}
 	replyMsg struct {
 		reqID uint64
@@ -168,13 +178,16 @@ func (s *System) HandleMessage(self graph.NodeID, msg sim.Message) {
 	case queryMsg:
 		if m.all {
 			for _, entry := range s.caches[self].getAll(m.port) {
+				if s.repFilter != nil && !s.repFilter(self, m.family, entry) {
+					continue // not this family's rendezvous for that posting
+				}
 				s.repliesSent.Add(1)
 				_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry})
 			}
 			return
 		}
-		entry, ok := s.caches[self].get(m.port)
-		if !ok || !entry.Active {
+		entry, ok := s.freshestFor(self, m)
+		if !ok {
 			return // misses are silent, as in §1.5
 		}
 		s.repliesSent.Add(1)
@@ -198,6 +211,38 @@ func (s *System) HandleMessage(self graph.NodeID, msg sim.Message) {
 		entry, ok := s.probeLocal(self, m)
 		_ = msg.Reply(probeReply{entry: entry, ok: ok})
 	}
+}
+
+// freshestFor picks the freshest active entry this node may answer a
+// query with: the plain cache winner, or — under a replica filter — the
+// freshest among the entries belonging to the query's family.
+func (s *System) freshestFor(self graph.NodeID, m queryMsg) (Entry, bool) {
+	if s.repFilter == nil {
+		e, ok := s.caches[self].get(m.port)
+		return e, ok && e.Active
+	}
+	var (
+		best  Entry
+		found bool
+	)
+	for _, e := range s.caches[self].getAll(m.port) {
+		if !s.repFilter(self, m.family, e) {
+			continue
+		}
+		if !found || e.Time > best.Time {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// SetReplicaFilter installs the family-scoping predicate of the
+// replicated rendezvous mode: a node self answers a family-k query
+// with entry e only when f(self, k, e) holds. Pass nil to restore the
+// unscoped behaviour. Install it before traffic flows; the engine does
+// not synchronize filter swaps against in-flight queries.
+func (s *System) SetReplicaFilter(f func(self graph.NodeID, family int, e Entry) bool) {
+	s.repFilter = f
 }
 
 // probeLocal answers a probe from the registration table: hit iff the
@@ -382,6 +427,18 @@ type LocateResult struct {
 // the collection window (stale postings of migrated servers lose by
 // timestamp). It returns ErrNotFound if no rendezvous answers in time.
 func (s *System) Locate(client graph.NodeID, port Port) (LocateResult, error) {
+	return s.LocateVia(client, port, nil, 0)
+}
+
+// LocateVia is Locate with an explicit query set and replica family:
+// the flood targets the given nodes instead of the strategy's Q(client)
+// (nil targets means Q(client)), and rendezvous nodes answer under the
+// family's scope when a replica filter is installed. It is the
+// per-replica flood primitive of the serving layer's replicated
+// rendezvous mode — each family's query set is flooded on its own, with
+// the network charging that flood's real multicast and reply hops, so a
+// fallthrough locate pays exactly one flood per replica tried.
+func (s *System) LocateVia(client graph.NodeID, port Port, targets []graph.NodeID, family int) (LocateResult, error) {
 	if !s.net.Graph().Valid(client) {
 		return LocateResult{}, fmt.Errorf("core: locate from %d: %w", client, graph.ErrNodeRange)
 	}
@@ -396,8 +453,10 @@ func (s *System) Locate(client graph.NodeID, port Port) (LocateResult, error) {
 		s.mu.Unlock()
 	}()
 
-	targets := s.strat.Query(client)
-	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id})
+	if targets == nil {
+		targets = s.strat.Query(client)
+	}
+	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id, family: family})
 	s.queriesSent.Add(int64(reached))
 	if err != nil {
 		return LocateResult{}, fmt.Errorf("core: locate %q from %d: %w", port, client, err)
@@ -445,6 +504,13 @@ collect:
 // window. A service "may be offered by more than one server process"
 // (§1.3); LocateAll surfaces all of them so the client can choose.
 func (s *System) LocateAll(client graph.NodeID, port Port) ([]Entry, error) {
+	return s.LocateAllVia(client, port, nil, 0)
+}
+
+// LocateAllVia is LocateAll with an explicit query set (nil means the
+// strategy's Q(client)) and replica family — the replica-fallthrough
+// primitive for locate-all, mirroring LocateVia.
+func (s *System) LocateAllVia(client graph.NodeID, port Port, targets []graph.NodeID, family int) ([]Entry, error) {
 	if !s.net.Graph().Valid(client) {
 		return nil, fmt.Errorf("core: locate-all from %d: %w", client, graph.ErrNodeRange)
 	}
@@ -459,8 +525,10 @@ func (s *System) LocateAll(client graph.NodeID, port Port) ([]Entry, error) {
 		s.mu.Unlock()
 	}()
 
-	targets := s.strat.Query(client)
-	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id, all: true})
+	if targets == nil {
+		targets = s.strat.Query(client)
+	}
+	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id, all: true, family: family})
 	s.queriesSent.Add(int64(reached))
 	if err != nil {
 		return nil, fmt.Errorf("core: locate-all %q from %d: %w", port, client, err)

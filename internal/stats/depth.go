@@ -1,0 +1,92 @@
+package stats
+
+import "sync/atomic"
+
+// depthBuckets bounds the per-depth counters of a DepthCounter; depths
+// beyond the last bucket are folded into it. Replication factors in
+// practice are 2–3, so eight buckets never clip real data.
+const depthBuckets = 8
+
+// DepthCounter tallies events by a small integer depth — the serving
+// layer's replica-fallthrough depth counter: a locate resolved by the
+// first replica flood observes depth 0, one that fell through k
+// families observes depth k, and a locate no replica could answer
+// counts as a failure. Together with the total it yields the two
+// availability numbers of a fault study: what fraction of locates
+// succeeded at all, and how many extra floods the survivors paid.
+//
+// All methods are safe for concurrent use; reads race benignly with
+// writers, like every other live counter in this package.
+type DepthCounter struct {
+	counts [depthBuckets]atomic.Int64
+	fails  atomic.Int64
+}
+
+// Observe records one event resolved at the given depth (clamped to the
+// last bucket; negative depths count as 0).
+func (d *DepthCounter) Observe(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= depthBuckets {
+		depth = depthBuckets - 1
+	}
+	d.counts[depth].Add(1)
+}
+
+// Fail records one event that no depth resolved.
+func (d *DepthCounter) Fail() { d.fails.Add(1) }
+
+// Counts returns the per-depth totals, index = depth.
+func (d *DepthCounter) Counts() []int64 {
+	out := make([]int64, depthBuckets)
+	for i := range d.counts {
+		out[i] = d.counts[i].Load()
+	}
+	return out
+}
+
+// Fails returns the number of events that no depth resolved.
+func (d *DepthCounter) Fails() int64 { return d.fails.Load() }
+
+// Total returns the number of observed events, failures included.
+func (d *DepthCounter) Total() int64 {
+	t := d.fails.Load()
+	for i := range d.counts {
+		t += d.counts[i].Load()
+	}
+	return t
+}
+
+// Fallthroughs returns the events resolved at depth > 0 — the locates
+// that survived only thanks to a deeper replica.
+func (d *DepthCounter) Fallthroughs() int64 {
+	var t int64
+	for i := 1; i < depthBuckets; i++ {
+		t += d.counts[i].Load()
+	}
+	return t
+}
+
+// MeanDepth returns the average resolution depth of the successful
+// events (0 when there were none).
+func (d *DepthCounter) MeanDepth() float64 {
+	var n, sum int64
+	for i := range d.counts {
+		c := d.counts[i].Load()
+		n += c
+		sum += int64(i) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Reset zeroes every counter.
+func (d *DepthCounter) Reset() {
+	for i := range d.counts {
+		d.counts[i].Store(0)
+	}
+	d.fails.Store(0)
+}

@@ -1,0 +1,132 @@
+package strategy
+
+import (
+	"fmt"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// Replicated derives r replica families from one base strategy — the
+// paper's answer to rendezvous fragility (§2.4, §5): instead of trusting
+// a single P(i) ∩ Q(j) meeting point, a server posts under every family
+// and a client falls through the families in order, so the match
+// survives as long as any replica's rendezvous nodes are alive.
+//
+// Replica k is the base strategy translated by ⌊k·n/r⌋ node positions
+// (rendezvous.Shift), which keeps each family a valid strategy (the
+// intersection just translates with it) while making the families
+// maximally disjoint: replica k's rendezvous node for a pair is the base
+// rendezvous node shifted by ⌊k·n/r⌋, so no single node — and, when the
+// node space is partitioned into contiguous ranges no wider than n/r, no
+// single range — can be the meeting point of two different replicas for
+// the same pair.
+//
+// Replicated itself is pure geometry. The serving layer
+// (internal/cluster) decides how to use it: servers post to the union of
+// all replicas' posting sets, and locates flood replica 0's query set
+// first, falling through to replica 1, 2, … only when no rendezvous node
+// of the previous family answered — each attempt charged its own flood,
+// the paper-honest price of redundancy.
+type Replicated struct {
+	name string
+	reps []rendezvous.Strategy // reps[0] is the (precomputed) base
+
+	union [][]graph.NodeID // ∪ₖ Pₖ(i), per node, sorted
+
+	// member[k] is a bitset over (server node i, target v) pairs:
+	// bit i·n+v set iff v ∈ Pₖ(i). It answers the family-scoping
+	// question of the serving layer — "is v a family-k rendezvous for a
+	// posting that originated at i?" — in one load, so every read on a
+	// locate flood can be scoped to its family.
+	member [][]uint64
+}
+
+// NewReplicated builds the r-fold replication of base. r must be at
+// least 1 and at most the universe size (shifting by less than one node
+// would collapse two replicas onto the same family).
+func NewReplicated(base rendezvous.Strategy, r int) (*Replicated, error) {
+	n := base.N()
+	if n <= 0 {
+		return nil, fmt.Errorf("strategy: replicated needs a non-empty universe, got %d", n)
+	}
+	if r < 1 || r > n {
+		return nil, fmt.Errorf("strategy: replication factor %d out of [1,%d]", r, n)
+	}
+	base = rendezvous.Precompute(base)
+	rp := &Replicated{
+		name:   fmt.Sprintf("replicated-%d(%s)", r, base.Name()),
+		reps:   make([]rendezvous.Strategy, r),
+		union:  make([][]graph.NodeID, n),
+		member: make([][]uint64, r),
+	}
+	rp.reps[0] = base
+	for k := 1; k < r; k++ {
+		rp.reps[k] = rendezvous.Precompute(rendezvous.Shift(base, k*n/r))
+	}
+	words := (n*n + 63) / 64
+	for k := 0; k < r; k++ {
+		rp.member[k] = make([]uint64, words)
+		for i := 0; i < n; i++ {
+			for _, v := range rp.reps[k].Post(graph.NodeID(i)) {
+				bit := i*n + int(v)
+				rp.member[k][bit>>6] |= 1 << (bit & 63)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		u := base.Post(id)
+		for k := 1; k < r; k++ {
+			u = unionSets(u, rp.reps[k].Post(id))
+		}
+		rp.union[v] = u
+	}
+	return rp, nil
+}
+
+// InPost reports whether v belongs to family k's posting set of a
+// server at node i — the family-scoping predicate of replicated reads:
+// a family-k query flood only accepts an entry cached at v when the
+// entry's origin posted it there *as part of family k*, which is what
+// keeps the r families independent rendezvous channels even where their
+// node sets overlap.
+func (rp *Replicated) InPost(k int, i, v graph.NodeID) bool {
+	n := rp.N()
+	if k < 0 || k >= len(rp.member) || int(i) < 0 || int(i) >= n || int(v) < 0 || int(v) >= n {
+		return false
+	}
+	bit := int(i)*n + int(v)
+	return rp.member[k][bit>>6]&(1<<(bit&63)) != 0
+}
+
+// Name identifies the replicated family in reports.
+func (rp *Replicated) Name() string { return rp.name }
+
+// N returns the universe size.
+func (rp *Replicated) N() int { return rp.reps[0].N() }
+
+// Replicas returns the replication factor r.
+func (rp *Replicated) Replicas() int { return len(rp.reps) }
+
+// Replica returns family k (0 ≤ k < r); replica 0 is the base strategy.
+// The returned strategies are precomputed and safe for concurrent use.
+func (rp *Replicated) Replica(k int) rendezvous.Strategy {
+	if k < 0 || k >= len(rp.reps) {
+		return nil
+	}
+	return rp.reps[k]
+}
+
+// Base returns replica 0, the untranslated base strategy.
+func (rp *Replicated) Base() rendezvous.Strategy { return rp.reps[0] }
+
+// UnionPost returns ∪ₖ Pₖ(i), the set a server at node i posts to so
+// every replica's query set can rendezvous with it. The returned slice
+// is shared; callers must not mutate it.
+func (rp *Replicated) UnionPost(i graph.NodeID) []graph.NodeID {
+	if int(i) < 0 || int(i) >= len(rp.union) {
+		return nil
+	}
+	return rp.union[i]
+}

@@ -1,0 +1,105 @@
+package strategy
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// TestReplicatedRendezvousProperty checks every replica family of a
+// replicated checkerboard keeps the rendezvous property: for every
+// (server, client) pair and every k, Pₖ(i) ∩ Qₖ(j) ≠ ∅.
+func TestReplicatedRendezvousProperty(t *testing.T) {
+	for _, n := range []int{9, 16, 36, 37} {
+		rp, err := NewReplicated(rendezvous.Checkerboard(n), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Replicas() != 3 {
+			t.Fatalf("Replicas() = %d, want 3", rp.Replicas())
+		}
+		for k := 0; k < rp.Replicas(); k++ {
+			rep := rp.Replica(k)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					inter := rendezvous.Intersect(rep.Post(graph.NodeID(i)), rep.Query(graph.NodeID(j)))
+					if len(inter) == 0 {
+						t.Fatalf("n=%d replica %d: empty rendezvous for (%d,%d)", n, k, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplicatedDisjointRendezvous checks the fault-tolerance point of
+// replication on the checkerboard: the rendezvous sets of different
+// replicas for the same pair never share a node, so a single crashed
+// rendezvous node cannot take out two replicas of one pair at once.
+func TestReplicatedDisjointRendezvous(t *testing.T) {
+	n := 36
+	rp, err := NewReplicated(rendezvous.Checkerboard(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := rp.Replica(0), rp.Replica(1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := rendezvous.Intersect(r0.Post(graph.NodeID(i)), r0.Query(graph.NodeID(j)))
+			b := rendezvous.Intersect(r1.Post(graph.NodeID(i)), r1.Query(graph.NodeID(j)))
+			if len(rendezvous.Intersect(a, b)) != 0 {
+				t.Fatalf("pair (%d,%d): replica rendezvous sets overlap: %v and %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestReplicatedUnionPost checks the union posting set covers every
+// replica's posting set, so one posting multicast serves all families.
+func TestReplicatedUnionPost(t *testing.T) {
+	n := 25
+	rp, err := NewReplicated(rendezvous.Checkerboard(n), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		union := rp.UnionPost(graph.NodeID(i))
+		in := make(map[graph.NodeID]bool, len(union))
+		for _, v := range union {
+			in[v] = true
+		}
+		for k := 0; k < rp.Replicas(); k++ {
+			for _, v := range rp.Replica(k).Post(graph.NodeID(i)) {
+				if !in[v] {
+					t.Fatalf("node %d: replica %d posting target %d missing from union %v", i, k, v, union)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicatedSingle checks r=1 degenerates to the base strategy.
+func TestReplicatedSingle(t *testing.T) {
+	base := rendezvous.Checkerboard(16)
+	rp, err := NewReplicated(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		id := graph.NodeID(i)
+		if got, want := rp.UnionPost(id), rp.Replica(0).Post(id); len(rendezvous.Intersect(got, want)) != len(want) || len(got) != len(want) {
+			t.Fatalf("node %d: union %v != base post %v", i, got, want)
+		}
+	}
+}
+
+// TestReplicatedBounds rejects invalid replication factors.
+func TestReplicatedBounds(t *testing.T) {
+	if _, err := NewReplicated(rendezvous.Checkerboard(9), 0); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+	if _, err := NewReplicated(rendezvous.Checkerboard(9), 10); err == nil {
+		t.Fatal("r>n accepted")
+	}
+}
