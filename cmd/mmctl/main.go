@@ -35,6 +35,17 @@
 //	    -replicas 1 the failures are the point (the fragility baseline)
 //	    and only the report is produced.
 //
+//	mmctl scale -state mm.json -procs 8
+//	    Live process resize: spawn a fresh worker set partitioning the
+//	    same node space across -procs processes, copy every partition
+//	    from the old workers (postings, liveness records, crash marks —
+//	    the opSnapshot transfer), rewrite the state file, print the new
+//	    "ADDRS ..." line, and after a grace period (for `mmload
+//	    -watch-state` consumers to rescale) drain the old workers.
+//	    Consumers that miss the handoff — or donors that died
+//	    mid-transfer — are covered by the transport's repair loop and,
+//	    at -replicas ≥ 2, by the replica fallthrough.
+//
 //	mmctl kill -state mm.json -index 1 [-9]
 //	    Signal one worker of an `up` cluster (SIGTERM, or SIGKILL with
 //	    -9) — fault injection against a live cluster.
@@ -116,13 +127,77 @@ func run(args []string, out io.Writer) error {
 		return cmdDemo(args[1:], out)
 	case "chaos":
 		return cmdChaos(args[1:], out)
+	case "scale":
+		return cmdScale(args[1:], out)
 	case "kill":
 		return cmdKill(args[1:], out)
 	case "down":
 		return cmdDown(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want up, verify, demo, chaos, kill or down)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want up, verify, demo, chaos, scale, kill or down)", args[0])
 	}
+}
+
+// cmdScale is the live process resize: spawn the new worker set,
+// transfer every partition from the old set, publish the new layout
+// through the state file (the cluster's membership registry — watchers
+// like `mmload -watch-state` rescale off it), then drain the old
+// workers after a grace period. The new workers outlive this process;
+// `mmctl down` addresses them by pid through the state file.
+func cmdScale(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmctl scale", flag.ContinueOnError)
+	state := fs.String("state", "", "state file written by `mmctl up` (required; rewritten with the new layout)")
+	procs := fs.Int("procs", 0, "new node-process count (required)")
+	grace := fs.Duration("grace", 750*time.Millisecond, "delay between publishing the new layout and draining the old workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := readState(*state)
+	if err != nil {
+		return err
+	}
+	if *procs < 1 || *procs > st.Nodes {
+		return fmt.Errorf("need 1 <= -procs (%d) <= nodes (%d)", *procs, st.Nodes)
+	}
+	ps, err := spawnCluster(st.Nodes, *procs)
+	if err != nil {
+		return err
+	}
+	donors := make([]cluster.DonorProc, len(st.Procs))
+	for i, p := range st.Procs {
+		donors[i] = cluster.DonorProc{Addr: p.Addr, Lo: p.Lo, Hi: p.Hi}
+	}
+	lost, err := cluster.TransferPartitions(donors, addrs(ps), st.Nodes, cluster.NetOptions{CallTimeout: 30 * time.Second})
+	if err != nil {
+		teardown(ps, 5*time.Second)
+		return fmt.Errorf("partition transfer: %w", err)
+	}
+	for _, r := range lost {
+		fmt.Fprintf(out, "scale: donor for nodes [%d,%d) unreachable; consumers' repair loops will re-post\n", r[0], r[1])
+	}
+	oldProcs := st.Procs
+	st.Procs = make([]nodeProc, len(ps))
+	for i, p := range ps {
+		st.Procs[i] = *p
+		st.Procs[i].cmd = nil
+	}
+	if err := writeStateStruct(*state, st); err != nil {
+		teardown(ps, 5*time.Second)
+		return err
+	}
+	fmt.Fprintf(out, "ADDRS %s\n", strings.Join(addrs(ps), ","))
+	for _, p := range ps {
+		fmt.Fprintf(out, "scale: worker %d pid %d serves [%d,%d) at %s\n", p.Index, p.Pid, p.Lo, p.Hi, p.Addr)
+	}
+	time.Sleep(*grace)
+	for _, p := range oldProcs {
+		if err := syscall.Kill(p.Pid, syscall.SIGTERM); err == nil {
+			fmt.Fprintf(out, "scale: SIGTERM old worker %d (pid %d)\n", p.Index, p.Pid)
+		}
+	}
+	// The new workers are deliberately left running (and unreaped):
+	// they are the cluster now, addressed through the state file.
+	return nil
 }
 
 func cmdUp(args []string, out io.Writer) error {

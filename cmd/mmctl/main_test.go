@@ -87,6 +87,76 @@ func TestSpawnKillDrain(t *testing.T) {
 	}
 }
 
+// TestScaleRepartitions covers the live process resize: boot a
+// 2-process cluster, serve a posting through it, scale to 4 processes
+// via cmdScale (state file rewritten, old workers drained), and verify
+// a transport over the new layout still resolves the posting — the
+// partition transfer carried it across.
+func TestScaleRepartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	const n = 24
+	ps, err := spawnCluster(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown(ps, 5*time.Second)
+	state := filepath.Join(t.TempDir(), "mm.json")
+	if err := writeState(state, n, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	g := topology.Complete(n)
+	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(n), addrs(ps),
+		cluster.NetOptions{CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Register("svc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+
+	var out bytes.Buffer
+	if err := cmdScale([]string{"-state", state, "-procs", "4", "-grace", "50ms"}, &out); err != nil {
+		t.Fatalf("scale: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ADDRS ") {
+		t.Fatalf("scale printed no ADDRS line:\n%s", out.String())
+	}
+	st, err := readState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Procs) != 4 {
+		t.Fatalf("state lists %d workers after scale, want 4", len(st.Procs))
+	}
+	defer func() {
+		for _, p := range st.Procs {
+			syscall.Kill(p.Pid, syscall.SIGKILL)
+		}
+	}()
+	newAddrs := make([]string, len(st.Procs))
+	for i, p := range st.Procs {
+		newAddrs[i] = p.Addr
+	}
+	tr2, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(n), newAddrs,
+		cluster.NetOptions{CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	e, err := tr2.Locate(20, "svc")
+	if err != nil {
+		t.Fatalf("locate over the rescaled cluster: %v", err)
+	}
+	if e.Addr != want.Node() {
+		t.Fatalf("located %d, want %d", e.Addr, want.Node())
+	}
+}
+
 func TestStateRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "mm.json")

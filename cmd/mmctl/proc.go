@@ -206,6 +206,13 @@ func writeState(path string, nodes int, ps []*nodeProc) error {
 		st.Procs[i] = *p
 		st.Procs[i].cmd = nil
 	}
+	return writeStateStruct(path, &st)
+}
+
+// writeStateStruct persists an already-assembled cluster state — the
+// rewrite path of `mmctl scale`, which preserves the original
+// coordinator pid while swapping the worker list.
+func writeStateStruct(path string, st *clusterState) error {
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return err

@@ -46,9 +46,28 @@
 //	                         time — the §2.4/§5 fault model that replication
 //	                         is measured against; with r=1 affected pairs
 //	                         fail, with r≥2 they fall through and succeed
+//	-resize-interval d       elastic-membership churn: the transport is
+//	                         built elastic (strategy.Epoch) and every d the
+//	                         cluster either finishes the draining migration
+//	                         or starts the next one, alternating the active
+//	                         node count between -nodes and -resize-to —
+//	                         live grow/shrink under load, with the epoch,
+//	                         migrated-posting and dual-epoch counters in
+//	                         the report; servers and clients stay inside
+//	                         the smaller membership so every locate remains
+//	                         serviceable at every epoch
+//	-resize-to m             the smaller active node count the resize
+//	                         churn shrinks to (default 3n/4)
+//
+// Net-transport cluster membership can also come from an mmctl state
+// file instead of a literal address list: -state mm.json reads the
+// current "ADDRS" from the file, and -watch-state d polls it so an
+// `mmctl scale` run mid-load re-partitions this transport live
+// (NetTransport.Rescale) without restarting the workload.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -79,7 +98,11 @@ func main() {
 type config struct {
 	transport   string
 	addrs       string
+	stateFile   string
+	watchState  time.Duration
 	netConns    int
+	resizeEvery time.Duration
+	resizeTo    int
 	topo        string
 	nodes       int
 	strategy    string
@@ -113,7 +136,11 @@ func run(args []string, out io.Writer) error {
 	var cfg config
 	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator) | net (socket cluster; needs -addrs)")
 	fs.StringVar(&cfg.addrs, "addrs", "", "net transport: comma-separated node-process addresses in partition order (from `mmctl up` or mmnode)")
+	fs.StringVar(&cfg.stateFile, "state", "", "net transport: read the address list from this mmctl state file instead of -addrs")
+	fs.DurationVar(&cfg.watchState, "watch-state", 0, "net transport: poll the -state file this often and rescale onto layout changes (0 = off)")
 	fs.IntVar(&cfg.netConns, "net-conns", 0, "net transport: connections per node process (0 = default)")
+	fs.DurationVar(&cfg.resizeEvery, "resize-interval", 0, "elastic membership churn: resize (or finish the draining resize) this often (0 = off)")
+	fs.IntVar(&cfg.resizeTo, "resize-to", 0, "resize churn: the smaller active node count to shrink to (0 = 3n/4)")
 	fs.StringVar(&cfg.topo, "topology", "complete", "topology: complete|grid|ring|hypercube")
 	fs.IntVar(&cfg.nodes, "nodes", 64, "network size (grid needs a rectangle, hypercube a power of two)")
 	fs.StringVar(&cfg.strategy, "strategy", "checkerboard", "strategy: checkerboard|random|broadcast|sweep")
@@ -166,6 +193,35 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.resizeTo == 0 {
+		cfg.resizeTo = g.N() * 3 / 4
+	}
+	if cfg.resizeEvery > 0 {
+		if cfg.weighted {
+			return fmt.Errorf("-resize-interval and -weighted are mutually exclusive")
+		}
+		if cfg.resizeTo < 2 || cfg.resizeTo > g.N() {
+			return fmt.Errorf("-resize-to %d out of [2,%d]", cfg.resizeTo, g.N())
+		}
+		if cfg.replicas > cfg.resizeTo {
+			return fmt.Errorf("-replicas %d > -resize-to %d", cfg.replicas, cfg.resizeTo)
+		}
+	}
+	if cfg.watchState > 0 {
+		if cfg.transport != "net" {
+			return fmt.Errorf("-watch-state needs -transport net")
+		}
+		if cfg.stateFile == "" {
+			return fmt.Errorf("-watch-state needs -state")
+		}
+	}
+	if cfg.transport == "net" && cfg.addrs == "" && cfg.stateFile != "" {
+		stateAddrs, err := readStateAddrs(cfg.stateFile)
+		if err != nil {
+			return fmt.Errorf("-state %s: %w", cfg.stateFile, err)
+		}
+		cfg.addrs = strings.Join(stateAddrs, ",")
+	}
 	strat, err := buildStrategy(cfg.strategy, g.N(), cfg.seed)
 	if err != nil {
 		return err
@@ -173,6 +229,12 @@ func run(args []string, out io.Writer) error {
 	tr, err := buildTransport(cfg, g, strat)
 	if err != nil {
 		return err
+	}
+	// When membership churns, servers and clients stay inside the
+	// smaller epoch's range so every locate remains serviceable.
+	activeFloor := g.N()
+	if cfg.resizeEvery > 0 && cfg.resizeTo < activeFloor {
+		activeFloor = cfg.resizeTo
 	}
 	copts := cluster.Options{
 		Shards:            cfg.shards,
@@ -194,7 +256,7 @@ func run(args []string, out io.Writer) error {
 	names := makePortNames(cfg.ports)
 	regs := make([]cluster.Registration, cfg.ports)
 	for p := 0; p < cfg.ports; p++ {
-		regs[p] = cluster.Registration{Port: names[p], Node: graph.NodeID((p * 7919) % g.N())}
+		regs[p] = cluster.Registration{Port: names[p], Node: graph.NodeID((p * 7919) % activeFloor)}
 	}
 	refs, err := c.PostBatch(regs)
 	if err != nil {
@@ -208,7 +270,7 @@ func run(args []string, out io.Writer) error {
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			runChurn(c, reg, cfg, g.N(), stop)
+			runChurn(c, reg, cfg, activeFloor, stop)
 		}()
 	}
 	var kills int64
@@ -216,7 +278,25 @@ func run(args []string, out io.Writer) error {
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			kills = runKiller(c, reg, cfg, g.N(), stop)
+			kills = runKiller(c, reg, cfg, activeFloor, stop)
+		}()
+	}
+	var resizes int64
+	var resizeErr error
+	if cfg.resizeEvery > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			resizes, resizeErr = runResizer(c, cfg, g.N(), stop)
+		}()
+	}
+	if cfg.watchState > 0 {
+		// Validated up front: -transport net always builds a *NetTransport.
+		netT := tr.(*cluster.NetTransport)
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			watchState(netT, cfg.stateFile, cfg.watchState, stop, out)
 		}()
 	}
 
@@ -224,9 +304,9 @@ func run(args []string, out io.Writer) error {
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	if cfg.rate > 0 {
-		err = openLoop(c, cfg, names, g.N())
+		err = openLoop(c, cfg, names, activeFloor)
 	} else {
-		err = closedLoop(c, cfg, names, g.N())
+		err = closedLoop(c, cfg, names, activeFloor)
 	}
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
@@ -241,6 +321,12 @@ func run(args []string, out io.Writer) error {
 		tr.Name(), cfg.topo, g.N(), strat.Name(), cfg.ports, cfg.workload, churnSuffix(cfg))
 	if cfg.killRate > 0 {
 		fmt.Fprintf(out, "kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", kills, cfg.killRate)
+	}
+	if cfg.resizeEvery > 0 {
+		fmt.Fprintf(out, "resizes=%d (every %v, active %d↔%d)\n", resizes, cfg.resizeEvery, g.N(), cfg.resizeTo)
+		if resizeErr != nil {
+			fmt.Fprintf(out, "resize: last error: %v\n", resizeErr)
+		}
 	}
 	fmt.Fprintln(out, m.String())
 	if m.Locates > 0 {
@@ -333,6 +419,9 @@ func buildStrategy(name string, n int, seed int64) (rendezvous.Strategy, error) 
 }
 
 func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
+	if cfg.resizeEvery > 0 {
+		return buildElasticTransport(cfg, g, strat)
+	}
 	var rp *strategy.Replicated
 	if cfg.replicas > 1 {
 		var err error
@@ -381,6 +470,140 @@ func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (clus
 		return cluster.NewNetTransport(g, strat, addrs, opts)
 	default:
 		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
+	}
+}
+
+// buildElasticTransport assembles the epoch-versioned elastic
+// transport for the resize-churn scenario: epoch 1 serves the full
+// node set (replicated per -replicas); runResizer then alternates the
+// membership live.
+func buildElasticTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
+	ep, err := strategy.NewEpoch(1, g.N(), strat, cfg.replicas)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.transport {
+	case "mem":
+		return cluster.NewElasticMemTransport(g, ep, 0)
+	case "sim":
+		opts := core.Options{LocateTimeout: cfg.locateTO, CollectWindow: cfg.collectWin}
+		return cluster.NewElasticSimTransport(g, ep, opts)
+	case "net":
+		if cfg.addrs == "" {
+			return nil, fmt.Errorf("-transport net needs -addrs or -state (boot a cluster with `mmctl up` or mmnode)")
+		}
+		opts := cluster.NetOptions{ConnsPerProc: cfg.netConns, CallTimeout: 30 * time.Second}
+		return cluster.NewElasticNetTransport(g, ep, strings.Split(cfg.addrs, ","), opts)
+	default:
+		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
+	}
+}
+
+// runResizer is the membership-churn loop: every tick it either
+// finishes the draining migration (retiring the old epoch) or starts
+// the next transition, alternating the active node count between the
+// full universe and -resize-to under a fresh epoch of the configured
+// strategy family. It returns the number of transitions begun and the
+// last error seen.
+func runResizer(c *cluster.Cluster, cfg config, n int, stop <-chan struct{}) (int64, error) {
+	var (
+		resizes int64
+		lastErr error
+	)
+	seq := uint64(1)
+	toSmall := true
+	tick := time.NewTicker(cfg.resizeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return resizes, lastErr
+		case <-tick.C:
+		}
+		et, ok := c.Transport().(cluster.ElasticTransport)
+		if !ok || !et.Elastic() {
+			return resizes, fmt.Errorf("transport %s is not elastic", c.Transport().Name())
+		}
+		if et.Resizing() {
+			if err := c.FinishResize(); err != nil {
+				lastErr = err
+			}
+			continue
+		}
+		active := n
+		if toSmall {
+			active = cfg.resizeTo
+		}
+		strat, err := buildStrategy(cfg.strategy, active, cfg.seed)
+		if err != nil {
+			return resizes, err
+		}
+		seq++
+		ep, err := strategy.NewEpoch(seq, n, strat, cfg.replicas)
+		if err != nil {
+			return resizes, err
+		}
+		if _, err := c.Resize(ep); err != nil {
+			lastErr = err
+			continue
+		}
+		resizes++
+		toSmall = !toSmall
+	}
+}
+
+// readStateAddrs extracts the worker address list from an mmctl state
+// file, in partition order.
+func readStateAddrs(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st struct {
+		Procs []struct {
+			Addr string `json:"addr"`
+		} `json:"procs"`
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, err
+	}
+	if len(st.Procs) == 0 {
+		return nil, fmt.Errorf("state file lists no workers")
+	}
+	addrs := make([]string, len(st.Procs))
+	for i, p := range st.Procs {
+		addrs[i] = p.Addr
+	}
+	return addrs, nil
+}
+
+// watchState polls the mmctl state file and rescales the socket
+// transport onto every new layout it publishes — the consumer side of
+// `mmctl scale`.
+func watchState(tr *cluster.NetTransport, path string, interval time.Duration, stop <-chan struct{}, out io.Writer) {
+	last := strings.Join(tr.Addrs(), ",")
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		addrs, err := readStateAddrs(path)
+		if err != nil {
+			continue // mid-rewrite or gone; retry next tick
+		}
+		j := strings.Join(addrs, ",")
+		if j == last {
+			continue
+		}
+		if err := tr.Rescale(addrs); err != nil {
+			fmt.Fprintf(out, "mmload: rescale onto %s failed: %v\n", j, err)
+			continue
+		}
+		last = j
+		fmt.Fprintf(out, "mmload: rescaled onto %d node processes\n", len(addrs))
 	}
 }
 

@@ -52,6 +52,42 @@ func TestRunOpenLoopWithChurn(t *testing.T) {
 	}
 }
 
+func TestRunResizeChurnMem(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "64", "-workload", "zipf",
+		"-duration", "500ms", "-concurrency", "4", "-resize-interval", "60ms")
+	for _, want := range []string{"transport=mem-elastic", "resizes=", "epoch=", "migrated-posts="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "(not-found=0)") {
+		t.Fatalf("resize churn failed locates:\n%s", out)
+	}
+	if strings.Contains(out, "resizes=0 ") {
+		t.Fatalf("no resize happened over the run:\n%s", out)
+	}
+}
+
+func TestRunResizeChurnReplicatedMem(t *testing.T) {
+	out := runLoad(t,
+		"-transport", "mem", "-nodes", "36", "-replicas", "2",
+		"-duration", "400ms", "-concurrency", "4", "-resize-interval", "80ms", "-resize-to", "30")
+	if !strings.Contains(out, "(not-found=0)") {
+		t.Fatalf("replicated resize churn failed locates:\n%s", out)
+	}
+	if !strings.Contains(out, "epoch=") {
+		t.Fatalf("missing epoch metrics line:\n%s", out)
+	}
+}
+
+func TestRunRejectsResizeWithWeighted(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-transport", "mem", "-weighted", "-resize-interval", "50ms", "-duration", "50ms"}, &sb); err == nil {
+		t.Fatal("-resize-interval with -weighted accepted")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-transport", "carrier-pigeon"},

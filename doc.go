@@ -28,9 +28,13 @@
 //     generation-based invalidation protocol, batched locate/post
 //     operations, a frequency-weighted hot-port strategy (E16/M3′
 //     live), r-fold replicated rendezvous with crash-tolerant replica
-//     fallthrough and a background re-post repair loop, locate
-//     coalescing, per-shard worker pools and live metrics (including
-//     availability and replica-depth counters)
+//     fallthrough and a background re-post repair loop, epoch-versioned
+//     elastic membership (grow or shrink the active node set at runtime
+//     behind a dual-epoch locate, with minimal-movement posting
+//     migration and, on the socket backend, live re-partitioning of the
+//     node space across a different process count), locate coalescing,
+//     per-shard worker pools and live metrics (including availability,
+//     replica-depth and epoch-migration counters)
 //   - internal/netwire — the socket transport's wire layer: varint
 //     framing, pooled buffers, pipelined connections
 //   - internal/experiments — every table and figure, as code
@@ -47,7 +51,10 @@
 // or -workload zipf with -zipf-s/-zipf-v for skew), optional
 // crash/re-register churn (-churn 50ms) and crash injection
 // (-replicas r, -kill-rate k — replicated rendezvous measured against
-// node kills), the hot-path accelerators (-hints, -batch N,
+// node kills), elastic-membership churn (-resize-interval d,
+// -resize-to m — live epoch transitions under load; -state/-watch-state
+// follow an `mmctl scale` re-partition of a socket cluster), the
+// hot-path accelerators (-hints, -batch N,
 // -weighted), and closed-loop (-concurrency) or open-loop (-rate,
 // absolute-deadline paced) driving; it reports throughput, p50/p99
 // latency, hint hit-rate, availability, allocs/locate and message

@@ -21,6 +21,8 @@ var doclintPackages = []string{
 	"internal/stats",
 	"internal/rendezvous",
 	"internal/netwire",
+	"internal/topology",
+	"internal/graph",
 }
 
 // TestExportedSymbolsDocumented fails for every exported top-level

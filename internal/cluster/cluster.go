@@ -11,6 +11,7 @@ import (
 
 	"matchmake/internal/core"
 	"matchmake/internal/graph"
+	"matchmake/internal/strategy"
 )
 
 // Options configure a Cluster.
@@ -580,6 +581,39 @@ func (c *Cluster) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, 
 	out, err := c.tr.LocateAll(client, port)
 	c.metrics.observeLocate(stripe, time.Since(begin), sampled, err)
 	return out, err
+}
+
+// Resize forwards an epoch transition to an elastic transport: next
+// becomes the serving epoch, live servers re-post the minimal-movement
+// delta, and locates keep succeeding throughout via the dual-epoch
+// fallthrough. It returns the number of postings moved and fails with
+// ErrNotElastic when the transport has no elastic membership.
+func (c *Cluster) Resize(next *strategy.Epoch) (int, error) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	et, ok := c.tr.(ElasticTransport)
+	if !ok {
+		return 0, ErrNotElastic
+	}
+	return et.Resize(next)
+}
+
+// FinishResize retires the previous epoch on an elastic transport once
+// the migration is drained; see ElasticTransport.FinishResize.
+func (c *Cluster) FinishResize() error {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	et, ok := c.tr.(ElasticTransport)
+	if !ok {
+		return ErrNotElastic
+	}
+	return et.FinishResize()
 }
 
 // Metrics returns a snapshot of the live serving metrics.

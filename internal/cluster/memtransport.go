@@ -71,12 +71,24 @@ type MemTransport struct {
 	passes   stats.StripedCounter
 	serverID atomic.Uint64
 
+	// elastic is the epoch-versioned membership state (nil on
+	// transports built without it — see NewElasticMemTransport): the
+	// serving epoch's set/cost tables, chained to the retiring epoch's
+	// during a dual-epoch migration. When non-nil it replaces the
+	// static hot/rp tables for every set-selection decision; resizeMu
+	// serializes the Resize/FinishResize state machine.
+	elastic     atomic.Pointer[epochTables]
+	resizeMu    sync.Mutex
+	migrated    atomic.Int64
+	dualLocates atomic.Int64
+
 	scratch sync.Pool // *memScratch, reused by LocateBatch/PostBatch
 }
 
 var _ Transport = (*MemTransport)(nil)
 var _ HotReclassifier = (*MemTransport)(nil)
 var _ ReplicatedTransport = (*MemTransport)(nil)
+var _ ElasticTransport = (*MemTransport)(nil)
 
 // memScratch is the reusable workspace of a batched operation: keys
 // grouped by store shard plus per-request found flags. Pooled so a
@@ -112,6 +124,54 @@ func NewReplicatedMemTransport(g *graph.Graph, rp *strategy.Replicated, shards i
 		return nil, fmt.Errorf("cluster: replicated transport needs a strategy.Replicated")
 	}
 	return newMemTransport(g, rp.Base(), nil, rp, shards)
+}
+
+// NewElasticMemTransport builds the fast path with epoch-versioned
+// elastic membership: the cluster serves initial's active node set (a
+// prefix of the graph, optionally r-fold replicated) and can grow or
+// shrink it at runtime through Resize/FinishResize while locates keep
+// succeeding — the dual-epoch migration of the ElasticTransport
+// contract. Elastic membership is mutually exclusive with the weighted
+// mode; replication comes from the epoch itself.
+func NewElasticMemTransport(g *graph.Graph, initial *strategy.Epoch, shards int) (*MemTransport, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("cluster: elastic transport needs an initial epoch")
+	}
+	n := g.N()
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	et, err := newEpochTables(g, routing, initial, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &MemTransport{
+		g:       g,
+		routing: routing,
+		strat:   epochStrategyView(initial, n),
+		store:   NewStore(n, shards),
+		byPort:  make(map[core.Port]map[uint64]*memServer),
+		gens:    newGenIndex(),
+		crashed: make([]atomic.Bool, n),
+	}
+	empty := make(map[uint64]*memServer)
+	t.byID.Store(&empty)
+	t.scratch.New = func() any { return &memScratch{} }
+	t.elastic.Store(et)
+	return t, nil
+}
+
+// epochStrategyView adapts an epoch's family-0 geometry to the
+// rendezvous.Strategy interface over the full physical universe, for
+// Strategy() reporting on elastic transports.
+func epochStrategyView(ep *strategy.Epoch, universe int) rendezvous.Strategy {
+	return rendezvous.Funcs{
+		StrategyName: ep.Name(),
+		Universe:     universe,
+		PostFunc:     ep.PostSet,
+		QueryFunc:    func(j graph.NodeID) []graph.NodeID { return ep.QuerySet(j, 0) },
+	}
 }
 
 // NewWeightedMemTransport builds the fast path in frequency-weighted
@@ -161,6 +221,9 @@ func newMemTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 
 // Name implements Transport.
 func (t *MemTransport) Name() string {
+	if t.elastic.Load() != nil {
+		return "mem-elastic"
+	}
 	if t.hot.weighted != nil {
 		return "mem-weighted"
 	}
@@ -171,8 +234,16 @@ func (t *MemTransport) Name() string {
 }
 
 // Replicas implements ReplicatedTransport: the replication factor of
-// the strategy in use (1 when unreplicated).
-func (t *MemTransport) Replicas() int { return t.hot.replicas() }
+// the strategy in use (1 when unreplicated). On an elastic transport
+// mid-migration it is the dual-epoch family count — the serving
+// epoch's families plus the retiring epoch's appended after them — so
+// the ordinary fallthrough loop visits both epochs.
+func (t *MemTransport) Replicas() int {
+	if et := t.elastic.Load(); et != nil {
+		return et.replicas()
+	}
+	return t.hot.replicas()
+}
 
 // N implements Transport.
 func (t *MemTransport) N() int { return t.g.N() }
@@ -204,13 +275,22 @@ func (t *MemTransport) HotPorts() []core.Port { return t.hot.hotPorts() }
 // querySets returns the query flood targets and multicast cost for a
 // locate of port from client under the current classification.
 func (t *MemTransport) querySets(client graph.NodeID, port core.Port) ([]graph.NodeID, int64) {
+	if et := t.elastic.Load(); et != nil {
+		targets, cost, _, _, _ := et.queryFor(client, 0)
+		return targets, cost
+	}
 	return t.hot.querySets(client, port)
 }
 
 // postSets returns the posting targets and multicast cost for srv
-// posting from node, with the shared sticky posted-under-union rule
-// (see hotTables.postSets).
+// posting from node: the elastic epoch tables (widened to both epochs'
+// union during a migration) when elastic membership is on, else the
+// static tables with the shared sticky posted-under-union rule (see
+// hotTables.postSets).
 func (t *MemTransport) postSets(srv *memServer, node graph.NodeID) ([]graph.NodeID, int64) {
+	if et := t.elastic.Load(); et != nil {
+		return et.postFor(node)
+	}
 	return t.hot.postSets(&srv.postedHot, srv.port, node)
 }
 
@@ -255,13 +335,26 @@ func (s *memServer) storeState() {
 	s.state.Store(st)
 }
 
-// Register implements Transport.
+// Register implements Transport. On an elastic transport the node must
+// be a member of the serving epoch.
 func (t *MemTransport) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
 	if !t.g.Valid(node) {
 		return nil, fmt.Errorf("cluster: register at %d: %w", node, graph.ErrNodeRange)
 	}
+	if et := t.elastic.Load(); et != nil && !et.ep.Contains(node) {
+		return nil, errOutsideMembership(port, node, et.ep)
+	}
 	srv := newMemServer(t, port, node)
 	t.addRegistration(srv)
+	// Re-check membership now that the registration is published:
+	// addRegistration and Resize's snapshot+publish both hold regMu, so
+	// either this server made the snapshot (and Resize validated it) or
+	// the epoch loaded here is the post-resize one — a registration
+	// racing a shrink cannot slip outside the membership unvalidated.
+	if et := t.elastic.Load(); et != nil && !et.ep.Contains(node) {
+		t.dropRegistration(srv)
+		return nil, errOutsideMembership(port, node, et.ep)
+	}
 	if err := t.postEntry(srv, node, true); err != nil {
 		t.dropRegistration(srv)
 		return nil, err
@@ -319,9 +412,13 @@ func cloneByID(cur map[uint64]*memServer, extra int) map[uint64]*memServer {
 // front, then applies all postings with each store shard locked once
 // and charges the summed multicast cost with one atomic add.
 func (t *MemTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
+	et := t.elastic.Load()
 	for _, r := range regs {
 		if !t.g.Valid(r.Node) {
 			return nil, fmt.Errorf("cluster: register at %d: %w", r.Node, graph.ErrNodeRange)
+		}
+		if et != nil && !et.ep.Contains(r.Node) {
+			return nil, errOutsideMembership(r.Port, r.Node, et.ep)
 		}
 		if t.crashed[r.Node].Load() {
 			return nil, fmt.Errorf("cluster: post %q from %d: %w", r.Port, r.Node, sim.ErrCrashed)
@@ -334,6 +431,19 @@ func (t *MemTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
 		servers[i] = newMemServer(t, r.Port, r.Node)
 		t.addRegistration(servers[i])
 		refs[i] = servers[i]
+	}
+	// Re-check membership after publishing (see Register): a shrink
+	// Resize racing this batch either snapshotted these servers (and
+	// validated them) or its epoch is visible here.
+	if et := t.elastic.Load(); et != nil {
+		for _, r := range regs {
+			if !et.ep.Contains(r.Node) {
+				for _, srv := range servers {
+					t.dropRegistration(srv)
+				}
+				return nil, errOutsideMembership(r.Port, r.Node, et.ep)
+			}
+		}
 	}
 	sc := t.scratch.Get().(*memScratch)
 	sc.keys = sc.keys[:0]
@@ -416,30 +526,54 @@ func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 }
 
 // LocateReplica implements ReplicatedTransport: one query flood over
-// replica k's query set only.
+// replica k's query set only. On an elastic transport the replica index
+// spans both live epochs' families (the retiring epoch's appended after
+// the serving one's), so the ordinary fallthrough is also the
+// dual-epoch locate.
 func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
-	if replica < 0 || replica >= t.Replicas() {
-		return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
-	}
 	if !t.g.Valid(client) {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.hot.replicaQuerySets(client, port, replica)
+	var (
+		targets []graph.NodeID
+		cost    int64
+		at      graph.NodeID
+		keep    func(core.Entry) bool
+		dual    bool
+	)
+	if et := t.elastic.Load(); et != nil {
+		etargets, ecost, tab, fam, ok := et.queryFor(client, replica)
+		if !ok {
+			// FinishResize raced an in-flight fallthrough: the family's
+			// epoch is retired — a silent miss, not a hard failure.
+			return core.Entry{}, errRetiredReplica(port, client, replica)
+		}
+		if len(etargets) == 0 {
+			// The client is outside this family's epoch: nothing to
+			// flood, nothing to charge.
+			return core.Entry{}, errMissingEpochFlood(port, client)
+		}
+		targets, cost, dual = etargets, ecost, tab != et
+		keep = func(e core.Entry) bool { return tab.ep.InPost(fam, e.Addr, at) }
+	} else {
+		if replica < 0 || replica >= t.Replicas() {
+			return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+		}
+		targets, cost = t.hot.replicaQuerySets(client, port, replica)
+		if t.rp != nil {
+			// Family-scope the read: node at only answers a family-k query
+			// with postings it holds as a member of Pₖ(origin).
+			keep = func(e core.Entry) bool { return t.rp.InPost(replica, e.Addr, at) }
+		}
+	}
 	t.passes.Add(int(client), cost)
 	var (
 		best  core.Entry
 		found bool
-		at    graph.NodeID
-		keep  func(core.Entry) bool
 	)
-	if t.rp != nil {
-		// Family-scope the read: node at only answers a family-k query
-		// with postings it holds as a member of Pₖ(origin).
-		keep = func(e core.Entry) bool { return t.rp.InPost(replica, e.Addr, at) }
-	}
 	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
@@ -456,6 +590,9 @@ func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 	}
 	if !found {
 		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
+	}
+	if dual {
+		t.dualLocates.Add(1)
 	}
 	return best, nil
 }
@@ -510,9 +647,27 @@ func batchFallthrough(reqs []LocateReq, res []LocateRes, replicas int, pass func
 }
 
 // locateBatchReplica runs one shard-grouped batch pass over replica k's
-// query sets; reqs and res have equal length.
+// query sets (dual-epoch family indexing on elastic transports); reqs
+// and res have equal length.
 func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, replica int) {
 	n := len(reqs)
+	et := t.elastic.Load()
+	var (
+		etab *epochTables
+		efam int
+	)
+	if et != nil {
+		tab, fam, ok := et.resolve(replica)
+		if !ok {
+			// The family's epoch retired mid-batch: every request of this
+			// pass is a silent miss.
+			for i := 0; i < n; i++ {
+				res[i] = LocateRes{Err: errRetiredReplica(reqs[i].Port, reqs[i].Client, replica)}
+			}
+			return
+		}
+		etab, efam = tab, fam
+	}
 	sc := t.scratch.Get().(*memScratch)
 	sc.keys = sc.keys[:0]
 	if cap(sc.found) < n {
@@ -534,7 +689,19 @@ func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, sim.ErrCrashed)
 			continue
 		}
-		targets, cost := t.hot.replicaQuerySets(r.Client, r.Port, replica)
+		var (
+			targets []graph.NodeID
+			cost    int64
+		)
+		if etab != nil {
+			targets, cost = etab.query[efam][r.Client], etab.queryCost[efam][r.Client]
+			if len(targets) == 0 {
+				res[i].Err = errMissingEpochFlood(r.Port, r.Client)
+				continue
+			}
+		} else {
+			targets, cost = t.hot.replicaQuerySets(r.Client, r.Port, replica)
+		}
 		bulk += cost
 		for _, v := range targets {
 			if t.crashed[v].Load() {
@@ -549,7 +716,9 @@ func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 		at   graph.NodeID
 		keep func(core.Entry) bool
 	)
-	if t.rp != nil {
+	if etab != nil {
+		keep = func(e core.Entry) bool { return etab.ep.InPost(efam, e.Addr, at) }
+	} else if t.rp != nil {
 		keep = func(e core.Entry) bool { return t.rp.InPost(replica, e.Addr, at) }
 	}
 	for lo := 0; lo < len(sc.keys); {
@@ -578,10 +747,16 @@ func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 		sh.mu.RUnlock()
 		lo = hi
 	}
+	var dual int64
 	for i := 0; i < n; i++ {
 		if res[i].Err == nil && !sc.found[i] {
 			res[i].Err = fmt.Errorf("cluster: locate %q from %d: %w", reqs[i].Port, reqs[i].Client, core.ErrNotFound)
+		} else if res[i].Err == nil && etab != nil && etab != et {
+			dual++
 		}
+	}
+	if dual > 0 {
+		t.dualLocates.Add(dual)
 	}
 	t.scratch.Put(sc)
 	t.passes.Add(0, bulk)
@@ -650,7 +825,8 @@ func (t *MemTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 	})
 }
 
-// locateAllReplica is one locate-all flood over replica k's query set.
+// locateAllReplica is one locate-all flood over replica k's query set
+// (dual-epoch family indexing on elastic transports).
 func (t *MemTransport) locateAllReplica(client graph.NodeID, port core.Port, replica int) ([]core.Entry, error) {
 	if !t.g.Valid(client) {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, graph.ErrNodeRange)
@@ -658,7 +834,24 @@ func (t *MemTransport) locateAllReplica(client graph.NodeID, port core.Port, rep
 	if t.crashed[client].Load() {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.hot.replicaQuerySets(client, port, replica)
+	var (
+		targets []graph.NodeID
+		cost    int64
+		etab    *epochTables
+		efam    int
+	)
+	if et := t.elastic.Load(); et != nil {
+		etargets, ecost, tab, fam, ok := et.queryFor(client, replica)
+		if !ok {
+			return nil, errRetiredReplica(port, client, replica)
+		}
+		if len(etargets) == 0 {
+			return nil, errMissingEpochFlood(port, client)
+		}
+		targets, cost, etab, efam = etargets, ecost, tab, fam
+	} else {
+		targets, cost = t.hot.replicaQuerySets(client, port, replica)
+	}
 	t.passes.Add(int(client), cost)
 	freshest := make(map[uint64]core.Entry, 4)
 	var buf [8]core.Entry
@@ -667,7 +860,16 @@ func (t *MemTransport) locateAllReplica(client graph.NodeID, port core.Port, rep
 			continue
 		}
 		entries := t.store.GetAllInto(v, port, buf[:0])
-		if t.rp != nil {
+		if etab != nil {
+			// Family-scope the replies to the resolved epoch's family.
+			kept := entries[:0]
+			for _, e := range entries {
+				if etab.ep.InPost(efam, e.Addr, v) {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
+		} else if t.rp != nil {
 			// Family-scope the replies: only entries posted here as part
 			// of this replica family answer (and are charged).
 			kept := entries[:0]
@@ -740,6 +942,163 @@ func (t *MemTransport) SetHotPorts(ports []core.Port) error {
 	return errors.Join(errs...)
 }
 
+// Elastic implements ElasticTransport.
+func (t *MemTransport) Elastic() bool { return t.elastic.Load() != nil }
+
+// Epoch implements ElasticTransport: the serving epoch's sequence
+// number (0 when elastic membership is off).
+func (t *MemTransport) Epoch() uint64 {
+	if et := t.elastic.Load(); et != nil {
+		return et.ep.Seq()
+	}
+	return 0
+}
+
+// Resizing implements ElasticTransport.
+func (t *MemTransport) Resizing() bool {
+	et := t.elastic.Load()
+	return et != nil && et.prev != nil
+}
+
+// MigratedPosts implements ElasticTransport.
+func (t *MemTransport) MigratedPosts() int64 { return t.migrated.Load() }
+
+// DualEpochLocates implements ElasticTransport.
+func (t *MemTransport) DualEpochLocates() int64 { return t.dualLocates.Load() }
+
+// Resize implements ElasticTransport: it installs next as the serving
+// epoch, widens the posting tables to both epochs' union, and re-posts
+// every live server's entry to exactly the rendezvous nodes the
+// minimal-movement remap added — each delta charged its multicast-tree
+// cost, the honest price of the migration. Hint generations are bumped
+// only for the ports whose postings moved. The registration lock is
+// held across the server snapshot and the table publish, so a racing
+// Register either lands in the snapshot (and is migrated) or posts
+// under the new tables.
+func (t *MemTransport) Resize(next *strategy.Epoch) (int, error) {
+	if t.elastic.Load() == nil {
+		return 0, ErrNotElastic
+	}
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	cur := t.elastic.Load()
+	if cur.prev != nil {
+		return 0, fmt.Errorf("cluster: resize to epoch %d: migration from epoch %d still draining", next.Seq(), cur.prev.ep.Seq())
+	}
+	if err := validateNextEpoch(cur.ep, next, t.g.N()); err != nil {
+		return 0, err
+	}
+	nt, err := newEpochTables(t.g, t.routing, next, cur)
+	if err != nil {
+		return 0, err
+	}
+	t.regMu.Lock()
+	servers := make([]*memServer, 0, len(*t.byID.Load()))
+	for _, srv := range *t.byID.Load() {
+		node, gone := srv.loadState()
+		if gone {
+			continue
+		}
+		if !next.Contains(node) {
+			t.regMu.Unlock()
+			return 0, errServerOutsideEpoch(srv.port, node, next)
+		}
+		servers = append(servers, srv)
+	}
+	t.elastic.Store(nt)
+	t.regMu.Unlock()
+
+	moved := 0
+	movedPorts := make(map[core.Port]bool)
+	for _, srv := range servers {
+		// Hold the server's mutex across the liveness check AND the
+		// delta re-post: the migration posting carries a fresh
+		// timestamp, so letting it race a concurrent Deregister or
+		// Migrate could stamp an Active entry fresher than the
+		// lifecycle operation's tombstone and resurrect the server.
+		srv.mu.Lock()
+		if srv.gone {
+			srv.mu.Unlock()
+			continue
+		}
+		node := srv.node
+		added := nt.rm.Added(node)
+		if len(added) == 0 {
+			srv.mu.Unlock()
+			continue
+		}
+		err := t.postEntryVia(srv, node, added)
+		srv.mu.Unlock()
+		if err != nil {
+			continue // a crashed origin cannot migrate its postings
+		}
+		moved += len(added)
+		movedPorts[srv.port] = true
+	}
+	for port := range movedPorts {
+		t.gens.bump(port)
+	}
+	t.migrated.Add(int64(moved))
+	return moved, nil
+}
+
+// postEntryVia posts a fresh live entry for srv to an explicit target
+// set, charged at that set's multicast-tree cost — the delta re-post of
+// an epoch migration.
+func (t *MemTransport) postEntryVia(srv *memServer, node graph.NodeID, targets []graph.NodeID) error {
+	if t.crashed[node].Load() {
+		return fmt.Errorf("cluster: post %q from %d: %w", srv.port, node, sim.ErrCrashed)
+	}
+	cost, err := t.routing.MulticastCost(node, targets)
+	if err != nil {
+		return err
+	}
+	e := core.Entry{
+		Port:     srv.port,
+		Addr:     node,
+		ServerID: srv.id,
+		Time:     t.store.NextTime(),
+		Active:   true,
+	}
+	t.passes.Add(int(node), int64(cost))
+	for _, v := range targets {
+		if t.crashed[v].Load() {
+			continue
+		}
+		t.store.Put(v, e)
+	}
+	return nil
+}
+
+// FinishResize implements ElasticTransport: the dual-epoch phase ends —
+// new locates stop falling through to the old epoch — and every live
+// server's postings at old-epoch-only rendezvous nodes expire in place,
+// a local garbage collection that costs no message passes.
+func (t *MemTransport) FinishResize() error {
+	if t.elastic.Load() == nil {
+		return ErrNotElastic
+	}
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	cur := t.elastic.Load()
+	if cur.prev == nil {
+		return fmt.Errorf("cluster: no resize in progress")
+	}
+	t.regMu.Lock()
+	t.elastic.Store(cur.retired())
+	t.regMu.Unlock()
+	for _, srv := range *t.byID.Load() {
+		node, gone := srv.loadState()
+		if gone {
+			continue
+		}
+		for _, v := range cur.rm.Removed(node) {
+			t.store.Drop(v, srv.port, srv.id)
+		}
+	}
+	return nil
+}
+
 // Crash implements Transport: the node stops accepting postings and
 // answering queries, and its volatile cache is lost. Every hint
 // generation is bumped — the crashed node may have hosted any port.
@@ -800,6 +1159,9 @@ func (s *memServer) Repost() error {
 func (s *memServer) Migrate(to graph.NodeID) error {
 	if !s.t.g.Valid(to) {
 		return fmt.Errorf("cluster: migrate to %d: %w", to, graph.ErrNodeRange)
+	}
+	if et := s.t.elastic.Load(); et != nil && !et.ep.Contains(to) {
+		return errOutsideMembership(s.port, to, et.ep)
 	}
 	s.mu.Lock()
 	if s.gone {

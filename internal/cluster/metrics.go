@@ -61,9 +61,13 @@ type Metrics struct {
 	latency atomic.Pointer[stripedHist]
 
 	// epoch marks the start of the current measurement window; passes0
-	// is the transport pass counter at that instant.
+	// is the transport pass counter at that instant, and migrated0 /
+	// dual0 the elastic transport's cumulative migration counters (so
+	// the snapshot reports per-window figures, like Passes).
 	epochNanos atomic.Int64
 	passes0    atomic.Int64
+	migrated0  atomic.Int64
+	dual0      atomic.Int64
 }
 
 // latencySampleShift sets the latency sampling rate: 1 in
@@ -78,6 +82,10 @@ func (m *Metrics) start(tr Transport) {
 	m.latency.Store(&stripedHist{})
 	m.epochNanos.Store(time.Now().UnixNano())
 	m.passes0.Store(tr.Passes())
+	if et, ok := tr.(ElasticTransport); ok && et.Elastic() {
+		m.migrated0.Store(et.MigratedPosts())
+		m.dual0.Store(et.DualEpochLocates())
+	}
 }
 
 // sampleLocate counts a beginning locate on stripe and reports whether
@@ -158,6 +166,19 @@ type MetricsSnapshot struct {
 	MeanReplicaDepth    float64
 	ReplicaDepths       []int64
 
+	// Elastic membership counters, meaningful only when Elastic is set:
+	// Epoch is the serving epoch's sequence number, Resizing whether a
+	// dual-epoch migration is draining, MigratedPosts the postings
+	// moved by resizes over the window (each resize's count matches the
+	// remap's minimal-movement prediction), and DualEpochLocates the
+	// locate floods the retiring epoch's rendezvous resolved during
+	// dual-epoch phases in the window.
+	Elastic          bool
+	Epoch            uint64
+	Resizing         bool
+	MigratedPosts    int64
+	DualEpochLocates int64
+
 	// Elapsed is the measurement window; QPS is Locates/Elapsed.
 	Elapsed time.Duration
 	QPS     float64
@@ -198,6 +219,13 @@ func (m *Metrics) snapshot(tr Transport) MetricsSnapshot {
 	if m.replicaDepth.Total() > 0 {
 		s.ReplicaDepths = m.replicaDepth.Counts()
 	}
+	if et, ok := tr.(ElasticTransport); ok && et.Elastic() {
+		s.Elastic = true
+		s.Epoch = et.Epoch()
+		s.Resizing = et.Resizing()
+		s.MigratedPosts = et.MigratedPosts() - m.migrated0.Load()
+		s.DualEpochLocates = et.DualEpochLocates() - m.dual0.Load()
+	}
 	if s.Elapsed > 0 {
 		s.QPS = float64(s.Locates) / s.Elapsed.Seconds()
 	}
@@ -234,6 +262,10 @@ func (s MetricsSnapshot) String() string {
 			s.Availability, s.ReplicaFallthroughs, s.MeanReplicaDepth, s.ReplicaDepths)
 	} else if s.Errors > 0 {
 		out += fmt.Sprintf("\navailability=%.4f", s.Availability)
+	}
+	if s.Elastic {
+		out += fmt.Sprintf("\nepoch=%d resizing=%v migrated-posts=%d dual-epoch-locates=%d",
+			s.Epoch, s.Resizing, s.MigratedPosts, s.DualEpochLocates)
 	}
 	return out
 }

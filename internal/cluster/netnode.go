@@ -161,9 +161,72 @@ func (s *NodeServer) handle(op byte, req, resp []byte) (byte, []byte) {
 		return s.handleCrash(&d, resp, true)
 	case opRestore:
 		return s.handleCrash(&d, resp, false)
+	case opExpire:
+		return s.handleExpire(&d, resp)
+	case opSnapshot:
+		return s.handleSnapshot(&d, resp)
 	default:
 		return stBadRequest, resp
 	}
+}
+
+// handleExpire drops cached postings by (node, port, serverID) — the
+// local garbage collection of a retired epoch (see opExpire).
+func (s *NodeServer) handleExpire(d *netwire.Dec, resp []byte) (byte, []byte) {
+	for d.Len() > 0 {
+		node := graph.NodeID(d.Uvarint())
+		port := core.Port(d.String())
+		id := d.Uvarint()
+		if d.Err() != nil || !s.owned(node) {
+			return stBadRequest, resp
+		}
+		s.store.Drop(node, port, id)
+	}
+	return stOK, resp
+}
+
+// handleSnapshot dumps the owned state for a node range — the donor
+// side of a partition transfer (see opSnapshot).
+func (s *NodeServer) handleSnapshot(d *netwire.Dec, resp []byte) (byte, []byte) {
+	lo, hi := int(d.Uvarint()), int(d.Uvarint())
+	if d.Err() != nil || lo < s.lo || hi > s.hi || hi <= lo {
+		return stBadRequest, resp
+	}
+	dump := s.store.DumpRange(lo, hi)
+	resp = netwire.AppendUvarint(resp, uint64(len(dump)))
+	for _, ne := range dump {
+		resp = netwire.AppendUvarint(resp, uint64(ne.Node))
+		resp = appendEntry(resp, ne.E)
+	}
+	s.mu.Lock()
+	type liveDump struct {
+		id  uint64
+		rec liveRec
+	}
+	var lives []liveDump
+	for id, rec := range s.live {
+		if int(rec.node) >= lo && int(rec.node) < hi {
+			lives = append(lives, liveDump{id: id, rec: rec})
+		}
+	}
+	s.mu.Unlock()
+	resp = netwire.AppendUvarint(resp, uint64(len(lives)))
+	for _, l := range lives {
+		resp = netwire.AppendUvarint(resp, l.id)
+		resp = netwire.AppendString(resp, string(l.rec.port))
+		resp = netwire.AppendUvarint(resp, uint64(l.rec.node))
+	}
+	var crashed []graph.NodeID
+	for v := lo; v < hi; v++ {
+		if s.crashed[v].Load() {
+			crashed = append(crashed, graph.NodeID(v))
+		}
+	}
+	resp = netwire.AppendUvarint(resp, uint64(len(crashed)))
+	for _, v := range crashed {
+		resp = netwire.AppendUvarint(resp, uint64(v))
+	}
+	return stOK, resp
 }
 
 func (s *NodeServer) handlePost(d *netwire.Dec, resp []byte) (byte, []byte) {

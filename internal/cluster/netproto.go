@@ -44,6 +44,21 @@ const (
 	opCrash
 	// opRestore brings an owned node back (volatile cache stays lost).
 	opRestore
+	// opExpire drops cached postings by identity: a sequence of
+	// (targetNode, port, serverID) triples until end of body. It is the
+	// epoch garbage collection of the elastic membership protocol —
+	// postings belonging only to a retired epoch expire where they lie.
+	// In the paper's model this is each node's local decision, so the
+	// operation charges no message passes (the wire is the vehicle, as
+	// everywhere else in this protocol).
+	opExpire
+	// opSnapshot dumps the owned partition state for a node range
+	// (request: lo, hi): postings including tombstones as (count, then
+	// node+entry each), liveness records as (count, then
+	// id+port+node each), and crash marks as (count, then node each).
+	// It is the donor side of a coordinator-driven partition transfer
+	// when the cluster rescales across a different process set.
+	opSnapshot
 )
 
 // Response status bytes.

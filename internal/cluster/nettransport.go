@@ -54,11 +54,25 @@ type NetTransport struct {
 	// charges in lockstep.
 	hot hotTables
 
-	addrs   []string
-	pools   []*netwire.Pool
-	ownerOf []int         // node -> owning process index
-	ranges  [][2]int      // process index -> owned [lo, hi)
-	downP   []atomic.Bool // observed-dead processes (sticky until a call succeeds)
+	// procs is the current process partition: pools, ownership and
+	// health state bundled behind one pointer so Rescale can swap the
+	// whole node-process set atomically while operations in flight keep
+	// using a consistent snapshot. rescaleMu serializes Rescale calls;
+	// opts keeps the dial/timeout knobs rescales re-dial with.
+	//
+	// lifeMu fences lifecycle WRITES (register, post, tombstone,
+	// migrate, deregister, repair, resize migration) against Rescale:
+	// writers hold it shared, Rescale holds it exclusively across the
+	// partition transfer and the swap, so no write can land on an old
+	// process after its partition was snapshotted and silently vanish
+	// from the new set (a lost tombstone would resurrect a deregistered
+	// server). Read traffic — locates, probes — takes no fence: a read
+	// racing the swap at worst misses transiently, which the replica
+	// fallthrough and hint re-resolution already absorb.
+	procs     atomic.Pointer[procSet]
+	rescaleMu sync.Mutex
+	lifeMu    sync.RWMutex
+	opts      NetOptions
 
 	// rp is the replicated strategy when the transport runs r-fold
 	// replicated rendezvous with r > 1 (nil otherwise). The replica
@@ -73,7 +87,15 @@ type NetTransport struct {
 	// NetOptions.RepairInterval is set, stopped by Close.
 	stopRepair chan struct{}
 	repairWG   sync.WaitGroup
-	needRepair []atomic.Bool // process observed dead since its last repair
+
+	// elastic is the epoch-versioned membership state (nil unless built
+	// by NewElasticNetTransport), mirroring MemTransport's: the
+	// coordinator owns the tables, the node processes just store what
+	// they are sent, and epoch garbage collection travels as opExpire.
+	elastic     atomic.Pointer[epochTables]
+	resizeMu    sync.Mutex
+	migrated    atomic.Int64
+	dualLocates atomic.Int64
 
 	// regMu guards the client-side registration mirror (byPort), used
 	// by SetHotPorts to repost newly hot ports; the authoritative live
@@ -93,6 +115,101 @@ type NetTransport struct {
 var _ Transport = (*NetTransport)(nil)
 var _ HotReclassifier = (*NetTransport)(nil)
 var _ ReplicatedTransport = (*NetTransport)(nil)
+var _ ElasticTransport = (*NetTransport)(nil)
+
+// procSet is one immutable node-process partition of a NetTransport:
+// the dialed connection pools, the node→process ownership derived from
+// the hello handshake, and the per-process health marks. Rescale swaps
+// the whole set atomically; operations capture one snapshot and use it
+// throughout, so a concurrent repartition can at worst make their
+// calls fail fast against closed pools — the fail-silent crash
+// semantics they already handle.
+type procSet struct {
+	addrs      []string
+	pools      []*netwire.Pool
+	ownerOf    []int         // node -> owning process index
+	ranges     [][2]int      // process index -> owned [lo, hi)
+	downP      []atomic.Bool // observed-dead processes (sticky until a call succeeds)
+	needRepair []atomic.Bool // process observed dead since its last repair
+}
+
+// dialProcSet dials pools for addrs and verifies via the hello
+// handshake that the processes cover the n nodes in contiguous ranges.
+// On any failure every pool is closed.
+func dialProcSet(addrs []string, n int, opts NetOptions) (*procSet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: net transport needs at least one node-process address")
+	}
+	conns := opts.ConnsPerProc
+	if conns <= 0 {
+		conns = 2
+	}
+	ps := &procSet{
+		addrs:      addrs,
+		pools:      make([]*netwire.Pool, len(addrs)),
+		ownerOf:    make([]int, n),
+		ranges:     make([][2]int, len(addrs)),
+		downP:      make([]atomic.Bool, len(addrs)),
+		needRepair: make([]atomic.Bool, len(addrs)),
+	}
+	for i, addr := range addrs {
+		p := netwire.NewPool(addr, conns)
+		if opts.DialTimeout > 0 {
+			p.DialTimeout = opts.DialTimeout
+		}
+		p.CallTimeout = opts.CallTimeout
+		ps.pools[i] = p
+	}
+	if err := ps.handshake(n); err != nil {
+		ps.close()
+		return nil, err
+	}
+	return ps, nil
+}
+
+// close releases every pool of the set.
+func (ps *procSet) close() {
+	for _, p := range ps.pools {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// handshake hellos every node process and builds the node→process
+// ownership table, demanding contiguous ranges that cover [0, n).
+func (ps *procSet) handshake(n int) error {
+	next := 0
+	for i := range ps.pools {
+		st, body, err := ps.pools[i].Call(opHello, nil, nil)
+		if err != nil {
+			return fmt.Errorf("cluster: hello %s: %w", ps.addrs[i], err)
+		}
+		if st != stOK {
+			return fmt.Errorf("cluster: hello %s: status %d", ps.addrs[i], st)
+		}
+		d := netwire.NewDec(body)
+		pn, lo, hi := int(d.Uvarint()), int(d.Uvarint()), int(d.Uvarint())
+		if d.Err() != nil {
+			return fmt.Errorf("cluster: hello %s: %w", ps.addrs[i], d.Err())
+		}
+		if pn != n {
+			return fmt.Errorf("cluster: process %s built for n=%d, transport for n=%d", ps.addrs[i], pn, n)
+		}
+		if lo != next || hi <= lo || hi > n {
+			return fmt.Errorf("cluster: process %s owns [%d,%d), want contiguous from %d", ps.addrs[i], lo, hi, next)
+		}
+		for v := lo; v < hi; v++ {
+			ps.ownerOf[v] = i
+		}
+		ps.ranges[i] = [2]int{lo, hi}
+		next = hi
+	}
+	if next != n {
+		return fmt.Errorf("cluster: processes cover [0,%d) of %d nodes", next, n)
+	}
+	return nil
+}
 
 // NetOptions tune a NetTransport.
 type NetOptions struct {
@@ -189,9 +306,6 @@ func NewWeightedNetTransport(g *graph.Graph, w *strategy.Weighted, addrs []strin
 
 func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weighted, rp *strategy.Replicated, addrs []string, opts NetOptions) (*NetTransport, error) {
 	n := g.N()
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("cluster: net transport needs at least one node-process address")
-	}
 	if strat.N() != n {
 		return nil, fmt.Errorf("cluster: strategy universe %d != graph size %d", strat.N(), n)
 	}
@@ -209,13 +323,8 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		routing:    routing,
 		strat:      strat,
 		hot:        hotTables{sets: sets, weighted: w},
-		addrs:      addrs,
-		pools:      make([]*netwire.Pool, len(addrs)),
-		ownerOf:    make([]int, n),
-		ranges:     make([][2]int, len(addrs)),
-		downP:      make([]atomic.Bool, len(addrs)),
+		opts:       opts,
 		stopRepair: make(chan struct{}),
-		needRepair: make([]atomic.Bool, len(addrs)),
 		byPort:     make(map[core.Port]map[uint64]*netServer),
 		gens:       newGenIndex(),
 		crashed:    make([]atomic.Bool, n),
@@ -224,22 +333,11 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		t.rp = rp
 	}
 	t.scratch.New = func() any { return &netScratch{} }
-	conns := opts.ConnsPerProc
-	if conns <= 0 {
-		conns = 2
-	}
-	for i, addr := range addrs {
-		p := netwire.NewPool(addr, conns)
-		if opts.DialTimeout > 0 {
-			p.DialTimeout = opts.DialTimeout
-		}
-		p.CallTimeout = opts.CallTimeout
-		t.pools[i] = p
-	}
-	if err := t.handshake(); err != nil {
-		t.Close()
+	ps, err := dialProcSet(addrs, n, opts)
+	if err != nil {
 		return nil, err
 	}
+	t.procs.Store(ps)
 	if opts.RepairInterval > 0 {
 		t.repairWG.Add(1)
 		go t.runRepair(opts.RepairInterval)
@@ -247,56 +345,68 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 	return t, nil
 }
 
-// handshake hellos every node process and builds the node→process
-// ownership table, demanding contiguous ranges that cover [0, n).
-func (t *NetTransport) handshake() error {
-	next := 0
-	for i := range t.pools {
-		st, body, err := t.pools[i].Call(opHello, nil, nil)
-		if err != nil {
-			return fmt.Errorf("cluster: hello %s: %w", t.addrs[i], err)
-		}
-		if st != stOK {
-			return fmt.Errorf("cluster: hello %s: status %d", t.addrs[i], st)
-		}
-		d := netwire.NewDec(body)
-		pn, lo, hi := int(d.Uvarint()), int(d.Uvarint()), int(d.Uvarint())
-		if d.Err() != nil {
-			return fmt.Errorf("cluster: hello %s: %w", t.addrs[i], d.Err())
-		}
-		if pn != t.g.N() {
-			return fmt.Errorf("cluster: process %s built for n=%d, transport for n=%d", t.addrs[i], pn, t.g.N())
-		}
-		if lo != next || hi <= lo || hi > t.g.N() {
-			return fmt.Errorf("cluster: process %s owns [%d,%d), want contiguous from %d", t.addrs[i], lo, hi, next)
-		}
-		for v := lo; v < hi; v++ {
-			t.ownerOf[v] = i
-		}
-		t.ranges[i] = [2]int{lo, hi}
-		next = hi
+// NewElasticNetTransport connects to a node-process cluster in
+// epoch-versioned elastic membership mode: the serving epoch's tables
+// live on this coordinator (mirroring the elastic MemTransport — the
+// node processes just store what they are sent), Resize/FinishResize
+// run the dual-epoch migration over the wire with epoch garbage
+// collection travelling as opExpire, and Rescale additionally
+// repartitions the node space across a different process set with a
+// coordinator-driven partition transfer. Elastic membership is
+// mutually exclusive with the weighted mode; replication comes from
+// the epoch itself.
+func NewElasticNetTransport(g *graph.Graph, initial *strategy.Epoch, addrs []string, opts NetOptions) (*NetTransport, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("cluster: elastic transport needs an initial epoch")
 	}
-	if next != t.g.N() {
-		return fmt.Errorf("cluster: processes cover [0,%d) of %d nodes", next, t.g.N())
+	n := g.N()
+	routing, err := graph.NewRouting(g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	return nil
+	et, err := newEpochTables(g, routing, initial, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &NetTransport{
+		g:          g,
+		routing:    routing,
+		strat:      rendezvous.Precompute(epochStrategyView(initial, n)),
+		opts:       opts,
+		stopRepair: make(chan struct{}),
+		byPort:     make(map[core.Port]map[uint64]*netServer),
+		gens:       newGenIndex(),
+		crashed:    make([]atomic.Bool, n),
+	}
+	t.scratch.New = func() any { return &netScratch{} }
+	t.elastic.Store(et)
+	ps, err := dialProcSet(addrs, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.procs.Store(ps)
+	if opts.RepairInterval > 0 {
+		t.repairWG.Add(1)
+		go t.runRepair(opts.RepairInterval)
+	}
+	return t, nil
 }
 
-// callProc issues one request to process p and tracks its health: the
-// first failure after a healthy period bumps every hint generation
-// (the dead process may have hosted servers of any port) and marks the
-// process for repair, and a later success clears the down mark so a
-// restarted process heals transparently.
-func (t *NetTransport) callProc(p int, op byte, req, resp []byte) (byte, []byte, error) {
-	st, body, err := t.pools[p].Call(op, req, resp)
+// callProc issues one request to process p of snapshot ps and tracks
+// its health: the first failure after a healthy period bumps every hint
+// generation (the dead process may have hosted servers of any port) and
+// marks the process for repair, and a later success clears the down
+// mark so a restarted process heals transparently.
+func (t *NetTransport) callProc(ps *procSet, p int, op byte, req, resp []byte) (byte, []byte, error) {
+	st, body, err := ps.pools[p].Call(op, req, resp)
 	if err != nil {
-		if !t.downP[p].Swap(true) {
+		if !ps.downP[p].Swap(true) {
 			t.gens.bumpAll()
-			t.needRepair[p].Store(true)
+			ps.needRepair[p].Store(true)
 		}
 		return 0, nil, err
 	}
-	t.downP[p].Store(false)
+	ps.downP[p].Store(false)
 	return st, body, err
 }
 
@@ -319,29 +429,37 @@ func (t *NetTransport) runRepair(interval time.Duration) {
 			return
 		case <-tick.C:
 		}
-		for p := range t.pools {
+		// Reload the snapshot each tick so a Rescale's fresh process set
+		// is picked up on the next round.
+		ps := t.procs.Load()
+		for p := range ps.pools {
 			// The hello both probes health and, via callProc, flips the
 			// down/needRepair marks on a state change.
-			_, _, err := t.callProc(p, opHello, nil, nil)
-			if err == nil && t.needRepair[p].Swap(false) {
-				t.repairProc(p)
+			_, _, err := t.callProc(ps, p, opHello, nil, nil)
+			if err == nil && ps.needRepair[p].Swap(false) {
+				// Fence the repair's re-posts like any lifecycle write
+				// so they cannot vanish into a mid-rescale snapshot.
+				t.lifeMu.RLock()
+				t.repairRange(ps, ps.ranges[p][0], ps.ranges[p][1])
+				t.lifeMu.RUnlock()
 			}
 		}
 	}
 }
 
-// repairProc rebuilds process p's lost state from the client-side
-// registration mirror: liveness records for servers homed in p's node
-// range, then a fresh posting multicast for every live server whose
-// posting set reaches into the range. Every hint generation is bumped
-// afterwards so cached addresses re-resolve against the repaired
-// stores. Each server's mutex is held across its liveness check AND
-// its re-post: a repair posting carries a fresh timestamp, so letting
-// it race a concurrent Deregister or Migrate could stamp an Active
-// entry fresher than the lifecycle operation's tombstone and resurrect
-// a gone (or moved-away) server at every rendezvous node.
-func (t *NetTransport) repairProc(p int) {
-	lo, hi := t.ranges[p][0], t.ranges[p][1]
+// repairRange rebuilds the lost state of node range [lo, hi) from the
+// client-side registration mirror: liveness records for servers homed
+// in the range, then a fresh posting multicast for every live server
+// whose posting set reaches into it. It serves both a restarted
+// process (the repair loop) and a rescale whose donor died mid-transfer.
+// Every hint generation is bumped afterwards so cached addresses
+// re-resolve against the repaired stores. Each server's mutex is held
+// across its liveness check AND its re-post: a repair posting carries a
+// fresh timestamp, so letting it race a concurrent Deregister or
+// Migrate could stamp an Active entry fresher than the lifecycle
+// operation's tombstone and resurrect a gone (or moved-away) server at
+// every rendezvous node.
+func (t *NetTransport) repairRange(ps *procSet, lo, hi int) {
 	t.regMu.Lock()
 	var servers []*netServer
 	for _, m := range t.byPort {
@@ -358,7 +476,7 @@ func (t *NetTransport) repairProc(p int) {
 		}
 		node := srv.node
 		if int(node) >= lo && int(node) < hi && !t.crashed[node].Load() {
-			_ = t.registerRemote(srv.id, srv.port, node)
+			_ = t.registerRemote(ps, srv.id, srv.port, node)
 		}
 		targets, _ := t.postSets(srv, node)
 		for _, v := range targets {
@@ -374,6 +492,9 @@ func (t *NetTransport) repairProc(p int) {
 
 // Name implements Transport.
 func (t *NetTransport) Name() string {
+	if t.elastic.Load() != nil {
+		return "net-elastic"
+	}
 	if t.hot.weighted != nil {
 		return "net-weighted"
 	}
@@ -384,14 +505,28 @@ func (t *NetTransport) Name() string {
 }
 
 // Replicas implements ReplicatedTransport: the replication factor of
-// the strategy in use (1 when unreplicated).
-func (t *NetTransport) Replicas() int { return t.hot.replicas() }
+// the strategy in use (1 when unreplicated); on an elastic transport
+// mid-migration it is the dual-epoch family count.
+func (t *NetTransport) Replicas() int {
+	if et := t.elastic.Load(); et != nil {
+		return et.replicas()
+	}
+	return t.hot.replicas()
+}
 
 // N implements Transport.
 func (t *NetTransport) N() int { return t.g.N() }
 
 // Procs returns the number of node processes behind the transport.
-func (t *NetTransport) Procs() int { return len(t.pools) }
+func (t *NetTransport) Procs() int { return len(t.procs.Load().pools) }
+
+// Addrs returns the current node-process addresses in partition order.
+func (t *NetTransport) Addrs() []string {
+	ps := t.procs.Load()
+	out := make([]string, len(ps.addrs))
+	copy(out, ps.addrs)
+	return out
+}
 
 // Strategy returns the (precomputed) base strategy in use.
 func (t *NetTransport) Strategy() rendezvous.Strategy { return t.strat }
@@ -413,16 +548,27 @@ func (t *NetTransport) canReclassify() bool { return t.hot.weighted != nil }
 func (t *NetTransport) HotPorts() []core.Port { return t.hot.hotPorts() }
 
 // querySets returns the query flood targets and multicast cost for a
-// locate of port from client under the current classification.
+// locate of port from client under the current classification (the
+// serving epoch's family 0 on elastic transports, whose static tables
+// do not exist).
 func (t *NetTransport) querySets(client graph.NodeID, port core.Port) ([]graph.NodeID, int64) {
+	if et := t.elastic.Load(); et != nil {
+		targets, cost, _, _, _ := et.queryFor(client, 0)
+		return targets, cost
+	}
 	return t.hot.querySets(client, port)
 }
 
 // postSets returns the posting targets and multicast cost for srv
-// posting from node, with the shared sticky posted-under-union rule
-// (see hotTables.postSets) — identical selection, identical charges,
-// to MemTransport.
+// posting from node: the elastic epoch tables (widened to both epochs'
+// union during a migration) when elastic membership is on, else the
+// static tables with the shared sticky posted-under-union rule (see
+// hotTables.postSets) — identical selection, identical charges, to
+// MemTransport.
 func (t *NetTransport) postSets(srv *netServer, node graph.NodeID) ([]graph.NodeID, int64) {
+	if et := t.elastic.Load(); et != nil {
+		return et.postFor(node)
+	}
 	return t.hot.postSets(&srv.postedHot, srv.port, node)
 }
 
@@ -449,15 +595,29 @@ func (t *NetTransport) Register(port core.Port, node graph.NodeID) (ServerRef, e
 	if !t.g.Valid(node) {
 		return nil, fmt.Errorf("cluster: register at %d: %w", node, graph.ErrNodeRange)
 	}
+	if et := t.elastic.Load(); et != nil && !et.ep.Contains(node) {
+		return nil, errOutsideMembership(port, node, et.ep)
+	}
+	t.lifeMu.RLock()
+	defer t.lifeMu.RUnlock()
+	ps := t.procs.Load()
 	srv := &netServer{t: t, port: port, id: t.serverID.Add(1), node: node}
 	t.addRegistration(srv)
-	if err := t.registerRemote(srv.id, port, node); err != nil {
+	// Re-check membership now that the registration is published (see
+	// MemTransport.Register): either this server made a racing shrink
+	// Resize's regMu-guarded snapshot — and was validated there — or
+	// the epoch loaded here is the post-resize one.
+	if et := t.elastic.Load(); et != nil && !et.ep.Contains(node) {
+		t.dropRegistration(srv)
+		return nil, errOutsideMembership(port, node, et.ep)
+	}
+	if err := t.registerRemote(ps, srv.id, port, node); err != nil {
 		t.dropRegistration(srv)
 		return nil, err
 	}
 	if err := t.postEntry(srv, node, true); err != nil {
 		t.dropRegistration(srv)
-		_ = t.deregisterRemote(srv.id, node)
+		_ = t.deregisterRemote(ps, srv.id, node)
 		return nil, err
 	}
 	t.gens.bump(port)
@@ -465,14 +625,14 @@ func (t *NetTransport) Register(port core.Port, node graph.NodeID) (ServerRef, e
 }
 
 // registerRemote records the liveness entry on node's owner process.
-func (t *NetTransport) registerRemote(id uint64, port core.Port, node graph.NodeID) error {
+func (t *NetTransport) registerRemote(ps *procSet, id uint64, port core.Port, node graph.NodeID) error {
 	buf := netwire.GetBuf()
 	defer netwire.PutBuf(buf)
 	req := netwire.AppendUvarint(*buf, id)
 	req = netwire.AppendString(req, string(port))
 	req = netwire.AppendUvarint(req, uint64(node))
 	*buf = req
-	st, _, err := t.callProc(t.ownerOf[node], opRegister, req, nil)
+	st, _, err := t.callProc(ps, ps.ownerOf[node], opRegister, req, nil)
 	if err != nil {
 		return fmt.Errorf("cluster: register %q at %d: node process unreachable: %w", port, node, err)
 	}
@@ -486,12 +646,12 @@ func (t *NetTransport) registerRemote(id uint64, port core.Port, node graph.Node
 }
 
 // deregisterRemote removes the liveness entry from node's owner.
-func (t *NetTransport) deregisterRemote(id uint64, node graph.NodeID) error {
+func (t *NetTransport) deregisterRemote(ps *procSet, id uint64, node graph.NodeID) error {
 	buf := netwire.GetBuf()
 	defer netwire.PutBuf(buf)
 	req := netwire.AppendUvarint(*buf, id)
 	*buf = req
-	_, _, err := t.callProc(t.ownerOf[node], opDeregister, req, nil)
+	_, _, err := t.callProc(ps, ps.ownerOf[node], opDeregister, req, nil)
 	return err
 }
 
@@ -529,10 +689,18 @@ func (t *NetTransport) dropRegistration(srv *netServer) {
 // dead processes are skipped silently but still paid for — the flood
 // was sent). A crashed origin cannot post.
 func (t *NetTransport) postEntry(srv *netServer, node graph.NodeID, active bool) error {
+	targets, cost := t.postSets(srv, node)
+	return t.postEntryTargets(srv, node, active, targets, cost)
+}
+
+// postEntryTargets is postEntry with an explicit target set and
+// pre-computed multicast cost — the primitive the epoch migration's
+// delta re-posts share with the ordinary posting path.
+func (t *NetTransport) postEntryTargets(srv *netServer, node graph.NodeID, active bool, targets []graph.NodeID, cost int64) error {
 	if t.crashed[node].Load() {
 		return fmt.Errorf("cluster: post %q from %d: %w", srv.port, node, sim.ErrCrashed)
 	}
-	targets, cost := t.postSets(srv, node)
+	ps := t.procs.Load()
 	e := core.Entry{
 		Port:     srv.port,
 		Addr:     node,
@@ -542,16 +710,16 @@ func (t *NetTransport) postEntry(srv *netServer, node graph.NodeID, active bool)
 	}
 	t.passes.Add(int(node), cost)
 	sc := t.scratch.Get().(*netScratch)
-	sc.reset(len(t.pools))
+	sc.reset(len(ps.pools))
 	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
 		}
-		p := t.ownerOf[v]
+		p := ps.ownerOf[v]
 		sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(v))
 		sc.reqs[p] = appendEntry(sc.reqs[p], e)
 	}
-	t.fanout(sc, opPost)
+	t.fanout(ps, sc, opPost)
 	t.scratch.Put(sc)
 	return nil
 }
@@ -560,18 +728,18 @@ func (t *NetTransport) postEntry(srv *netServer, node graph.NodeID, active bool)
 // parallel, landing responses in sc.resps and errors in sc.errs. Calls
 // to dead processes fail fast and are recorded; the operation treats
 // them as silence, the fail-silent crash semantics of the paper.
-func (t *NetTransport) fanout(sc *netScratch, op byte) {
+func (t *NetTransport) fanout(ps *procSet, sc *netScratch, op byte) {
 	var wg sync.WaitGroup
-	for p := range t.pools {
+	for p := range ps.pools {
 		if len(sc.reqs[p]) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			st, body, err := t.callProc(p, op, sc.reqs[p], sc.resps[p][:0])
+			st, body, err := t.callProc(ps, p, op, sc.reqs[p], sc.resps[p][:0])
 			if err == nil && st != stOK {
-				err = fmt.Errorf("cluster: %s op %d: status %d", t.addrs[p], op, st)
+				err = fmt.Errorf("cluster: %s op %d: status %d", ps.addrs[p], op, st)
 			}
 			if body != nil {
 				sc.resps[p] = body
@@ -594,35 +762,54 @@ func (t *NetTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 }
 
 // LocateReplica implements ReplicatedTransport: one query flood over
-// replica k's query set only, with MemTransport's exact charges.
+// replica k's query set only, with MemTransport's exact charges (and
+// MemTransport's dual-epoch family indexing on elastic transports).
 func (t *NetTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
-	if replica < 0 || replica >= t.Replicas() {
-		return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
-	}
 	if !t.g.Valid(client) {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.hot.replicaQuerySets(client, port, replica)
+	var (
+		targets []graph.NodeID
+		cost    int64
+		dual    bool
+	)
+	et := t.elastic.Load()
+	if et != nil {
+		etargets, ecost, tab, _, ok := et.queryFor(client, replica)
+		if !ok {
+			return core.Entry{}, errRetiredReplica(port, client, replica)
+		}
+		if len(etargets) == 0 {
+			return core.Entry{}, errMissingEpochFlood(port, client)
+		}
+		targets, cost, dual = etargets, ecost, tab != et
+	} else {
+		if replica < 0 || replica >= t.Replicas() {
+			return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+		}
+		targets, cost = t.hot.replicaQuerySets(client, port, replica)
+	}
+	ps := t.procs.Load()
 	t.passes.Add(int(client), cost)
 	sc := t.scratch.Get().(*netScratch)
-	sc.reset(len(t.pools))
-	t.groupQuery(sc, 0, port, targets)
-	t.fanout(sc, t.queryOp())
+	sc.reset(len(ps.pools))
+	t.groupQuery(ps, sc, 0, port, targets)
+	t.fanout(ps, sc, t.queryOp())
 	var (
 		best  core.Entry
 		found bool
 		bulk  int64
 	)
-	for p := range t.pools {
+	for p := range ps.pools {
 		if len(sc.nodes[p]) == 0 || sc.errs[p] != nil {
 			continue // a dead process's caches are silent misses
 		}
 		d := netwire.NewDec(sc.resps[p])
 		for _, v := range sc.nodes[p] {
-			e, ok := t.decodeNodeAnswer(&d, v, replica)
+			e, ok := t.decodeNodeAnswer(et, &d, v, replica)
 			if !ok {
 				continue
 			}
@@ -639,16 +826,19 @@ func (t *NetTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 	if !found {
 		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
 	}
+	if dual {
+		t.dualLocates.Add(1)
+	}
 	return best, nil
 }
 
 // queryOp returns the wire operation a locate flood travels as:
 // opQuery (one flag+freshest answer per node) normally, opQueryAll when
-// replicated — the coordinator must see every candidate entry per node
-// to reduce them to the family's freshest itself, since the node
-// processes are family-agnostic.
+// replicated or elastic — the coordinator must see every candidate
+// entry per node to reduce them to the family's freshest itself, since
+// the node processes are family- and epoch-agnostic.
 func (t *NetTransport) queryOp() byte {
-	if t.rp != nil {
+	if t.rp != nil || t.elastic.Load() != nil {
 		return opQueryAll
 	}
 	return opQuery
@@ -656,12 +846,23 @@ func (t *NetTransport) queryOp() byte {
 
 // decodeNodeAnswer consumes node v's answer from d in queryOp's wire
 // format and reduces it to this flood's model-level reply: the entry
-// the node answered with, or — on a replicated flood — the freshest
-// entry the node holds as a member of the flood's replica family. ok
-// is false for a silent miss (including "holds entries, none of this
-// family", which the model treats as silence and charges nothing for).
-func (t *NetTransport) decodeNodeAnswer(d *netwire.Dec, v graph.NodeID, replica int) (core.Entry, bool) {
-	if t.rp == nil {
+// the node answered with, or — on a replicated or elastic flood — the
+// freshest entry the node holds as a member of the flood's (dual-epoch)
+// replica family. ok is false for a silent miss (including "holds
+// entries, none of this family", which the model treats as silence and
+// charges nothing for).
+func (t *NetTransport) decodeNodeAnswer(et *epochTables, d *netwire.Dec, v graph.NodeID, replica int) (core.Entry, bool) {
+	var inFamily func(origin graph.NodeID) bool
+	switch {
+	case et != nil:
+		tab, fam, ok := et.resolve(replica)
+		if !ok {
+			return core.Entry{}, false
+		}
+		inFamily = func(origin graph.NodeID) bool { return tab.ep.InPost(fam, origin, v) }
+	case t.rp != nil:
+		inFamily = func(origin graph.NodeID) bool { return t.rp.InPost(replica, origin, v) }
+	default:
 		if d.Byte() == 0 {
 			return core.Entry{}, false
 		}
@@ -678,7 +879,7 @@ func (t *NetTransport) decodeNodeAnswer(d *netwire.Dec, v graph.NodeID, replica 
 		if d.Err() != nil {
 			return core.Entry{}, false
 		}
-		if !t.rp.InPost(replica, e.Addr, v) {
+		if !inFamily(e.Addr) {
 			continue
 		}
 		if !found || e.Time > best.Time {
@@ -691,15 +892,15 @@ func (t *NetTransport) decodeNodeAnswer(d *netwire.Dec, v graph.NodeID, replica 
 // groupQuery appends one sub-request (for original request index req)
 // to each process owning any of targets, skipping locally-crashed
 // nodes, and records the grouping for response decoding.
-func (t *NetTransport) groupQuery(sc *netScratch, req int, port core.Port, targets []graph.NodeID) {
-	for p := range t.pools {
+func (t *NetTransport) groupQuery(ps *procSet, sc *netScratch, req int, port core.Port, targets []graph.NodeID) {
+	for p := range ps.pools {
 		// Snapshot the include/skip decision for each target exactly once
 		// (into sc.nodes), then encode from the snapshot: a concurrent
 		// Crash flipping t.crashed mid-grouping must not let the declared
 		// node count disagree with the ids that follow it on the wire.
 		start := len(sc.nodes[p])
 		for _, v := range targets {
-			if t.ownerOf[v] == p && !t.crashed[v].Load() {
+			if ps.ownerOf[v] == p && !t.crashed[v].Load() {
 				sc.nodes[p] = append(sc.nodes[p], v)
 			}
 		}
@@ -735,11 +936,28 @@ func (t *NetTransport) LocateBatch(reqs []LocateReq, res []LocateRes) {
 }
 
 // locateBatchReplica runs one process-grouped batch pass over replica
-// k's query sets; reqs and res have equal length.
+// k's query sets (dual-epoch family indexing on elastic transports);
+// reqs and res have equal length.
 func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, replica int) {
 	n := len(reqs)
+	et := t.elastic.Load()
+	var (
+		etab *epochTables
+		efam int
+	)
+	if et != nil {
+		tab, fam, ok := et.resolve(replica)
+		if !ok {
+			for i := 0; i < n; i++ {
+				res[i] = LocateRes{Err: errRetiredReplica(reqs[i].Port, reqs[i].Client, replica)}
+			}
+			return
+		}
+		etab, efam = tab, fam
+	}
+	ps := t.procs.Load()
 	sc := t.scratch.Get().(*netScratch)
-	sc.reset(len(t.pools))
+	sc.reset(len(ps.pools))
 	if cap(sc.found) < n {
 		sc.found = make([]bool, n)
 	}
@@ -759,12 +977,24 @@ func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 			res[i].Err = fmt.Errorf("cluster: locate from %d: %w", r.Client, sim.ErrCrashed)
 			continue
 		}
-		targets, cost := t.hot.replicaQuerySets(r.Client, r.Port, replica)
+		var (
+			targets []graph.NodeID
+			cost    int64
+		)
+		if etab != nil {
+			targets, cost = etab.query[efam][r.Client], etab.queryCost[efam][r.Client]
+			if len(targets) == 0 {
+				res[i].Err = errMissingEpochFlood(r.Port, r.Client)
+				continue
+			}
+		} else {
+			targets, cost = t.hot.replicaQuerySets(r.Client, r.Port, replica)
+		}
 		bulk += cost
-		t.groupQuery(sc, i, r.Port, targets)
+		t.groupQuery(ps, sc, i, r.Port, targets)
 	}
-	t.fanout(sc, t.queryOp())
-	for p := range t.pools {
+	t.fanout(ps, sc, t.queryOp())
+	for p := range ps.pools {
 		if len(sc.idx[p]) == 0 || sc.errs[p] != nil {
 			continue
 		}
@@ -774,7 +1004,7 @@ func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 			for k := 0; k < sc.cnts[p][j]; k++ {
 				v := sc.nodes[p][off]
 				off++
-				e, ok := t.decodeNodeAnswer(&d, v, replica)
+				e, ok := t.decodeNodeAnswer(et, &d, v, replica)
 				if !ok {
 					continue
 				}
@@ -786,10 +1016,16 @@ func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 			}
 		}
 	}
+	var dual int64
 	for i := 0; i < n; i++ {
 		if res[i].Err == nil && !sc.found[i] {
 			res[i].Err = fmt.Errorf("cluster: locate %q from %d: %w", reqs[i].Port, reqs[i].Client, core.ErrNotFound)
+		} else if res[i].Err == nil && etab != nil && etab != et {
+			dual++
 		}
+	}
+	if dual > 0 {
+		t.dualLocates.Add(dual)
 	}
 	t.scratch.Put(sc)
 	t.passes.Add(0, bulk)
@@ -801,30 +1037,51 @@ func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 // multicast cost charged in one add — the same totals as the
 // equivalent sequence of Registers.
 func (t *NetTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
+	et := t.elastic.Load()
 	for _, r := range regs {
 		if !t.g.Valid(r.Node) {
 			return nil, fmt.Errorf("cluster: register at %d: %w", r.Node, graph.ErrNodeRange)
+		}
+		if et != nil && !et.ep.Contains(r.Node) {
+			return nil, errOutsideMembership(r.Port, r.Node, et.ep)
 		}
 		if t.crashed[r.Node].Load() {
 			return nil, fmt.Errorf("cluster: post %q from %d: %w", r.Port, r.Node, sim.ErrCrashed)
 		}
 	}
+	t.lifeMu.RLock()
+	defer t.lifeMu.RUnlock()
+	ps := t.procs.Load()
 	refs := make([]ServerRef, len(regs))
 	servers := make([]*netServer, len(regs))
 	for i, r := range regs {
 		servers[i] = &netServer{t: t, port: r.Port, id: t.serverID.Add(1), node: r.Node}
 		t.addRegistration(servers[i])
 		refs[i] = servers[i]
-		if err := t.registerRemote(servers[i].id, r.Port, r.Node); err != nil {
+		if err := t.registerRemote(ps, servers[i].id, r.Port, r.Node); err != nil {
 			for j := 0; j <= i; j++ {
 				t.dropRegistration(servers[j])
-				_ = t.deregisterRemote(servers[j].id, regs[j].Node)
+				_ = t.deregisterRemote(ps, servers[j].id, regs[j].Node)
 			}
 			return nil, err
 		}
 	}
+	// Re-check membership after publishing (see Register): a shrink
+	// Resize racing this batch either snapshotted these servers (and
+	// validated them) or its epoch is visible here.
+	if et := t.elastic.Load(); et != nil {
+		for _, r := range regs {
+			if !et.ep.Contains(r.Node) {
+				for j := range servers {
+					t.dropRegistration(servers[j])
+					_ = t.deregisterRemote(ps, servers[j].id, regs[j].Node)
+				}
+				return nil, errOutsideMembership(r.Port, r.Node, et.ep)
+			}
+		}
+	}
 	sc := t.scratch.Get().(*netScratch)
-	sc.reset(len(t.pools))
+	sc.reset(len(ps.pools))
 	var bulk int64
 	for i, r := range regs {
 		targets, cost := t.postSets(servers[i], r.Node)
@@ -840,12 +1097,12 @@ func (t *NetTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
 			if t.crashed[v].Load() {
 				continue
 			}
-			p := t.ownerOf[v]
+			p := ps.ownerOf[v]
 			sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(v))
 			sc.reqs[p] = appendEntry(sc.reqs[p], e)
 		}
 	}
-	t.fanout(sc, opPost)
+	t.fanout(ps, sc, opPost)
 	t.scratch.Put(sc)
 	t.passes.Add(0, bulk)
 	for _, r := range regs {
@@ -874,12 +1131,13 @@ func (t *NetTransport) Probe(client graph.NodeID, e core.Entry) (core.Entry, err
 		t.passes.Add(int(client), d) // request swallowed by the crash
 		return core.Entry{}, fmt.Errorf("cluster: probe %q at %d: %w", e.Port, e.Addr, sim.ErrCrashed)
 	}
+	ps := t.procs.Load()
 	buf := netwire.GetBuf()
 	req := netwire.AppendString(*buf, string(e.Port))
 	req = netwire.AppendUvarint(req, uint64(e.Addr))
 	req = netwire.AppendUvarint(req, e.ServerID)
 	*buf = req
-	st, _, err := t.callProc(t.ownerOf[e.Addr], opProbe, req, nil)
+	st, _, err := t.callProc(ps, ps.ownerOf[e.Addr], opProbe, req, nil)
 	netwire.PutBuf(buf)
 	if err != nil || st == stCrashed {
 		t.passes.Add(int(client), d) // no answer came back
@@ -901,7 +1159,8 @@ func (t *NetTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.En
 	})
 }
 
-// locateAllReplica is one locate-all flood over replica k's query set.
+// locateAllReplica is one locate-all flood over replica k's query set
+// (dual-epoch family indexing on elastic transports).
 func (t *NetTransport) locateAllReplica(client graph.NodeID, port core.Port, replica int) ([]core.Entry, error) {
 	if !t.g.Valid(client) {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, graph.ErrNodeRange)
@@ -909,14 +1168,32 @@ func (t *NetTransport) locateAllReplica(client graph.NodeID, port core.Port, rep
 	if t.crashed[client].Load() {
 		return nil, fmt.Errorf("cluster: locate-all from %d: %w", client, sim.ErrCrashed)
 	}
-	targets, cost := t.hot.replicaQuerySets(client, port, replica)
+	var (
+		targets []graph.NodeID
+		cost    int64
+		etab    *epochTables
+		efam    int
+	)
+	if et := t.elastic.Load(); et != nil {
+		etargets, ecost, tab, fam, ok := et.queryFor(client, replica)
+		if !ok {
+			return nil, errRetiredReplica(port, client, replica)
+		}
+		if len(etargets) == 0 {
+			return nil, errMissingEpochFlood(port, client)
+		}
+		targets, cost, etab, efam = etargets, ecost, tab, fam
+	} else {
+		targets, cost = t.hot.replicaQuerySets(client, port, replica)
+	}
+	ps := t.procs.Load()
 	t.passes.Add(int(client), cost)
 	sc := t.scratch.Get().(*netScratch)
-	sc.reset(len(t.pools))
-	t.groupQuery(sc, 0, port, targets)
-	t.fanout(sc, opQueryAll)
+	sc.reset(len(ps.pools))
+	t.groupQuery(ps, sc, 0, port, targets)
+	t.fanout(ps, sc, opQueryAll)
 	freshest := make(map[uint64]core.Entry, 4)
-	for p := range t.pools {
+	for p := range ps.pools {
 		if len(sc.nodes[p]) == 0 || sc.errs[p] != nil {
 			continue
 		}
@@ -929,7 +1206,11 @@ func (t *NetTransport) locateAllReplica(client graph.NodeID, port core.Port, rep
 				if d.Err() != nil {
 					break
 				}
-				if t.rp != nil && !t.rp.InPost(replica, e.Addr, v) {
+				if etab != nil {
+					if !etab.ep.InPost(efam, e.Addr, v) {
+						continue // not this epoch-family's posting here
+					}
+				} else if t.rp != nil && !t.rp.InPost(replica, e.Addr, v) {
 					continue // not this family's posting here: model silence
 				}
 				answered++
@@ -964,6 +1245,8 @@ func (t *NetTransport) SetHotPorts(ports []core.Port) error {
 	if t.hot.weighted == nil {
 		return fmt.Errorf("cluster: transport %q has no weighted strategy", t.Name())
 	}
+	t.lifeMu.RLock()
+	defer t.lifeMu.RUnlock()
 	newHot := make(map[core.Port]bool, len(ports))
 	for _, p := range ports {
 		newHot[p] = true
@@ -990,6 +1273,345 @@ func (t *NetTransport) SetHotPorts(ports []core.Port) error {
 	}
 	t.hot.publish(&newHot)
 	return errors.Join(errs...)
+}
+
+// Elastic implements ElasticTransport.
+func (t *NetTransport) Elastic() bool { return t.elastic.Load() != nil }
+
+// Epoch implements ElasticTransport: the serving epoch's sequence
+// number (0 when elastic membership is off).
+func (t *NetTransport) Epoch() uint64 {
+	if et := t.elastic.Load(); et != nil {
+		return et.ep.Seq()
+	}
+	return 0
+}
+
+// Resizing implements ElasticTransport.
+func (t *NetTransport) Resizing() bool {
+	et := t.elastic.Load()
+	return et != nil && et.prev != nil
+}
+
+// MigratedPosts implements ElasticTransport.
+func (t *NetTransport) MigratedPosts() int64 { return t.migrated.Load() }
+
+// DualEpochLocates implements ElasticTransport.
+func (t *NetTransport) DualEpochLocates() int64 { return t.dualLocates.Load() }
+
+// Resize implements ElasticTransport with MemTransport's protocol: the
+// new epoch's tables are installed on this coordinator, every live
+// server's entry is re-posted over the wire to exactly the rendezvous
+// nodes the minimal-movement remap added (each delta charged its
+// multicast-tree cost), and hint generations are bumped for moved
+// ports only. Each server's mutex is held across its delta re-post so
+// the fresh-timestamped migration posting cannot race a concurrent
+// Deregister or Migrate into resurrecting it.
+func (t *NetTransport) Resize(next *strategy.Epoch) (int, error) {
+	if t.elastic.Load() == nil {
+		return 0, ErrNotElastic
+	}
+	t.lifeMu.RLock()
+	defer t.lifeMu.RUnlock()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	cur := t.elastic.Load()
+	if cur.prev != nil {
+		return 0, fmt.Errorf("cluster: resize to epoch %d: migration from epoch %d still draining", next.Seq(), cur.prev.ep.Seq())
+	}
+	if err := validateNextEpoch(cur.ep, next, t.g.N()); err != nil {
+		return 0, err
+	}
+	nt, err := newEpochTables(t.g, t.routing, next, cur)
+	if err != nil {
+		return 0, err
+	}
+	t.regMu.Lock()
+	var servers []*netServer
+	for _, m := range t.byPort {
+		for _, srv := range m {
+			srv.mu.Lock()
+			node, gone := srv.node, srv.gone
+			srv.mu.Unlock()
+			if gone {
+				continue
+			}
+			if !next.Contains(node) {
+				t.regMu.Unlock()
+				return 0, errServerOutsideEpoch(srv.port, node, next)
+			}
+			servers = append(servers, srv)
+		}
+	}
+	t.elastic.Store(nt)
+	t.regMu.Unlock()
+
+	moved := 0
+	movedPorts := make(map[core.Port]bool)
+	for _, srv := range servers {
+		srv.mu.Lock()
+		if srv.gone {
+			srv.mu.Unlock()
+			continue
+		}
+		node := srv.node
+		added := nt.rm.Added(node)
+		if len(added) == 0 {
+			srv.mu.Unlock()
+			continue
+		}
+		cost, err := t.routing.MulticastCost(node, added)
+		if err == nil {
+			err = t.postEntryTargets(srv, node, true, added, int64(cost))
+		}
+		srv.mu.Unlock()
+		if err != nil {
+			continue // a crashed origin cannot migrate its postings
+		}
+		moved += len(added)
+		movedPorts[srv.port] = true
+	}
+	for port := range movedPorts {
+		t.gens.bump(port)
+	}
+	t.migrated.Add(int64(moved))
+	return moved, nil
+}
+
+// FinishResize implements ElasticTransport: the dual-epoch phase ends
+// and the old-epoch-only postings of every live server expire on their
+// node processes via opExpire — each node's local garbage collection,
+// charged zero message passes like MemTransport's.
+func (t *NetTransport) FinishResize() error {
+	if t.elastic.Load() == nil {
+		return ErrNotElastic
+	}
+	t.lifeMu.RLock()
+	defer t.lifeMu.RUnlock()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	cur := t.elastic.Load()
+	if cur.prev == nil {
+		return fmt.Errorf("cluster: no resize in progress")
+	}
+	t.regMu.Lock()
+	t.elastic.Store(cur.retired())
+	var servers []*netServer
+	for _, m := range t.byPort {
+		for _, srv := range m {
+			servers = append(servers, srv)
+		}
+	}
+	t.regMu.Unlock()
+	ps := t.procs.Load()
+	sc := t.scratch.Get().(*netScratch)
+	sc.reset(len(ps.pools))
+	for _, srv := range servers {
+		srv.mu.Lock()
+		node, gone := srv.node, srv.gone
+		srv.mu.Unlock()
+		if gone {
+			continue
+		}
+		for _, v := range cur.rm.Removed(node) {
+			p := ps.ownerOf[v]
+			sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], uint64(v))
+			sc.reqs[p] = netwire.AppendString(sc.reqs[p], string(srv.port))
+			sc.reqs[p] = netwire.AppendUvarint(sc.reqs[p], srv.id)
+		}
+	}
+	t.fanout(ps, sc, opExpire)
+	t.scratch.Put(sc)
+	return nil
+}
+
+// Rescale re-partitions the node space across a different node-process
+// set: the new processes are dialed and handshaken, each new partition
+// is filled by a coordinator-driven transfer from the old processes
+// (postings including tombstones, liveness records, crash marks — see
+// opSnapshot), and the process set is swapped atomically so operations
+// in flight keep a consistent snapshot. The transfer moves state, not
+// match-making traffic, so it charges no message passes; ranges whose
+// donor died mid-transfer are rebuilt from the client-side
+// registration mirror instead (repairRange — charged like any repair
+// re-post), which is what makes a kill -9 of a donor survivable at
+// r ≥ 2. Old pools are closed after the swap; the old processes'
+// lifecycle belongs to the orchestrator (mmctl scale drains them).
+func (t *NetTransport) Rescale(newAddrs []string) error {
+	t.rescaleMu.Lock()
+	defer t.rescaleMu.Unlock()
+	nps, err := dialProcSet(newAddrs, t.g.N(), t.opts)
+	if err != nil {
+		return err
+	}
+	// Hold the lifecycle fence exclusively across the transfer and the
+	// swap: a register/tombstone/migrate landing on an old process
+	// after its partition was snapshotted would silently miss the new
+	// set (a lost tombstone resurrects a deregistered server), so
+	// lifecycle writes wait out the handoff instead.
+	t.lifeMu.Lock()
+	old := t.procs.Load()
+	lost := transferPartitions(old, nps)
+	t.procs.Store(nps)
+	for _, r := range lost {
+		t.repairRange(nps, r[0], r[1])
+	}
+	t.lifeMu.Unlock()
+	t.gens.bumpAll()
+	old.close()
+	return nil
+}
+
+// DonorProc names one old-set process for TransferPartitions: its
+// address and the node range [Lo, Hi) it owned. The range comes from
+// the caller's records (mmctl's state file) rather than a hello
+// handshake, so a donor that is already dead still has a well-defined
+// range to report as lost.
+type DonorProc struct {
+	Addr   string
+	Lo, Hi int
+}
+
+// TransferPartitions connects to an old and a new node-process set
+// covering the same n nodes and copies every new process's partition
+// from the old — the state-handoff step of a process rescale, usable
+// standalone by orchestrators (mmctl scale) before they drain the old
+// workers. It moves state, not match-making traffic, so nothing is
+// charged. Unreachable donors are tolerated — including donors dead
+// before the transfer starts: the node ranges whose state could not
+// be copied are returned, for the consuming transports' repair loops
+// to rebuild by re-posting.
+func TransferPartitions(old []DonorProc, newAddrs []string, n int, opts NetOptions) ([][2]int, error) {
+	if len(old) == 0 {
+		return nil, fmt.Errorf("cluster: transfer: no donor processes")
+	}
+	next := 0
+	for _, d := range old {
+		if d.Lo != next || d.Hi <= d.Lo || d.Hi > n {
+			return nil, fmt.Errorf("cluster: transfer: donor %s owns [%d,%d), want contiguous from %d", d.Addr, d.Lo, d.Hi, next)
+		}
+		next = d.Hi
+	}
+	if next != n {
+		return nil, fmt.Errorf("cluster: transfer: donors cover [0,%d) of %d nodes", next, n)
+	}
+	conns := opts.ConnsPerProc
+	if conns <= 0 {
+		conns = 2
+	}
+	ops := &procSet{
+		addrs:      make([]string, len(old)),
+		pools:      make([]*netwire.Pool, len(old)),
+		ownerOf:    make([]int, n),
+		ranges:     make([][2]int, len(old)),
+		downP:      make([]atomic.Bool, len(old)),
+		needRepair: make([]atomic.Bool, len(old)),
+	}
+	for i, d := range old {
+		ops.addrs[i] = d.Addr
+		ops.ranges[i] = [2]int{d.Lo, d.Hi}
+		for v := d.Lo; v < d.Hi; v++ {
+			ops.ownerOf[v] = i
+		}
+		p := netwire.NewPool(d.Addr, conns)
+		if opts.DialTimeout > 0 {
+			p.DialTimeout = opts.DialTimeout
+		}
+		p.CallTimeout = opts.CallTimeout
+		ops.pools[i] = p
+	}
+	defer ops.close()
+	nps, err := dialProcSet(newAddrs, n, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: transfer: new set: %w", err)
+	}
+	defer nps.close()
+	return transferPartitions(ops, nps), nil
+}
+
+// transferPartitions fills every new process's partition from the old
+// process set, chunked by overlapping donor range. Donor failures are
+// tolerated: the affected ranges are returned for repair from the
+// client-side registration mirror.
+func transferPartitions(old, nps *procSet) (lost [][2]int) {
+	for q := range nps.pools {
+		qlo, qhi := nps.ranges[q][0], nps.ranges[q][1]
+		for p := range old.pools {
+			lo, hi := max(qlo, old.ranges[p][0]), min(qhi, old.ranges[p][1])
+			if hi <= lo {
+				continue
+			}
+			if err := transferChunk(old, p, nps, q, lo, hi); err != nil {
+				lost = append(lost, [2]int{lo, hi})
+			}
+		}
+	}
+	return lost
+}
+
+// transferChunk snapshots [lo, hi) from old process p and replays it
+// onto new process q: postings first, then liveness records, then
+// crash marks (whose handler clears the crashed nodes' just-copied
+// stores, matching the volatile-loss semantics).
+func transferChunk(old *procSet, p int, nps *procSet, q, lo, hi int) error {
+	buf := netwire.GetBuf()
+	defer netwire.PutBuf(buf)
+	req := netwire.AppendUvarint(*buf, uint64(lo))
+	req = netwire.AppendUvarint(req, uint64(hi))
+	*buf = req
+	st, body, err := old.pools[p].Call(opSnapshot, req, nil)
+	if err != nil {
+		return err
+	}
+	if st != stOK {
+		return fmt.Errorf("cluster: snapshot [%d,%d) from %s: status %d", lo, hi, old.addrs[p], st)
+	}
+	d := netwire.NewDec(body)
+	nPost := int(d.Uvarint())
+	var post []byte
+	for i := 0; i < nPost; i++ {
+		node := d.Uvarint()
+		e := decodeEntry(&d)
+		if d.Err() != nil {
+			return fmt.Errorf("cluster: snapshot [%d,%d) from %s: %w", lo, hi, old.addrs[p], d.Err())
+		}
+		post = netwire.AppendUvarint(post, node)
+		post = appendEntry(post, e)
+	}
+	if len(post) > 0 {
+		if st, _, err := nps.pools[q].Call(opPost, post, nil); err != nil || st != stOK {
+			return fmt.Errorf("cluster: replay postings onto %s: status %d err %w", nps.addrs[q], st, err)
+		}
+	}
+	nLive := int(d.Uvarint())
+	for i := 0; i < nLive; i++ {
+		id := d.Uvarint()
+		port := d.String()
+		node := d.Uvarint()
+		if d.Err() != nil {
+			return fmt.Errorf("cluster: snapshot [%d,%d) from %s: %w", lo, hi, old.addrs[p], d.Err())
+		}
+		var reg []byte
+		reg = netwire.AppendUvarint(reg, id)
+		reg = netwire.AppendString(reg, port)
+		reg = netwire.AppendUvarint(reg, node)
+		if st, _, err := nps.pools[q].Call(opRegister, reg, nil); err != nil || (st != stOK && st != stCrashed) {
+			return fmt.Errorf("cluster: replay liveness onto %s: status %d err %w", nps.addrs[q], st, err)
+		}
+	}
+	nCrashed := int(d.Uvarint())
+	for i := 0; i < nCrashed; i++ {
+		node := d.Uvarint()
+		if d.Err() != nil {
+			return fmt.Errorf("cluster: snapshot [%d,%d) from %s: %w", lo, hi, old.addrs[p], d.Err())
+		}
+		var cr []byte
+		cr = netwire.AppendUvarint(cr, node)
+		if st, _, err := nps.pools[q].Call(opCrash, cr, nil); err != nil || st != stOK {
+			return fmt.Errorf("cluster: replay crash marks onto %s: status %d err %w", nps.addrs[q], st, err)
+		}
+	}
+	return nil
 }
 
 // Crash implements Transport: the crash mark is mirrored locally (for
@@ -1020,10 +1642,11 @@ func (t *NetTransport) Restore(node graph.NodeID) error {
 // process is already maximally crashed, so delivery failures are
 // ignored.
 func (t *NetTransport) crashRemote(node graph.NodeID, op byte) {
+	ps := t.procs.Load()
 	buf := netwire.GetBuf()
 	req := netwire.AppendUvarint(*buf, uint64(node))
 	*buf = req
-	_, _, _ = t.callProc(t.ownerOf[node], op, req, nil)
+	_, _, _ = t.callProc(ps, ps.ownerOf[node], op, req, nil)
 	netwire.PutBuf(buf)
 }
 
@@ -1045,10 +1668,8 @@ func (t *NetTransport) Close() error {
 		close(t.stopRepair)
 	}
 	t.repairWG.Wait()
-	for _, p := range t.pools {
-		if p != nil {
-			p.Close()
-		}
+	if ps := t.procs.Load(); ps != nil {
+		ps.close()
 	}
 	return nil
 }
@@ -1066,6 +1687,8 @@ func (s *netServer) Node() graph.NodeID {
 // Repost implements ServerRef: a fresh posting multicast, charged at
 // the posting-set cost.
 func (s *netServer) Repost() error {
+	s.t.lifeMu.RLock()
+	defer s.t.lifeMu.RUnlock()
 	s.mu.Lock()
 	node, gone := s.node, s.gone
 	s.mu.Unlock()
@@ -1084,6 +1707,11 @@ func (s *netServer) Migrate(to graph.NodeID) error {
 	if !s.t.g.Valid(to) {
 		return fmt.Errorf("cluster: migrate to %d: %w", to, graph.ErrNodeRange)
 	}
+	if et := s.t.elastic.Load(); et != nil && !et.ep.Contains(to) {
+		return errOutsideMembership(s.port, to, et.ep)
+	}
+	s.t.lifeMu.RLock()
+	defer s.t.lifeMu.RUnlock()
 	s.mu.Lock()
 	if s.gone {
 		s.mu.Unlock()
@@ -1092,13 +1720,14 @@ func (s *netServer) Migrate(to graph.NodeID) error {
 	from := s.node
 	s.node = to
 	s.mu.Unlock()
+	ps := s.t.procs.Load()
 	// Re-point the liveness record: same owner → one overwrite; owner
 	// change → drop the old record first so a concurrent probe can at
 	// worst see a transient miss, never a stale confirmation.
-	if s.t.ownerOf[from] != s.t.ownerOf[to] {
-		_ = s.t.deregisterRemote(s.id, from)
+	if ps.ownerOf[from] != ps.ownerOf[to] {
+		_ = s.t.deregisterRemote(ps, s.id, from)
 	}
-	regErr := s.t.registerRemote(s.id, s.port, to)
+	regErr := s.t.registerRemote(ps, s.id, s.port, to)
 	defer s.t.gens.bump(s.port)
 	tombErr := s.t.postEntry(s, from, false)
 	if err := s.t.postEntry(s, to, true); err != nil {
@@ -1114,6 +1743,8 @@ func (s *netServer) Migrate(to graph.NodeID) error {
 // before the tombstone posts, so a probe can never confirm a
 // deregistered instance.
 func (s *netServer) Deregister() error {
+	s.t.lifeMu.RLock()
+	defer s.t.lifeMu.RUnlock()
 	s.mu.Lock()
 	if s.gone {
 		s.mu.Unlock()
@@ -1123,7 +1754,7 @@ func (s *netServer) Deregister() error {
 	node := s.node
 	s.mu.Unlock()
 	s.t.dropRegistration(s)
-	_ = s.t.deregisterRemote(s.id, node)
+	_ = s.t.deregisterRemote(s.t.procs.Load(), s.id, node)
 	s.t.gens.bump(s.port)
 	return s.t.postEntry(s, node, false)
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"matchmake/internal/core"
@@ -28,10 +29,55 @@ type SimTransport struct {
 	sys  *core.System
 	gens *genIndex
 	rp   *strategy.Replicated // nil unless replicated
+
+	// elastic is the epoch-versioned membership state (nil on
+	// transports built without it — see NewElasticSimTransport). The
+	// simulator is the paper-exact reference of the resize protocol:
+	// the engine strategy is swapped at each phase (union posting sets
+	// during the dual-epoch migration), the migration delta re-posts
+	// through core.Server.RepostVia as real multicasts, old-epoch
+	// floods travel as explicit-target LocateVia floods, and epoch
+	// garbage collection expires entries in place via
+	// core.System.ExpireEntry.
+	elastic     atomic.Pointer[simElastic]
+	resizeMu    sync.Mutex
+	migrated    atomic.Int64
+	dualLocates atomic.Int64
+}
+
+// simElastic is one phase of the simulator's elastic membership: the
+// serving epoch and, during a dual-epoch migration, the retiring epoch
+// plus the minimal-movement remap between them.
+type simElastic struct {
+	cur  *strategy.Epoch
+	prev *strategy.Epoch
+	rm   *strategy.Remap
+}
+
+// replicas returns the dual-epoch family count of the phase.
+func (es *simElastic) replicas() int {
+	r := es.cur.Replicas()
+	if es.prev != nil {
+		r += es.prev.Replicas()
+	}
+	return r
+}
+
+// resolve maps a dual-epoch family index to its epoch and local family.
+func (es *simElastic) resolve(k int) (*strategy.Epoch, int, bool) {
+	r := es.cur.Replicas()
+	if k >= 0 && k < r {
+		return es.cur, k, true
+	}
+	if es.prev != nil && k >= r && k < r+es.prev.Replicas() {
+		return es.prev, k - r, true
+	}
+	return nil, 0, false
 }
 
 var _ Transport = (*SimTransport)(nil)
 var _ ReplicatedTransport = (*SimTransport)(nil)
+var _ ElasticTransport = (*SimTransport)(nil)
 
 // NewSimTransport builds a fresh simulator network over g and installs
 // the core engine with strat. opts tune the engine's locate timeout and
@@ -77,6 +123,61 @@ func NewReplicatedSimTransport(g *graph.Graph, rp *strategy.Replicated, opts cor
 	return t, nil
 }
 
+// NewElasticSimTransport builds the paper-exact reference of the
+// elastic membership protocol: the engine initially serves initial's
+// active node set, and Resize/FinishResize drive the dual-epoch
+// migration with every step a real simulated event — delta re-posts as
+// multicasts with network-counted hops, old-epoch floods as
+// explicit-target queries, and epoch retirement as local cache expiry.
+// Replication comes from the epoch itself.
+func NewElasticSimTransport(g *graph.Graph, initial *strategy.Epoch, opts core.Options) (*SimTransport, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("cluster: elastic transport needs an initial epoch")
+	}
+	if initial.Universe() != g.N() {
+		return nil, fmt.Errorf("cluster: epoch %d universe %d != graph size %d", initial.Seq(), initial.Universe(), g.N())
+	}
+	t, err := newSimTransport(g, epochEngineStrategy(initial, nil, g.N()), nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	es := &simElastic{cur: initial}
+	t.elastic.Store(es)
+	t.installEpochFilter(es)
+	return t, nil
+}
+
+// epochEngineStrategy builds the engine strategy of one elastic phase:
+// posting sets are the serving epoch's (widened to both epochs' union
+// while prev is live, so lifecycle postings — especially tombstones —
+// cover every node either epoch's floods can read), and the default
+// query set is the serving epoch's family 0.
+func epochEngineStrategy(cur, prev *strategy.Epoch, universe int) rendezvous.Strategy {
+	post := cur.PostSet
+	name := cur.Name()
+	if prev != nil {
+		name = fmt.Sprintf("%s+%s", cur.Name(), prev.Name())
+		post = func(i graph.NodeID) []graph.NodeID { return unionIDs(cur.PostSet(i), prev.PostSet(i)) }
+	}
+	return rendezvous.Precompute(rendezvous.Funcs{
+		StrategyName: name,
+		Universe:     universe,
+		PostFunc:     post,
+		QueryFunc:    func(j graph.NodeID) []graph.NodeID { return cur.QuerySet(j, 0) },
+	})
+}
+
+// installEpochFilter scopes rendezvous answers to the dual-epoch family
+// index space of phase es: a node only answers a family-k flood with
+// entries whose origin posts at it as part of that family of the
+// resolved epoch, keeping the two live epochs independent channels.
+func (t *SimTransport) installEpochFilter(es *simElastic) {
+	t.sys.SetReplicaFilter(func(self graph.NodeID, family int, e core.Entry) bool {
+		ep, fam, ok := es.resolve(family)
+		return ok && ep.InPost(fam, e.Addr, self)
+	})
+}
+
 func newSimTransport(g *graph.Graph, strat rendezvous.Strategy, rp *strategy.Replicated, opts core.Options) (*SimTransport, error) {
 	net, err := sim.New(g)
 	if err != nil {
@@ -93,14 +194,21 @@ func newSimTransport(g *graph.Graph, strat rendezvous.Strategy, rp *strategy.Rep
 
 // Name implements Transport.
 func (t *SimTransport) Name() string {
+	if t.elastic.Load() != nil {
+		return "sim-elastic"
+	}
 	if r := t.Replicas(); r > 1 {
 		return fmt.Sprintf("sim-r%d", r)
 	}
 	return "sim"
 }
 
-// Replicas implements ReplicatedTransport.
+// Replicas implements ReplicatedTransport; on an elastic transport
+// mid-migration it is the dual-epoch family count.
 func (t *SimTransport) Replicas() int {
+	if es := t.elastic.Load(); es != nil {
+		return es.replicas()
+	}
 	if t.rp == nil {
 		return 1
 	}
@@ -118,18 +226,29 @@ func (t *SimTransport) Network() *sim.Network { return t.net }
 
 // simServer adapts core.Server to ServerRef.
 type simServer struct {
-	srv  *core.Server
-	gens *genIndex
+	srv *core.Server
+	t   *SimTransport
 }
 
-// Register implements Transport.
+// Register implements Transport. On an elastic transport the node must
+// be a member of the serving epoch; the check is re-applied after the
+// engine registration so a racing shrink Resize cannot leave a live
+// server outside the membership (best effort — the simulator's Resize
+// additionally documents that callers quiesce traffic around it).
 func (t *SimTransport) Register(port core.Port, node graph.NodeID) (ServerRef, error) {
+	if es := t.elastic.Load(); es != nil && !es.cur.Contains(node) {
+		return nil, errOutsideMembership(port, node, es.cur)
+	}
 	srv, err := t.sys.RegisterServer(port, node)
 	if err != nil {
 		return nil, err
 	}
+	if es := t.elastic.Load(); es != nil && !es.cur.Contains(node) {
+		_ = srv.Deregister()
+		return nil, errOutsideMembership(port, node, es.cur)
+	}
 	t.gens.bump(port)
-	return simServer{srv: srv, gens: t.gens}, nil
+	return simServer{srv: srv, t: t}, nil
 }
 
 // PostBatch implements Transport. The simulator gains nothing from
@@ -143,6 +262,13 @@ func (t *SimTransport) PostBatch(regs []Registration) ([]ServerRef, error) {
 		}
 		if t.net.Crashed(r.Node) {
 			return nil, fmt.Errorf("cluster: post %q from %d: %w", r.Port, r.Node, sim.ErrCrashed)
+		}
+	}
+	if es := t.elastic.Load(); es != nil {
+		for _, r := range regs {
+			if !es.cur.Contains(r.Node) {
+				return nil, errOutsideMembership(r.Port, r.Node, es.cur)
+			}
 		}
 	}
 	refs := make([]ServerRef, len(regs))
@@ -165,9 +291,10 @@ func (t *SimTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 }
 
 // LocateReplica implements ReplicatedTransport: one real query flood
-// over replica k's query set (the engine's own strategy for replica 0).
+// over replica k's query set (the engine's own strategy for replica 0;
+// dual-epoch family indexing on elastic transports).
 func (t *SimTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
-	targets, err := t.replicaTargets(client, replica)
+	targets, dual, err := t.replicaTargets(client, port, replica)
 	if err != nil {
 		return core.Entry{}, err
 	}
@@ -175,19 +302,40 @@ func (t *SimTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 	if err != nil {
 		return core.Entry{}, err
 	}
+	if dual {
+		t.dualLocates.Add(1)
+	}
 	return res.Entry, nil
 }
 
-// replicaTargets returns the explicit query set for replica k (nil for
-// replica 0, meaning the engine's own strategy).
-func (t *SimTransport) replicaTargets(client graph.NodeID, replica int) ([]graph.NodeID, error) {
+// replicaTargets returns the explicit query set for dual family index k
+// (nil for replica 0 on non-elastic transports, meaning the engine's
+// own strategy) and whether the family belongs to a retiring epoch. An
+// empty epoch-family flood — retired family, or a client outside the
+// family's membership — short-circuits to a rendezvous miss without
+// simulating a vacuous flood (which would cost a full locate timeout).
+func (t *SimTransport) replicaTargets(client graph.NodeID, port core.Port, replica int) ([]graph.NodeID, bool, error) {
+	if es := t.elastic.Load(); es != nil {
+		if !t.net.Graph().Valid(client) {
+			return nil, false, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
+		}
+		ep, fam, ok := es.resolve(replica)
+		if !ok {
+			return nil, false, errRetiredReplica(port, client, replica)
+		}
+		targets := ep.QuerySet(client, fam)
+		if len(targets) == 0 {
+			return nil, false, errMissingEpochFlood(port, client)
+		}
+		return targets, ep == es.prev, nil
+	}
 	if replica < 0 || replica >= t.Replicas() {
-		return nil, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+		return nil, false, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
 	}
 	if replica == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
-	return t.rp.Replica(replica).Query(client), nil
+	return t.rp.Replica(replica).Query(client), false, nil
 }
 
 // LocateBatch implements Transport: the equivalent sequence of single
@@ -217,12 +365,122 @@ func (t *SimTransport) genSlot(port core.Port) *atomic.Uint64 { return t.gens.sl
 // Locate.
 func (t *SimTransport) LocateAll(client graph.NodeID, port core.Port) ([]core.Entry, error) {
 	return locateAllFallthrough(t.Replicas(), func(k int) ([]core.Entry, error) {
-		targets, err := t.replicaTargets(client, k)
+		targets, _, err := t.replicaTargets(client, port, k)
 		if err != nil {
 			return nil, err
 		}
 		return t.sys.LocateAllVia(client, port, targets, k)
 	})
+}
+
+// Elastic implements ElasticTransport.
+func (t *SimTransport) Elastic() bool { return t.elastic.Load() != nil }
+
+// Epoch implements ElasticTransport.
+func (t *SimTransport) Epoch() uint64 {
+	if es := t.elastic.Load(); es != nil {
+		return es.cur.Seq()
+	}
+	return 0
+}
+
+// Resizing implements ElasticTransport.
+func (t *SimTransport) Resizing() bool {
+	es := t.elastic.Load()
+	return es != nil && es.prev != nil
+}
+
+// MigratedPosts implements ElasticTransport.
+func (t *SimTransport) MigratedPosts() int64 { return t.migrated.Load() }
+
+// DualEpochLocates implements ElasticTransport.
+func (t *SimTransport) DualEpochLocates() int64 { return t.dualLocates.Load() }
+
+// Resize implements ElasticTransport, every step a real simulated
+// event: the engine strategy is swapped to the dual phase (union
+// posting sets, new-epoch queries), the replica filter widens to both
+// epochs' families, and every live server re-posts exactly the delta
+// the remap added via a real multicast whose hops the network counts —
+// the same charges the fast paths compute from the routing tables.
+// Resize does not synchronize with in-flight traffic; quiesce (Drain)
+// first when pinning pass accounting.
+func (t *SimTransport) Resize(next *strategy.Epoch) (int, error) {
+	if t.elastic.Load() == nil {
+		return 0, ErrNotElastic
+	}
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	es := t.elastic.Load()
+	if es.prev != nil {
+		return 0, fmt.Errorf("cluster: resize to epoch %d: migration from epoch %d still draining", next.Seq(), es.prev.Seq())
+	}
+	if err := validateNextEpoch(es.cur, next, t.net.Graph().N()); err != nil {
+		return 0, err
+	}
+	rm, err := strategy.NewRemap(es.cur, next)
+	if err != nil {
+		return 0, err
+	}
+	servers := t.sys.LiveServers()
+	for _, srv := range servers {
+		if !next.Contains(srv.Node()) {
+			return 0, errServerOutsideEpoch(srv.Port(), srv.Node(), next)
+		}
+	}
+	dual := &simElastic{cur: next, prev: es.cur, rm: rm}
+	t.elastic.Store(dual)
+	t.installEpochFilter(dual)
+	if err := t.sys.SetStrategy(epochEngineStrategy(next, es.cur, t.net.Graph().N())); err != nil {
+		return 0, err
+	}
+	moved := 0
+	movedPorts := make(map[core.Port]bool)
+	for _, srv := range servers {
+		added := rm.Added(srv.Node())
+		if len(added) == 0 {
+			continue
+		}
+		if err := srv.RepostVia(added); err != nil {
+			continue // a crashed origin cannot migrate its postings
+		}
+		moved += len(added)
+		movedPorts[srv.Port()] = true
+	}
+	for port := range movedPorts {
+		t.gens.bump(port)
+	}
+	t.migrated.Add(int64(moved))
+	return moved, nil
+}
+
+// FinishResize implements ElasticTransport: the engine strategy
+// narrows back to the serving epoch alone, the replica filter drops the
+// retired families, and the orphaned old-epoch postings of every live
+// server expire in place via cache surgery — local state, no simulated
+// messages, exactly the zero charge the fast paths apply.
+func (t *SimTransport) FinishResize() error {
+	if t.elastic.Load() == nil {
+		return ErrNotElastic
+	}
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	es := t.elastic.Load()
+	if es.prev == nil {
+		return fmt.Errorf("cluster: no resize in progress")
+	}
+	retired := &simElastic{cur: es.cur}
+	t.elastic.Store(retired)
+	t.installEpochFilter(retired)
+	if err := t.sys.SetStrategy(epochEngineStrategy(es.cur, nil, t.net.Graph().N())); err != nil {
+		return err
+	}
+	for _, srv := range t.sys.LiveServers() {
+		node := srv.Node()
+		for _, v := range es.rm.Removed(node) {
+			t.sys.ExpireEntry(v, srv.Port(), srv.ID())
+		}
+	}
+	return nil
 }
 
 // Crash implements Transport: the node is marked crashed on the network
@@ -263,11 +521,15 @@ func (s simServer) Node() graph.NodeID { return s.srv.Node() }
 func (s simServer) Repost() error { return s.srv.Repost() }
 
 // Migrate implements ServerRef. The move invalidates cached hints for
-// the port.
+// the port; on an elastic transport the destination must be a member
+// of the serving epoch.
 func (s simServer) Migrate(to graph.NodeID) error {
+	if es := s.t.elastic.Load(); es != nil && !es.cur.Contains(to) {
+		return errOutsideMembership(s.srv.Port(), to, es.cur)
+	}
 	err := s.srv.Migrate(to)
 	if err == nil || !errors.Is(err, core.ErrServerGone) {
-		s.gens.bump(s.srv.Port())
+		s.t.gens.bump(s.srv.Port())
 	}
 	return err
 }
@@ -276,7 +538,7 @@ func (s simServer) Migrate(to graph.NodeID) error {
 func (s simServer) Deregister() error {
 	err := s.srv.Deregister()
 	if err == nil || !errors.Is(err, core.ErrServerGone) {
-		s.gens.bump(s.srv.Port())
+		s.t.gens.bump(s.srv.Port())
 	}
 	return err
 }

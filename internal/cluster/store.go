@@ -266,6 +266,70 @@ func (s *Store) GetAllInto(node graph.NodeID, port core.Port, buf []core.Entry) 
 	return buf
 }
 
+// Drop removes one server instance's cached entry for port at node, if
+// present — the local expiry of epoch garbage collection: a posting
+// that belongs only to a retired epoch disappears by the node's own
+// decision, costing no message passes.
+func (s *Store) Drop(node graph.NodeID, port core.Port, serverID uint64) {
+	sl := s.slot(storeKey{node: node, port: port}, false)
+	if sl == nil {
+		return
+	}
+	for {
+		curp := sl.entries.Load()
+		if curp == nil {
+			return
+		}
+		cur := *curp
+		idx := -1
+		for i, e := range cur {
+			if e.ServerID == serverID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		next := make([]core.Entry, 0, len(cur)-1)
+		next = append(next, cur[:idx]...)
+		next = append(next, cur[idx+1:]...)
+		if sl.entries.CompareAndSwap(curp, &next) {
+			return
+		}
+	}
+}
+
+// NodeEntry pairs a rendezvous node with one cached entry; it is the
+// unit of a partition transfer (Store.DumpRange).
+type NodeEntry struct {
+	Node graph.NodeID
+	E    core.Entry
+}
+
+// DumpRange returns every cached entry (live postings and tombstones
+// alike) held for nodes in [lo, hi) — the donor side of a node-shard
+// partition transfer. The result order is unspecified.
+func (s *Store) DumpRange(lo, hi int) []NodeEntry {
+	var out []NodeEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, sl := range sh.m {
+			if int(k.node) < lo || int(k.node) >= hi {
+				continue
+			}
+			if curp := sl.entries.Load(); curp != nil {
+				for _, e := range *curp {
+					out = append(out, NodeEntry{Node: k.node, E: e})
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // ClearNode drops everything cached at node, modelling the loss of
 // volatile state when the node crashes.
 func (s *Store) ClearNode(node graph.NodeID) {

@@ -24,11 +24,19 @@
 // replicated rendezvous mode (strategy.Replicated): servers post to
 // every replica family and a locate falls through the families when
 // rendezvous nodes are dead, so one crashed node — or one killed node
-// process — costs an extra flood instead of an outage. All transports
-// agree on both results and costs on a healthy network and on the
-// crash fallthrough path; see equivalence_test.go, replicated_test.go
-// and nettransport_test.go, and docs/PAPER_MAP.md for the
-// paper-to-code concordance.
+// process — costs an extra flood instead of an outage. And all three
+// implement epoch-versioned elastic membership (strategy.Epoch,
+// ElasticTransport): the active node set and its strategy can change
+// at runtime through a dual-epoch migration — minimal-movement delta
+// re-posts, locates falling through to the retiring epoch until it
+// drains, local expiry of the orphaned postings afterwards — with the
+// socket backend additionally re-partitioning the node space across a
+// different process set live (NetTransport.Rescale). All transports
+// agree on both results and costs on a healthy network, on the crash
+// fallthrough path and across epoch transitions; see
+// equivalence_test.go, replicated_test.go, elastic_test.go and
+// nettransport_test.go, and docs/PAPER_MAP.md for the paper-to-code
+// concordance.
 package cluster
 
 import (

@@ -122,6 +122,26 @@ func (c *cache) size() int {
 	return n
 }
 
+// drop removes one server instance's entry for a port, if present —
+// the local expiry used when a retiring epoch's orphaned postings are
+// garbage-collected.
+func (c *cache) drop(p Port, serverID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byID := c.ports[p]
+	if byID == nil {
+		return
+	}
+	if _, ok := byID[serverID]; !ok {
+		return
+	}
+	delete(byID, serverID)
+	if len(byID) == 0 {
+		delete(c.ports, p)
+	}
+	c.total--
+}
+
 func (c *cache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -78,9 +78,15 @@ func (o Options) withDefaults() Options {
 // System is a running distributed name server over a network and a
 // strategy.
 type System struct {
-	net   *sim.Network
-	strat rendezvous.Strategy
-	opts  Options
+	net  *sim.Network
+	opts Options
+
+	// stratMu guards strat, which the elastic serving layer swaps at an
+	// epoch transition (SetStrategy); everything deriving posting or
+	// query sets reads it through strategy(). The universe size never
+	// changes — only the sets do.
+	stratMu sync.RWMutex
+	strat   rendezvous.Strategy
 
 	caches []*cache
 
@@ -236,6 +242,30 @@ func (s *System) freshestFor(self graph.NodeID, m queryMsg) (Entry, bool) {
 	return best, found
 }
 
+// strategy returns the current strategy under the read lock.
+func (s *System) strategy() rendezvous.Strategy {
+	s.stratMu.RLock()
+	defer s.stratMu.RUnlock()
+	return s.strat
+}
+
+// SetStrategy swaps the strategy the engine posts and queries with —
+// the engine half of an epoch transition: the serving layer installs
+// the new epoch's sets here, re-posts the migration delta via
+// RepostVia, and drives old-epoch floods explicitly through LocateVia
+// until the old epoch drains. The universe size must not change.
+// In-flight operations may still use the previous strategy's sets;
+// callers that need a clean cut quiesce traffic first.
+func (s *System) SetStrategy(strat rendezvous.Strategy) error {
+	if strat.N() != s.net.Graph().N() {
+		return fmt.Errorf("core: strategy universe %d != network size %d", strat.N(), s.net.Graph().N())
+	}
+	s.stratMu.Lock()
+	s.strat = strat
+	s.stratMu.Unlock()
+	return nil
+}
+
 // SetReplicaFilter installs the family-scoping predicate of the
 // replicated rendezvous mode: a node self answers a family-k query
 // with entry e only when f(self, k, e) holds. Pass nil to restore the
@@ -319,6 +349,14 @@ func (s *System) RegisterServer(port Port, node graph.NodeID) (*Server, error) {
 
 // post sends a posting (or tombstone) for srv from-and-about node.
 func (s *System) post(srv *Server, node graph.NodeID, active bool) error {
+	return s.postVia(srv, node, active, s.strategy().Post(node))
+}
+
+// postVia is post with an explicit target set — the migration primitive
+// of an epoch transition, where a server re-posts only the delta the
+// remap computed instead of its full posting set. The multicast is
+// real; the network counts its hops.
+func (s *System) postVia(srv *Server, node graph.NodeID, active bool, targets []graph.NodeID) error {
 	entry := Entry{
 		Port:     srv.port,
 		Addr:     node,
@@ -326,7 +364,6 @@ func (s *System) post(srv *Server, node graph.NodeID, active bool) error {
 		Time:     s.clock.Add(1),
 		Active:   active,
 	}
-	targets := s.strat.Post(node)
 	reached, err := s.net.Multicast(node, targets, postMsg{entry: entry})
 	s.postsSent.Add(int64(reached))
 	if err != nil {
@@ -338,6 +375,10 @@ func (s *System) post(srv *Server, node graph.NodeID, active bool) error {
 
 // Port returns the server's port.
 func (srv *Server) Port() Port { return srv.port }
+
+// ID returns the server's instance identifier — the ServerID its cached
+// entries carry.
+func (srv *Server) ID() uint64 { return srv.id }
 
 // Node returns the server's current address.
 func (srv *Server) Node() graph.NodeID {
@@ -357,6 +398,21 @@ func (srv *Server) Repost() error {
 		return ErrServerGone
 	}
 	return srv.sys.post(srv, node, true)
+}
+
+// RepostVia refreshes the server's posting at an explicit target set
+// instead of the full P(node) — the minimal-movement re-post of an
+// epoch transition: only the rendezvous nodes the remap says are new
+// receive the (fresh-timestamped) posting, at that multicast's real
+// cost. An empty target set is a no-op that costs nothing.
+func (srv *Server) RepostVia(targets []graph.NodeID) error {
+	srv.mu.Lock()
+	node, gone := srv.node, srv.gone
+	srv.mu.Unlock()
+	if gone {
+		return ErrServerGone
+	}
+	return srv.sys.postVia(srv, node, true, targets)
 }
 
 // Migrate moves the server process to a new node (§1.3: destroy at one
@@ -443,7 +499,7 @@ func (s *System) LocateVia(client graph.NodeID, port Port, targets []graph.NodeI
 		return LocateResult{}, fmt.Errorf("core: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	id := s.reqID.Add(1)
-	ch := make(chan Entry, s.strat.N())
+	ch := make(chan Entry, s.strategy().N())
 	s.mu.Lock()
 	s.pending[id] = ch
 	s.mu.Unlock()
@@ -454,7 +510,7 @@ func (s *System) LocateVia(client graph.NodeID, port Port, targets []graph.NodeI
 	}()
 
 	if targets == nil {
-		targets = s.strat.Query(client)
+		targets = s.strategy().Query(client)
 	}
 	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id, family: family})
 	s.queriesSent.Add(int64(reached))
@@ -515,7 +571,7 @@ func (s *System) LocateAllVia(client graph.NodeID, port Port, targets []graph.No
 		return nil, fmt.Errorf("core: locate-all from %d: %w", client, graph.ErrNodeRange)
 	}
 	id := s.reqID.Add(1)
-	ch := make(chan Entry, s.strat.N()*4)
+	ch := make(chan Entry, s.strategy().N()*4)
 	s.mu.Lock()
 	s.pending[id] = ch
 	s.mu.Unlock()
@@ -526,7 +582,7 @@ func (s *System) LocateAllVia(client graph.NodeID, port Port, targets []graph.No
 	}()
 
 	if targets == nil {
-		targets = s.strat.Query(client)
+		targets = s.strategy().Query(client)
 	}
 	reached, err := s.net.Multicast(client, targets, queryMsg{port: port, client: client, reqID: id, all: true, family: family})
 	s.queriesSent.Add(int64(reached))
@@ -597,7 +653,7 @@ func (srv *Server) PollRendezvous() (live, total int) {
 		return 0, 0
 	}
 	s := srv.sys
-	targets := s.strat.Post(node)
+	targets := s.strategy().Post(node)
 	for _, v := range targets {
 		total++
 		if s.net.Crashed(v) {
@@ -629,7 +685,7 @@ func (srv *Server) MaintainRendezvous(minLive int) (bool, error) {
 }
 
 // Strategy returns the strategy the system runs.
-func (s *System) Strategy() rendezvous.Strategy { return s.strat }
+func (s *System) Strategy() rendezvous.Strategy { return s.strategy() }
 
 // Network returns the underlying simulator network.
 func (s *System) Network() *sim.Network { return s.net }
@@ -658,6 +714,29 @@ func (s *System) ClearCache(v graph.NodeID) {
 	if s.net.Graph().Valid(v) {
 		s.caches[v].clear()
 	}
+}
+
+// ExpireEntry drops the cached posting of one server instance at node v
+// — the local garbage collection of an epoch retirement: postings left
+// at rendezvous nodes that belong only to the drained epoch expire in
+// place, by local decision, costing no messages (the serving layer
+// knows which (node, port, instance) triples the remap orphaned).
+func (s *System) ExpireEntry(v graph.NodeID, port Port, serverID uint64) {
+	if s.net.Graph().Valid(v) {
+		s.caches[v].drop(port, serverID)
+	}
+}
+
+// LiveServers returns a snapshot of every currently registered server
+// handle — the iteration surface an epoch transition re-posts over.
+func (s *System) LiveServers() []*Server {
+	s.srvMu.Lock()
+	defer s.srvMu.Unlock()
+	out := make([]*Server, 0, len(s.servers))
+	for _, srv := range s.servers {
+		out = append(out, srv)
+	}
+	return out
 }
 
 // Counters returns the logical message counts (posts, queries, replies)
