@@ -15,6 +15,8 @@
 //	mmload -transport sim -duration 5s       # same load over the simulator
 //	mmload -transport net -addrs a,b,c       # real sockets: a node-process
 //	                                         # cluster from `mmctl up` or mmnode
+//	mmload -transport gate -gate-addr a:p    # through a running mmgate service
+//	                                         # edge (binary gate protocol)
 //	mmload -workload uniform -ports 64
 //	mmload -workload zipf -zipf-s 1.4        # skew the port popularity
 //	mmload -churn 50ms                       # crash/re-register churn
@@ -82,6 +84,7 @@ import (
 
 	"matchmake/internal/cluster"
 	"matchmake/internal/core"
+	"matchmake/internal/gate"
 	"matchmake/internal/graph"
 	"matchmake/internal/rendezvous"
 	"matchmake/internal/strategy"
@@ -97,6 +100,8 @@ func main() {
 
 type config struct {
 	transport   string
+	gateAddr    string
+	gateToken   string
 	addrs       string
 	stateFile   string
 	watchState  time.Duration
@@ -134,7 +139,9 @@ type config struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmload", flag.ContinueOnError)
 	var cfg config
-	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator) | net (socket cluster; needs -addrs)")
+	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator) | net (socket cluster; needs -addrs) | gate (mmgate service edge; needs -gate-addr)")
+	fs.StringVar(&cfg.gateAddr, "gate-addr", "", "gate transport: mmgate wire address (the WIRE line mmgate prints)")
+	fs.StringVar(&cfg.gateToken, "gate-token", "dev", "gate transport: bearer token (a tenant from the gateway's -tenants table)")
 	fs.StringVar(&cfg.addrs, "addrs", "", "net transport: comma-separated node-process addresses in partition order (from `mmctl up` or mmnode)")
 	fs.StringVar(&cfg.stateFile, "state", "", "net transport: read the address list from this mmctl state file instead of -addrs")
 	fs.DurationVar(&cfg.watchState, "watch-state", 0, "net transport: poll the -state file this often and rescale onto layout changes (0 = off)")
@@ -189,50 +196,73 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-kill-rate must be ≥ 0, got %v", cfg.killRate)
 	}
 
-	g, err := buildTopology(cfg.topo, cfg.nodes)
-	if err != nil {
-		return err
-	}
-	if cfg.resizeTo == 0 {
-		cfg.resizeTo = g.N() * 3 / 4
-	}
-	if cfg.resizeEvery > 0 {
-		if cfg.weighted {
-			return fmt.Errorf("-resize-interval and -weighted are mutually exclusive")
+	// The transport, node count and the topology/strategy names for the
+	// report. With -transport gate the rendezvous machinery lives behind
+	// the service edge: the gateway picked topology and strategy, mmload
+	// learns the node count from the hello and reports the rest as
+	// "remote".
+	var (
+		tr        cluster.Transport
+		n         int
+		topoName  string
+		stratName string
+	)
+	if cfg.transport == "gate" {
+		if err := validateGateFlags(cfg); err != nil {
+			return err
 		}
-		if cfg.resizeTo < 2 || cfg.resizeTo > g.N() {
-			return fmt.Errorf("-resize-to %d out of [2,%d]", cfg.resizeTo, g.N())
-		}
-		if cfg.replicas > cfg.resizeTo {
-			return fmt.Errorf("-replicas %d > -resize-to %d", cfg.replicas, cfg.resizeTo)
-		}
-	}
-	if cfg.watchState > 0 {
-		if cfg.transport != "net" {
-			return fmt.Errorf("-watch-state needs -transport net")
-		}
-		if cfg.stateFile == "" {
-			return fmt.Errorf("-watch-state needs -state")
-		}
-	}
-	if cfg.transport == "net" && cfg.addrs == "" && cfg.stateFile != "" {
-		stateAddrs, err := readStateAddrs(cfg.stateFile)
+		gt, err := gate.DialTransport(cfg.gateAddr, cfg.gateToken, cfg.netConns)
 		if err != nil {
-			return fmt.Errorf("-state %s: %w", cfg.stateFile, err)
+			return err
 		}
-		cfg.addrs = strings.Join(stateAddrs, ",")
-	}
-	strat, err := buildStrategy(cfg.strategy, g.N(), cfg.seed)
-	if err != nil {
-		return err
-	}
-	tr, err := buildTransport(cfg, g, strat)
-	if err != nil {
-		return err
+		tr, n = gt, gt.N()
+		topoName, stratName = "remote", "remote"
+	} else {
+		g, err := buildTopology(cfg.topo, cfg.nodes)
+		if err != nil {
+			return err
+		}
+		if cfg.resizeTo == 0 {
+			cfg.resizeTo = g.N() * 3 / 4
+		}
+		if cfg.resizeEvery > 0 {
+			if cfg.weighted {
+				return fmt.Errorf("-resize-interval and -weighted are mutually exclusive")
+			}
+			if cfg.resizeTo < 2 || cfg.resizeTo > g.N() {
+				return fmt.Errorf("-resize-to %d out of [2,%d]", cfg.resizeTo, g.N())
+			}
+			if cfg.replicas > cfg.resizeTo {
+				return fmt.Errorf("-replicas %d > -resize-to %d", cfg.replicas, cfg.resizeTo)
+			}
+		}
+		if cfg.watchState > 0 {
+			if cfg.transport != "net" {
+				return fmt.Errorf("-watch-state needs -transport net")
+			}
+			if cfg.stateFile == "" {
+				return fmt.Errorf("-watch-state needs -state")
+			}
+		}
+		if cfg.transport == "net" && cfg.addrs == "" && cfg.stateFile != "" {
+			stateAddrs, err := readStateAddrs(cfg.stateFile)
+			if err != nil {
+				return fmt.Errorf("-state %s: %w", cfg.stateFile, err)
+			}
+			cfg.addrs = strings.Join(stateAddrs, ",")
+		}
+		strat, err := buildStrategy(cfg.strategy, g.N(), cfg.seed)
+		if err != nil {
+			return err
+		}
+		if tr, err = buildTransport(cfg, g, strat); err != nil {
+			return err
+		}
+		n, topoName, stratName = g.N(), cfg.topo, strat.Name()
 	}
 	// When membership churns, servers and clients stay inside the
 	// smaller epoch's range so every locate remains serviceable.
-	activeFloor := g.N()
+	activeFloor := n
 	if cfg.resizeEvery > 0 && cfg.resizeTo < activeFloor {
 		activeFloor = cfg.resizeTo
 	}
@@ -287,7 +317,7 @@ func run(args []string, out io.Writer) error {
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			resizes, resizeErr = runResizer(c, cfg, g.N(), stop)
+			resizes, resizeErr = runResizer(c, cfg, n, stop)
 		}()
 	}
 	if cfg.watchState > 0 {
@@ -318,14 +348,14 @@ func run(args []string, out io.Writer) error {
 
 	m := c.Metrics()
 	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
-		tr.Name(), cfg.topo, g.N(), strat.Name(), cfg.ports, cfg.workload, churnSuffix(cfg))
+		tr.Name(), topoName, n, stratName, cfg.ports, cfg.workload, churnSuffix(cfg))
 	if cfg.killRate > 0 {
-		fmt.Fprintf(out, "kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", kills, cfg.killRate)
+		fmt.Fprintf(out, "mmload: kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", kills, cfg.killRate)
 	}
 	if cfg.resizeEvery > 0 {
-		fmt.Fprintf(out, "resizes=%d (every %v, active %d↔%d)\n", resizes, cfg.resizeEvery, g.N(), cfg.resizeTo)
+		fmt.Fprintf(out, "mmload: resizes=%d (every %v, active %d↔%d)\n", resizes, cfg.resizeEvery, n, cfg.resizeTo)
 		if resizeErr != nil {
-			fmt.Fprintf(out, "resize: last error: %v\n", resizeErr)
+			fmt.Fprintf(out, "mmload: resize: last error: %v\n", resizeErr)
 		}
 	}
 	fmt.Fprintln(out, m.String())
@@ -335,6 +365,31 @@ func run(args []string, out io.Writer) error {
 		// upper bound on the serving path's allocs/op.
 		allocs := float64(memAfter.Mallocs-memBefore.Mallocs) / float64(m.Locates)
 		fmt.Fprintf(out, "allocs/locate≈%.2f (process-wide upper bound)\n", allocs)
+	}
+	return nil
+}
+
+// validateGateFlags rejects flags that configure machinery living on
+// the gateway's side of the wire: with -transport gate the rendezvous
+// strategy, hint cache, fault injection and membership churn all
+// belong to the mmgate process, not the load driver.
+func validateGateFlags(cfg config) error {
+	if cfg.gateAddr == "" {
+		return fmt.Errorf("-transport gate needs -gate-addr (the WIRE line mmgate prints)")
+	}
+	switch {
+	case cfg.addrs != "" || cfg.stateFile != "":
+		return fmt.Errorf("-addrs/-state belong to -transport net; the gateway owns its own cluster")
+	case cfg.hints:
+		return fmt.Errorf("-hints is gateway-side: start mmgate with -hints instead")
+	case cfg.weighted:
+		return fmt.Errorf("-weighted is gateway-side; not available over -transport gate")
+	case cfg.replicas > 1:
+		return fmt.Errorf("-replicas is gateway-side: start mmgate with -replicas instead")
+	case cfg.churn > 0 || cfg.killRate > 0:
+		return fmt.Errorf("-churn/-kill-rate need direct transport access; not available over -transport gate")
+	case cfg.resizeEvery > 0 || cfg.watchState > 0:
+		return fmt.Errorf("membership churn (-resize-interval/-watch-state) is not available over -transport gate")
 	}
 	return nil
 }

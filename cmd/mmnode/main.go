@@ -17,15 +17,21 @@
 //
 //	mmnode -nodes 36 -procs 3 -index 1            # serve nodes [12,24)
 //	mmnode -nodes 36 -lo 12 -hi 24 -listen :7701  # the same, pinned port
+//	mmnode -nodes 36 -procs 3 -index 1 -metrics 127.0.0.1:0
+//	                                              # + Prometheus /metrics
+//	                                              # (prints "METRICS host:port")
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"matchmake/internal/cluster"
+	"matchmake/internal/gate"
 )
 
 func main() {
@@ -38,12 +44,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmnode", flag.ContinueOnError)
 	var (
-		nodes  = fs.Int("nodes", 0, "cluster size n (required)")
-		procs  = fs.Int("procs", 0, "total processes in the standard partition")
-		index  = fs.Int("index", -1, "this process's slot in the standard partition")
-		lo     = fs.Int("lo", -1, "first owned node (alternative to -procs/-index)")
-		hi     = fs.Int("hi", -1, "one past the last owned node")
-		listen = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		nodes   = fs.Int("nodes", 0, "cluster size n (required)")
+		procs   = fs.Int("procs", 0, "total processes in the standard partition")
+		index   = fs.Int("index", -1, "this process's slot in the standard partition")
+		lo      = fs.Int("lo", -1, "first owned node (alternative to -procs/-index)")
+		hi      = fs.Int("hi", -1, "one past the last owned node")
+		listen  = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		metrics = fs.String("metrics", "", "serve Prometheus /metrics for this node shard on this HTTP address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,8 +59,31 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := cluster.RunNodeWorker(*nodes, l, h, *listen, out); err != nil {
+	// The metrics endpoint mounts once the worker's listener is bound:
+	// the ready hook hands over the live NodeServer, and a second line,
+	// "METRICS host:port", follows the worker's "ADDR" line so scrapers
+	// can be pointed at ephemeral ports too.
+	var ms *http.Server
+	ready := func(srv *cluster.NodeServer) {
+		if *metrics == "" {
+			return
+		}
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(out, "mmnode: metrics listener: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "METRICS %s\n", ln.Addr())
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", gate.NodeMetricsHandler(srv))
+		ms = &http.Server{Handler: mux}
+		go func() { _ = ms.Serve(ln) }()
+	}
+	if err := cluster.RunNodeWorkerWithReady(*nodes, l, h, *listen, out, ready); err != nil {
 		return err
+	}
+	if ms != nil {
+		_ = ms.Close()
 	}
 	fmt.Fprintln(out, "mmnode: drained")
 	return nil

@@ -17,6 +17,7 @@ import (
 // missing-doc-comment lint.
 var doclintPackages = []string{
 	"internal/cluster",
+	"internal/gate",
 	"internal/strategy",
 	"internal/stats",
 	"internal/rendezvous",

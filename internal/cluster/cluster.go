@@ -47,6 +47,13 @@ type Options struct {
 	// Zero disables the background loop; ReclassifyHot can still be
 	// called explicitly.
 	HotRefresh time.Duration
+	// OnEvent, when set, receives lifecycle events: registrations,
+	// deregistrations and migrations passing through the cluster, epoch
+	// transitions, and — when the transport implements EventSource —
+	// crash/restore marks and node-shard process deaths observed below
+	// the cluster API. The sink runs inline on the emitting path and
+	// must not block; the gate's watch hub is the intended consumer.
+	OnEvent EventSink
 }
 
 func (o Options) withDefaults() Options {
@@ -199,6 +206,11 @@ func New(tr Transport, opts Options) *Cluster {
 	if rt, ok := tr.(ReplicatedTransport); ok && rt.Replicas() > 1 {
 		c.repl = rt
 	}
+	if c.opts.OnEvent != nil {
+		if es, ok := tr.(EventSource); ok {
+			es.SetEventSink(c.opts.OnEvent)
+		}
+	}
 	c.metrics.start(tr)
 	c.batchScratch.New = func() any { return &clusterScratch{} }
 	if c.opts.Hints {
@@ -288,6 +300,10 @@ func (c *Cluster) Register(port core.Port, node graph.NodeID) (ServerRef, error)
 	ref, err := c.tr.Register(port, node)
 	if err == nil {
 		c.metrics.posts.Add(1)
+		if c.opts.OnEvent != nil {
+			c.opts.OnEvent(Event{Type: EvRegister, Port: port, Node: node})
+			ref = c.wrapRef(ref)
+		}
 	}
 	return ref, err
 }
@@ -565,6 +581,15 @@ func (c *Cluster) PostBatch(regs []Registration) ([]ServerRef, error) {
 	}
 	refs, err := c.tr.PostBatch(regs)
 	c.metrics.posts.Add(int64(len(refs)))
+	if c.opts.OnEvent != nil {
+		for i, ref := range refs {
+			if ref == nil {
+				continue
+			}
+			c.opts.OnEvent(Event{Type: EvRegister, Port: ref.Port(), Node: ref.Node()})
+			refs[i] = c.wrapRef(ref)
+		}
+	}
 	return refs, err
 }
 
@@ -598,7 +623,11 @@ func (c *Cluster) Resize(next *strategy.Epoch) (int, error) {
 	if !ok {
 		return 0, ErrNotElastic
 	}
-	return et.Resize(next)
+	moved, err := et.Resize(next)
+	if err == nil && c.opts.OnEvent != nil {
+		c.opts.OnEvent(Event{Type: EvEpoch, Epoch: et.Epoch()})
+	}
+	return moved, err
 }
 
 // FinishResize retires the previous epoch on an elastic transport once

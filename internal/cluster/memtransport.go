@@ -70,6 +70,7 @@ type MemTransport struct {
 	crashed  []atomic.Bool
 	passes   stats.StripedCounter
 	serverID atomic.Uint64
+	events   eventSink
 
 	// elastic is the epoch-versioned membership state (nil on
 	// transports built without it — see NewElasticMemTransport): the
@@ -1109,6 +1110,7 @@ func (t *MemTransport) Crash(node graph.NodeID) error {
 	t.crashed[node].Store(true)
 	t.store.ClearNode(node)
 	t.gens.bumpAll()
+	t.events.emit(Event{Type: EvCrash, Node: node})
 	return nil
 }
 
@@ -1118,8 +1120,13 @@ func (t *MemTransport) Restore(node graph.NodeID) error {
 		return fmt.Errorf("cluster: restore %d: %w", node, graph.ErrNodeRange)
 	}
 	t.crashed[node].Store(false)
+	t.events.emit(Event{Type: EvRestore, Node: node})
 	return nil
 }
+
+// SetEventSink implements EventSource: crash and restore marks are
+// pushed to the sink as EvCrash/EvRestore events.
+func (t *MemTransport) SetEventSink(fn EventSink) { t.events.set(fn) }
 
 // Passes implements Transport.
 func (t *MemTransport) Passes() int64 { return t.passes.Load() }

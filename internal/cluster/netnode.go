@@ -37,8 +37,51 @@ type NodeServer struct {
 
 	crashed []atomic.Bool
 
+	// ops counts served requests per opcode (index = opcode), the raw
+	// material of the worker's /metrics endpoint; badOps counts frames
+	// with an unknown opcode.
+	ops    [opSnapshot + 1]atomic.Int64
+	badOps atomic.Int64
+
 	srv *netwire.Server
 }
+
+// opNames maps node-protocol opcodes to stable metric label values.
+var opNames = [opSnapshot + 1]string{
+	opHello:      "hello",
+	opPost:       "post",
+	opQuery:      "query",
+	opQueryAll:   "query_all",
+	opProbe:      "probe",
+	opRegister:   "register",
+	opDeregister: "deregister",
+	opCrash:      "crash",
+	opRestore:    "restore",
+	opExpire:     "expire",
+	opSnapshot:   "snapshot",
+}
+
+// OpCounts returns the cumulative served-request count per operation
+// name (plus "unknown" for undecodable opcodes, when any occurred) —
+// the counters behind cmd/mmnode's /metrics endpoint.
+func (s *NodeServer) OpCounts() map[string]int64 {
+	out := make(map[string]int64, len(opNames))
+	for op, name := range opNames {
+		if name == "" {
+			continue
+		}
+		if v := s.ops[op].Load(); v > 0 {
+			out[name] = v
+		}
+	}
+	if v := s.badOps.Load(); v > 0 {
+		out["unknown"] = v
+	}
+	return out
+}
+
+// Range returns the owned node range [lo, hi) and the cluster size n.
+func (s *NodeServer) Range() (lo, hi, n int) { return s.lo, s.hi, s.n }
 
 // liveRec is one registered server instance: the port it serves and
 // the owned node it currently lives at.
@@ -110,6 +153,14 @@ func (s *NodeServer) ServeUntilTerm() error {
 // ephemeral ports), serve the node range [lo, hi) of an n-node
 // cluster, and drain gracefully on SIGTERM before returning.
 func RunNodeWorker(n, lo, hi int, listenAddr string, out io.Writer) error {
+	return RunNodeWorkerWithReady(n, lo, hi, listenAddr, out, nil)
+}
+
+// RunNodeWorkerWithReady is RunNodeWorker with a hook that receives
+// the built NodeServer after its listener is bound but before serving
+// begins — cmd/mmnode uses it to mount the /metrics endpoint on the
+// live server.
+func RunNodeWorkerWithReady(n, lo, hi int, listenAddr string, out io.Writer, ready func(*NodeServer)) error {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return err
@@ -118,6 +169,9 @@ func RunNodeWorker(n, lo, hi int, listenAddr string, out io.Writer) error {
 	if err != nil {
 		ln.Close()
 		return err
+	}
+	if ready != nil {
+		ready(srv)
 	}
 	fmt.Fprintf(out, "ADDR %s\n", ln.Addr())
 	fmt.Fprintf(out, "serving nodes [%d,%d) of %d\n", lo, hi, n)
@@ -131,6 +185,11 @@ func (s *NodeServer) owned(node graph.NodeID) bool {
 
 // handle serves one decoded request frame; it runs concurrently.
 func (s *NodeServer) handle(op byte, req, resp []byte) (byte, []byte) {
+	if int(op) < len(s.ops) && opNames[op] != "" {
+		s.ops[op].Add(1)
+	} else {
+		s.badOps.Add(1)
+	}
 	d := netwire.NewDec(req)
 	switch op {
 	case opHello:

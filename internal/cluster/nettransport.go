@@ -108,6 +108,7 @@ type NetTransport struct {
 	clock    atomic.Uint64 // logical posting timestamps
 	serverID atomic.Uint64
 	passes   stats.StripedCounter
+	events   eventSink
 
 	scratch sync.Pool // *netScratch
 }
@@ -403,6 +404,7 @@ func (t *NetTransport) callProc(ps *procSet, p int, op byte, req, resp []byte) (
 		if !ps.downP[p].Swap(true) {
 			t.gens.bumpAll()
 			ps.needRepair[p].Store(true)
+			t.events.emit(Event{Type: EvProcDown, Lo: ps.ranges[p][0], Hi: ps.ranges[p][1]})
 		}
 		return 0, nil, err
 	}
@@ -442,6 +444,7 @@ func (t *NetTransport) runRepair(interval time.Duration) {
 				t.lifeMu.RLock()
 				t.repairRange(ps, ps.ranges[p][0], ps.ranges[p][1])
 				t.lifeMu.RUnlock()
+				t.events.emit(Event{Type: EvProcUp, Lo: ps.ranges[p][0], Hi: ps.ranges[p][1]})
 			}
 		}
 	}
@@ -1625,6 +1628,7 @@ func (t *NetTransport) Crash(node graph.NodeID) error {
 	t.crashed[node].Store(true)
 	t.crashRemote(node, opCrash)
 	t.gens.bumpAll()
+	t.events.emit(Event{Type: EvCrash, Node: node})
 	return nil
 }
 
@@ -1635,8 +1639,16 @@ func (t *NetTransport) Restore(node graph.NodeID) error {
 	}
 	t.crashed[node].Store(false)
 	t.crashRemote(node, opRestore)
+	t.events.emit(Event{Type: EvRestore, Node: node})
 	return nil
 }
+
+// SetEventSink implements EventSource: explicit crash/restore marks
+// are pushed as EvCrash/EvRestore, and the process health tracking
+// raises EvProcDown on the first failed call against a node-shard
+// process (the kill -9 signal) and EvProcUp when the repair loop has
+// rebuilt a recovered process's range.
+func (t *NetTransport) SetEventSink(fn EventSink) { t.events.set(fn) }
 
 // crashRemote delivers a crash/restore mark to node's owner; a dead
 // process is already maximally crashed, so delivery failures are

@@ -25,10 +25,11 @@ import (
 // handler mode: the name-server handlers never block, so skipping the
 // per-delivery goroutine is safe and roughly doubles serving throughput.
 type SimTransport struct {
-	net  *sim.Network
-	sys  *core.System
-	gens *genIndex
-	rp   *strategy.Replicated // nil unless replicated
+	net    *sim.Network
+	sys    *core.System
+	gens   *genIndex
+	rp     *strategy.Replicated // nil unless replicated
+	events eventSink
 
 	// elastic is the epoch-versioned membership state (nil on
 	// transports built without it — see NewElasticSimTransport). The
@@ -491,13 +492,22 @@ func (t *SimTransport) Crash(node graph.NodeID) error {
 	}
 	t.sys.ClearCache(node)
 	t.gens.bumpAll()
+	t.events.emit(Event{Type: EvCrash, Node: node})
 	return nil
 }
 
 // Restore implements Transport.
 func (t *SimTransport) Restore(node graph.NodeID) error {
-	return t.net.Restore(node)
+	if err := t.net.Restore(node); err != nil {
+		return err
+	}
+	t.events.emit(Event{Type: EvRestore, Node: node})
+	return nil
 }
+
+// SetEventSink implements EventSource: crash and restore marks are
+// pushed to the sink as EvCrash/EvRestore events.
+func (t *SimTransport) SetEventSink(fn EventSink) { t.events.set(fn) }
 
 // Passes implements Transport: the simulator's exact hop count.
 func (t *SimTransport) Passes() int64 { return t.net.Hops() }

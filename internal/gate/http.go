@@ -1,0 +1,323 @@
+package gate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"matchmake/internal/cluster"
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+// HTTP request/response bodies for the JSON API. All are flat objects
+// so they stay trivially curl-able; see the README quickstart.
+
+// RegisterRequest is the body of POST /v1/register.
+type RegisterRequest struct {
+	// Port is the tenant-local port name to announce.
+	Port string `json:"port"`
+	// Node is the node the server resides at.
+	Node int64 `json:"node"`
+}
+
+// RegisterResponse is the body answering POST /v1/register.
+type RegisterResponse struct {
+	// ID identifies the registration for a later deregister.
+	ID uint64 `json:"id"`
+	// Port and Node echo the request.
+	Port string `json:"port"`
+	Node int64  `json:"node"`
+}
+
+// DeregisterRequest is the body of POST /v1/deregister.
+type DeregisterRequest struct {
+	// ID is the registration id returned by register.
+	ID uint64 `json:"id"`
+}
+
+// LocateRequest is the body of POST /v1/locate (GET uses ?port= and
+// ?client= instead).
+type LocateRequest struct {
+	// Port is the tenant-local port to resolve.
+	Port string `json:"port"`
+	// Client is the node the lookup originates from (pass accounting
+	// is distance-sensitive).
+	Client int64 `json:"client"`
+}
+
+// EntryJSON is a located (port, address) posting as served by the
+// JSON API.
+type EntryJSON struct {
+	// Port is the tenant-local port.
+	Port string `json:"port"`
+	// Addr is the node the server receives requests at.
+	Addr int64 `json:"addr"`
+	// ServerID distinguishes server instances on the same port.
+	ServerID uint64 `json:"server_id"`
+	// Time is the posting's logical timestamp.
+	Time uint64 `json:"time"`
+}
+
+// LocateBatchRequest is the body of POST /v1/locate-batch: one client
+// origin, many ports.
+type LocateBatchRequest struct {
+	// Client is the node the lookups originate from.
+	Client int64 `json:"client"`
+	// Ports are the tenant-local ports to resolve.
+	Ports []string `json:"ports"`
+}
+
+// LocateBatchResult is one slot of a locate-batch response.
+type LocateBatchResult struct {
+	// Entry is the resolved posting when Error is empty.
+	Entry *EntryJSON `json:"entry,omitempty"`
+	// Error is "not-found" or an error string; empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// LocateBatchResponse is the body answering POST /v1/locate-batch;
+// Results[i] answers Ports[i].
+type LocateBatchResponse struct {
+	// Results holds one slot per requested port, in order.
+	Results []LocateBatchResult `json:"results"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// HTTPHandler returns the gateway's HTTP/JSON API: /v1/register,
+// /v1/deregister, /v1/locate, /v1/locate-batch and /v1/watch behind
+// bearer-token auth, plus unauthenticated /metrics and /healthz.
+func (g *Gateway) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", g.withTenant(g.handleRegister))
+	mux.HandleFunc("POST /v1/deregister", g.withTenant(g.handleDeregister))
+	mux.HandleFunc("GET /v1/locate", g.withTenant(g.handleLocateGet))
+	mux.HandleFunc("POST /v1/locate", g.withTenant(g.handleLocatePost))
+	mux.HandleFunc("POST /v1/locate-batch", g.withTenant(g.handleLocateBatch))
+	mux.HandleFunc("GET /v1/watch", g.withTenant(g.handleWatch))
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// withTenant authenticates the request's bearer token and hands the
+// tenant to h.
+func (g *Gateway) withTenant(h func(http.ResponseWriter, *http.Request, *tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok {
+			writeErr(w, http.StatusUnauthorized, "missing bearer token")
+			g.denied.Add(1)
+			return
+		}
+		tn, err := g.auth(strings.TrimSpace(tok))
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, "unknown token")
+			return
+		}
+		h(w, r, tn)
+	}
+}
+
+// writeErr writes a JSON error body with the given status.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorJSON{Error: msg})
+}
+
+// writeGateErr maps gateway/cluster errors onto HTTP semantics: shed
+// quotas answer 429 with a Retry-After, a missing port answers 404,
+// malformed input 400.
+func writeGateErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "tenant quota exceeded")
+	case errors.Is(err, core.ErrNotFound):
+		writeErr(w, http.StatusNotFound, "not-found")
+	case errors.Is(err, ErrUnknownReg):
+		writeErr(w, http.StatusNotFound, "unknown registration id")
+	default:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// writeJSON writes v as the 200 response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody decodes the request body into v, rejecting unknown
+// fields so typos fail loudly.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (g *Gateway) handleRegister(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	var req RegisterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad register body: "+err.Error())
+		return
+	}
+	id, err := g.register(tn, core.Port(req.Port), graph.NodeID(req.Node))
+	if err != nil {
+		writeGateErr(w, err)
+		return
+	}
+	writeJSON(w, RegisterResponse{ID: id, Port: req.Port, Node: req.Node})
+}
+
+func (g *Gateway) handleDeregister(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	var req DeregisterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad deregister body: "+err.Error())
+		return
+	}
+	if err := g.deregister(tn, req.ID); err != nil {
+		writeGateErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (g *Gateway) handleLocateGet(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	q := r.URL.Query()
+	client, err := strconv.ParseInt(q.Get("client"), 10, 64)
+	if q.Get("client") != "" && err != nil {
+		writeErr(w, http.StatusBadRequest, "bad client node")
+		return
+	}
+	g.serveLocate(w, tn, graph.NodeID(client), core.Port(q.Get("port")))
+}
+
+func (g *Gateway) handleLocatePost(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	var req LocateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad locate body: "+err.Error())
+		return
+	}
+	g.serveLocate(w, tn, graph.NodeID(req.Client), core.Port(req.Port))
+}
+
+func (g *Gateway) serveLocate(w http.ResponseWriter, tn *tenant, client graph.NodeID, port core.Port) {
+	e, err := g.locate(tn, client, port)
+	if err != nil {
+		writeGateErr(w, err)
+		return
+	}
+	writeJSON(w, entryJSON(e))
+}
+
+// entryJSON converts a core entry (tenant-local port already restored)
+// to its JSON form.
+func entryJSON(e core.Entry) EntryJSON {
+	return EntryJSON{
+		Port:     string(e.Port),
+		Addr:     int64(e.Addr),
+		ServerID: e.ServerID,
+		Time:     e.Time,
+	}
+}
+
+func (g *Gateway) handleLocateBatch(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	var req LocateBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad locate-batch body: "+err.Error())
+		return
+	}
+	if len(req.Ports) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty ports")
+		return
+	}
+	reqs := make([]cluster.LocateReq, len(req.Ports))
+	for i, p := range req.Ports {
+		reqs[i] = cluster.LocateReq{Client: graph.NodeID(req.Client), Port: core.Port(p)}
+	}
+	res := make([]cluster.LocateRes, len(reqs))
+	if err := g.locateBatch(tn, reqs, res); err != nil {
+		writeGateErr(w, err)
+		return
+	}
+	out := LocateBatchResponse{Results: make([]LocateBatchResult, len(res))}
+	for i, rr := range res {
+		if rr.Err != nil {
+			if errors.Is(rr.Err, core.ErrNotFound) {
+				out.Results[i].Error = "not-found"
+			} else {
+				out.Results[i].Error = rr.Err.Error()
+			}
+			continue
+		}
+		e := entryJSON(rr.Entry)
+		out.Results[i].Entry = &e
+	}
+	writeJSON(w, out)
+}
+
+// handleWatch streams tenant-scoped lifecycle events as
+// newline-delimited JSON over a chunked response until the client
+// disconnects or the hub closes. Watch streams do not consume rate
+// quota (one long request, not a request stream) but do hold an
+// in-flight slot so MaxInflight bounds a tenant's open watches too.
+func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	if !tn.q.enter() {
+		tn.m.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "tenant quota exceeded")
+		return
+	}
+	defer tn.q.leave()
+	sub := g.hub.Subscribe(tn.id, 256)
+	defer sub.Close()
+	tn.m.watchers.Add(1)
+	defer tn.m.watchers.Add(-1)
+	defer func() { tn.m.watchDropped.Add(sub.Dropped()) }()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case we, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(we); err != nil {
+				return
+			}
+			tn.m.watchEvents.Add(1)
+			fl.Flush()
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition: the cluster's
+// MetricsSnapshot plus per-tenant rollups. Unauthenticated, like a
+// conventional scrape endpoint.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.writeMetrics(w)
+}

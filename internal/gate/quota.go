@@ -1,0 +1,77 @@
+package gate
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// quota enforces one tenant's admission policy: a token-bucket request
+// rate plus an in-flight concurrency cap. Both are shed-on-exceed
+// (never queue): when a tenant is over quota the edge answers 429 /
+// gsShed immediately, so one tenant's burst costs itself latency and
+// nobody else capacity.
+type quota struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+
+	maxInflight int64 // 0 = unlimited
+	inflight    atomic.Int64
+}
+
+// configure sets the quota from a TenantConfig's values; zero rate or
+// zero maxInflight disable the respective limit.
+func (q *quota) configure(rate, burst float64, maxInflight int) {
+	q.rate = rate
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	q.burst = burst
+	q.tokens = burst
+	q.last = time.Now()
+	q.maxInflight = int64(maxInflight)
+}
+
+// allow charges n requests against the rate bucket, refilling by
+// elapsed wall time first. It never blocks.
+func (q *quota) allow(n int) bool {
+	if q.rate <= 0 {
+		return true
+	}
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tokens += now.Sub(q.last).Seconds() * q.rate
+	q.last = now
+	if q.tokens > q.burst {
+		q.tokens = q.burst
+	}
+	if q.tokens < float64(n) {
+		return false
+	}
+	q.tokens -= float64(n)
+	return true
+}
+
+// enter admits one request into the in-flight gate; a false return
+// means the concurrency cap is hit and the request must be shed.
+func (q *quota) enter() bool {
+	if q.maxInflight <= 0 {
+		q.inflight.Add(1)
+		return true
+	}
+	if q.inflight.Add(1) > q.maxInflight {
+		q.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// leave exits the in-flight gate (paired with a successful enter).
+func (q *quota) leave() { q.inflight.Add(-1) }

@@ -1,0 +1,101 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// TenantConfig declares one tenant of the gateway: its namespace id,
+// the bearer tokens that authenticate as it, and its quotas. The zero
+// quota values mean unlimited, so a single-tenant dev gateway is just
+// {ID, Tokens} with everything else defaulted.
+type TenantConfig struct {
+	// ID is the tenant's namespace: folded into every port key this
+	// tenant registers or locates, so two tenants can both own a port
+	// named "printer" without ever colliding below the edge. Lowercase
+	// letters, digits, '-' and '_' only.
+	ID string `json:"id"`
+	// Tokens are the bearer tokens that authenticate as this tenant
+	// (HTTP "Authorization: Bearer <token>" or the token field of every
+	// binary-API request). Each token belongs to exactly one tenant.
+	Tokens []string `json:"tokens"`
+	// RatePerSec caps admitted requests per second via a token bucket
+	// (a locate-batch of k charges k). Zero means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth for RatePerSec; zero defaults to
+	// max(1, RatePerSec) so a fresh tenant can spend one second of
+	// quota at once.
+	Burst float64 `json:"burst,omitempty"`
+	// MaxInflight caps concurrently executing requests for the tenant;
+	// zero means unlimited.
+	MaxInflight int `json:"max_inflight,omitempty"`
+}
+
+// validate rejects configs that would break namespace folding or
+// auth.
+func (tc TenantConfig) validate() error {
+	if tc.ID == "" {
+		return fmt.Errorf("gate: tenant with empty id")
+	}
+	for _, r := range tc.ID {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("gate: tenant id %q: only [a-z0-9_-] allowed", tc.ID)
+		}
+	}
+	if len(tc.Tokens) == 0 {
+		return fmt.Errorf("gate: tenant %q has no tokens", tc.ID)
+	}
+	for _, tok := range tc.Tokens {
+		if tok == "" {
+			return fmt.Errorf("gate: tenant %q has an empty token", tc.ID)
+		}
+	}
+	if tc.RatePerSec < 0 || tc.Burst < 0 || tc.MaxInflight < 0 {
+		return fmt.Errorf("gate: tenant %q has a negative quota", tc.ID)
+	}
+	return nil
+}
+
+// LoadTenants reads a tenant table from a JSON file: either a bare
+// array of TenantConfig or an object {"tenants": [...]}. See
+// docs/OPERATIONS.md for the format and quota-tuning guidance.
+func LoadTenants(path string) ([]TenantConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTenants(raw)
+}
+
+// ParseTenants decodes a tenant table from JSON bytes (bare array or
+// {"tenants": [...]} wrapper) and validates every entry.
+func ParseTenants(raw []byte) ([]TenantConfig, error) {
+	var list []TenantConfig
+	if err := json.Unmarshal(raw, &list); err != nil {
+		var wrapped struct {
+			Tenants []TenantConfig `json:"tenants"`
+		}
+		if err2 := json.Unmarshal(raw, &wrapped); err2 != nil {
+			return nil, fmt.Errorf("gate: tenants file: %w", err)
+		}
+		list = wrapped.Tenants
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("gate: tenants file declares no tenants")
+	}
+	for _, tc := range list {
+		if err := tc.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return list, nil
+}
+
+// DevTenant returns a single-tenant table for development: tenant
+// "dev" authenticated by token, no quotas.
+func DevTenant(token string) []TenantConfig {
+	return []TenantConfig{{ID: "dev", Tokens: []string{token}}}
+}
