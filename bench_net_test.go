@@ -1,0 +1,86 @@
+package matchmake
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"matchmake/internal/cluster"
+)
+
+// TestMain re-execs the test binary as a node-shard worker when
+// MM_NET_NODE is set, mirroring internal/cluster's harness: that is
+// how the transport=net benchmarks run against real node processes
+// behind loopback sockets without shipping a separate binary. The
+// worker prints "ADDR host:port" on stdout, then serves until killed.
+func TestMain(m *testing.M) {
+	if os.Getenv("MM_NET_NODE") != "" {
+		atoi := func(k string) int {
+			v, err := strconv.Atoi(os.Getenv(k))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "worker: bad %s: %v\n", k, err)
+				os.Exit(2)
+			}
+			return v
+		}
+		n, lo, hi := atoi("MM_NET_N"), atoi("MM_NET_LO"), atoi("MM_NET_HI")
+		if err := cluster.RunNodeWorker(n, lo, hi, "127.0.0.1:0", os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// spawnBenchNetCluster boots a procs-process loopback node-shard
+// cluster partitioning n graph nodes and returns the worker addresses.
+// Workers are killed at benchmark cleanup.
+func spawnBenchNetCluster(tb testing.TB, n, procs int) []string {
+	tb.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	addrs := make([]string, procs)
+	for i := 0; i < procs; i++ {
+		lo, hi := cluster.PartitionRange(n, procs, i)
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"MM_NET_NODE=1",
+			fmt.Sprintf("MM_NET_N=%d", n),
+			fmt.Sprintf("MM_NET_LO=%d", lo),
+			fmt.Sprintf("MM_NET_HI=%d", hi),
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		sc := bufio.NewScanner(out)
+		if !sc.Scan() {
+			tb.Fatalf("worker %d: no ADDR line (err=%v)", i, sc.Err())
+		}
+		line := sc.Text()
+		if !strings.HasPrefix(line, "ADDR ") {
+			tb.Fatalf("worker %d: unexpected line %q", i, line)
+		}
+		addrs[i] = strings.TrimPrefix(line, "ADDR ")
+		go func() { // drain further output so the child never blocks
+			for sc.Scan() {
+			}
+		}()
+	}
+	return addrs
+}

@@ -337,6 +337,102 @@ func BenchmarkClusterLocate(b *testing.B) {
 	b.Run("transport=sim/hints=on", func(b *testing.B) {
 		runSim(b, cluster.Options{Hints: true}, true)
 	})
+
+	// transport=net: the same workload against a real 3-process
+	// loopback node-shard cluster (spawned per subtest via the
+	// MM_NET_NODE re-exec harness in bench_net_test.go), so the bench
+	// gate prices the wire path too. The parallel variants raise
+	// SetParallelism so the coalescer sees concurrent locates even on a
+	// single-CPU host; coalesce=off runs the identical workload with
+	// one flood frame per locate, so the pair is the measured price of
+	// the wire coalescer.
+	newNet := func(b *testing.B, opts cluster.NetOptions) *cluster.NetTransport {
+		addrs := spawnBenchNetCluster(b, n, 3)
+		tr, err := cluster.NewNetTransport(topology.Complete(n), rendezvous.Checkerboard(n), addrs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	runNetParallel := func(b *testing.B, c *cluster.Cluster, tr cluster.Transport) {
+		var seq atomic.Int64
+		b.SetParallelism(8)
+		b.ReportAllocs()
+		before := tr.Passes()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(seq.Add(1)) * 7919
+			for pb.Next() {
+				i++
+				k := i & (sampleLen - 1)
+				if _, err := c.Locate(sampleClients[k], samplePorts[k]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		report(b, tr, before)
+	}
+
+	b.Run("transport=net/hints=off", func(b *testing.B) {
+		tr := newNet(b, cluster.NetOptions{CallTimeout: 10 * time.Second})
+		runNetParallel(b, setup(b, tr, cluster.Options{}), tr)
+	})
+
+	b.Run("transport=net/coalesce=off", func(b *testing.B) {
+		tr := newNet(b, cluster.NetOptions{CallTimeout: 10 * time.Second, DisableCoalescing: true})
+		runNetParallel(b, setup(b, tr, cluster.Options{}), tr)
+	})
+
+	b.Run("transport=net/hints=on", func(b *testing.B) {
+		tr := newNet(b, cluster.NetOptions{CallTimeout: 10 * time.Second})
+		c := setup(b, tr, cluster.Options{Hints: true})
+		for cl := 0; cl < n; cl++ {
+			for p := 0; p < ports; p++ {
+				if _, err := c.Locate(graph.NodeID(cl), names[p]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		runNetParallel(b, c, tr)
+	})
+
+	b.Run("transport=net/batch=16", func(b *testing.B) {
+		tr := newNet(b, cluster.NetOptions{CallTimeout: 10 * time.Second})
+		c := setup(b, tr, cluster.Options{})
+		var seq atomic.Int64
+		b.SetParallelism(8)
+		b.ReportAllocs()
+		before := tr.Passes()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(seq.Add(1)) * 7919
+			reqs := make([]cluster.LocateReq, 16)
+			res := make([]cluster.LocateRes, 16)
+			for pb.Next() {
+				// One iteration = one batched locate: fill a slot per
+				// pb.Next() so ns/op stays per-locate comparable.
+				i++
+				k := i & (sampleLen - 1)
+				reqs[0] = cluster.LocateReq{Client: sampleClients[k], Port: samplePorts[k]}
+				filled := 1
+				for filled < len(reqs) && pb.Next() {
+					i++
+					k = i & (sampleLen - 1)
+					reqs[filled] = cluster.LocateReq{Client: sampleClients[k], Port: samplePorts[k]}
+					filled++
+				}
+				if err := c.LocateBatch(reqs[:filled], res[:filled]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		report(b, tr, before)
+	})
 }
 
 // BenchmarkClusterStore isolates the sharded rendezvous cache: the

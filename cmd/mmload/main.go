@@ -86,6 +86,7 @@ import (
 	"matchmake/internal/core"
 	"matchmake/internal/gate"
 	"matchmake/internal/graph"
+	"matchmake/internal/netwire"
 	"matchmake/internal/rendezvous"
 	"matchmake/internal/strategy"
 	"matchmake/internal/topology"
@@ -106,6 +107,9 @@ type config struct {
 	stateFile   string
 	watchState  time.Duration
 	netConns    int
+	netStripes  int
+	coalesceWin time.Duration
+	netCoalesce bool
 	resizeEvery time.Duration
 	resizeTo    int
 	topo        string
@@ -136,6 +140,28 @@ type config struct {
 	collectWin  time.Duration
 }
 
+// stripes resolves the connection-stripe count for the net and gate
+// transports: -net-stripes wins, the older -net-conns spelling still
+// works, and zero defers to netwire.NewPool's max(2, GOMAXPROCS)
+// default.
+func (cfg config) stripes() int {
+	if cfg.netStripes != 0 {
+		return cfg.netStripes
+	}
+	return cfg.netConns
+}
+
+// netOptions assembles the NetOptions shared by the static and
+// elastic net transport builders from the wire-tuning flags.
+func (cfg config) netOptions() cluster.NetOptions {
+	return cluster.NetOptions{
+		ConnsPerProc:      cfg.stripes(),
+		CallTimeout:       30 * time.Second,
+		CoalesceWindow:    cfg.coalesceWin,
+		DisableCoalescing: !cfg.netCoalesce,
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmload", flag.ContinueOnError)
 	var cfg config
@@ -145,7 +171,10 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.addrs, "addrs", "", "net transport: comma-separated node-process addresses in partition order (from `mmctl up` or mmnode)")
 	fs.StringVar(&cfg.stateFile, "state", "", "net transport: read the address list from this mmctl state file instead of -addrs")
 	fs.DurationVar(&cfg.watchState, "watch-state", 0, "net transport: poll the -state file this often and rescale onto layout changes (0 = off)")
-	fs.IntVar(&cfg.netConns, "net-conns", 0, "net transport: connections per node process (0 = default)")
+	fs.IntVar(&cfg.netConns, "net-conns", 0, "net transport: connections per node process (0 = default; superseded by -net-stripes)")
+	fs.IntVar(&cfg.netStripes, "net-stripes", 0, "net/gate transport: connection stripes per destination process (0 = max(2, GOMAXPROCS))")
+	fs.DurationVar(&cfg.coalesceWin, "coalesce-window", 0, "net transport: wire coalescer window — a promoted flood leader waits this long for more locates to queue (0 = flush immediately)")
+	fs.BoolVar(&cfg.netCoalesce, "net-coalesce", true, "net transport: coalesce concurrent locates into shared wire floods (-net-coalesce=false for one frame per locate)")
 	fs.DurationVar(&cfg.resizeEvery, "resize-interval", 0, "elastic membership churn: resize (or finish the draining resize) this often (0 = off)")
 	fs.IntVar(&cfg.resizeTo, "resize-to", 0, "resize churn: the smaller active node count to shrink to (0 = 3n/4)")
 	fs.StringVar(&cfg.topo, "topology", "complete", "topology: complete|grid|ring|hypercube")
@@ -211,7 +240,7 @@ func run(args []string, out io.Writer) error {
 		if err := validateGateFlags(cfg); err != nil {
 			return err
 		}
-		gt, err := gate.DialTransport(cfg.gateAddr, cfg.gateToken, cfg.netConns)
+		gt, err := gate.DialTransport(cfg.gateAddr, cfg.gateToken, cfg.stripes())
 		if err != nil {
 			return err
 		}
@@ -331,6 +360,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	c.ResetMetrics()
+	// Snapshot wire-level counters (net and gate transports) so the
+	// report can charge frames and bytes to the measurement window only.
+	wireT, _ := tr.(interface{ WireStats() netwire.Stats })
+	var wireBefore netwire.Stats
+	if wireT != nil {
+		wireBefore = wireT.WireStats()
+	}
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	if cfg.rate > 0 {
@@ -365,6 +401,18 @@ func run(args []string, out io.Writer) error {
 		// upper bound on the serving path's allocs/op.
 		allocs := float64(memAfter.Mallocs-memBefore.Mallocs) / float64(m.Locates)
 		fmt.Fprintf(out, "allocs/locate≈%.2f (process-wide upper bound)\n", allocs)
+	}
+	if wireT != nil && m.Locates > 0 {
+		d := wireT.WireStats().Sub(wireBefore)
+		fmt.Fprintf(out, "wire: frames/locate=%.2f bytes/locate=%.0f (tx+rx, all ops in window)\n",
+			float64(d.FramesSent+d.FramesRecv)/float64(m.Locates),
+			float64(d.BytesSent+d.BytesRecv)/float64(m.Locates))
+		if ct, ok := tr.(interface{ CoalesceStats() (int64, int64) }); ok {
+			if co, fl := ct.CoalesceStats(); fl > 0 {
+				fmt.Fprintf(out, "wire: coalesced=%d locates into %d shared floods (%.2f locates/flood)\n",
+					co, fl, float64(co)/float64(fl))
+			}
+		}
 	}
 	return nil
 }
@@ -511,7 +559,7 @@ func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (clus
 			return nil, fmt.Errorf("-transport net needs -addrs (boot a cluster with `mmctl up` or mmnode)")
 		}
 		addrs := strings.Split(cfg.addrs, ",")
-		opts := cluster.NetOptions{ConnsPerProc: cfg.netConns, CallTimeout: 30 * time.Second}
+		opts := cfg.netOptions()
 		if cfg.weighted {
 			w, err := buildWeighted(g.N(), strat, cfg.hotAlpha)
 			if err != nil {
@@ -547,8 +595,7 @@ func buildElasticTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy
 		if cfg.addrs == "" {
 			return nil, fmt.Errorf("-transport net needs -addrs or -state (boot a cluster with `mmctl up` or mmnode)")
 		}
-		opts := cluster.NetOptions{ConnsPerProc: cfg.netConns, CallTimeout: 30 * time.Second}
-		return cluster.NewElasticNetTransport(g, ep, strings.Split(cfg.addrs, ","), opts)
+		return cluster.NewElasticNetTransport(g, ep, strings.Split(cfg.addrs, ","), cfg.netOptions())
 	default:
 		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
 	}

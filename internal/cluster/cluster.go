@@ -184,12 +184,27 @@ type flightKey struct {
 
 // flight is one in-progress locate shared by coalesced callers; replica
 // records which replica family resolved it (always 0 on unreplicated
-// transports).
+// transports). Flights are pooled — the uncontended locate fast path
+// allocates nothing — so the wait primitive is a mutex held by the
+// owner for the flight's lifetime (unlock is the broadcast) and refs
+// counts the owner plus every coalesced waiter: joins happen under the
+// shard lock while the flight is still published, so no joiner can
+// arrive after the owner unpublishes it, and whoever drops the last
+// reference returns the flight to the pool.
 type flight struct {
-	done    chan struct{}
+	mu      sync.Mutex
+	refs    atomic.Int32
 	entry   core.Entry
 	replica int
 	err     error
+}
+
+var flightPool = sync.Pool{New: func() any { return new(flight) }}
+
+func (f *flight) release() {
+	if f.refs.Add(-1) == 0 {
+		flightPool.Put(f)
+	}
 }
 
 // task is one asynchronous locate.
@@ -464,22 +479,30 @@ func (c *Cluster) locateCoalesced(client graph.NodeID, port core.Port, start int
 	key := flightKey{client: client, port: port}
 	sh.mu.Lock()
 	if f := sh.flights[key]; f != nil {
+		f.refs.Add(1) // join before unpublish: guarded by sh.mu
 		sh.mu.Unlock()
-		<-f.done
+		f.mu.Lock() // blocks until the owner's broadcast unlock
+		f.mu.Unlock()
+		e, replica, err := f.entry, f.replica, f.err
+		f.release()
 		c.metrics.coalesced.Add(1)
-		return f.entry, f.replica, f.err
+		return e, replica, err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := flightPool.Get().(*flight)
+	f.refs.Store(1)
+	f.mu.Lock()
 	sh.flights[key] = f
 	sh.mu.Unlock()
 
-	f.entry, f.replica, f.err = c.floodLocate(client, port, start)
+	e, replica, err := c.floodLocate(client, port, start)
+	f.entry, f.replica, f.err = e, replica, err
 
 	sh.mu.Lock()
 	delete(sh.flights, key)
 	sh.mu.Unlock()
-	close(f.done)
-	return f.entry, f.replica, f.err
+	f.mu.Unlock()
+	f.release()
+	return e, replica, err
 }
 
 // Submit enqueues an asynchronous locate on the owning shard's worker

@@ -105,6 +105,11 @@ func NewNodeServer(n, lo, hi int, ln net.Listener) (*NodeServer, error) {
 		crashed: make([]atomic.Bool, n),
 	}
 	s.srv = netwire.NewServer(ln, s.handle)
+	// Node ops are pure in-memory store work — never blocking on I/O of
+	// their own — so they run inline on each connection's read loop:
+	// no per-request goroutine, and pipelined bursts share one response
+	// flush.
+	s.srv.InlineHandlers()
 	return s, nil
 }
 

@@ -92,6 +92,27 @@ func decodeEntry(d *netwire.Dec) core.Entry {
 	}
 }
 
+// decodeEntryFor is decodeEntry reusing port for the entry's port when
+// the wire bytes match it — which they always do on a query reply,
+// since nodes answer for the port they were asked — so the locate hot
+// path decodes entries without copying strings out of the frame
+// buffer. A mismatch (a malformed or foreign reply) falls back to the
+// copying path rather than mislabeling the entry.
+func decodeEntryFor(d *netwire.Dec, port core.Port) core.Entry {
+	b := d.Bytes()
+	p := port
+	if string(b) != string(port) { // compared in place; no allocation
+		p = core.Port(b)
+	}
+	return core.Entry{
+		Port:     p,
+		Addr:     graph.NodeID(d.Uvarint()),
+		ServerID: d.Uvarint(),
+		Time:     d.Uvarint(),
+		Active:   d.Byte() == 1,
+	}
+}
+
 // PartitionRange returns the contiguous node range [lo, hi) that
 // process i of procs owns in an n-node cluster — the node-shard layout
 // cmd/mmctl spawns and NewNetTransport verifies against each process's

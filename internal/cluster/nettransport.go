@@ -110,6 +110,13 @@ type NetTransport struct {
 	passes   stats.StripedCounter
 	events   eventSink
 
+	// wire tallies frames/bytes across every pool the transport ever
+	// dials (including post-Rescale sets, which share it), so WireStats
+	// deltas stay monotonic across repartitions. coal is the locate
+	// coalescer (nil when NetOptions.DisableCoalescing is set).
+	wire netwire.Counters
+	coal *netCoalescer
+
 	scratch sync.Pool // *netScratch
 }
 
@@ -136,14 +143,12 @@ type procSet struct {
 
 // dialProcSet dials pools for addrs and verifies via the hello
 // handshake that the processes cover the n nodes in contiguous ranges.
-// On any failure every pool is closed.
-func dialProcSet(addrs []string, n int, opts NetOptions) (*procSet, error) {
+// Wire traffic is tallied into ctr when non-nil (the transport's
+// long-lived counters, shared across rescales). On any failure every
+// pool is closed.
+func dialProcSet(addrs []string, n int, opts NetOptions, ctr *netwire.Counters) (*procSet, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: net transport needs at least one node-process address")
-	}
-	conns := opts.ConnsPerProc
-	if conns <= 0 {
-		conns = 2
 	}
 	ps := &procSet{
 		addrs:      addrs,
@@ -154,7 +159,10 @@ func dialProcSet(addrs []string, n int, opts NetOptions) (*procSet, error) {
 		needRepair: make([]atomic.Bool, len(addrs)),
 	}
 	for i, addr := range addrs {
-		p := netwire.NewPool(addr, conns)
+		p := netwire.NewPool(addr, opts.ConnsPerProc)
+		if ctr != nil {
+			p.UseCounters(ctr)
+		}
 		if opts.DialTimeout > 0 {
 			p.DialTimeout = opts.DialTimeout
 		}
@@ -214,9 +222,11 @@ func (ps *procSet) handshake(n int) error {
 
 // NetOptions tune a NetTransport.
 type NetOptions struct {
-	// ConnsPerProc is the connection-pool size per node process
-	// (default 2). Each connection pipelines any number of in-flight
-	// requests.
+	// ConnsPerProc is the number of connection stripes per node
+	// process (default max(2, GOMAXPROCS), netwire.NewPool's default).
+	// Each stripe pipelines any number of in-flight requests; striping
+	// keeps hot shards from serializing behind one connection's write
+	// lock.
 	ConnsPerProc int
 	// CallTimeout bounds each request round trip; 0 means wait until
 	// the connection delivers or breaks. A kill -9'd peer breaks its
@@ -236,19 +246,38 @@ type NetOptions struct {
 	// when pinning pass-accounting equivalence against another
 	// transport.
 	RepairInterval time.Duration
+	// CoalesceWindow is the longest a coalescer leader waits for more
+	// concurrent locates to join its wire flood before flushing. The
+	// wait is adaptive: it is only taken when the previous flush just
+	// handed leadership over (i.e. the path is demonstrably under
+	// concurrent load), so with the window at 0 (the default — natural
+	// batching only) or under low concurrency a locate floods with zero
+	// added latency.
+	CoalesceWindow time.Duration
+	// CoalesceBatch caps how many concurrent locates coalesce into one
+	// flood (default 64): a bound on per-frame size and decode latency,
+	// not on throughput — overflow simply starts the next flood.
+	CoalesceBatch int
+	// DisableCoalescing turns the locate coalescer off entirely: every
+	// LocateReplica runs its own wire flood, as before netwire v2. The
+	// coalescer never changes answers or pass charges (pinned by
+	// TestNetCoalescedEquivalence), so this is a debugging escape
+	// hatch, not a correctness knob.
+	DisableCoalescing bool
 }
 
 // netScratch is the pooled per-operation workspace: request/response
 // buffers and node groupings per process, so the steady-state fan-out
 // path reuses everything it touches.
 type netScratch struct {
-	nodes [][]graph.NodeID // per-proc flat node list across sub-requests
-	cnts  [][]int          // per-proc node count per sub-request
-	idx   [][]int          // per-proc original request index per sub-request
-	reqs  [][]byte         // per-proc request bodies
-	resps [][]byte         // per-proc response bodies
-	errs  []error          // per-proc call errors
-	found []bool           // per-request found flags (LocateBatch)
+	nodes [][]graph.NodeID   // per-proc flat node list across sub-requests
+	cnts  [][]int            // per-proc node count per sub-request
+	idx   [][]int            // per-proc original request index per sub-request
+	reqs  [][]byte           // per-proc request bodies
+	resps [][]byte           // per-proc response bodies
+	calls []*netwire.Pending // per-proc in-flight handles (fanout)
+	errs  []error            // per-proc call errors
+	found []bool             // per-request found flags (LocateBatch)
 }
 
 // reset readies the scratch for a fan-out over procs processes.
@@ -259,6 +288,7 @@ func (sc *netScratch) reset(procs int) {
 		sc.idx = append(sc.idx, nil)
 		sc.reqs = append(sc.reqs, nil)
 		sc.resps = append(sc.resps, nil)
+		sc.calls = append(sc.calls, nil)
 		sc.errs = append(sc.errs, nil)
 	}
 	for p := 0; p < procs; p++ {
@@ -266,6 +296,7 @@ func (sc *netScratch) reset(procs int) {
 		sc.cnts[p] = sc.cnts[p][:0]
 		sc.idx[p] = sc.idx[p][:0]
 		sc.reqs[p] = sc.reqs[p][:0]
+		sc.calls[p] = nil
 		sc.errs[p] = nil
 	}
 }
@@ -334,7 +365,10 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		t.rp = rp
 	}
 	t.scratch.New = func() any { return &netScratch{} }
-	ps, err := dialProcSet(addrs, n, opts)
+	if !opts.DisableCoalescing {
+		t.coal = newNetCoalescer(t, opts.CoalesceWindow, opts.CoalesceBatch)
+	}
+	ps, err := dialProcSet(addrs, n, opts, &t.wire)
 	if err != nil {
 		return nil, err
 	}
@@ -380,8 +414,11 @@ func NewElasticNetTransport(g *graph.Graph, initial *strategy.Epoch, addrs []str
 		crashed:    make([]atomic.Bool, n),
 	}
 	t.scratch.New = func() any { return &netScratch{} }
+	if !opts.DisableCoalescing {
+		t.coal = newNetCoalescer(t, opts.CoalesceWindow, opts.CoalesceBatch)
+	}
 	t.elastic.Store(et)
-	ps, err := dialProcSet(addrs, n, opts)
+	ps, err := dialProcSet(addrs, n, opts, &t.wire)
 	if err != nil {
 		return nil, err
 	}
@@ -401,15 +438,23 @@ func NewElasticNetTransport(g *graph.Graph, initial *strategy.Epoch, addrs []str
 func (t *NetTransport) callProc(ps *procSet, p int, op byte, req, resp []byte) (byte, []byte, error) {
 	st, body, err := ps.pools[p].Call(op, req, resp)
 	if err != nil {
-		if !ps.downP[p].Swap(true) {
-			t.gens.bumpAll()
-			ps.needRepair[p].Store(true)
-			t.events.emit(Event{Type: EvProcDown, Lo: ps.ranges[p][0], Hi: ps.ranges[p][1]})
-		}
+		t.noteProcDown(ps, p)
 		return 0, nil, err
 	}
 	ps.downP[p].Store(false)
 	return st, body, err
+}
+
+// noteProcDown records a failed call against process p: the first
+// failure after a healthy period bumps every hint generation (the dead
+// process may have hosted servers of any port) and marks the process
+// for repair.
+func (t *NetTransport) noteProcDown(ps *procSet, p int) {
+	if !ps.downP[p].Swap(true) {
+		t.gens.bumpAll()
+		ps.needRepair[p].Store(true)
+		t.events.emit(Event{Type: EvProcDown, Lo: ps.ranges[p][0], Hi: ps.ranges[p][1]})
+	}
 }
 
 // runRepair is the background re-post repair loop: every interval it
@@ -727,30 +772,47 @@ func (t *NetTransport) postEntryTargets(srv *netServer, node graph.NodeID, activ
 	return nil
 }
 
-// fanout issues one call per process with a non-empty request body, in
-// parallel, landing responses in sc.resps and errors in sc.errs. Calls
-// to dead processes fail fast and are recorded; the operation treats
-// them as silence, the fail-silent crash semantics of the paper.
+// fanout issues one call per process with a non-empty request body,
+// pipelined: every request is started before any response is awaited,
+// so the wall-clock cost is the slowest peer's round trip, not the sum
+// — and no goroutines or waitgroups are allocated, which is what keeps
+// the locate hot path at zero heap allocations. Responses land in
+// sc.resps and errors in sc.errs; calls to dead processes fail fast
+// and are recorded, and the operation treats them as silence — the
+// fail-silent crash semantics of the paper.
 func (t *NetTransport) fanout(ps *procSet, sc *netScratch, op byte) {
-	var wg sync.WaitGroup
 	for p := range ps.pools {
 		if len(sc.reqs[p]) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			st, body, err := t.callProc(ps, p, op, sc.reqs[p], sc.resps[p][:0])
-			if err == nil && st != stOK {
+		pd, err := ps.pools[p].Start(op, sc.reqs[p])
+		if err != nil {
+			t.noteProcDown(ps, p)
+			sc.errs[p] = err
+			continue
+		}
+		sc.calls[p] = pd
+	}
+	for p := range ps.pools {
+		pd := sc.calls[p]
+		if pd == nil {
+			continue
+		}
+		sc.calls[p] = nil
+		st, body, err := pd.Wait(sc.resps[p][:0], ps.pools[p].CallTimeout)
+		if err != nil {
+			t.noteProcDown(ps, p)
+		} else {
+			ps.downP[p].Store(false)
+			if st != stOK {
 				err = fmt.Errorf("cluster: %s op %d: status %d", ps.addrs[p], op, st)
 			}
-			if body != nil {
-				sc.resps[p] = body
-			}
-			sc.errs[p] = err
-		}(p)
+		}
+		if body != nil {
+			sc.resps[p] = body
+		}
+		sc.errs[p] = err
 	}
-	wg.Wait()
 }
 
 // Locate implements Transport: the query multicast cost is charged up
@@ -767,7 +829,20 @@ func (t *NetTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 // LocateReplica implements ReplicatedTransport: one query flood over
 // replica k's query set only, with MemTransport's exact charges (and
 // MemTransport's dual-epoch family indexing on elastic transports).
+// Unless NetOptions.DisableCoalescing is set the flood goes through
+// the coalescer, which merges concurrent locates into shared wire
+// frames without changing answers or charges.
 func (t *NetTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
+	if co := t.coal; co != nil {
+		return co.locate(client, port, replica)
+	}
+	return t.locateReplicaDirect(client, port, replica)
+}
+
+// locateReplicaDirect is one uncoalesced replica flood: the primitive
+// both the coalescer's single-op passthrough and the disabled-coalescer
+// path run.
+func (t *NetTransport) locateReplicaDirect(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
 	if !t.g.Valid(client) {
 		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
@@ -812,7 +887,7 @@ func (t *NetTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 		}
 		d := netwire.NewDec(sc.resps[p])
 		for _, v := range sc.nodes[p] {
-			e, ok := t.decodeNodeAnswer(et, &d, v, replica)
+			e, ok := t.decodeNodeAnswer(et, &d, v, port, replica)
 			if !ok {
 				continue
 			}
@@ -851,10 +926,12 @@ func (t *NetTransport) queryOp() byte {
 // format and reduces it to this flood's model-level reply: the entry
 // the node answered with, or — on a replicated or elastic flood — the
 // freshest entry the node holds as a member of the flood's (dual-epoch)
-// replica family. ok is false for a silent miss (including "holds
-// entries, none of this family", which the model treats as silence and
-// charges nothing for).
-func (t *NetTransport) decodeNodeAnswer(et *epochTables, d *netwire.Dec, v graph.NodeID, replica int) (core.Entry, bool) {
+// replica family. port is the flood's queried port, which the decoder
+// reuses for the entries' port strings (decodeEntryFor) so the hot
+// path decodes without copying out of the frame buffer. ok is false
+// for a silent miss (including "holds entries, none of this family",
+// which the model treats as silence and charges nothing for).
+func (t *NetTransport) decodeNodeAnswer(et *epochTables, d *netwire.Dec, v graph.NodeID, port core.Port, replica int) (core.Entry, bool) {
 	var inFamily func(origin graph.NodeID) bool
 	switch {
 	case et != nil:
@@ -869,7 +946,7 @@ func (t *NetTransport) decodeNodeAnswer(et *epochTables, d *netwire.Dec, v graph
 		if d.Byte() == 0 {
 			return core.Entry{}, false
 		}
-		e := decodeEntry(d)
+		e := decodeEntryFor(d, port)
 		return e, d.Err() == nil
 	}
 	cnt := int(d.Uvarint())
@@ -878,7 +955,7 @@ func (t *NetTransport) decodeNodeAnswer(et *epochTables, d *netwire.Dec, v graph
 		found bool
 	)
 	for j := 0; j < cnt; j++ {
-		e := decodeEntry(d)
+		e := decodeEntryFor(d, port)
 		if d.Err() != nil {
 			return core.Entry{}, false
 		}
@@ -1007,7 +1084,7 @@ func (t *NetTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 			for k := 0; k < sc.cnts[p][j]; k++ {
 				v := sc.nodes[p][off]
 				off++
-				e, ok := t.decodeNodeAnswer(et, &d, v, replica)
+				e, ok := t.decodeNodeAnswer(et, &d, v, reqs[req].Port, replica)
 				if !ok {
 					continue
 				}
@@ -1205,7 +1282,7 @@ func (t *NetTransport) locateAllReplica(client graph.NodeID, port core.Port, rep
 			cnt := int(d.Uvarint())
 			answered := int64(0)
 			for k := 0; k < cnt; k++ {
-				e := decodeEntry(&d)
+				e := decodeEntryFor(&d, port)
 				if d.Err() != nil {
 					break
 				}
@@ -1443,7 +1520,7 @@ func (t *NetTransport) FinishResize() error {
 func (t *NetTransport) Rescale(newAddrs []string) error {
 	t.rescaleMu.Lock()
 	defer t.rescaleMu.Unlock()
-	nps, err := dialProcSet(newAddrs, t.g.N(), t.opts)
+	nps, err := dialProcSet(newAddrs, t.g.N(), t.opts, &t.wire)
 	if err != nil {
 		return err
 	}
@@ -1498,10 +1575,6 @@ func TransferPartitions(old []DonorProc, newAddrs []string, n int, opts NetOptio
 	if next != n {
 		return nil, fmt.Errorf("cluster: transfer: donors cover [0,%d) of %d nodes", next, n)
 	}
-	conns := opts.ConnsPerProc
-	if conns <= 0 {
-		conns = 2
-	}
 	ops := &procSet{
 		addrs:      make([]string, len(old)),
 		pools:      make([]*netwire.Pool, len(old)),
@@ -1516,7 +1589,7 @@ func TransferPartitions(old []DonorProc, newAddrs []string, n int, opts NetOptio
 		for v := d.Lo; v < d.Hi; v++ {
 			ops.ownerOf[v] = i
 		}
-		p := netwire.NewPool(d.Addr, conns)
+		p := netwire.NewPool(d.Addr, opts.ConnsPerProc)
 		if opts.DialTimeout > 0 {
 			p.DialTimeout = opts.DialTimeout
 		}
@@ -1524,7 +1597,7 @@ func TransferPartitions(old []DonorProc, newAddrs []string, n int, opts NetOptio
 		ops.pools[i] = p
 	}
 	defer ops.close()
-	nps, err := dialProcSet(newAddrs, n, opts)
+	nps, err := dialProcSet(newAddrs, n, opts, nil)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: transfer: new set: %w", err)
 	}
@@ -1669,6 +1742,24 @@ func (t *NetTransport) Passes() int64 { return t.passes.Load() }
 
 // ResetPasses implements Transport.
 func (t *NetTransport) ResetPasses() { t.passes.Reset() }
+
+// WireStats returns the transport's cumulative wire-level traffic
+// totals (frames and bytes, both directions, across every node-process
+// pool including post-Rescale sets). Wire traffic is an implementation
+// vehicle — it is never charged as passes — but frames/locate and
+// bytes/locate are the efficiency the coalescer and striping buy, so
+// the totals are exposed for load tools to report.
+func (t *NetTransport) WireStats() netwire.Stats { return t.wire.Snapshot() }
+
+// CoalesceStats reports the locate coalescer's work so far: locates
+// that shared a wire flood with at least one other, and the number of
+// those shared floods. Both zero when coalescing is disabled.
+func (t *NetTransport) CoalesceStats() (coalesced, floods int64) {
+	if t.coal == nil {
+		return 0, 0
+	}
+	return t.coal.coalesced.Load(), t.coal.floods.Load()
+}
 
 // Close implements Transport: it stops the repair loop and closes the
 // connection pools. The node processes keep running — their lifecycle

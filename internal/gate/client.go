@@ -29,15 +29,19 @@ type ClientTransport struct {
 	// fetched, served if a later fetch fails.
 	passes0    atomic.Int64
 	lastPasses atomic.Int64
+
+	wire netwire.Counters
 }
 
 // DialTransport connects to a gateway's wire listener, authenticates
 // with token via a hello, and returns the transport. conns is the
-// connection-pool size (minimum 1).
+// number of connection stripes (<= 0 picks netwire.NewPool's striped
+// default, max(2, GOMAXPROCS)).
 func DialTransport(addr, token string, conns int) (*ClientTransport, error) {
 	pool := netwire.NewPool(addr, conns)
 	pool.CallTimeout = 10 * time.Second
 	t := &ClientTransport{pool: pool, token: token}
+	pool.UseCounters(&t.wire)
 	buf := netwire.GetBuf()
 	defer netwire.PutBuf(buf)
 	st, body, err := t.call(GopHello, netwire.AppendString((*buf)[:0], token), nil)
@@ -298,6 +302,12 @@ func (t *ClientTransport) ResetPasses() {
 	}
 	t.passes0.Store(t.lastPasses.Load())
 }
+
+// WireStats returns the transport's cumulative wire-level traffic
+// totals against the gateway (frames and bytes, both directions) —
+// the edge-hop cost load tools report as frames/locate and
+// bytes/locate.
+func (t *ClientTransport) WireStats() netwire.Stats { return t.wire.Snapshot() }
 
 // remotePasses fetches the backing cluster's cumulative pass counter.
 func (t *ClientTransport) remotePasses() (int64, error) {

@@ -1,0 +1,147 @@
+package netwire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartWaitPipelines(t *testing.T) {
+	_, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		d := NewDec(req)
+		return 0, AppendUvarint(resp, d.Uvarint()+1)
+	})
+	p := NewPool(addr, 1)
+	defer p.Close()
+
+	const n = 32
+	pend := make([]*Pending, n)
+	for i := range pend {
+		var err error
+		pend[i], err = p.Start(1, AppendUvarint(nil, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, pd := range pend {
+		_, body, err := pd.Wait(nil, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDec(body)
+		if got := d.Uvarint(); got != uint64(i+1) {
+			t.Fatalf("pending %d: got %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestStripedPoolConcurrency(t *testing.T) {
+	_, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		return 0, append(resp, req...)
+	})
+	p := NewPool(addr, 4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 128)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := AppendUvarint(nil, uint64(i))
+			_, body, err := p.Call(1, req, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			d := NewDec(body)
+			if got := d.Uvarint(); got != uint64(i) {
+				errs[i] = fmt.Errorf("call %d: echoed %d", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolDefaultStripes(t *testing.T) {
+	p := NewPool("127.0.0.1:1", 0)
+	defer p.Close()
+	if p.Stripes() < 2 {
+		t.Fatalf("default stripes = %d, want >= 2", p.Stripes())
+	}
+}
+
+func TestCountersTallyTraffic(t *testing.T) {
+	_, addr := echoServer(t, func(op byte, req, resp []byte) (byte, []byte) {
+		return 0, append(resp, req...)
+	})
+	var ctr Counters
+	p := NewPool(addr, 2)
+	p.UseCounters(&ctr)
+	defer p.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, _, err := p.Call(1, []byte("ping-pong"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := ctr.Snapshot()
+	if s.FramesSent != n || s.FramesRecv != n {
+		t.Fatalf("frames sent/recv = %d/%d, want %d/%d", s.FramesSent, s.FramesRecv, n, n)
+	}
+	if s.BytesSent <= int64(n)*9 || s.BytesRecv <= int64(n)*9 {
+		t.Fatalf("byte totals %d/%d too small for %d 9-byte payload round trips", s.BytesSent, s.BytesRecv, n)
+	}
+	d := s.Sub(Stats{FramesSent: n})
+	if d.FramesSent != 0 || d.FramesRecv != n {
+		t.Fatalf("Sub: got %+v", d)
+	}
+}
+
+func TestDialBackoffSingleFlightPerSlot(t *testing.T) {
+	// Grab a port with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	p := NewPool(addr, 4)
+	defer p.Close()
+
+	// A burst of concurrent callers against the dead peer: everyone
+	// must come back with an error, and once the first dial failure
+	// lands, subsequent callers fast-fail through the backoff window
+	// rather than each paying a dial.
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	start := time.Now()
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = p.Call(1, nil, nil)
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("burst against dead peer took %v", d)
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("call %d to dead address succeeded", i)
+		}
+	}
+	// The window is armed now: an immediate retry fast-fails.
+	if _, _, err := p.Call(1, nil, nil); err == nil || !strings.Contains(err.Error(), "cooling down") {
+		t.Fatalf("retry did not fast-fail via backoff: %v", err)
+	}
+}

@@ -129,15 +129,27 @@ func (d *Dec) Bytes() []byte {
 // decoder's buffer.
 func (d *Dec) String() string { return string(d.Bytes()) }
 
+// writeUvarint emits x byte-by-byte through WriteByte: unlike handing
+// a stack array to Write — whose slice can leak into the underlying
+// io.Writer interface and so forces a heap allocation per frame — this
+// keeps the length prefix allocation-free on the hot path.
+func writeUvarint(w *bufio.Writer, x uint64) error {
+	for x >= 0x80 {
+		if err := w.WriteByte(byte(x) | 0x80); err != nil {
+			return err
+		}
+		x >>= 7
+	}
+	return w.WriteByte(byte(x))
+}
+
 // WriteFrame writes payload as one frame (uvarint length + payload) to
 // w. The caller flushes.
 func WriteFrame(w *bufio.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooBig
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	if _, err := w.Write(hdr[:n]); err != nil {
+	if err := writeUvarint(w, uint64(len(payload))); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
@@ -152,9 +164,7 @@ func WriteFrame2(w *bufio.Writer, hdr, body []byte) error {
 	if len(hdr)+len(body) > MaxFrame {
 		return ErrFrameTooBig
 	}
-	var pre [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(pre[:], uint64(len(hdr)+len(body)))
-	if _, err := w.Write(pre[:n]); err != nil {
+	if err := writeUvarint(w, uint64(len(hdr)+len(body))); err != nil {
 		return err
 	}
 	if _, err := w.Write(hdr); err != nil {

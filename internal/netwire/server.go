@@ -22,6 +22,7 @@ type Handler func(op byte, req []byte, resp []byte) (byte, []byte)
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	inline  bool
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -34,6 +35,16 @@ type Server struct {
 func NewServer(ln net.Listener, h Handler) *Server {
 	return &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
 }
+
+// InlineHandlers switches the server to run handlers on each
+// connection's read goroutine instead of one goroutine per request,
+// flushing only when the read buffer holds no further pipelined
+// request — so a burst of queued requests pays one response syscall,
+// and the per-request spawn/schedule cost disappears. Only handlers
+// that never block on I/O of their own may run inline: an inline
+// handler that waited on network traffic would stall every request
+// queued behind it on the connection. Call before Serve.
+func (s *Server) InlineHandlers() { s.inline = true }
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -80,9 +91,10 @@ func (s *Server) serveConn(nc net.Conn) {
 			s.mu.Unlock()
 		}
 	}()
-	br := bufio.NewReader(nc)
-	bw := bufio.NewWriter(nc)
+	br := bufio.NewReaderSize(nc, connBufSize)
+	bw := bufio.NewWriterSize(nc, connBufSize)
 	var wmu sync.Mutex
+	var writers atomic.Int32 // responders queued for wmu; the last one flushes
 	for {
 		if s.draining.Load() && !s.closed.Load() {
 			closeOnExit = false // Drain closes after in-flight finishes
@@ -118,6 +130,36 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		s.inflight.Add(1)
 		s.mu.Unlock()
+		if s.inline {
+			out := GetBuf()
+			resp := AppendUvarint(*out, id)
+			resp = append(resp, 0) // status, patched below
+			statusPos := len(resp) - 1
+			n := len(resp)
+			status, body := s.handler(op, d.b, resp[n:])
+			if len(body) > 0 && cap(resp) > n && &body[0] == &resp[n : n+1][0] {
+				resp = resp[:n+len(body)]
+			} else {
+				resp = append(resp[:n], body...)
+			}
+			resp[statusPos] = status
+			werr := WriteFrame(bw, resp)
+			// Flush elision: more request frames already buffered means
+			// the client is pipelining — keep accumulating responses
+			// and pay one syscall when the burst is consumed.
+			if werr == nil && br.Buffered() == 0 {
+				werr = bw.Flush()
+			}
+			*out = resp
+			PutBuf(out)
+			PutBuf(buf)
+			s.inflight.Done()
+			if werr != nil {
+				nc.Close()
+				return
+			}
+			continue
+		}
 		go func() {
 			defer s.inflight.Done()
 			defer PutBuf(buf)
@@ -134,9 +176,13 @@ func (s *Server) serveConn(nc net.Conn) {
 				resp = append(resp[:n], body...)
 			}
 			resp[statusPos] = status
+			// Writev-style aggregation (see Conn.send): only the last
+			// queued responder flushes, batching concurrently finishing
+			// handlers' response frames into one syscall.
+			writers.Add(1)
 			wmu.Lock()
 			werr := WriteFrame(bw, resp)
-			if werr == nil {
+			if writers.Add(-1) == 0 && werr == nil {
 				werr = bw.Flush()
 			}
 			wmu.Unlock()
