@@ -224,6 +224,18 @@ func BenchmarkClusterLocate(b *testing.B) {
 		runMemParallel(b, setup(b, tr, cluster.Options{}), tr)
 	})
 
+	// The anti-entropy loop enabled but quiescent: digest rounds keep
+	// running in the background while the serving path is measured,
+	// pinning the self-stabilization layer's idle cost — a converged
+	// round is digest-only, charges zero passes and takes no store
+	// locks the locate path contends on.
+	b.Run("transport=mem/reconcile=idle", func(b *testing.B) {
+		tr := newMem(b)
+		c := setup(b, tr, cluster.Options{})
+		tr.StartReconcile(50 * time.Millisecond)
+		runMemParallel(b, c, tr)
+	})
+
 	b.Run("transport=mem/hints=on", func(b *testing.B) {
 		tr := newMem(b)
 		c := setup(b, tr, cluster.Options{Hints: true})

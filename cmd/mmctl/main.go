@@ -33,7 +33,13 @@
 //	    Prints the measured availability and exits non-zero when
 //	    -replicas ≥ 2 and any serviceable locate failed; with
 //	    -replicas 1 the failures are the point (the fragility baseline)
-//	    and only the report is produced.
+//	    and only the report is produced. With -corrupt k, adversarial
+//	    posting corruption (silent drops, orphaned duplicates, stale
+//	    addresses, bit-flips with poisoned timestamps) additionally hits
+//	    the live node shards k times per second while a background
+//	    anti-entropy loop reconciles the damage; the run drains to
+//	    quiescence afterwards and the gate becomes the storm bound
+//	    (availability ≥ 0.999 at -replicas ≥ 2).
 //
 //	mmctl scale -state mm.json -procs 8
 //	    Live process resize: spawn a fresh worker set partitioning the
@@ -398,10 +404,15 @@ func cmdChaos(args []string, out io.Writer) error {
 	killEvery := fs.Duration("kill-every", 900*time.Millisecond, "kill -9 one node process this often")
 	respawnAfter := fs.Duration("respawn-after", 250*time.Millisecond, "outage length before the victim respawns")
 	repair := fs.Duration("repair", 100*time.Millisecond, "transport repair-loop interval (re-posts after each recovery)")
+	corrupt := fs.Float64("corrupt", 0, "inject adversarial posting corruption (drops, duplicates, stale and bit-flipped entries) at this rate per second on the live node shards (0 = off)")
+	reconcile := fs.Duration("reconcile", 100*time.Millisecond, "anti-entropy reconcile interval while -corrupt runs")
 	concurrency := fs.Int("concurrency", 4, "loader goroutines")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *corrupt < 0 {
+		return fmt.Errorf("-corrupt must be ≥ 0, got %v", *corrupt)
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas must be ≥ 1, got %d", *replicas)
@@ -446,6 +457,24 @@ func cmdChaos(args []string, out io.Writer) error {
 
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
+	// The corruption injector: opCorrupt frames mutate live node shards
+	// while the background anti-entropy loop reconciles them back.
+	var antiT cluster.AntiEntropyTransport
+	if *corrupt > 0 {
+		antiT = tr.(cluster.AntiEntropyTransport)
+		antiT.StartReconcile(*reconcile)
+		interval := time.Duration(float64(time.Second) / *corrupt)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wave := int64(0)
+			for time.Now().Before(deadline) {
+				time.Sleep(interval)
+				wave++
+				_, _ = antiT.Corrupt(cluster.CorruptOptions{Seed: *seed*7907 + wave, Count: 1})
+			}
+		}()
+	}
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -477,11 +506,42 @@ func cmdChaos(args []string, out io.Writer) error {
 	}
 	wg.Wait()
 
+	// With corruption in play, drain to quiescence before judging: the
+	// injector stopped with the load, so bounded explicit rounds must
+	// find a converged cluster.
+	if antiT != nil {
+		t0 := time.Now()
+		rounds := 0
+		for rounds = 1; rounds <= 64; rounds++ {
+			r, err := antiT.ReconcileRound()
+			if err != nil {
+				return fmt.Errorf("chaos: quiescence drain: %w", err)
+			}
+			if r == 0 {
+				break
+			}
+		}
+		if rounds > 64 {
+			return fmt.Errorf("chaos: cluster did not reconcile to quiescence within 64 rounds")
+		}
+		rs := antiT.ReconcileStats()
+		fmt.Fprintf(out, "chaos: corrupt=%.1f/s injected=%d repaired=%d reconcile-rounds=%d; quiescence in %v (%d rounds after load)\n",
+			*corrupt, rs.Injected, rs.Repaired, rs.Rounds, time.Since(t0).Round(time.Microsecond), rounds)
+	}
+
 	m := c.Metrics()
 	fmt.Fprintf(out, "chaos: r=%d kills=%d locates=%d failed=%d availability=%.4f fallthroughs=%d passes/locate=%.2f\n",
 		*replicas, kills, m.Locates, m.NotFound, m.Availability, m.ReplicaFallthroughs, m.PassesPerLocate)
-	if *replicas >= 2 && m.NotFound > 0 {
-		return fmt.Errorf("chaos: %d serviceable locates failed despite r=%d", m.NotFound, *replicas)
+	if *replicas >= 2 {
+		// Corruption windows may cost isolated locates before a
+		// reconcile round lands, so the corrupt-mode gate is the storm
+		// availability bound rather than the exact-zero kill gate.
+		if antiT != nil && m.Availability < 0.999 {
+			return fmt.Errorf("chaos: availability %.4f under corruption, want ≥ 0.999", m.Availability)
+		}
+		if antiT == nil && m.NotFound > 0 {
+			return fmt.Errorf("chaos: %d serviceable locates failed despite r=%d", m.NotFound, *replicas)
+		}
 	}
 	return nil
 }

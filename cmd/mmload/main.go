@@ -20,6 +20,8 @@
 //	mmload -workload uniform -ports 64
 //	mmload -workload zipf -zipf-s 1.4        # skew the port popularity
 //	mmload -churn 50ms                       # crash/re-register churn
+//	mmload -corrupt-rate 50 -replicas 2      # adversarial state corruption vs
+//	                                         # the anti-entropy reconciler
 //	mmload -rate 200000                      # open-loop at 200k locates/sec
 //	mmload -hints                            # probe-validated address hint cache
 //	mmload -batch 16                         # batched locates via LocateBatch
@@ -60,6 +62,19 @@
 //	                         serviceable at every epoch
 //	-resize-to m             the smaller active node count the resize
 //	                         churn shrinks to (default 3n/4)
+//	-corrupt-rate k          inject k adversarial posting corruptions per
+//	                         second (silent drops, orphaned duplicates,
+//	                         stale addresses, bit-flips with poisoned
+//	                         timestamps) while a background anti-entropy
+//	                         loop reconciles the damage; after the load
+//	                         stops, explicit rounds drain the cluster to
+//	                         quiescence and the report shows the
+//	                         time-to-quiescence plus the reconcile
+//	                         counters (rounds, repairs, corruptions)
+//	-reconcile-interval d    anti-entropy background round period
+//	                         (defaults to 50ms when -corrupt-rate is set;
+//	                         usable alone to measure a quiescent loop's
+//	                         zero overhead)
 //
 // Net-transport cluster membership can also come from an mmctl state
 // file instead of a literal address list: -state mm.json reads the
@@ -122,6 +137,8 @@ type config struct {
 	churn       time.Duration
 	replicas    int
 	killRate    float64
+	corruptRate float64
+	reconEvery  time.Duration
 	duration    time.Duration
 	concurrency int
 	rate        int
@@ -187,6 +204,8 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.churn, "churn", 0, "crash/re-register one service this often (0 = off)")
 	fs.IntVar(&cfg.replicas, "replicas", 1, "replication factor r of the rendezvous strategy (1 = unreplicated)")
 	fs.Float64Var(&cfg.killRate, "kill-rate", 0, "crash random non-server nodes at this rate per second (0 = off)")
+	fs.Float64Var(&cfg.corruptRate, "corrupt-rate", 0, "inject adversarial posting corruption (drops, duplicates, stale and bit-flipped entries) at this rate per second while anti-entropy reconciles in the background; the report gains a time-to-quiescence line (0 = off)")
+	fs.DurationVar(&cfg.reconEvery, "reconcile-interval", 0, "anti-entropy background round period (0 = off, or 50ms when -corrupt-rate is set)")
 	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement duration")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop client goroutines")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
@@ -223,6 +242,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.killRate < 0 {
 		return fmt.Errorf("-kill-rate must be ≥ 0, got %v", cfg.killRate)
+	}
+	if cfg.corruptRate < 0 {
+		return fmt.Errorf("-corrupt-rate must be ≥ 0, got %v", cfg.corruptRate)
+	}
+	if cfg.corruptRate > 0 && cfg.reconEvery == 0 {
+		cfg.reconEvery = 50 * time.Millisecond
 	}
 
 	// The transport, node count and the topology/strategy names for the
@@ -309,6 +334,17 @@ func run(args []string, out io.Writer) error {
 	c := cluster.New(tr, copts)
 	defer c.Close()
 
+	// The self-stabilization layer: a background anti-entropy loop (and,
+	// with -corrupt-rate, the adversarial injector racing it).
+	var antiT cluster.AntiEntropyTransport
+	if cfg.corruptRate > 0 || cfg.reconEvery > 0 {
+		var ok bool
+		if antiT, ok = tr.(cluster.AntiEntropyTransport); !ok {
+			return fmt.Errorf("-corrupt-rate/-reconcile-interval need an anti-entropy transport (mem, sim or net), got %s", tr.Name())
+		}
+		antiT.StartReconcile(cfg.reconEvery)
+	}
+
 	// One server per port, spread deterministically over the nodes and
 	// announced through the batched posting path (one shard lock per
 	// store shard, bulk pass accounting).
@@ -338,6 +374,13 @@ func run(args []string, out io.Writer) error {
 		go func() {
 			defer churnWG.Done()
 			kills = runKiller(c, reg, cfg, activeFloor, stop)
+		}()
+	}
+	if cfg.corruptRate > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runCorruptor(antiT, cfg, stop)
 		}()
 	}
 	var resizes int64
@@ -382,11 +425,36 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Time-to-quiescence: with the injector stopped, drive explicit
+	// rounds until one finds nothing to repair. The drain happens before
+	// the snapshot so its rounds and repairs land in the report window.
+	var (
+		quiesceRounds int
+		quiesceIn     time.Duration
+	)
+	if antiT != nil && cfg.corruptRate > 0 {
+		t0 := time.Now()
+		for quiesceRounds = 1; quiesceRounds <= 64; quiesceRounds++ {
+			r, rerr := antiT.ReconcileRound()
+			if rerr != nil {
+				return fmt.Errorf("quiescence drain: %w", rerr)
+			}
+			if r == 0 {
+				break
+			}
+		}
+		quiesceIn = time.Since(t0)
+	}
+
 	m := c.Metrics()
 	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
 		tr.Name(), topoName, n, stratName, cfg.ports, cfg.workload, churnSuffix(cfg))
 	if cfg.killRate > 0 {
 		fmt.Fprintf(out, "mmload: kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", kills, cfg.killRate)
+	}
+	if cfg.corruptRate > 0 {
+		fmt.Fprintf(out, "mmload: chaos corrupt-rate=%.2f/s reconcile-interval=%v: time-to-quiescence=%v (%d rounds after load stop)\n",
+			cfg.corruptRate, cfg.reconEvery, quiesceIn.Round(time.Microsecond), quiesceRounds)
 	}
 	if cfg.resizeEvery > 0 {
 		fmt.Fprintf(out, "mmload: resizes=%d (every %v, active %d↔%d)\n", resizes, cfg.resizeEvery, n, cfg.resizeTo)
@@ -438,6 +506,8 @@ func validateGateFlags(cfg config) error {
 		return fmt.Errorf("-churn/-kill-rate need direct transport access; not available over -transport gate")
 	case cfg.resizeEvery > 0 || cfg.watchState > 0:
 		return fmt.Errorf("membership churn (-resize-interval/-watch-state) is not available over -transport gate")
+	case cfg.corruptRate > 0 || cfg.reconEvery > 0:
+		return fmt.Errorf("-corrupt-rate/-reconcile-interval need direct transport access; not available over -transport gate")
 	}
 	return nil
 }
@@ -907,6 +977,29 @@ func runKiller(c *cluster.Cluster, reg *registry, cfg config, n int, stop <-chan
 			dead = append(dead, victim)
 			kills++
 		}
+	}
+}
+
+// runCorruptor is the adversarial half of the -corrupt-rate chaos mode:
+// at the configured rate it injects one corruption operation — a
+// dropped posting, an orphaned duplicate, a stale-epoch address or a
+// bit-flipped entry with a poisoned timestamp — through the transport's
+// deterministic corruption planner, while the background anti-entropy
+// loop races it back to the registration ground truth. Each tick draws
+// a fresh plan seed so waves differ but any run is reproducible from
+// -seed.
+func runCorruptor(antiT cluster.AntiEntropyTransport, cfg config, stop <-chan struct{}) {
+	wave := int64(0)
+	tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.corruptRate))
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		wave++
+		_, _ = antiT.Corrupt(cluster.CorruptOptions{Seed: cfg.seed*7907 + wave, Count: 1})
 	}
 }
 

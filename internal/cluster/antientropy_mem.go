@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"slices"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+var _ AntiEntropyTransport = (*MemTransport)(nil)
+
+// ReconcileRound implements AntiEntropyTransport: it snapshots the live
+// registration table, predicts every node's posting row from the
+// current (possibly dual-epoch) set tables, and repairs each node whose
+// xor digest disagrees — orphans expire in place for free, missing or
+// wrong entries are dropped and re-posted per server at the diff
+// targets' multicast-tree cost. Taking resizeMu serializes the round
+// against Resize/FinishResize, so the ground truth never shifts epochs
+// mid-diff.
+func (t *MemTransport) ReconcileRound() (int, error) {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+
+	type liveSrv struct {
+		srv  *memServer
+		node graph.NodeID
+	}
+	srvs := make(map[expectedPair]liveSrv)
+	expected := make(map[graph.NodeID]expectedRow)
+	for _, srv := range *t.byID.Load() {
+		node, gone := srv.loadState()
+		if gone {
+			continue
+		}
+		srvs[expectedPair{port: srv.port, id: srv.id}] = liveSrv{srv: srv, node: node}
+		targets, _ := t.postSets(srv, node)
+		for _, v := range targets {
+			if t.crashed[v].Load() {
+				continue
+			}
+			row := expected[v]
+			if row == nil {
+				row = make(expectedRow)
+				expected[v] = row
+			}
+			row.add(srv.port, srv.id, node)
+		}
+	}
+
+	actual := make(map[graph.NodeID][]core.Entry)
+	for _, ne := range t.store.DumpRange(0, t.g.N()) {
+		actual[ne.Node] = append(actual[ne.Node], ne.E)
+	}
+
+	repaired := 0
+	reposts := make(map[expectedPair][]graph.NodeID)
+	ports := make(map[core.Port]struct{})
+	checkNode := func(v graph.NodeID) {
+		if t.crashed[v].Load() {
+			return
+		}
+		exp := expected[v]
+		var actDigest uint64
+		for _, e := range actual[v] {
+			if e.Active {
+				actDigest ^= postingDigest(e.Port, e.ServerID, e.Addr)
+			}
+		}
+		if actDigest == exp.digest() {
+			return
+		}
+		drops, reps := rowDiff(exp, actual[v])
+		for _, p := range drops {
+			t.store.Drop(v, p.port, p.id)
+			ports[p.port] = struct{}{}
+			repaired++
+		}
+		for _, p := range reps {
+			reposts[p] = append(reposts[p], v)
+		}
+	}
+	for v := range actual {
+		checkNode(v)
+	}
+	for v := range expected {
+		if _, ok := actual[v]; !ok {
+			checkNode(v)
+		}
+	}
+
+	for p, vs := range reposts {
+		ls, ok := srvs[p]
+		if !ok || t.crashed[ls.node].Load() {
+			// The honest origin is down; the posting heals after restore.
+			continue
+		}
+		if err := t.postEntryVia(ls.srv, ls.node, vs); err != nil {
+			continue
+		}
+		ports[p.port] = struct{}{}
+		repaired += len(vs)
+	}
+	for port := range ports {
+		t.gens.bump(port)
+	}
+	t.recon.rounds.Add(1)
+	t.recon.repaired.Add(int64(repaired))
+	return repaired, nil
+}
+
+// corruptRegs snapshots the registration ground truth the corruption
+// plan builder draws from, ordered by instance id so equal seeds build
+// identical plans on every transport.
+func (t *MemTransport) corruptRegs() []corruptReg {
+	byID := *t.byID.Load()
+	regs := make([]corruptReg, 0, len(byID))
+	for _, srv := range byID {
+		node, gone := srv.loadState()
+		if gone || t.crashed[node].Load() {
+			continue
+		}
+		targets, _ := t.postSets(srv, node)
+		regs = append(regs, corruptReg{port: srv.port, id: srv.id, node: node, targets: targets})
+	}
+	slices.SortFunc(regs, func(a, b corruptReg) int { return int(a.id) - int(b.id) })
+	return regs
+}
+
+// Corrupt implements AntiEntropyTransport: it applies the deterministic
+// adversarial plan straight to the backing store, bypassing the §2.1
+// merge rule, and bumps every hint generation — corrupted rendezvous
+// rows may have changed any port's freshest winner.
+func (t *MemTransport) Corrupt(opts CorruptOptions) (int, error) {
+	plan := buildCorruptPlan(opts, t.corruptRegs(), t.g.N())
+	for _, op := range plan {
+		if op.drop {
+			t.store.Drop(op.node, op.port, op.id)
+		} else {
+			t.store.Inject(op.node, op.e)
+		}
+	}
+	t.recon.injected.Add(int64(len(plan)))
+	t.gens.bumpAll()
+	return len(plan), nil
+}
+
+// StartReconcile implements AntiEntropyTransport.
+func (t *MemTransport) StartReconcile(interval time.Duration) {
+	t.recon.startLoop(interval, t.ReconcileRound)
+}
+
+// ReconcileStats implements AntiEntropyTransport.
+func (t *MemTransport) ReconcileStats() ReconcileStats { return t.recon.stats() }

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/netwire"
+)
+
+var _ AntiEntropyTransport = (*NetTransport)(nil)
+
+// netLiveSrv is one live registration snapshot of a reconcile round.
+type netLiveSrv struct {
+	srv  *netServer
+	node graph.NodeID
+}
+
+// liveServers snapshots the client-side registration mirror: every
+// non-gone server with its current home node.
+func (t *NetTransport) liveServers() []netLiveSrv {
+	t.regMu.Lock()
+	var servers []*netServer
+	for _, m := range t.byPort {
+		for _, srv := range m {
+			servers = append(servers, srv)
+		}
+	}
+	t.regMu.Unlock()
+	out := make([]netLiveSrv, 0, len(servers))
+	for _, srv := range servers {
+		srv.mu.Lock()
+		node, gone := srv.node, srv.gone
+		srv.mu.Unlock()
+		if gone {
+			continue
+		}
+		out = append(out, netLiveSrv{srv: srv, node: node})
+	}
+	return out
+}
+
+// ReconcileRound implements AntiEntropyTransport on the socket backend,
+// coordinator-driven: one opDigest per live node process summarizes
+// every owned row in a single round trip (free — §5 maintenance
+// metadata), and only nodes whose digest disagrees with the
+// registration ground truth are dumped (opSnapshot), diffed, and
+// repaired — orphans and wrong entries dropped in place via opExpire
+// (free, local GC), missing honest postings re-posted per server at the
+// diff targets' multicast-tree cost, exactly the charge MemTransport
+// takes for the same repair. Locks follow Resize's order — the lifeMu
+// read fence (keeping writes out of a mid-Rescale snapshot) before
+// resizeMu (serializing against an epoch transition) — so a pending
+// Rescale writer can never wedge the two against each other.
+func (t *NetTransport) ReconcileRound() (int, error) {
+	t.lifeMu.RLock()
+	defer t.lifeMu.RUnlock()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	ps := t.procs.Load()
+
+	srvs := make(map[expectedPair]netLiveSrv)
+	expected := make(map[graph.NodeID]expectedRow)
+	for _, ls := range t.liveServers() {
+		targets, _ := t.postSets(ls.srv, ls.node)
+		srvs[expectedPair{port: ls.srv.port, id: ls.srv.id}] = ls
+		for _, v := range targets {
+			if t.crashed[v].Load() {
+				continue
+			}
+			row := expected[v]
+			if row == nil {
+				row = make(expectedRow)
+				expected[v] = row
+			}
+			row.add(ls.srv.port, ls.srv.id, ls.node)
+		}
+	}
+
+	// Digest sweep: collect the owned rows that disagree, per process.
+	var mismatched []graph.NodeID
+	buf := netwire.GetBuf()
+	for p := range ps.pools {
+		if ps.downP[p].Load() {
+			continue // a dead process is a crashed range; repair handles it
+		}
+		lo, hi := ps.ranges[p][0], ps.ranges[p][1]
+		req := netwire.AppendUvarint((*buf)[:0], uint64(lo))
+		req = netwire.AppendUvarint(req, uint64(hi))
+		*buf = req
+		st, body, err := t.callProc(ps, p, opDigest, req, nil)
+		if err != nil || st != stOK {
+			continue
+		}
+		d := netwire.NewDec(body)
+		for v := lo; v < hi; v++ {
+			dg := d.Uvarint()
+			if d.Err() != nil {
+				break
+			}
+			node := graph.NodeID(v)
+			if t.crashed[node].Load() {
+				continue
+			}
+			if dg != expected[node].digest() {
+				mismatched = append(mismatched, node)
+			}
+		}
+	}
+	netwire.PutBuf(buf)
+
+	// Diff and repair each mismatched row.
+	repaired := 0
+	reposts := make(map[expectedPair][]graph.NodeID)
+	expires := make(map[int][]byte) // per-process opExpire batch
+	for _, v := range mismatched {
+		actual, err := t.dumpNodeRow(ps, v)
+		if err != nil {
+			continue
+		}
+		drops, reps := rowDiff(expected[v], actual)
+		for _, pr := range drops {
+			p := ps.ownerOf[v]
+			b := netwire.AppendUvarint(expires[p], uint64(v))
+			b = netwire.AppendString(b, string(pr.port))
+			b = netwire.AppendUvarint(b, pr.id)
+			expires[p] = b
+			t.gens.bump(pr.port)
+			repaired++
+		}
+		for _, pr := range reps {
+			reposts[pr] = append(reposts[pr], v)
+		}
+	}
+	for p, req := range expires {
+		_, _, _ = t.callProc(ps, p, opExpire, req, nil)
+	}
+	for pr, vs := range reposts {
+		ls, ok := srvs[pr]
+		if !ok || t.crashed[ls.node].Load() {
+			continue
+		}
+		// Hold the server's mutex across the liveness re-check and the
+		// re-post, like repairRange: a repair posting carries a fresh
+		// timestamp, so racing a Deregister or Migrate tombstone could
+		// resurrect a gone server.
+		ls.srv.mu.Lock()
+		if ls.srv.gone || ls.srv.node != ls.node {
+			ls.srv.mu.Unlock()
+			continue
+		}
+		cost, err := t.routing.MulticastCost(ls.node, vs)
+		if err != nil {
+			ls.srv.mu.Unlock()
+			continue
+		}
+		if err := t.postEntryTargets(ls.srv, ls.node, true, vs, int64(cost)); err != nil {
+			ls.srv.mu.Unlock()
+			continue
+		}
+		ls.srv.mu.Unlock()
+		t.gens.bump(pr.port)
+		repaired += len(vs)
+	}
+	t.recon.rounds.Add(1)
+	t.recon.repaired.Add(int64(repaired))
+	return repaired, nil
+}
+
+// dumpNodeRow pulls one node's full cached row (tombstones included)
+// from its owning process via opSnapshot.
+func (t *NetTransport) dumpNodeRow(ps *procSet, v graph.NodeID) ([]core.Entry, error) {
+	buf := netwire.GetBuf()
+	defer netwire.PutBuf(buf)
+	req := netwire.AppendUvarint(*buf, uint64(v))
+	req = netwire.AppendUvarint(req, uint64(v)+1)
+	*buf = req
+	st, body, err := t.callProc(ps, ps.ownerOf[v], opSnapshot, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	if st != stOK {
+		return nil, fmt.Errorf("cluster: reconcile dump of %d from %s: status %d", v, ps.addrs[ps.ownerOf[v]], st)
+	}
+	d := netwire.NewDec(body)
+	n := int(d.Uvarint())
+	entries := make([]core.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		_ = d.Uvarint() // node, always v
+		e := decodeEntry(&d)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// corruptRegs snapshots the registration ground truth for the plan
+// builder, ordered by instance id so equal seeds build identical plans
+// on every transport.
+func (t *NetTransport) corruptRegs() []corruptReg {
+	live := t.liveServers()
+	regs := make([]corruptReg, 0, len(live))
+	for _, ls := range live {
+		if t.crashed[ls.node].Load() {
+			continue
+		}
+		targets, _ := t.postSets(ls.srv, ls.node)
+		regs = append(regs, corruptReg{port: ls.srv.port, id: ls.srv.id, node: ls.node, targets: targets})
+	}
+	slices.SortFunc(regs, func(a, b corruptReg) int { return int(a.id) - int(b.id) })
+	return regs
+}
+
+// Corrupt implements AntiEntropyTransport: the deterministic plan is
+// shipped to the owning node processes as opCorrupt frames — drops by
+// identity, raw injections bypassing the merge rule — and every hint
+// generation is bumped.
+func (t *NetTransport) Corrupt(opts CorruptOptions) (int, error) {
+	plan := buildCorruptPlan(opts, t.corruptRegs(), t.g.N())
+	if len(plan) == 0 {
+		return 0, nil
+	}
+	ps := t.procs.Load()
+	reqs := make(map[int][]byte)
+	for _, op := range plan {
+		p := ps.ownerOf[op.node]
+		b := reqs[p]
+		if op.drop {
+			b = append(b, 0)
+			b = netwire.AppendUvarint(b, uint64(op.node))
+			b = netwire.AppendString(b, string(op.port))
+			b = netwire.AppendUvarint(b, op.id)
+		} else {
+			b = append(b, 1)
+			b = netwire.AppendUvarint(b, uint64(op.node))
+			b = appendEntry(b, op.e)
+		}
+		reqs[p] = b
+	}
+	var firstErr error
+	for p, req := range reqs {
+		if _, _, err := t.callProc(ps, p, opCorrupt, req, nil); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.recon.injected.Add(int64(len(plan)))
+	t.gens.bumpAll()
+	return len(plan), firstErr
+}
+
+// StartReconcile implements AntiEntropyTransport.
+func (t *NetTransport) StartReconcile(interval time.Duration) {
+	t.recon.startLoop(interval, t.ReconcileRound)
+}
+
+// ReconcileStats implements AntiEntropyTransport.
+func (t *NetTransport) ReconcileStats() ReconcileStats { return t.recon.stats() }

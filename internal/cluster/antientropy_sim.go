@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"slices"
+	"time"
+
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+var _ AntiEntropyTransport = (*SimTransport)(nil)
+
+// ReconcileRound implements AntiEntropyTransport on the paper-exact
+// reference: ground truth comes from the engine's live server table and
+// its current strategy (already the dual-epoch union during a
+// migration), actual state from the per-node engine caches. Orphans
+// expire in place via ExpireEntry (free, like epoch GC); missing or
+// wrong entries are dropped and re-posted through core.Server.RepostVia
+// — a real multicast whose hops the network counts, so the repair
+// charge is the genuine article the fast paths are checked against.
+func (t *SimTransport) ReconcileRound() (int, error) {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+
+	strat := t.sys.Strategy()
+	srvs := make(map[expectedPair]*core.Server)
+	expected := make(map[graph.NodeID]expectedRow)
+	for _, srv := range t.sys.LiveServers() {
+		node := srv.Node()
+		pair := expectedPair{port: srv.Port(), id: srv.ID()}
+		srvs[pair] = srv
+		for _, v := range strat.Post(node) {
+			if t.net.Crashed(v) {
+				continue
+			}
+			row := expected[v]
+			if row == nil {
+				row = make(expectedRow)
+				expected[v] = row
+			}
+			row.add(pair.port, pair.id, node)
+		}
+	}
+
+	repaired := 0
+	reposts := make(map[expectedPair][]graph.NodeID)
+	ports := make(map[core.Port]struct{})
+	n := t.net.Graph().N()
+	for i := 0; i < n; i++ {
+		v := graph.NodeID(i)
+		if t.net.Crashed(v) {
+			continue
+		}
+		actual := t.sys.CacheEntries(v)
+		exp := expected[v]
+		var actDigest uint64
+		for _, e := range actual {
+			if e.Active {
+				actDigest ^= postingDigest(e.Port, e.ServerID, e.Addr)
+			}
+		}
+		if actDigest == exp.digest() {
+			continue
+		}
+		drops, reps := rowDiff(exp, actual)
+		for _, p := range drops {
+			t.sys.ExpireEntry(v, p.port, p.id)
+			ports[p.port] = struct{}{}
+			repaired++
+		}
+		for _, p := range reps {
+			reposts[p] = append(reposts[p], v)
+		}
+	}
+
+	for p, vs := range reposts {
+		srv, ok := srvs[p]
+		if !ok || t.net.Crashed(srv.Node()) {
+			continue
+		}
+		if err := srv.RepostVia(vs); err != nil {
+			continue
+		}
+		ports[p.port] = struct{}{}
+		repaired += len(vs)
+	}
+	for port := range ports {
+		t.gens.bump(port)
+	}
+	t.recon.rounds.Add(1)
+	t.recon.repaired.Add(int64(repaired))
+	return repaired, nil
+}
+
+// Corrupt implements AntiEntropyTransport: the same deterministic plan
+// builder as the fast paths, applied through the engine's raw cache
+// backdoors (InjectEntry / ExpireEntry).
+func (t *SimTransport) Corrupt(opts CorruptOptions) (int, error) {
+	strat := t.sys.Strategy()
+	servers := t.sys.LiveServers()
+	regs := make([]corruptReg, 0, len(servers))
+	for _, srv := range servers {
+		node := srv.Node()
+		if t.net.Crashed(node) {
+			continue
+		}
+		regs = append(regs, corruptReg{port: srv.Port(), id: srv.ID(), node: node, targets: strat.Post(node)})
+	}
+	slices.SortFunc(regs, func(a, b corruptReg) int { return int(a.id) - int(b.id) })
+	plan := buildCorruptPlan(opts, regs, t.net.Graph().N())
+	for _, op := range plan {
+		if op.drop {
+			t.sys.ExpireEntry(op.node, op.port, op.id)
+		} else {
+			t.sys.InjectEntry(op.node, op.e)
+		}
+	}
+	t.recon.injected.Add(int64(len(plan)))
+	t.gens.bumpAll()
+	return len(plan), nil
+}
+
+// StartReconcile implements AntiEntropyTransport.
+func (t *SimTransport) StartReconcile(interval time.Duration) {
+	t.recon.startLoop(interval, t.ReconcileRound)
+}
+
+// ReconcileStats implements AntiEntropyTransport.
+func (t *SimTransport) ReconcileStats() ReconcileStats { return t.recon.stats() }

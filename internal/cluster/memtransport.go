@@ -83,6 +83,10 @@ type MemTransport struct {
 	migrated    atomic.Int64
 	dualLocates atomic.Int64
 
+	// recon holds the anti-entropy counters and the background
+	// reconciliation loop (see antientropy.go / antientropy_mem.go).
+	recon reconciler
+
 	scratch sync.Pool // *memScratch, reused by LocateBatch/PostBatch
 }
 
@@ -1134,8 +1138,12 @@ func (t *MemTransport) Passes() int64 { return t.passes.Load() }
 // ResetPasses implements Transport.
 func (t *MemTransport) ResetPasses() { t.passes.Reset() }
 
-// Close implements Transport.
-func (t *MemTransport) Close() error { return nil }
+// Close implements Transport: it stops the background reconciliation
+// loop, if one was started.
+func (t *MemTransport) Close() error {
+	t.recon.halt()
+	return nil
+}
 
 // Port implements ServerRef.
 func (s *memServer) Port() core.Port { return s.port }

@@ -68,6 +68,12 @@ type Metrics struct {
 	passes0    atomic.Int64
 	migrated0  atomic.Int64
 	dual0      atomic.Int64
+
+	// Anti-entropy baselines, captured like the elastic counters so the
+	// snapshot reports per-window reconciliation figures.
+	reconRounds0   atomic.Int64
+	reconRepaired0 atomic.Int64
+	reconInjected0 atomic.Int64
 }
 
 // latencySampleShift sets the latency sampling rate: 1 in
@@ -85,6 +91,12 @@ func (m *Metrics) start(tr Transport) {
 	if et, ok := tr.(ElasticTransport); ok && et.Elastic() {
 		m.migrated0.Store(et.MigratedPosts())
 		m.dual0.Store(et.DualEpochLocates())
+	}
+	if at, ok := tr.(AntiEntropyTransport); ok {
+		rs := at.ReconcileStats()
+		m.reconRounds0.Store(rs.Rounds)
+		m.reconRepaired0.Store(rs.Repaired)
+		m.reconInjected0.Store(rs.Injected)
 	}
 }
 
@@ -179,6 +191,17 @@ type MetricsSnapshot struct {
 	MigratedPosts    int64
 	DualEpochLocates int64
 
+	// Anti-entropy counters over the window, nonzero only on transports
+	// implementing AntiEntropyTransport with the loop (or explicit
+	// rounds / corruption injection) in use: ReconcileRounds is the
+	// number of completed reconciliation rounds, RepairedPosts the
+	// repair actions they took (postings dropped, expired or re-posted
+	// against a digest mismatch), and CorruptionsInjected the
+	// adversarial operations applied through the corruption injector.
+	ReconcileRounds     int64
+	RepairedPosts       int64
+	CorruptionsInjected int64
+
 	// Elapsed is the measurement window; QPS is Locates/Elapsed.
 	Elapsed time.Duration
 	QPS     float64
@@ -226,6 +249,12 @@ func (m *Metrics) snapshot(tr Transport) MetricsSnapshot {
 		s.MigratedPosts = et.MigratedPosts() - m.migrated0.Load()
 		s.DualEpochLocates = et.DualEpochLocates() - m.dual0.Load()
 	}
+	if at, ok := tr.(AntiEntropyTransport); ok {
+		rs := at.ReconcileStats()
+		s.ReconcileRounds = rs.Rounds - m.reconRounds0.Load()
+		s.RepairedPosts = rs.Repaired - m.reconRepaired0.Load()
+		s.CorruptionsInjected = rs.Injected - m.reconInjected0.Load()
+	}
 	if s.Elapsed > 0 {
 		s.QPS = float64(s.Locates) / s.Elapsed.Seconds()
 	}
@@ -266,6 +295,10 @@ func (s MetricsSnapshot) String() string {
 	if s.Elastic {
 		out += fmt.Sprintf("\nepoch=%d resizing=%v migrated-posts=%d dual-epoch-locates=%d",
 			s.Epoch, s.Resizing, s.MigratedPosts, s.DualEpochLocates)
+	}
+	if s.ReconcileRounds > 0 || s.RepairedPosts > 0 || s.CorruptionsInjected > 0 {
+		out += fmt.Sprintf("\nreconcile: rounds=%d repaired=%d corruptions=%d",
+			s.ReconcileRounds, s.RepairedPosts, s.CorruptionsInjected)
 	}
 	return out
 }

@@ -40,14 +40,14 @@ type NodeServer struct {
 	// ops counts served requests per opcode (index = opcode), the raw
 	// material of the worker's /metrics endpoint; badOps counts frames
 	// with an unknown opcode.
-	ops    [opSnapshot + 1]atomic.Int64
+	ops    [opCorrupt + 1]atomic.Int64
 	badOps atomic.Int64
 
 	srv *netwire.Server
 }
 
 // opNames maps node-protocol opcodes to stable metric label values.
-var opNames = [opSnapshot + 1]string{
+var opNames = [opCorrupt + 1]string{
 	opHello:      "hello",
 	opPost:       "post",
 	opQuery:      "query",
@@ -59,6 +59,8 @@ var opNames = [opSnapshot + 1]string{
 	opRestore:    "restore",
 	opExpire:     "expire",
 	opSnapshot:   "snapshot",
+	opDigest:     "digest",
+	opCorrupt:    "corrupt",
 }
 
 // OpCounts returns the cumulative served-request count per operation
@@ -229,9 +231,64 @@ func (s *NodeServer) handle(op byte, req, resp []byte) (byte, []byte) {
 		return s.handleExpire(&d, resp)
 	case opSnapshot:
 		return s.handleSnapshot(&d, resp)
+	case opDigest:
+		return s.handleDigest(&d, resp)
+	case opCorrupt:
+		return s.handleCorrupt(&d, resp)
 	default:
 		return stBadRequest, resp
 	}
+}
+
+// handleDigest answers opDigest: per-node xor digests over the active
+// cached entries of an owned node range — the cheap row summary the
+// coordinator's anti-entropy round compares against ground truth before
+// deciding whether a full opSnapshot dump is worth pulling.
+func (s *NodeServer) handleDigest(d *netwire.Dec, resp []byte) (byte, []byte) {
+	lo, hi := int(d.Uvarint()), int(d.Uvarint())
+	if d.Err() != nil || lo < s.lo || hi > s.hi || hi <= lo {
+		return stBadRequest, resp
+	}
+	digests := make([]uint64, hi-lo)
+	for _, ne := range s.store.DumpRange(lo, hi) {
+		if ne.E.Active {
+			digests[int(ne.Node)-lo] ^= postingDigest(ne.E.Port, ne.E.ServerID, ne.E.Addr)
+		}
+	}
+	for _, dg := range digests {
+		resp = netwire.AppendUvarint(resp, dg)
+	}
+	return stOK, resp
+}
+
+// handleCorrupt applies opCorrupt's adversarial state mutations: kind 0
+// drops a cached posting by identity, kind 1 force-injects a raw entry
+// through Store.Inject, bypassing the timestamp merge rule. Crash marks
+// are ignored on purpose — corruption is a backdoor, not a protocol
+// message — and nothing is charged.
+func (s *NodeServer) handleCorrupt(d *netwire.Dec, resp []byte) (byte, []byte) {
+	for d.Len() > 0 {
+		switch d.Byte() {
+		case 0:
+			node := graph.NodeID(d.Uvarint())
+			port := core.Port(d.String())
+			id := d.Uvarint()
+			if d.Err() != nil || !s.owned(node) {
+				return stBadRequest, resp
+			}
+			s.store.Drop(node, port, id)
+		case 1:
+			node := graph.NodeID(d.Uvarint())
+			e := decodeEntry(d)
+			if d.Err() != nil || !s.owned(node) {
+				return stBadRequest, resp
+			}
+			s.store.Inject(node, e)
+		default:
+			return stBadRequest, resp
+		}
+	}
+	return stOK, resp
 }
 
 // handleExpire drops cached postings by (node, port, serverID) — the

@@ -59,6 +59,21 @@ const (
 	// It is the donor side of a coordinator-driven partition transfer
 	// when the cluster rescales across a different process set.
 	opSnapshot
+	// opDigest returns the anti-entropy posting digests for a node range
+	// (request: lo, hi): hi−lo uvarints, one per node, each the xor of
+	// postingDigest over the node's active cached entries (tombstones
+	// excluded). Digest exchange is §5 maintenance metadata, so — like
+	// opExpire — it charges no message passes; only the repair traffic a
+	// mismatch triggers is charged, at its real multicast cost.
+	opDigest
+	// opCorrupt is the adversarial state-corruption injector: a sequence
+	// of ops until end of body, each a kind byte followed by its operands
+	// — 0 drops a cached posting (targetNode, port, serverID), 1 force-
+	// injects a raw entry (targetNode, entry) bypassing the §2.1
+	// timestamp merge rule. A fault-injection backdoor for chaos testing
+	// only; it models silent state corruption, not a protocol message,
+	// and charges nothing.
+	opCorrupt
 )
 
 // Response status bytes.

@@ -88,6 +88,11 @@ type NetTransport struct {
 	stopRepair chan struct{}
 	repairWG   sync.WaitGroup
 
+	// recon holds the anti-entropy counters and the background
+	// reconciliation loop (see antientropy.go / antientropy_net.go),
+	// started when NetOptions.ReconcileInterval is set.
+	recon reconciler
+
 	// elastic is the epoch-versioned membership state (nil unless built
 	// by NewElasticNetTransport), mirroring MemTransport's: the
 	// coordinator owns the tables, the node processes just store what
@@ -246,6 +251,15 @@ type NetOptions struct {
 	// when pinning pass-accounting equivalence against another
 	// transport.
 	RepairInterval time.Duration
+	// ReconcileInterval enables the background anti-entropy loop: every
+	// interval the transport runs one ReconcileRound — digest exchange
+	// with every node process, diff repair where a row disagrees with
+	// the registration ground truth. Digest traffic is free (§5
+	// maintenance metadata, like opExpire); only actual repair re-posts
+	// are charged, at their real multicast cost. Leave it zero
+	// (disabled) when pinning pass-accounting equivalence against
+	// another transport.
+	ReconcileInterval time.Duration
 	// CoalesceWindow is the longest a coalescer leader waits for more
 	// concurrent locates to join its wire flood before flushing. The
 	// wait is adaptive: it is only taken when the previous flush just
@@ -377,6 +391,9 @@ func newNetTransport(g *graph.Graph, strat rendezvous.Strategy, w *strategy.Weig
 		t.repairWG.Add(1)
 		go t.runRepair(opts.RepairInterval)
 	}
+	if opts.ReconcileInterval > 0 {
+		t.StartReconcile(opts.ReconcileInterval)
+	}
 	return t, nil
 }
 
@@ -426,6 +443,9 @@ func NewElasticNetTransport(g *graph.Graph, initial *strategy.Epoch, addrs []str
 	if opts.RepairInterval > 0 {
 		t.repairWG.Add(1)
 		go t.runRepair(opts.RepairInterval)
+	}
+	if opts.ReconcileInterval > 0 {
+		t.StartReconcile(opts.ReconcileInterval)
 	}
 	return t, nil
 }
@@ -526,10 +546,16 @@ func (t *NetTransport) repairRange(ps *procSet, lo, hi int) {
 		if int(node) >= lo && int(node) < hi && !t.crashed[node].Load() {
 			_ = t.registerRemote(ps, srv.id, srv.port, node)
 		}
-		targets, _ := t.postSets(srv, node)
+		// One set-table read serves both the in-range check and the
+		// re-post: re-resolving the posting set inside postEntry could
+		// observe a newer epoch than the one checked here if a Resize
+		// (also under the shared lifeMu fence) installs its tables
+		// between the two loads, re-posting a mid-migration server to
+		// the wrong epoch's rendezvous nodes at the wrong charge.
+		targets, cost := t.postSets(srv, node)
 		for _, v := range targets {
 			if int(v) >= lo && int(v) < hi {
-				_ = t.postEntry(srv, node, true)
+				_ = t.postEntryTargets(srv, node, true, targets, cost)
 				break
 			}
 		}
@@ -1761,10 +1787,12 @@ func (t *NetTransport) CoalesceStats() (coalesced, floods int64) {
 	return t.coal.coalesced.Load(), t.coal.floods.Load()
 }
 
-// Close implements Transport: it stops the repair loop and closes the
-// connection pools. The node processes keep running — their lifecycle
-// belongs to cmd/mmctl (or whoever spawned them).
+// Close implements Transport: it stops the repair and reconciliation
+// loops and closes the connection pools. The node processes keep
+// running — their lifecycle belongs to cmd/mmctl (or whoever spawned
+// them).
 func (t *NetTransport) Close() error {
+	t.recon.halt()
 	select {
 	case <-t.stopRepair:
 	default:

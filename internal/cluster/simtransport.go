@@ -44,6 +44,10 @@ type SimTransport struct {
 	resizeMu    sync.Mutex
 	migrated    atomic.Int64
 	dualLocates atomic.Int64
+
+	// recon holds the anti-entropy counters and the background
+	// reconciliation loop (see antientropy.go / antientropy_sim.go).
+	recon reconciler
 }
 
 // simElastic is one phase of the simulator's elastic membership: the
@@ -515,8 +519,10 @@ func (t *SimTransport) Passes() int64 { return t.net.Hops() }
 // ResetPasses implements Transport.
 func (t *SimTransport) ResetPasses() { t.net.ResetCounters() }
 
-// Close implements Transport.
+// Close implements Transport: it stops the background reconciliation
+// loop, if one was started, then shuts the simulated network down.
 func (t *SimTransport) Close() error {
+	t.recon.halt()
 	t.net.Close()
 	return nil
 }

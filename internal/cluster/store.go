@@ -300,6 +300,39 @@ func (s *Store) Drop(node graph.NodeID, port core.Port, serverID uint64) {
 	}
 }
 
+// Inject force-places e in node's cache for e.Port, replacing any
+// existing entry of the same server instance regardless of timestamps —
+// deliberately bypassing the §2.1 merge rule Put enforces. It is the
+// corruption-injection backdoor behind CorruptOptions and opCorrupt:
+// it models a rendezvous node whose state silently went wrong, which is
+// exactly what the merge rule would otherwise prevent.
+func (s *Store) Inject(node graph.NodeID, e core.Entry) {
+	sl := s.slot(storeKey{node: node, port: e.Port}, true)
+	for {
+		curp := sl.entries.Load()
+		var cur []core.Entry
+		if curp != nil {
+			cur = *curp
+		}
+		next := make([]core.Entry, 0, len(cur)+1)
+		replaced := false
+		for _, c := range cur {
+			if c.ServerID == e.ServerID {
+				next = append(next, e)
+				replaced = true
+				continue
+			}
+			next = append(next, c)
+		}
+		if !replaced {
+			next = append(next, e)
+		}
+		if sl.entries.CompareAndSwap(curp, &next) {
+			return
+		}
+	}
+}
+
 // NodeEntry pairs a rendezvous node with one cached entry; it is the
 // unit of a partition transfer (Store.DumpRange).
 type NodeEntry struct {

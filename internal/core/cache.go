@@ -142,6 +142,36 @@ func (c *cache) drop(p Port, serverID uint64) {
 	c.total--
 }
 
+// inject force-places e, replacing any same-instance entry regardless
+// of timestamps — the fault-injection bypass of put's §2.1 merge rule.
+func (c *cache) inject(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byID := c.ports[e.Port]
+	if byID == nil {
+		byID = make(map[uint64]Entry, 1)
+		c.ports[e.Port] = byID
+	}
+	if _, ok := byID[e.ServerID]; !ok {
+		c.total++
+	}
+	byID[e.ServerID] = e
+}
+
+// entries returns every cached entry, tombstones included — the raw
+// state dump anti-entropy reconciliation diffs against ground truth.
+func (c *cache) entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	for _, byID := range c.ports {
+		for _, e := range byID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 func (c *cache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

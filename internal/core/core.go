@@ -727,6 +727,27 @@ func (s *System) ExpireEntry(v graph.NodeID, port Port, serverID uint64) {
 	}
 }
 
+// InjectEntry force-places e in node v's cache, replacing any entry of
+// the same server instance regardless of timestamps — deliberately
+// bypassing the §2.1 merge rule posting delivery enforces. It is the
+// fault-injection backdoor of the anti-entropy chaos harness: it models
+// a rendezvous node whose volatile state silently went wrong.
+func (s *System) InjectEntry(v graph.NodeID, e Entry) {
+	if s.net.Graph().Valid(v) {
+		s.caches[v].inject(e)
+	}
+}
+
+// CacheEntries returns every entry cached at node v, tombstones
+// included — the raw state dump anti-entropy reconciliation diffs
+// against the registration ground truth.
+func (s *System) CacheEntries(v graph.NodeID) []Entry {
+	if !s.net.Graph().Valid(v) {
+		return nil
+	}
+	return s.caches[v].entries()
+}
+
 // LiveServers returns a snapshot of every currently registered server
 // handle — the iteration surface an epoch transition re-posts over.
 func (s *System) LiveServers() []*Server {
