@@ -312,6 +312,23 @@ func BenchmarkClusterLocate(b *testing.B) {
 		runMemParallel(b, c, tr)
 	})
 
+	// Voting: the Byzantine-tolerant locate path — every locate floods
+	// all r=3 replica families and majority-votes the claims, so the
+	// measured delta against transport=mem/hints=off is the price of
+	// answer integrity on an honest cluster (~q× flood traffic; see
+	// DESIGN.md's Byzantine section and EXPERIMENTS.md).
+	b.Run("transport=mem/vote=on", func(b *testing.B) {
+		rp, err := strategy.NewReplicated(rendezvous.Checkerboard(n), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := cluster.NewReplicatedMemTransport(topology.Complete(n), rp, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runMemParallel(b, setup(b, tr, cluster.Options{VoteQuorum: 3}), tr)
+	})
+
 	runSim := func(b *testing.B, opts cluster.Options, prime bool) {
 		tr, err := cluster.NewSimTransport(topology.Complete(n), rendezvous.Checkerboard(n),
 			core.Options{LocateTimeout: 2 * time.Second, CollectWindow: time.Millisecond})

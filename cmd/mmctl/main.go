@@ -39,7 +39,15 @@
 //	    the live node shards k times per second while a background
 //	    anti-entropy loop reconciles the damage; the run drains to
 //	    quiescence afterwards and the gate becomes the storm bound
-//	    (availability ≥ 0.999 at -replicas ≥ 2).
+//	    (availability ≥ 0.999 at -replicas ≥ 2). With -lie, the
+//	    Byzantine storm: -liars rendezvous nodes are armed to forge
+//	    locate answers (re-armed with fresh seeds every -lie-every,
+//	    reconciling between waves to rehabilitate quarantined nodes)
+//	    while the cluster votes every locate across -vote-quorum
+//	    replica families; kills default off so the gate isolates the
+//	    defence, and at -replicas ≥ 3 the run fails if a single forged
+//	    answer surfaced to a client or availability dropped below
+//	    0.999.
 //
 //	mmctl scale -state mm.json -procs 8
 //	    Live process resize: spawn a fresh worker set partitioning the
@@ -70,6 +78,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -406,10 +415,28 @@ func cmdChaos(args []string, out io.Writer) error {
 	repair := fs.Duration("repair", 100*time.Millisecond, "transport repair-loop interval (re-posts after each recovery)")
 	corrupt := fs.Float64("corrupt", 0, "inject adversarial posting corruption (drops, duplicates, stale and bit-flipped entries) at this rate per second on the live node shards (0 = off)")
 	reconcile := fs.Duration("reconcile", 100*time.Millisecond, "anti-entropy reconcile interval while -corrupt runs")
+	lie := fs.Bool("lie", false, "Byzantine mode: arm lying rendezvous nodes (forged answers, not corrupted state) and vote locate answers across replica families; the gate becomes zero forged answers surfaced at -replicas ≥ 3")
+	liars := fs.Int("liars", 1, "lie mode: lying rendezvous nodes per wave (the f of r ≥ 2f+1)")
+	lieEvery := fs.Duration("lie-every", time.Second, "lie mode: re-arm a fresh wave of liars this often, reconciling (and rehabilitating quarantined nodes) between waves")
+	voteQuorum := fs.Int("vote-quorum", 0, "lie mode: replica families voted per locate (0 = full width -replicas when -lie is set)")
 	concurrency := fs.Int("concurrency", 4, "loader goroutines")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Lie mode measures the forgery storm, not the kill storm: unless
+	// the caller combines them explicitly, process kills stay off so
+	// the exit gate isolates the voting defence.
+	if *lie {
+		killSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "kill-every" {
+				killSet = true
+			}
+		})
+		if !killSet {
+			*killEvery = 0
+		}
 	}
 	if *corrupt < 0 {
 		return fmt.Errorf("-corrupt must be ≥ 0, got %v", *corrupt)
@@ -419,6 +446,17 @@ func cmdChaos(args []string, out io.Writer) error {
 	}
 	if *replicas > *procs {
 		return fmt.Errorf("-replicas %d > -procs %d: a replica shift narrower than a node-shard range cannot escape a killed process", *replicas, *procs)
+	}
+	if *lie {
+		if *liars < 1 {
+			return fmt.Errorf("-liars must be ≥ 1, got %d", *liars)
+		}
+		if *voteQuorum == 0 {
+			*voteQuorum = *replicas
+		}
+		if *voteQuorum >= 2 && *replicas < 2 {
+			return fmt.Errorf("-vote-quorum %d needs -replicas ≥ 2", *voteQuorum)
+		}
 	}
 	ps, err := spawnCluster(*nodes, *procs)
 	if err != nil {
@@ -441,7 +479,11 @@ func cmdChaos(args []string, out io.Writer) error {
 	} else if tr, err = cluster.NewNetTransport(g, base, addrs(ps), opts); err != nil {
 		return err
 	}
-	c := cluster.New(tr, cluster.Options{})
+	copts := cluster.Options{}
+	if *lie {
+		copts.VoteQuorum = *voteQuorum
+	}
+	c := cluster.New(tr, copts)
 	defer c.Close()
 
 	regs := make([]cluster.Registration, *ports)
@@ -475,6 +517,37 @@ func cmdChaos(args []string, out io.Writer) error {
 			}
 		}()
 	}
+	// The Byzantine adversary: -lie arms -liars rendezvous nodes to
+	// forge answers, re-armed with a fresh seed every -lie-every, with a
+	// reconcile round between waves rehabilitating the nodes the votes
+	// quarantined. The loaders judge every surfaced answer against the
+	// registration ground truth (servers never move in this harness).
+	var (
+		byzT   cluster.ByzantineTransport
+		forged atomic.Int64
+	)
+	homes := make(map[core.Port]graph.NodeID, *ports)
+	for p := 0; p < *ports; p++ {
+		homes[names[p]] = regs[p].Node
+	}
+	if *lie {
+		byzT = tr.(cluster.ByzantineTransport)
+		if _, err := byzT.Arm(cluster.ArmOptions{Seed: *seed * 6053, Liars: *liars}); err != nil {
+			return fmt.Errorf("chaos: arm liars: %w", err)
+		}
+		fmt.Fprintf(out, "chaos: armed %d lying node(s): %v (wave 0)\n", *liars, byzT.ArmedNodes())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wave := int64(0)
+			for time.Now().Before(deadline) {
+				time.Sleep(*lieEvery)
+				_, _ = c.ReconcileRound()
+				wave++
+				_, _ = byzT.Arm(cluster.ArmOptions{Seed: *seed*6053 + wave, Liars: *liars})
+			}
+		}()
+	}
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -482,14 +555,19 @@ func cmdChaos(args []string, out io.Writer) error {
 			rng := rand.New(rand.NewSource(*seed*31 + int64(w)))
 			for time.Now().Before(deadline) {
 				client := graph.NodeID(rng.Intn(*nodes))
-				_, _ = c.Locate(client, names[rng.Intn(len(names))])
+				port := names[rng.Intn(len(names))]
+				e, err := c.Locate(client, port)
+				if *lie && err == nil &&
+					(e.Port != port || e.ServerID >= cluster.ForgedIDBase || e.Addr != homes[port]) {
+					forged.Add(1)
+				}
 			}
 		}(w)
 	}
 
 	kills := 0
 	rng := rand.New(rand.NewSource(*seed * 97))
-	for time.Now().Add(*killEvery).Before(deadline) {
+	for *killEvery > 0 && time.Now().Add(*killEvery).Before(deadline) {
 		time.Sleep(*killEvery)
 		victim := ps[rng.Intn(len(ps))]
 		fmt.Fprintf(out, "chaos: kill -9 worker %d (pid %d, nodes [%d,%d))\n", victim.Index, victim.Pid, victim.Lo, victim.Hi)
@@ -532,6 +610,23 @@ func cmdChaos(args []string, out io.Writer) error {
 	m := c.Metrics()
 	fmt.Fprintf(out, "chaos: r=%d kills=%d locates=%d failed=%d availability=%.4f fallthroughs=%d passes/locate=%.2f\n",
 		*replicas, kills, m.Locates, m.NotFound, m.Availability, m.ReplicaFallthroughs, m.PassesPerLocate)
+	if *lie {
+		fmt.Fprintf(out, "chaos: byzantine liars=%d vote-quorum=%d voted=%d conflicts=%d suspected=%d forged=%d\n",
+			*liars, *voteQuorum, m.VotedLocates, m.VoteConflicts, m.SuspectedNodes, forged.Load())
+		// The Byzantine gate: with r ≥ 2f+1 families voting, zero forged
+		// answers may reach a client — fail-closed splits are allowed
+		// only within the availability storm bound. At r=2 a single liar
+		// can force a 1-1 split, so the gate needs r ≥ 3.
+		if *replicas >= 3 {
+			if n := forged.Load(); n > 0 {
+				return fmt.Errorf("chaos: %d forged answer(s) surfaced to clients despite voting at r=%d", n, *replicas)
+			}
+			if m.Availability < 0.999 {
+				return fmt.Errorf("chaos: availability %.4f under Byzantine forging, want ≥ 0.999", m.Availability)
+			}
+		}
+		return nil
+	}
 	if *replicas >= 2 {
 		// Corruption windows may cost isolated locates before a
 		// reconcile round lands, so the corrupt-mode gate is the storm

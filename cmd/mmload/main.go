@@ -95,6 +95,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"matchmake/internal/cluster"
@@ -139,6 +140,9 @@ type config struct {
 	killRate    float64
 	corruptRate float64
 	reconEvery  time.Duration
+	byzRate     float64
+	liars       int
+	voteQuorum  int
 	duration    time.Duration
 	concurrency int
 	rate        int
@@ -206,6 +210,9 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.killRate, "kill-rate", 0, "crash random non-server nodes at this rate per second (0 = off)")
 	fs.Float64Var(&cfg.corruptRate, "corrupt-rate", 0, "inject adversarial posting corruption (drops, duplicates, stale and bit-flipped entries) at this rate per second while anti-entropy reconciles in the background; the report gains a time-to-quiescence line (0 = off)")
 	fs.DurationVar(&cfg.reconEvery, "reconcile-interval", 0, "anti-entropy background round period (0 = off, or 50ms when -corrupt-rate is set)")
+	fs.Float64Var(&cfg.byzRate, "byzantine-rate", 0, "re-arm the answer-forging adversary (-liars lying rendezvous nodes, fresh seed per wave) at this rate per second; the report gains a forged-answers line (0 = off)")
+	fs.IntVar(&cfg.liars, "liars", 1, "byzantine: number of lying rendezvous nodes per wave (the f of r ≥ 2f+1)")
+	fs.IntVar(&cfg.voteQuorum, "vote-quorum", 0, "answer voting: flood this many replica families per locate and believe only a strict majority (needs -replicas ≥ 2; 0 = first-answer fallthrough)")
 	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement duration")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop client goroutines")
 	fs.IntVar(&cfg.rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
@@ -248,6 +255,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.corruptRate > 0 && cfg.reconEvery == 0 {
 		cfg.reconEvery = 50 * time.Millisecond
+	}
+	if cfg.byzRate < 0 {
+		return fmt.Errorf("-byzantine-rate must be ≥ 0, got %v", cfg.byzRate)
+	}
+	if cfg.byzRate > 0 && cfg.liars < 1 {
+		return fmt.Errorf("-liars must be ≥ 1, got %d", cfg.liars)
+	}
+	if cfg.voteQuorum < 0 {
+		return fmt.Errorf("-vote-quorum must be ≥ 0, got %d", cfg.voteQuorum)
+	}
+	if cfg.voteQuorum >= 2 && cfg.replicas < 2 {
+		return fmt.Errorf("-vote-quorum %d needs -replicas ≥ 2 (voting is across replica families)", cfg.voteQuorum)
+	}
+	if (cfg.byzRate > 0 || cfg.voteQuorum > 0) && cfg.resizeEvery > 0 {
+		return fmt.Errorf("-byzantine-rate/-vote-quorum and -resize-interval are mutually exclusive")
 	}
 
 	// The transport, node count and the topology/strategy names for the
@@ -326,6 +348,7 @@ func run(args []string, out io.Writer) error {
 		QueueDepth:        cfg.queue,
 		DisableCoalescing: cfg.noCoalesce,
 		Hints:             cfg.hints,
+		VoteQuorum:        cfg.voteQuorum,
 	}
 	if cfg.weighted {
 		copts.HotPorts = cfg.hotPorts
@@ -343,6 +366,16 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-corrupt-rate/-reconcile-interval need an anti-entropy transport (mem, sim or net), got %s", tr.Name())
 		}
 		antiT.StartReconcile(cfg.reconEvery)
+	}
+
+	// The Byzantine adversary: -byzantine-rate arms -liars rendezvous
+	// nodes to forge locate answers, re-armed with a fresh seed per wave.
+	var byzT cluster.ByzantineTransport
+	if cfg.byzRate > 0 || cfg.voteQuorum >= 2 {
+		var ok bool
+		if byzT, ok = tr.(cluster.ByzantineTransport); !ok {
+			return fmt.Errorf("-byzantine-rate/-vote-quorum need a byzantine-capable transport (mem, sim or net), got %s", tr.Name())
+		}
 	}
 
 	// One server per port, spread deterministically over the nodes and
@@ -383,6 +416,25 @@ func run(args []string, out io.Writer) error {
 			runCorruptor(antiT, cfg, stop)
 		}()
 	}
+	var det *forgeDetector
+	if byzT != nil {
+		det = newForgeDetector(cfg, reg, names)
+	}
+	var armed int64
+	if cfg.byzRate > 0 {
+		// Arm the first wave before measurement starts so the adversary
+		// is live for the whole window.
+		n0, aerr := byzT.Arm(cluster.ArmOptions{Seed: cfg.seed * 6053, Liars: cfg.liars})
+		if aerr != nil {
+			return fmt.Errorf("arm byzantine adversary: %w", aerr)
+		}
+		armed = int64(n0)
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runArmer(byzT, cfg, stop)
+		}()
+	}
 	var resizes int64
 	var resizeErr error
 	if cfg.resizeEvery > 0 {
@@ -413,9 +465,9 @@ func run(args []string, out io.Writer) error {
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	if cfg.rate > 0 {
-		err = openLoop(c, cfg, names, activeFloor)
+		err = openLoop(c, cfg, names, activeFloor, det)
 	} else {
-		err = closedLoop(c, cfg, names, activeFloor)
+		err = closedLoop(c, cfg, names, activeFloor, det)
 	}
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
@@ -461,6 +513,10 @@ func run(args []string, out io.Writer) error {
 		if resizeErr != nil {
 			fmt.Fprintf(out, "mmload: resize: last error: %v\n", resizeErr)
 		}
+	}
+	if det != nil {
+		fmt.Fprintf(out, "mmload: byzantine rate=%.2f/s liars=%d armed-lies=%d vote-quorum=%d forged=%d\n",
+			cfg.byzRate, cfg.liars, armed, cfg.voteQuorum, det.forged.Load())
 	}
 	fmt.Fprintln(out, m.String())
 	if m.Locates > 0 {
@@ -508,6 +564,8 @@ func validateGateFlags(cfg config) error {
 		return fmt.Errorf("membership churn (-resize-interval/-watch-state) is not available over -transport gate")
 	case cfg.corruptRate > 0 || cfg.reconEvery > 0:
 		return fmt.Errorf("-corrupt-rate/-reconcile-interval need direct transport access; not available over -transport gate")
+	case cfg.byzRate > 0 || cfg.voteQuorum > 0:
+		return fmt.Errorf("-byzantine-rate/-vote-quorum need direct transport access; not available over -transport gate")
 	}
 	return nil
 }
@@ -817,7 +875,7 @@ func portPicker(cfg config, names []core.Port, workerSeed int64) (func() core.Po
 // With -batch N each worker issues its locates through LocateBatch in
 // groups of N (reused request/result slices, shard-grouped store
 // access).
-func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
+func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int, det *forgeDetector) error {
 	deadline := time.Now().Add(cfg.duration)
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.concurrency)
@@ -842,6 +900,11 @@ func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error 
 						errs[w] = err
 						return
 					}
+					if det != nil {
+						for i := range res {
+							det.check(reqs[i].Port, res[i].Entry, res[i].Err)
+						}
+					}
 				}
 				return
 			}
@@ -850,7 +913,11 @@ func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error 
 				// clock read keeps the loop out of time.Now.
 				for i := 0; i < 64; i++ {
 					client := graph.NodeID(rng.Intn(n))
-					_, _ = c.Locate(client, pick())
+					port := pick()
+					e, err := c.Locate(client, port)
+					if det != nil {
+						det.check(port, e, err)
+					}
 				}
 			}
 		}(w)
@@ -876,7 +943,7 @@ func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error 
 // the rate climbs past ~100k/s; the absolute schedule self-corrects
 // after every oversleep and always issues exactly rate×duration
 // arrivals.
-func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
+func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int, det *forgeDetector) error {
 	pick, err := portPicker(cfg, names, 0)
 	if err != nil {
 		return err
@@ -894,8 +961,14 @@ func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int) error {
 		}
 		for ; issued < due; issued++ {
 			client := graph.NodeID(rng.Intn(n))
+			port := pick()
 			pending.Add(1)
-			if err := c.Submit(client, pick(), func(core.Entry, error) { pending.Done() }); err != nil {
+			if err := c.Submit(client, port, func(e core.Entry, err error) {
+				if det != nil {
+					det.check(port, e, err)
+				}
+				pending.Done()
+			}); err != nil {
 				pending.Done() // shed; already counted in metrics
 			}
 		}
@@ -1000,6 +1073,70 @@ func runCorruptor(antiT cluster.AntiEntropyTransport, cfg config, stop <-chan st
 		}
 		wave++
 		_, _ = antiT.Corrupt(cluster.CorruptOptions{Seed: cfg.seed*7907 + wave, Count: 1})
+	}
+}
+
+// runArmer re-arms the answer-forging adversary at cfg.byzRate waves
+// per second, each wave drawing fresh liars and fresh lies from a
+// fresh seed — like runCorruptor, reproducible from -seed. The plan
+// replaces the previous wave's wholesale, so the number of
+// concurrently lying nodes stays at cfg.liars.
+func runArmer(byzT cluster.ByzantineTransport, cfg config, stop <-chan struct{}) {
+	wave := int64(0)
+	tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.byzRate))
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		wave++
+		_, _ = byzT.Arm(cluster.ArmOptions{Seed: cfg.seed*6053 + wave, Liars: cfg.liars})
+	}
+}
+
+// forgeDetector judges surfaced locate answers against registration
+// ground truth, counting the lies that reached a client: a port other
+// than the one queried, a fabricated instance id (≥ ForgedIDBase), or —
+// when no churn moves the servers mid-run — an address that is not the
+// port's registered home. With voting on, this count is the harness's
+// exit criterion: zero forged answers may surface.
+type forgeDetector struct {
+	reg    *registry
+	idx    map[core.Port]int
+	addrOK bool // address ground truth stable (no churn/resize)
+	forged atomic.Int64
+}
+
+func newForgeDetector(cfg config, reg *registry, names []core.Port) *forgeDetector {
+	idx := make(map[core.Port]int, len(names))
+	for i, p := range names {
+		idx[p] = i
+	}
+	return &forgeDetector{reg: reg, idx: idx, addrOK: cfg.churn == 0 && cfg.resizeEvery == 0}
+}
+
+func (d *forgeDetector) check(port core.Port, e core.Entry, err error) {
+	if err != nil {
+		return
+	}
+	if e.Port != port || e.ServerID >= cluster.ForgedIDBase {
+		d.forged.Add(1)
+		return
+	}
+	if !d.addrOK {
+		return
+	}
+	i, ok := d.idx[port]
+	if !ok {
+		return
+	}
+	d.reg.mu.Lock()
+	home := d.reg.servers[i].Node()
+	d.reg.mu.Unlock()
+	if e.Addr != home {
+		d.forged.Add(1)
 	}
 }
 

@@ -92,10 +92,10 @@ func (t *SimTransport) ReconcileRound() (int, error) {
 	return repaired, nil
 }
 
-// Corrupt implements AntiEntropyTransport: the same deterministic plan
-// builder as the fast paths, applied through the engine's raw cache
-// backdoors (InjectEntry / ExpireEntry).
-func (t *SimTransport) Corrupt(opts CorruptOptions) (int, error) {
+// corruptRegs snapshots the live registration ground truth in the
+// deterministic (id-sorted) order the corruption and forgery plan
+// builders need — the simulator twin of MemTransport.corruptRegs.
+func (t *SimTransport) corruptRegs() []corruptReg {
 	strat := t.sys.Strategy()
 	servers := t.sys.LiveServers()
 	regs := make([]corruptReg, 0, len(servers))
@@ -107,7 +107,14 @@ func (t *SimTransport) Corrupt(opts CorruptOptions) (int, error) {
 		regs = append(regs, corruptReg{port: srv.Port(), id: srv.ID(), node: node, targets: strat.Post(node)})
 	}
 	slices.SortFunc(regs, func(a, b corruptReg) int { return int(a.id) - int(b.id) })
-	plan := buildCorruptPlan(opts, regs, t.net.Graph().N())
+	return regs
+}
+
+// Corrupt implements AntiEntropyTransport: the same deterministic plan
+// builder as the fast paths, applied through the engine's raw cache
+// backdoors (InjectEntry / ExpireEntry).
+func (t *SimTransport) Corrupt(opts CorruptOptions) (int, error) {
+	plan := buildCorruptPlan(opts, t.corruptRegs(), t.net.Graph().N())
 	for _, op := range plan {
 		if op.drop {
 			t.sys.ExpireEntry(op.node, op.port, op.id)

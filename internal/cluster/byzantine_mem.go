@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+)
+
+// Byzantine seam of the fast path: the armed lie table swaps in
+// atomically and the locate paths (single, batch, locate-all) consult
+// it per answering rendezvous node — see the hooks in memtransport.go.
+
+var _ ByzantineTransport = (*MemTransport)(nil)
+
+// forgeLoad returns the armed lie table, or a nil table when disarmed
+// (nil-safe for lookups).
+func (t *MemTransport) forgeLoad() forgeTable {
+	p := t.forge.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// Arm implements ByzantineTransport: it derives the deterministic
+// forgery plan from the live registration table (the same ground truth,
+// in the same order, as the anti-entropy corruption injector uses) and
+// installs it. Every hint generation is bumped — cached addresses must
+// re-verify against the newly hostile cluster.
+func (t *MemTransport) Arm(opts ArmOptions) (int, error) {
+	plan := buildForgePlan(opts, t.corruptRegs(), t.g.N(), t.rp)
+	ft := buildForgeTable(plan)
+	t.forge.Store(&ft)
+	t.gens.bumpAll()
+	return len(plan), nil
+}
+
+// Disarm implements ByzantineTransport.
+func (t *MemTransport) Disarm() error {
+	t.forge.Store(nil)
+	t.gens.bumpAll()
+	return nil
+}
+
+// ArmedNodes implements ByzantineTransport.
+func (t *MemTransport) ArmedNodes() []graph.NodeID {
+	return t.forgeLoad().nodes()
+}
+
+// LocateReplicaAt implements ByzantineTransport.
+func (t *MemTransport) LocateReplicaAt(client graph.NodeID, port core.Port, replica int) (core.Entry, graph.NodeID, error) {
+	return t.locateReplicaFrom(client, port, replica)
+}
+
+// Quarantine implements ByzantineTransport: hint invalidation only —
+// the node keeps serving (and keeps lying if armed); the cluster's
+// suspect set is what steers votes and re-quarantines repeat offenders.
+func (t *MemTransport) Quarantine(graph.NodeID) {
+	t.gens.bumpAll()
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"matchmake/internal/core"
+	"matchmake/internal/graph"
+	"matchmake/internal/netwire"
+)
+
+// Byzantine seam of the socket backend: the deterministic lie plan is
+// shipped to the owning node processes as opArm frames, and an armed
+// process answers query floods for the planned (node, port) pairs with
+// the forged entry — or silence — instead of consulting its store. The
+// coordinator keeps a mirror of the plan only for ArmedNodes; the lies
+// themselves travel on the real wire and are charged (or not) exactly
+// as the in-memory and simulated transports charge them.
+
+var _ ByzantineTransport = (*NetTransport)(nil)
+
+// forgeLoad returns the coordinator's mirror of the armed lie table,
+// nil-safe for lookups.
+func (t *NetTransport) forgeLoad() forgeTable {
+	p := t.forge.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// armProcs ships one opArm frame to EVERY process — the frame replaces
+// a process's whole plan, so processes with no lying nodes get an empty
+// body that clears any stale plan from a previous Arm.
+func (t *NetTransport) armProcs(plan []forgeOp) error {
+	ps := t.procs.Load()
+	reqs := make([][]byte, len(ps.pools))
+	for _, op := range plan {
+		p := ps.ownerOf[op.node]
+		b := reqs[p]
+		b = netwire.AppendUvarint(b, uint64(op.node))
+		b = netwire.AppendString(b, string(op.port))
+		if op.rec.silent {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+			b = appendEntry(b, op.rec.e)
+		}
+		reqs[p] = b
+	}
+	var firstErr error
+	for p, req := range reqs {
+		if _, _, err := t.callProc(ps, p, opArm, req, nil); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Arm implements ByzantineTransport: same deterministic plan builder
+// as the other transports (equal seeds arm identical liars telling
+// identical lies), installed on the node processes via opArm.
+func (t *NetTransport) Arm(opts ArmOptions) (int, error) {
+	plan := buildForgePlan(opts, t.corruptRegs(), t.g.N(), t.rp)
+	err := t.armProcs(plan)
+	ft := buildForgeTable(plan)
+	t.forge.Store(&ft)
+	t.gens.bumpAll()
+	return len(plan), err
+}
+
+// Disarm implements ByzantineTransport: empty opArm frames clear every
+// process's plan.
+func (t *NetTransport) Disarm() error {
+	err := t.armProcs(nil)
+	t.forge.Store(nil)
+	t.gens.bumpAll()
+	return err
+}
+
+// ArmedNodes implements ByzantineTransport.
+func (t *NetTransport) ArmedNodes() []graph.NodeID {
+	return t.forgeLoad().nodes()
+}
+
+// LocateReplicaAt implements ByzantineTransport: one uncoalesced
+// replica flood with the winning reply attributed to its sender. The
+// voting path must bypass the coalescer — merged floods do not carry
+// answerer identity.
+func (t *NetTransport) LocateReplicaAt(client graph.NodeID, port core.Port, replica int) (core.Entry, graph.NodeID, error) {
+	return t.locateReplicaFrom(client, port, replica)
+}
+
+// Quarantine implements ByzantineTransport (hint invalidation only —
+// exclusion bookkeeping is the Cluster's job).
+func (t *NetTransport) Quarantine(graph.NodeID) {
+	t.gens.bumpAll()
+}

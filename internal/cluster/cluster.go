@@ -47,6 +47,18 @@ type Options struct {
 	// Zero disables the background loop; ReclassifyHot can still be
 	// called explicitly.
 	HotRefresh time.Duration
+	// VoteQuorum, when >= 2 on a replicated transport that exposes
+	// answerer identity (ByzantineTransport), switches the locate path
+	// from first-answer replica fallthrough to answer voting: each
+	// locate floods VoteQuorum replica families (clamped to the
+	// replication factor), majority-votes the claims by (address,
+	// instance), and believes only a strict majority — the defense
+	// against rendezvous nodes that lie rather than crash. Nodes
+	// contradicted by the majority are quarantined until the next
+	// successful reconciliation round; see vote.go. Every extra flood
+	// is charged honestly. Zero (or a transport without the seam)
+	// keeps the crash-only fallthrough path.
+	VoteQuorum int
 	// OnEvent, when set, receives lifecycle events: registrations,
 	// deregistrations and migrations passing through the cluster, epoch
 	// transitions, and — when the transport implements EventSource —
@@ -94,6 +106,13 @@ type Cluster struct {
 	// retry the next replica first — instead of the transport's opaque
 	// Locate.
 	repl ReplicatedTransport
+	// byz is the transport's Byzantine seam when answer voting is
+	// enabled (Options.VoteQuorum >= 2 on a replicated
+	// ByzantineTransport); nil keeps the crash-only fallthrough.
+	// suspects is the quarantine set voting maintains (see vote.go).
+	byz       ByzantineTransport
+	suspectMu sync.Mutex
+	suspects  map[graph.NodeID]struct{}
 	// closeMu is read-held across every public operation (and Submit's
 	// queue send) so Close — which takes it exclusively — cannot close
 	// the queues or the transport while an operation is mid-flight.
@@ -220,6 +239,10 @@ func New(tr Transport, opts Options) *Cluster {
 	c := &Cluster{tr: tr, opts: opts.withDefaults(), seed: maphash.MakeSeed(), stopHot: make(chan struct{})}
 	if rt, ok := tr.(ReplicatedTransport); ok && rt.Replicas() > 1 {
 		c.repl = rt
+		if bt, ok := tr.(ByzantineTransport); ok && c.opts.VoteQuorum >= 2 {
+			c.byz = bt
+			c.suspects = make(map[graph.NodeID]struct{})
+		}
 	}
 	if c.opts.OnEvent != nil {
 		if es, ok := tr.(EventSource); ok {
@@ -464,6 +487,9 @@ func (c *Cluster) floodLocate(client graph.NodeID, port core.Port, start int) (c
 		e, err := c.tr.Locate(client, port)
 		return e, 0, err
 	}
+	if c.byz != nil {
+		return c.voteLocate(client, port, start)
+	}
 	e, replica, err := locateFallthrough(c.repl, client, port, start)
 	if err == nil {
 		r := c.repl.Replicas()
@@ -550,7 +576,11 @@ func (c *Cluster) LocateBatch(reqs []LocateReq, res []LocateRes) error {
 		}
 	}
 	if c.hints == nil {
-		c.tr.LocateBatch(reqs, res[:n])
+		if c.byz != nil {
+			c.voteBatch(reqs, res[:n])
+		} else {
+			c.tr.LocateBatch(reqs, res[:n])
+		}
 	} else {
 		sc := c.batchScratch.Get().(*clusterScratch)
 		sc.reqs, sc.res, sc.idx = sc.reqs[:0], sc.res[:0], sc.idx[:0]
@@ -571,7 +601,11 @@ func (c *Cluster) LocateBatch(reqs []LocateReq, res []LocateRes) error {
 				sc.res = make([]LocateRes, len(sc.reqs))
 			}
 			sc.res = sc.res[:len(sc.reqs)]
-			c.tr.LocateBatch(sc.reqs, sc.res)
+			if c.byz != nil {
+				c.voteBatch(sc.reqs, sc.res)
+			} else {
+				c.tr.LocateBatch(sc.reqs, sc.res)
+			}
 			for j, i := range sc.idx {
 				res[i] = sc.res[j]
 				if sc.res[j].Err == nil {
@@ -669,7 +703,14 @@ func (c *Cluster) FinishResize() error {
 }
 
 // Metrics returns a snapshot of the live serving metrics.
-func (c *Cluster) Metrics() MetricsSnapshot { return c.metrics.snapshot(c.tr) }
+func (c *Cluster) Metrics() MetricsSnapshot {
+	s := c.metrics.snapshot(c.tr)
+	if c.byz != nil {
+		s.VoteQuorum = c.voteQuorum()
+		s.SuspectedNodes = c.suspectCount()
+	}
+	return s
+}
 
 // ResetMetrics zeroes the counters, the latency histogram and the
 // transport pass baseline (useful to measure a steady-state window).

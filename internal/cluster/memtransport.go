@@ -87,6 +87,12 @@ type MemTransport struct {
 	// reconciliation loop (see antientropy.go / antientropy_mem.go).
 	recon reconciler
 
+	// forge is the armed Byzantine lie table (nil when disarmed): locate
+	// floods consult it per answering node, so an armed node forges or
+	// suppresses its answer instead of reading its (healthy) store. See
+	// byzantine.go / byzantine_mem.go.
+	forge atomic.Pointer[forgeTable]
+
 	scratch sync.Pool // *memScratch, reused by LocateBatch/PostBatch
 }
 
@@ -536,11 +542,19 @@ func (t *MemTransport) Locate(client graph.NodeID, port core.Port) (core.Entry, 
 // the serving one's), so the ordinary fallthrough is also the
 // dual-epoch locate.
 func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
+	e, _, err := t.locateReplicaFrom(client, port, replica)
+	return e, err
+}
+
+// locateReplicaFrom is LocateReplica plus answer attribution: it also
+// returns the rendezvous node whose entry won the freshest reduction,
+// which the cluster's voting mode needs to know whom to quarantine.
+func (t *MemTransport) locateReplicaFrom(client graph.NodeID, port core.Port, replica int) (core.Entry, graph.NodeID, error) {
 	if !t.g.Valid(client) {
-		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
+		return core.Entry{}, 0, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
-		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
+		return core.Entry{}, 0, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
 	var (
 		targets []graph.NodeID
@@ -554,18 +568,18 @@ func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 		if !ok {
 			// FinishResize raced an in-flight fallthrough: the family's
 			// epoch is retired — a silent miss, not a hard failure.
-			return core.Entry{}, errRetiredReplica(port, client, replica)
+			return core.Entry{}, 0, errRetiredReplica(port, client, replica)
 		}
 		if len(etargets) == 0 {
 			// The client is outside this family's epoch: nothing to
 			// flood, nothing to charge.
-			return core.Entry{}, errMissingEpochFlood(port, client)
+			return core.Entry{}, 0, errMissingEpochFlood(port, client)
 		}
 		targets, cost, dual = etargets, ecost, tab != et
 		keep = func(e core.Entry) bool { return tab.ep.InPost(fam, e.Addr, at) }
 	} else {
 		if replica < 0 || replica >= t.Replicas() {
-			return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+			return core.Entry{}, 0, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
 		}
 		targets, cost = t.hot.replicaQuerySets(client, port, replica)
 		if t.rp != nil {
@@ -575,8 +589,10 @@ func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 		}
 	}
 	t.passes.Add(int(client), cost)
+	ft := t.forgeLoad()
 	var (
 		best  core.Entry
+		from  graph.NodeID
 		found bool
 	)
 	for _, v := range targets {
@@ -584,22 +600,36 @@ func (t *MemTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 			continue
 		}
 		at = v
-		e, ok := t.store.GetWhere(v, port, keep)
+		var (
+			e  core.Entry
+			ok bool
+		)
+		if rec, armed := ft.lieFor(v, port); armed {
+			// An armed node never consults its store: it forges or
+			// suppresses. The forged entry faces the same family filter an
+			// honest answer would.
+			if rec.silent {
+				continue
+			}
+			e, ok = rec.e, keep == nil || keep(rec.e)
+		} else {
+			e, ok = t.store.GetWhere(v, port, keep)
+		}
 		if !ok {
 			continue // misses are silent, as in §1.5
 		}
 		t.passes.Add(int(client), int64(t.routing.Dist(v, client)))
 		if !found || e.Time > best.Time {
-			best, found = e, true
+			best, from, found = e, v, true
 		}
 	}
 	if !found {
-		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
+		return core.Entry{}, 0, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
 	}
 	if dual {
 		t.dualLocates.Add(1)
 	}
-	return best, nil
+	return best, from, nil
 }
 
 // LocateBatch implements Transport: the batch's store accesses are
@@ -717,6 +747,7 @@ func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 		}
 	}
 	sortBatchKeys(sc.keys)
+	ft := t.forgeLoad()
 	var (
 		at   graph.NodeID
 		keep func(core.Entry) bool
@@ -734,12 +765,26 @@ func (t *MemTransport) locateBatchReplica(reqs []LocateReq, res []LocateRes, rep
 		sh := &t.store.shards[sc.keys[lo].shard]
 		sh.mu.RLock()
 		for _, k := range sc.keys[lo:hi] {
-			sl := sh.slotLocked(storeKey{node: k.node, port: reqs[k.req].Port})
-			if sl == nil {
-				continue
+			var (
+				e  core.Entry
+				ok bool
+			)
+			if rec, armed := ft.lieFor(k.node, reqs[k.req].Port); armed {
+				// Armed node: forge or suppress instead of reading the
+				// store, exactly as on the single-locate path.
+				if rec.silent {
+					continue
+				}
+				at = k.node
+				e, ok = rec.e, keep == nil || keep(rec.e)
+			} else {
+				sl := sh.slotLocked(storeKey{node: k.node, port: reqs[k.req].Port})
+				if sl == nil {
+					continue
+				}
+				at = k.node
+				e, ok = sl.readFreshestWhere(keep)
 			}
-			at = k.node
-			e, ok := sl.readFreshestWhere(keep)
 			if !ok {
 				continue
 			}
@@ -858,13 +903,24 @@ func (t *MemTransport) locateAllReplica(client graph.NodeID, port core.Port, rep
 		targets, cost = t.hot.replicaQuerySets(client, port, replica)
 	}
 	t.passes.Add(int(client), cost)
+	ft := t.forgeLoad()
 	freshest := make(map[uint64]core.Entry, 4)
 	var buf [8]core.Entry
 	for _, v := range targets {
 		if t.crashed[v].Load() {
 			continue
 		}
-		entries := t.store.GetAllInto(v, port, buf[:0])
+		var entries []core.Entry
+		if rec, armed := ft.lieFor(v, port); armed {
+			// Armed node: its locate-all answer is the single forged entry
+			// (or nothing under selective silence), never its real rows.
+			if rec.silent {
+				continue
+			}
+			entries = append(buf[:0], rec.e)
+		} else {
+			entries = t.store.GetAllInto(v, port, buf[:0])
+		}
 		if etab != nil {
 			// Family-scope the replies to the resolved epoch's family.
 			kept := entries[:0]

@@ -48,6 +48,14 @@ type Metrics struct {
 	hintStale      atomic.Int64
 	hintProbeFails atomic.Int64
 
+	// Answer-voting counters (vote.go), ticking only when
+	// Options.VoteQuorum enables the Byzantine locate path:
+	// votedLocates counts locates resolved by quorum vote,
+	// voteConflicts the votes in which some answer was contradicted by
+	// the majority (or proved forged by its port alone).
+	votedLocates  atomic.Int64
+	voteConflicts atomic.Int64
+
 	// replicaDepth is the crash-tolerance ledger of the replicated
 	// locate path: which replica family resolved each flood (depth 0 =
 	// first family tried), and how many locates no family could answer.
@@ -131,6 +139,8 @@ func (m *Metrics) reset(tr Transport) {
 	m.hintHits.Reset()
 	m.hintStale.Store(0)
 	m.hintProbeFails.Store(0)
+	m.votedLocates.Store(0)
+	m.voteConflicts.Store(0)
 	m.replicaDepth.Reset()
 	m.start(tr)
 }
@@ -177,6 +187,20 @@ type MetricsSnapshot struct {
 	ReplicaFallthroughs int64
 	MeanReplicaDepth    float64
 	ReplicaDepths       []int64
+
+	// Answer-voting counters, meaningful only when VoteQuorum is
+	// nonzero (Options.VoteQuorum enabled the Byzantine locate path):
+	// VoteQuorum is the effective electorate width (the configured
+	// quorum clamped to the replication factor), VotedLocates the
+	// locates resolved by quorum vote over the window, VoteConflicts
+	// the votes that caught some answer contradicting the majority,
+	// and SuspectedNodes the rendezvous nodes currently quarantined —
+	// a point-in-time gauge, cleared by a successful reconciliation
+	// round rather than by ResetMetrics.
+	VoteQuorum     int
+	VotedLocates   int64
+	VoteConflicts  int64
+	SuspectedNodes int
 
 	// Elastic membership counters, meaningful only when Elastic is set:
 	// Epoch is the serving epoch's sequence number, Resizing whether a
@@ -230,6 +254,8 @@ func (m *Metrics) snapshot(tr Transport) MetricsSnapshot {
 		HintHits:            m.hintHits.Load(),
 		HintStale:           m.hintStale.Load(),
 		HintProbeFails:      m.hintProbeFails.Load(),
+		VotedLocates:        m.votedLocates.Load(),
+		VoteConflicts:       m.voteConflicts.Load(),
 		Availability:        1,
 		ReplicaFallthroughs: m.replicaDepth.Fallthroughs(),
 		MeanReplicaDepth:    m.replicaDepth.MeanDepth(),
@@ -291,6 +317,10 @@ func (s MetricsSnapshot) String() string {
 			s.Availability, s.ReplicaFallthroughs, s.MeanReplicaDepth, s.ReplicaDepths)
 	} else if s.Errors > 0 {
 		out += fmt.Sprintf("\navailability=%.4f", s.Availability)
+	}
+	if s.VoteQuorum > 0 {
+		out += fmt.Sprintf("\nvoting: quorum=%d voted=%d conflicts=%d suspected=%d",
+			s.VoteQuorum, s.VotedLocates, s.VoteConflicts, s.SuspectedNodes)
 	}
 	if s.Elastic {
 		out += fmt.Sprintf("\nepoch=%d resizing=%v migrated-posts=%d dual-epoch-locates=%d",

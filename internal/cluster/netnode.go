@@ -37,17 +37,22 @@ type NodeServer struct {
 
 	crashed []atomic.Bool
 
+	// armed is the Byzantine lie table opArm installed (nil when
+	// disarmed): queries for an armed (node, port) answer with the
+	// forged entry — or not at all — instead of reading the store.
+	armed atomic.Pointer[forgeTable]
+
 	// ops counts served requests per opcode (index = opcode), the raw
 	// material of the worker's /metrics endpoint; badOps counts frames
 	// with an unknown opcode.
-	ops    [opCorrupt + 1]atomic.Int64
+	ops    [opArm + 1]atomic.Int64
 	badOps atomic.Int64
 
 	srv *netwire.Server
 }
 
 // opNames maps node-protocol opcodes to stable metric label values.
-var opNames = [opCorrupt + 1]string{
+var opNames = [opArm + 1]string{
 	opHello:      "hello",
 	opPost:       "post",
 	opQuery:      "query",
@@ -61,6 +66,7 @@ var opNames = [opCorrupt + 1]string{
 	opSnapshot:   "snapshot",
 	opDigest:     "digest",
 	opCorrupt:    "corrupt",
+	opArm:        "arm",
 }
 
 // OpCounts returns the cumulative served-request count per operation
@@ -235,6 +241,8 @@ func (s *NodeServer) handle(op byte, req, resp []byte) (byte, []byte) {
 		return s.handleDigest(&d, resp)
 	case opCorrupt:
 		return s.handleCorrupt(&d, resp)
+	case opArm:
+		return s.handleArm(&d, resp)
 	default:
 		return stBadRequest, resp
 	}
@@ -288,6 +296,47 @@ func (s *NodeServer) handleCorrupt(d *netwire.Dec, resp []byte) (byte, []byte) {
 			return stBadRequest, resp
 		}
 	}
+	return stOK, resp
+}
+
+// armedTable returns the installed lie table, or a nil table when
+// disarmed (nil-safe for lookups).
+func (s *NodeServer) armedTable() forgeTable {
+	p := s.armed.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// handleArm installs opArm's answer-forging plan, replacing the
+// previous one; an empty body disarms. Like opCorrupt it is a chaos
+// backdoor and charges nothing.
+func (s *NodeServer) handleArm(d *netwire.Dec, resp []byte) (byte, []byte) {
+	if d.Len() == 0 {
+		s.armed.Store(nil)
+		return stOK, resp
+	}
+	ft := make(forgeTable)
+	for d.Len() > 0 {
+		node := graph.NodeID(d.Uvarint())
+		port := core.Port(d.String())
+		silent := d.Byte() == 1
+		var e core.Entry
+		if !silent {
+			e = decodeEntry(d)
+		}
+		if d.Err() != nil || !s.owned(node) {
+			return stBadRequest, resp
+		}
+		byPort := ft[node]
+		if byPort == nil {
+			byPort = make(map[core.Port]forgeRec, 4)
+			ft[node] = byPort
+		}
+		byPort[port] = forgeRec{silent: silent, e: e}
+	}
+	s.armed.Store(&ft)
 	return stOK, resp
 }
 
@@ -384,6 +433,18 @@ func (s *NodeServer) handleQuery(d *netwire.Dec, resp []byte) (byte, []byte) {
 				resp = append(resp, 0) // crashed nodes do not answer
 				continue
 			}
+			if rec, armed := s.armedTable().lieFor(node, port); armed {
+				// A lying node never consults its store: it suppresses
+				// the answer (indistinguishable from a §1.5 miss on the
+				// wire) or substitutes the forged entry.
+				if rec.silent {
+					resp = append(resp, 0)
+					continue
+				}
+				resp = append(resp, 1)
+				resp = appendEntry(resp, rec.e)
+				continue
+			}
 			e, ok := s.store.Get(node, port)
 			if !ok {
 				resp = append(resp, 0) // misses are silent (§1.5)
@@ -418,7 +479,15 @@ func (s *NodeServer) handleQueryAll(d *netwire.Dec, resp []byte) (byte, []byte) 
 			}
 			var entries []core.Entry
 			if !s.crashed[node].Load() {
-				entries = s.store.GetAllInto(node, port, buf[:0])
+				if rec, armed := s.armedTable().lieFor(node, port); armed {
+					// Lying node: its whole answer is the one forged
+					// entry, or nothing under selective silence.
+					if !rec.silent {
+						entries = append(buf[:0], rec.e)
+					}
+				} else {
+					entries = s.store.GetAllInto(node, port, buf[:0])
+				}
 			}
 			resp = netwire.AppendUvarint(resp, uint64(len(entries)))
 			for _, e := range entries {

@@ -74,6 +74,16 @@ const (
 	// only; it models silent state corruption, not a protocol message,
 	// and charges nothing.
 	opCorrupt
+	// opArm installs (or, with an empty body, removes) the Byzantine
+	// answer-forging plan on a node process: a sequence of records until
+	// end of body, each (targetNode, port, silent byte, then — unless
+	// silent — the forged entry). An armed node answers opQuery/
+	// opQueryAll floods for that port with the forged entry (or not at
+	// all) instead of consulting its store. Like opCorrupt it is a chaos
+	// backdoor, not a protocol message, and charges nothing; each opArm
+	// replaces the process's whole plan, so arming ships one frame to
+	// every process (empty for processes with no lying nodes).
+	opArm
 )
 
 // Response status bytes.

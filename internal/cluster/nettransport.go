@@ -93,6 +93,12 @@ type NetTransport struct {
 	// started when NetOptions.ReconcileInterval is set.
 	recon reconciler
 
+	// forge is the coordinator's mirror of the Byzantine lie plan last
+	// shipped to the node processes via opArm (see byzantine_net.go) —
+	// kept only for ArmedNodes; the lies themselves are told by the
+	// armed processes.
+	forge atomic.Pointer[forgeTable]
+
 	// elastic is the epoch-versioned membership state (nil unless built
 	// by NewElasticNetTransport), mirroring MemTransport's: the
 	// coordinator owns the tables, the node processes just store what
@@ -869,11 +875,19 @@ func (t *NetTransport) LocateReplica(client graph.NodeID, port core.Port, replic
 // both the coalescer's single-op passthrough and the disabled-coalescer
 // path run.
 func (t *NetTransport) locateReplicaDirect(client graph.NodeID, port core.Port, replica int) (core.Entry, error) {
+	e, _, err := t.locateReplicaFrom(client, port, replica)
+	return e, err
+}
+
+// locateReplicaFrom is locateReplicaDirect attributing the winning
+// reply to the rendezvous node that sent it — the answerer identity the
+// Byzantine voting path holds nodes accountable by.
+func (t *NetTransport) locateReplicaFrom(client graph.NodeID, port core.Port, replica int) (core.Entry, graph.NodeID, error) {
 	if !t.g.Valid(client) {
-		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
+		return core.Entry{}, 0, fmt.Errorf("cluster: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	if t.crashed[client].Load() {
-		return core.Entry{}, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
+		return core.Entry{}, 0, fmt.Errorf("cluster: locate from %d: %w", client, sim.ErrCrashed)
 	}
 	var (
 		targets []graph.NodeID
@@ -884,15 +898,15 @@ func (t *NetTransport) locateReplicaDirect(client graph.NodeID, port core.Port, 
 	if et != nil {
 		etargets, ecost, tab, _, ok := et.queryFor(client, replica)
 		if !ok {
-			return core.Entry{}, errRetiredReplica(port, client, replica)
+			return core.Entry{}, 0, errRetiredReplica(port, client, replica)
 		}
 		if len(etargets) == 0 {
-			return core.Entry{}, errMissingEpochFlood(port, client)
+			return core.Entry{}, 0, errMissingEpochFlood(port, client)
 		}
 		targets, cost, dual = etargets, ecost, tab != et
 	} else {
 		if replica < 0 || replica >= t.Replicas() {
-			return core.Entry{}, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
+			return core.Entry{}, 0, fmt.Errorf("cluster: replica %d out of [0,%d)", replica, t.Replicas())
 		}
 		targets, cost = t.hot.replicaQuerySets(client, port, replica)
 	}
@@ -904,6 +918,7 @@ func (t *NetTransport) locateReplicaDirect(client graph.NodeID, port core.Port, 
 	t.fanout(ps, sc, t.queryOp())
 	var (
 		best  core.Entry
+		from  graph.NodeID
 		found bool
 		bulk  int64
 	)
@@ -919,7 +934,7 @@ func (t *NetTransport) locateReplicaDirect(client graph.NodeID, port core.Port, 
 			}
 			bulk += int64(t.routing.Dist(v, client))
 			if !found || e.Time > best.Time {
-				best, found = e, true
+				best, from, found = e, v, true
 			}
 		}
 	}
@@ -928,12 +943,12 @@ func (t *NetTransport) locateReplicaDirect(client graph.NodeID, port core.Port, 
 		t.passes.Add(int(client), bulk)
 	}
 	if !found {
-		return core.Entry{}, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
+		return core.Entry{}, 0, fmt.Errorf("cluster: locate %q from %d: %w", port, client, core.ErrNotFound)
 	}
 	if dual {
 		t.dualLocates.Add(1)
 	}
-	return best, nil
+	return best, from, nil
 }
 
 // queryOp returns the wire operation a locate flood travels as:

@@ -48,6 +48,11 @@ type SimTransport struct {
 	// recon holds the anti-entropy counters and the background
 	// reconciliation loop (see antientropy.go / antientropy_sim.go).
 	recon reconciler
+
+	// forge is the armed Byzantine lie table (nil when disarmed),
+	// consulted by the engine forger hook installed at construction —
+	// see byzantine.go / byzantine_sim.go.
+	forge atomic.Pointer[forgeTable]
 }
 
 // simElastic is one phase of the simulator's elastic membership: the
@@ -194,7 +199,15 @@ func newSimTransport(g *graph.Graph, strat rendezvous.Strategy, rp *strategy.Rep
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	net.SetInlineHandlers(true)
-	return &SimTransport{net: net, sys: sys, gens: newGenIndex(), rp: rp}, nil
+	t := &SimTransport{net: net, sys: sys, gens: newGenIndex(), rp: rp}
+	// The lying hook is installed once, here, and steered through the
+	// atomic lie table — Arm/Disarm swap the table under live traffic
+	// without racing the engine's handlers.
+	sys.SetForger(func(self graph.NodeID, port core.Port) (core.Entry, bool, bool) {
+		rec, ok := t.forgeLoad().lieFor(self, port)
+		return rec.e, rec.silent, ok
+	})
+	return t, nil
 }
 
 // Name implements Transport.

@@ -95,7 +95,7 @@ type System struct {
 	reqID    atomic.Uint64 // locate request identifiers
 
 	mu      sync.Mutex
-	pending map[uint64]chan Entry
+	pending map[uint64]chan replyMsg
 
 	// srvMu guards servers, the live registration table probes consult:
 	// a probe delivered at node v answers from the registrations whose
@@ -109,6 +109,14 @@ type System struct {
 	// replicated mode (SetReplicaFilter); nil means every cached entry
 	// answers, the unreplicated §1.5 behaviour.
 	repFilter func(self graph.NodeID, family int, e Entry) bool
+
+	// forger, when set, lets a node lie: before self answers a query for
+	// port from its cache, forger(self, port) may substitute a forged
+	// entry (armed, not silent), suppress the answer entirely (armed and
+	// silent), or decline (not armed — the node answers honestly).
+	// Installed by the serving layer's Byzantine harness (SetForger);
+	// forged answers still face the replica filter, like honest ones.
+	forger func(self graph.NodeID, port Port) (e Entry, silent, armed bool)
 
 	postsSent   atomic.Int64 // posting messages addressed (Σ #P reached)
 	queriesSent atomic.Int64 // query messages addressed (Σ #Q reached)
@@ -133,6 +141,9 @@ type (
 	replyMsg struct {
 		reqID uint64
 		entry Entry
+		// from is the rendezvous node that answered — the attribution the
+		// serving layer's answer-voting mode quarantines by.
+		from graph.NodeID
 	}
 	// probeMsg asks the receiving node whether the server instance
 	// (port, serverID) currently resides there; it travels as a direct
@@ -162,7 +173,7 @@ func NewSystem(net *sim.Network, strat rendezvous.Strategy, opts Options) (*Syst
 		strat:   strat,
 		opts:    opts.withDefaults(),
 		caches:  make([]*cache, n),
-		pending: make(map[uint64]chan Entry),
+		pending: make(map[uint64]chan replyMsg),
 		servers: make(map[uint64]*Server),
 	}
 	for v := 0; v < n; v++ {
@@ -182,13 +193,29 @@ func (s *System) HandleMessage(self graph.NodeID, msg sim.Message) {
 	case postMsg:
 		s.caches[self].put(m.entry)
 	case queryMsg:
+		if f := s.forger; f != nil {
+			if fe, silent, armed := f(self, m.port); armed {
+				// A lying node never consults its cache: it suppresses the
+				// answer or substitutes the forged entry, which faces the
+				// same replica filter an honest answer would.
+				if silent {
+					return
+				}
+				if s.repFilter != nil && !s.repFilter(self, m.family, fe) {
+					return
+				}
+				s.repliesSent.Add(1)
+				_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: fe, from: self})
+				return
+			}
+		}
 		if m.all {
 			for _, entry := range s.caches[self].getAll(m.port) {
 				if s.repFilter != nil && !s.repFilter(self, m.family, entry) {
 					continue // not this family's rendezvous for that posting
 				}
 				s.repliesSent.Add(1)
-				_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry})
+				_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry, from: self})
 			}
 			return
 		}
@@ -199,14 +226,14 @@ func (s *System) HandleMessage(self graph.NodeID, msg sim.Message) {
 		s.repliesSent.Add(1)
 		// Reply failures (crashed client, broken route) surface as locate
 		// timeouts at the client; nothing to handle here.
-		_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry})
+		_ = s.net.Send(self, m.client, replyMsg{reqID: m.reqID, entry: entry, from: self})
 	case replyMsg:
 		s.mu.Lock()
 		ch := s.pending[m.reqID]
 		s.mu.Unlock()
 		if ch != nil {
 			select {
-			case ch <- m.entry:
+			case ch <- m:
 			default:
 			}
 		}
@@ -273,6 +300,18 @@ func (s *System) SetStrategy(strat rendezvous.Strategy) error {
 // not synchronize filter swaps against in-flight queries.
 func (s *System) SetReplicaFilter(f func(self graph.NodeID, family int, e Entry) bool) {
 	s.repFilter = f
+}
+
+// SetForger installs the Byzantine lying hook: before node self answers
+// a query for port, f(self, port) may substitute a forged entry or
+// suppress the answer (see the forger field). Pass nil to restore
+// honest behaviour. Like SetReplicaFilter, install it while traffic is
+// quiesced; the engine does not synchronize hook swaps against
+// in-flight queries. Probes are unaffected — they are answered by the
+// server's own host from its registration table, not by rendezvous
+// nodes, which is exactly why a forged hint never survives validation.
+func (s *System) SetForger(f func(self graph.NodeID, port Port) (e Entry, silent, armed bool)) {
+	s.forger = f
 }
 
 // probeLocal answers a probe from the registration table: hit iff the
@@ -469,6 +508,9 @@ type LocateResult struct {
 	Addr graph.NodeID
 	// Entry is the full winning cache entry.
 	Entry Entry
+	// From is the rendezvous node whose reply won the freshest-entry
+	// collection — the attribution answer voting quarantines by.
+	From graph.NodeID
 	// QueriesSent is the number of rendezvous nodes addressed (#Q
 	// reached).
 	QueriesSent int
@@ -499,7 +541,7 @@ func (s *System) LocateVia(client graph.NodeID, port Port, targets []graph.NodeI
 		return LocateResult{}, fmt.Errorf("core: locate from %d: %w", client, graph.ErrNodeRange)
 	}
 	id := s.reqID.Add(1)
-	ch := make(chan Entry, s.strategy().N())
+	ch := make(chan replyMsg, s.strategy().N())
 	s.mu.Lock()
 	s.pending[id] = ch
 	s.mu.Unlock()
@@ -520,11 +562,12 @@ func (s *System) LocateVia(client graph.NodeID, port Port, targets []graph.NodeI
 
 	var (
 		best    Entry
+		from    graph.NodeID
 		replies int
 	)
 	select {
-	case best = <-ch:
-		replies = 1
+	case r := <-ch:
+		best, from, replies = r.entry, r.from, 1
 	case <-time.After(s.opts.LocateTimeout):
 		return LocateResult{QueriesSent: reached}, fmt.Errorf("locate %q from %d: %w", port, client, ErrNotFound)
 	}
@@ -533,10 +576,10 @@ func (s *System) LocateVia(client graph.NodeID, port Port, targets []graph.NodeI
 collect:
 	for {
 		select {
-		case e := <-ch:
+		case r := <-ch:
 			replies++
-			if e.Time > best.Time {
-				best = e
+			if r.entry.Time > best.Time {
+				best, from = r.entry, r.from
 			}
 		case <-window:
 			break collect
@@ -549,6 +592,7 @@ collect:
 	return LocateResult{
 		Addr:        best.Addr,
 		Entry:       best,
+		From:        from,
 		QueriesSent: reached,
 		Replies:     replies,
 	}, nil
@@ -571,7 +615,7 @@ func (s *System) LocateAllVia(client graph.NodeID, port Port, targets []graph.No
 		return nil, fmt.Errorf("core: locate-all from %d: %w", client, graph.ErrNodeRange)
 	}
 	id := s.reqID.Add(1)
-	ch := make(chan Entry, s.strategy().N()*4)
+	ch := make(chan replyMsg, s.strategy().N()*4)
 	s.mu.Lock()
 	s.pending[id] = ch
 	s.mu.Unlock()
@@ -592,8 +636,8 @@ func (s *System) LocateAllVia(client graph.NodeID, port Port, targets []graph.No
 
 	freshest := make(map[uint64]Entry) // by server instance
 	select {
-	case e := <-ch:
-		freshest[e.ServerID] = e
+	case r := <-ch:
+		freshest[r.entry.ServerID] = r.entry
 	case <-time.After(s.opts.LocateTimeout):
 		return nil, fmt.Errorf("locate-all %q from %d: %w", port, client, ErrNotFound)
 	}
@@ -601,9 +645,9 @@ func (s *System) LocateAllVia(client graph.NodeID, port Port, targets []graph.No
 collect:
 	for {
 		select {
-		case e := <-ch:
-			if cur, ok := freshest[e.ServerID]; !ok || e.Time > cur.Time {
-				freshest[e.ServerID] = e
+		case r := <-ch:
+			if cur, ok := freshest[r.entry.ServerID]; !ok || r.entry.Time > cur.Time {
+				freshest[r.entry.ServerID] = r.entry
 			}
 		case <-window:
 			break collect

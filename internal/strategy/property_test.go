@@ -170,6 +170,88 @@ func TestPropertyTreePathMeetsAtLCA(t *testing.T) {
 	}
 }
 
+// TestPropertyReplicatedFamilies pins the geometry Replicated's fault
+// tolerance — and the Byzantine voting layer's r ≥ 2f+1 argument —
+// rests on, over an (n, r) sweep: every family stays a valid
+// singleton-rendezvous strategy; a pair's r meeting points are the base
+// meet translated by exactly ⌊k·n/r⌋, hence r distinct nodes no
+// contiguous range narrower than ⌊n/r⌋ can hold two of; the membership
+// bitset answers exactly v ∈ Pₖ(i); the posting union is the sorted
+// duplicate-free union; and within every family, every node of the
+// universe serves as some pair's meeting point (no idle node, no hot
+// corner).
+func TestPropertyReplicatedFamilies(t *testing.T) {
+	for _, n := range []int{16, 36, 64} {
+		base := rendezvous.Checkerboard(n)
+		for r := 1; r <= 8 && r <= n; r++ {
+			rp, err := NewReplicated(base, r)
+			if err != nil {
+				t.Fatalf("NewReplicated(n=%d, r=%d): %v", n, r, err)
+			}
+			covered := make([][]bool, r)
+			for k := range covered {
+				covered[k] = make([]bool, n)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var meet0 graph.NodeID
+					for k := 0; k < r; k++ {
+						meet := rendezvous.Intersect(
+							rp.Replica(k).Post(graph.NodeID(i)), rp.Replica(k).Query(graph.NodeID(j)))
+						if len(meet) != 1 {
+							t.Fatalf("n=%d r=%d family %d pair (%d,%d): %d meeting points, want 1", n, r, k, i, j, len(meet))
+						}
+						if k == 0 {
+							meet0 = meet[0]
+						} else if want := graph.NodeID((int(meet0) + k*n/r) % n); meet[0] != want {
+							t.Fatalf("n=%d r=%d family %d pair (%d,%d): meet %d, want base meet %d shifted to %d",
+								n, r, k, i, j, meet[0], meet0, want)
+						}
+						covered[k][meet[0]] = true
+					}
+				}
+			}
+			for k := 0; k < r; k++ {
+				for v := 0; v < n; v++ {
+					if !covered[k][v] {
+						t.Fatalf("n=%d r=%d family %d: node %d is never a meeting point", n, r, k, v)
+					}
+				}
+			}
+			// The membership bitset and the posting union agree with the
+			// per-family posting sets they summarize.
+			for i := 0; i < n; i++ {
+				inAny := make(map[graph.NodeID]bool)
+				for k := 0; k < r; k++ {
+					inFam := make(map[graph.NodeID]bool)
+					for _, v := range rp.Replica(k).Post(graph.NodeID(i)) {
+						inFam[v], inAny[v] = true, true
+					}
+					for v := 0; v < n; v++ {
+						if got := rp.InPost(k, graph.NodeID(i), graph.NodeID(v)); got != inFam[graph.NodeID(v)] {
+							t.Fatalf("n=%d r=%d: InPost(%d, %d, %d) = %v, want %v", n, r, k, i, v, got, !got)
+						}
+					}
+				}
+				u := rp.UnionPost(graph.NodeID(i))
+				if len(u) != len(inAny) {
+					t.Fatalf("n=%d r=%d: UnionPost(%d) has %d nodes, want %d distinct", n, r, i, len(u), len(inAny))
+				}
+				for x := range u {
+					if !inAny[u[x]] || (x > 0 && u[x] <= u[x-1]) {
+						t.Fatalf("n=%d r=%d: UnionPost(%d) not a sorted union: %v", n, r, i, u)
+					}
+				}
+			}
+			// Out-of-range probes answer false, never panic.
+			if rp.InPost(-1, 0, 0) || rp.InPost(r, 0, 0) ||
+				rp.InPost(0, -1, 0) || rp.InPost(0, 0, graph.NodeID(n)) {
+				t.Fatalf("n=%d r=%d: out-of-range InPost returned true", n, r)
+			}
+		}
+	}
+}
+
 func isAncestor(t *graph.Tree, anc, v graph.NodeID) bool {
 	for at := v; at != -1; at = t.Parent(at) {
 		if at == anc {
