@@ -75,8 +75,6 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -87,46 +85,16 @@ import (
 	"matchmake/internal/graph"
 	"matchmake/internal/rendezvous"
 	"matchmake/internal/strategy"
+	"matchmake/internal/sweep/procctl"
 	"matchmake/internal/topology"
 )
 
 func main() {
-	if os.Getenv("MMCTL_NODE") != "" {
-		if err := workerMain(); err != nil {
-			fmt.Fprintln(os.Stderr, "mmctl worker:", err)
-			os.Exit(2)
-		}
-		return
-	}
+	procctl.MaybeWorker()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mmctl:", err)
 		os.Exit(1)
 	}
-}
-
-// workerMain is the re-exec'd node-server process: read the partition
-// from the environment, then hand the whole serve-announce-drain
-// lifecycle to the shared cluster.RunNodeWorker (which only returns
-// after a SIGTERM drain has finished).
-func workerMain() error {
-	atoi := func(k string) (int, error) { return strconv.Atoi(os.Getenv(k)) }
-	n, err := atoi("MMCTL_N")
-	if err != nil {
-		return fmt.Errorf("MMCTL_N: %w", err)
-	}
-	lo, err := atoi("MMCTL_LO")
-	if err != nil {
-		return fmt.Errorf("MMCTL_LO: %w", err)
-	}
-	hi, err := atoi("MMCTL_HI")
-	if err != nil {
-		return fmt.Errorf("MMCTL_HI: %w", err)
-	}
-	listen := os.Getenv("MMCTL_ADDR")
-	if listen == "" {
-		listen = "127.0.0.1:0"
-	}
-	return cluster.RunNodeWorker(n, lo, hi, listen, os.Stdout)
 }
 
 func run(args []string, out io.Writer) error {
@@ -153,12 +121,9 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// cmdScale is the live process resize: spawn the new worker set,
-// transfer every partition from the old set, publish the new layout
-// through the state file (the cluster's membership registry — watchers
-// like `mmload -watch-state` rescale off it), then drain the old
-// workers after a grace period. The new workers outlive this process;
-// `mmctl down` addresses them by pid through the state file.
+// cmdScale is the live process resize: the whole state machine lives
+// in procctl.Scale (shared with cmd/mmsweep); this wrapper only parses
+// the flags.
 func cmdScale(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmctl scale", flag.ContinueOnError)
 	state := fs.String("state", "", "state file written by `mmctl up` (required; rewritten with the new layout)")
@@ -167,52 +132,7 @@ func cmdScale(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, err := readState(*state)
-	if err != nil {
-		return err
-	}
-	if *procs < 1 || *procs > st.Nodes {
-		return fmt.Errorf("need 1 <= -procs (%d) <= nodes (%d)", *procs, st.Nodes)
-	}
-	ps, err := spawnCluster(st.Nodes, *procs)
-	if err != nil {
-		return err
-	}
-	donors := make([]cluster.DonorProc, len(st.Procs))
-	for i, p := range st.Procs {
-		donors[i] = cluster.DonorProc{Addr: p.Addr, Lo: p.Lo, Hi: p.Hi}
-	}
-	lost, err := cluster.TransferPartitions(donors, addrs(ps), st.Nodes, cluster.NetOptions{CallTimeout: 30 * time.Second})
-	if err != nil {
-		teardown(ps, 5*time.Second)
-		return fmt.Errorf("partition transfer: %w", err)
-	}
-	for _, r := range lost {
-		fmt.Fprintf(out, "scale: donor for nodes [%d,%d) unreachable; consumers' repair loops will re-post\n", r[0], r[1])
-	}
-	oldProcs := st.Procs
-	st.Procs = make([]nodeProc, len(ps))
-	for i, p := range ps {
-		st.Procs[i] = *p
-		st.Procs[i].cmd = nil
-	}
-	if err := writeStateStruct(*state, st); err != nil {
-		teardown(ps, 5*time.Second)
-		return err
-	}
-	fmt.Fprintf(out, "ADDRS %s\n", strings.Join(addrs(ps), ","))
-	for _, p := range ps {
-		fmt.Fprintf(out, "scale: worker %d pid %d serves [%d,%d) at %s\n", p.Index, p.Pid, p.Lo, p.Hi, p.Addr)
-	}
-	time.Sleep(*grace)
-	for _, p := range oldProcs {
-		if err := syscall.Kill(p.Pid, syscall.SIGTERM); err == nil {
-			fmt.Fprintf(out, "scale: SIGTERM old worker %d (pid %d)\n", p.Index, p.Pid)
-		}
-	}
-	// The new workers are deliberately left running (and unreaped):
-	// they are the cluster now, addressed through the state file.
-	return nil
+	return procctl.Scale(*state, *procs, *grace, out)
 }
 
 func cmdUp(args []string, out io.Writer) error {
@@ -223,17 +143,14 @@ func cmdUp(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ps, err := spawnCluster(*nodes, *procs)
+	ps, err := procctl.Spawn(*nodes, *procs)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "ADDRS %s\n", strings.Join(addrs(ps), ","))
-	for _, p := range ps {
-		fmt.Fprintf(out, "mmctl: worker %d pid %d serves [%d,%d) at %s\n", p.Index, p.Pid, p.Lo, p.Hi, p.Addr)
-	}
+	procctl.Banner(out, "mmctl:", ps)
 	if *state != "" {
-		if err := writeState(*state, *nodes, ps); err != nil {
-			teardown(ps, 5*time.Second)
+		if err := procctl.WriteState(*state, *nodes, ps); err != nil {
+			procctl.Teardown(ps, 5*time.Second)
 			return err
 		}
 	}
@@ -241,7 +158,7 @@ func cmdUp(args []string, out io.Writer) error {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	<-sig
 	fmt.Fprintln(out, "mmctl: draining workers")
-	return teardown(ps, 10*time.Second)
+	return procctl.Teardown(ps, 10*time.Second)
 }
 
 func cmdKill(args []string, out io.Writer) error {
@@ -252,7 +169,7 @@ func cmdKill(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, err := readState(*state)
+	st, err := procctl.ReadState(*state)
 	if err != nil {
 		return err
 	}
@@ -277,7 +194,7 @@ func cmdDown(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, err := readState(*state)
+	st, err := procctl.ReadState(*state)
 	if err != nil {
 		return err
 	}
@@ -310,11 +227,11 @@ func cmdVerify(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ps, err := spawnCluster(*nodes, *procs)
+	ps, err := procctl.Spawn(*nodes, *procs)
 	if err != nil {
 		return err
 	}
-	defer teardown(ps, 10*time.Second)
+	defer procctl.Teardown(ps, 10*time.Second)
 
 	g := topology.Complete(*nodes)
 	strat := rendezvous.Checkerboard(*nodes)
@@ -322,7 +239,7 @@ func cmdVerify(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	netT, err := cluster.NewNetTransport(g, strat, addrs(ps), cluster.NetOptions{CallTimeout: 30 * time.Second})
+	netT, err := cluster.NewNetTransport(g, strat, procctl.Addrs(ps), cluster.NetOptions{CallTimeout: 30 * time.Second})
 	if err != nil {
 		return err
 	}
@@ -458,11 +375,11 @@ func cmdChaos(args []string, out io.Writer) error {
 			return fmt.Errorf("-vote-quorum %d needs -replicas ≥ 2", *voteQuorum)
 		}
 	}
-	ps, err := spawnCluster(*nodes, *procs)
+	ps, err := procctl.Spawn(*nodes, *procs)
 	if err != nil {
 		return err
 	}
-	defer teardown(ps, 10*time.Second)
+	defer procctl.Teardown(ps, 10*time.Second)
 
 	g := topology.Complete(*nodes)
 	base := rendezvous.Checkerboard(*nodes)
@@ -473,10 +390,10 @@ func cmdChaos(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if tr, err = cluster.NewReplicatedNetTransport(g, rp, addrs(ps), opts); err != nil {
+		if tr, err = cluster.NewReplicatedNetTransport(g, rp, procctl.Addrs(ps), opts); err != nil {
 			return err
 		}
-	} else if tr, err = cluster.NewNetTransport(g, base, addrs(ps), opts); err != nil {
+	} else if tr, err = cluster.NewNetTransport(g, base, procctl.Addrs(ps), opts); err != nil {
 		return err
 	}
 	copts := cluster.Options{}
@@ -571,13 +488,13 @@ func cmdChaos(args []string, out io.Writer) error {
 		time.Sleep(*killEvery)
 		victim := ps[rng.Intn(len(ps))]
 		fmt.Fprintf(out, "chaos: kill -9 worker %d (pid %d, nodes [%d,%d))\n", victim.Index, victim.Pid, victim.Lo, victim.Hi)
-		if err := victim.kill(syscall.SIGKILL); err != nil {
+		if err := victim.Kill(syscall.SIGKILL); err != nil {
 			return err
 		}
-		victim.cmd.Wait()
+		victim.Wait()
 		kills++
 		time.Sleep(*respawnAfter)
-		if err := respawn(*nodes, victim); err != nil {
+		if err := procctl.Respawn(*nodes, victim); err != nil {
 			return fmt.Errorf("respawn worker %d: %w", victim.Index, err)
 		}
 		fmt.Fprintf(out, "chaos: worker %d respawned (pid %d) at %s\n", victim.Index, victim.Pid, victim.Addr)
@@ -649,16 +566,16 @@ func cmdDemo(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ps, err := spawnCluster(*nodes, 3)
+	ps, err := procctl.Spawn(*nodes, 3)
 	if err != nil {
 		return err
 	}
-	defer teardown(ps, 10*time.Second)
+	defer procctl.Teardown(ps, 10*time.Second)
 	for _, p := range ps {
 		fmt.Fprintf(out, "demo: worker %d (pid %d) serves nodes [%d,%d) at %s\n", p.Index, p.Pid, p.Lo, p.Hi, p.Addr)
 	}
 	g := topology.Complete(*nodes)
-	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(*nodes), addrs(ps),
+	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(*nodes), procctl.Addrs(ps),
 		cluster.NetOptions{CallTimeout: 30 * time.Second})
 	if err != nil {
 		return err
@@ -680,8 +597,8 @@ func cmdDemo(args []string, out io.Writer) error {
 
 	gen := tr.Gen("mail")
 	fmt.Fprintf(out, "demo: kill -9 worker 1 (pid %d) — nodes [%d,%d) go dark\n", ps[1].Pid, ps[1].Lo, ps[1].Hi)
-	ps[1].kill(syscall.SIGKILL)
-	ps[1].cmd.Wait()
+	ps[1].Kill(syscall.SIGKILL)
+	ps[1].Wait()
 	if _, err := tr.Probe(0, e); err != nil {
 		fmt.Fprintf(out, "demo: probe of the cached \"printer\" address fails without an answer: %v\n", err)
 	}

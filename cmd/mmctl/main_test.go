@@ -2,186 +2,22 @@ package main
 
 import (
 	"bytes"
-	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
-	"syscall"
 	"testing"
-	"time"
 
-	"matchmake/internal/cluster"
-	"matchmake/internal/rendezvous"
-	"matchmake/internal/topology"
+	"matchmake/internal/sweep/procctl"
 )
 
 // TestMain re-execs the test binary as a node-server worker when
-// spawnCluster launches it with MMCTL_NODE set — the same trick the
+// procctl.Spawn launches it with MMCTL_NODE set — the same trick the
 // mmctl binary itself uses, so the orchestration paths under test are
-// the production ones.
+// the production ones. The spawn/kill/drain/scale lifecycle itself is
+// covered in internal/sweep/procctl, where the state machine now
+// lives.
 func TestMain(m *testing.M) {
-	if os.Getenv("MMCTL_NODE") != "" {
-		if err := workerMain(); err != nil {
-			fmt.Fprintln(os.Stderr, "mmctl worker:", err)
-			os.Exit(2)
-		}
-		return
-	}
+	procctl.MaybeWorker()
 	os.Exit(m.Run())
-}
-
-// TestSpawnKillDrain covers the orchestration lifecycle: spawn a
-// 3-process loopback cluster, serve traffic over it, kill -9 one
-// worker, drain another gracefully, tear the rest down.
-func TestSpawnKillDrain(t *testing.T) {
-	if testing.Short() {
-		t.Skip("process cluster: skipped in -short")
-	}
-	ps, err := spawnCluster(24, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer teardown(ps, 5*time.Second)
-	if len(ps) != 3 {
-		t.Fatalf("spawned %d workers, want 3", len(ps))
-	}
-	for i, p := range ps {
-		wantLo, wantHi := cluster.PartitionRange(24, 3, i)
-		if p.Lo != wantLo || p.Hi != wantHi {
-			t.Fatalf("worker %d owns [%d,%d), want [%d,%d)", i, p.Lo, p.Hi, wantLo, wantHi)
-		}
-		if p.Addr == "" || p.Pid == 0 {
-			t.Fatalf("worker %d missing addr/pid: %+v", i, p)
-		}
-	}
-
-	g := topology.Complete(24)
-	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(24), addrs(ps),
-		cluster.NetOptions{CallTimeout: 10 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer tr.Close()
-	if _, err := tr.Register("svc", 2); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := tr.Locate(20, "svc"); err != nil {
-		t.Fatal(err)
-	}
-
-	// kill -9 the last worker: it dies immediately and unclean.
-	if err := ps[2].kill(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	if err := ps[2].cmd.Wait(); err == nil {
-		t.Fatal("SIGKILL'd worker reported a clean exit")
-	}
-	// The cluster still serves the surviving partitions.
-	if _, err := tr.Locate(1, "svc"); err != nil {
-		t.Fatalf("locate after kill -9: %v", err)
-	}
-
-	// drain the middle worker: SIGTERM, in-flight finished, exit 0.
-	if err := ps[1].drain(5 * time.Second); err != nil {
-		t.Fatalf("drain: %v", err)
-	}
-}
-
-// TestScaleRepartitions covers the live process resize: boot a
-// 2-process cluster, serve a posting through it, scale to 4 processes
-// via cmdScale (state file rewritten, old workers drained), and verify
-// a transport over the new layout still resolves the posting — the
-// partition transfer carried it across.
-func TestScaleRepartitions(t *testing.T) {
-	if testing.Short() {
-		t.Skip("process cluster: skipped in -short")
-	}
-	const n = 24
-	ps, err := spawnCluster(n, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer teardown(ps, 5*time.Second)
-	state := filepath.Join(t.TempDir(), "mm.json")
-	if err := writeState(state, n, ps); err != nil {
-		t.Fatal(err)
-	}
-
-	g := topology.Complete(n)
-	tr, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(n), addrs(ps),
-		cluster.NetOptions{CallTimeout: 10 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := tr.Register("svc", 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tr.Close()
-
-	var out bytes.Buffer
-	if err := cmdScale([]string{"-state", state, "-procs", "4", "-grace", "50ms"}, &out); err != nil {
-		t.Fatalf("scale: %v\n%s", err, out.String())
-	}
-	if !strings.Contains(out.String(), "ADDRS ") {
-		t.Fatalf("scale printed no ADDRS line:\n%s", out.String())
-	}
-	st, err := readState(state)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(st.Procs) != 4 {
-		t.Fatalf("state lists %d workers after scale, want 4", len(st.Procs))
-	}
-	defer func() {
-		for _, p := range st.Procs {
-			syscall.Kill(p.Pid, syscall.SIGKILL)
-		}
-	}()
-	newAddrs := make([]string, len(st.Procs))
-	for i, p := range st.Procs {
-		newAddrs[i] = p.Addr
-	}
-	tr2, err := cluster.NewNetTransport(g, rendezvous.Checkerboard(n), newAddrs,
-		cluster.NetOptions{CallTimeout: 10 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer tr2.Close()
-	e, err := tr2.Locate(20, "svc")
-	if err != nil {
-		t.Fatalf("locate over the rescaled cluster: %v", err)
-	}
-	if e.Addr != want.Node() {
-		t.Fatalf("located %d, want %d", e.Addr, want.Node())
-	}
-}
-
-func TestStateRoundTrip(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "mm.json")
-	ps := []*nodeProc{
-		{Index: 0, Pid: 1234, Addr: "127.0.0.1:7001", Lo: 0, Hi: 12},
-		{Index: 1, Pid: 1235, Addr: "127.0.0.1:7002", Lo: 12, Hi: 24},
-	}
-	if err := writeState(path, 24, ps); err != nil {
-		t.Fatal(err)
-	}
-	st, err := readState(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Nodes != 24 || len(st.Procs) != 2 {
-		t.Fatalf("state = %+v", st)
-	}
-	for i := range ps {
-		if st.Procs[i].Pid != ps[i].Pid || st.Procs[i].Addr != ps[i].Addr {
-			t.Fatalf("proc %d = %+v, want %+v", i, st.Procs[i], *ps[i])
-		}
-	}
-	if _, err := readState(filepath.Join(dir, "missing.json")); err == nil {
-		t.Fatal("want error for missing state file")
-	}
 }
 
 // TestVerifySmoke runs the CI divergence gate end to end on a small

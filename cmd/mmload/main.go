@@ -9,6 +9,10 @@
 // feeding the cluster's shard worker pools, where overload is shed and
 // reported rather than queued without bound.
 //
+// The engine itself lives in internal/sweep/loadrun — this binary is a
+// flag wrapper over loadrun.Run, and cmd/mmsweep drives the same
+// engine programmatically across whole scenario matrices.
+//
 // Usage:
 //
 //	mmload                                   # 64-node Zipfian fast-path run
@@ -84,28 +88,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"math"
-	"math/rand"
 	"os"
-	"runtime"
-	"slices"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"matchmake/internal/cluster"
-	"matchmake/internal/core"
-	"matchmake/internal/gate"
-	"matchmake/internal/graph"
-	"matchmake/internal/netwire"
-	"matchmake/internal/rendezvous"
-	"matchmake/internal/strategy"
-	"matchmake/internal/topology"
+	"matchmake/internal/sweep/loadrun"
 )
 
 func main() {
@@ -115,1067 +104,62 @@ func main() {
 	}
 }
 
-type config struct {
-	transport   string
-	gateAddr    string
-	gateToken   string
-	addrs       string
-	stateFile   string
-	watchState  time.Duration
-	netConns    int
-	netStripes  int
-	coalesceWin time.Duration
-	netCoalesce bool
-	resizeEvery time.Duration
-	resizeTo    int
-	topo        string
-	nodes       int
-	strategy    string
-	ports       int
-	workload    string
-	zipfS       float64
-	zipfV       float64
-	churn       time.Duration
-	replicas    int
-	killRate    float64
-	corruptRate float64
-	reconEvery  time.Duration
-	byzRate     float64
-	liars       int
-	voteQuorum  int
-	duration    time.Duration
-	concurrency int
-	rate        int
-	batch       int
-	hints       bool
-	weighted    bool
-	hotPorts    int
-	hotRefresh  time.Duration
-	hotAlpha    float64
-	shards      int
-	workers     int
-	queue       int
-	noCoalesce  bool
-	seed        int64
-	locateTO    time.Duration
-	collectWin  time.Duration
-}
-
-// stripes resolves the connection-stripe count for the net and gate
-// transports: -net-stripes wins, the older -net-conns spelling still
-// works, and zero defers to netwire.NewPool's max(2, GOMAXPROCS)
-// default.
-func (cfg config) stripes() int {
-	if cfg.netStripes != 0 {
-		return cfg.netStripes
-	}
-	return cfg.netConns
-}
-
-// netOptions assembles the NetOptions shared by the static and
-// elastic net transport builders from the wire-tuning flags.
-func (cfg config) netOptions() cluster.NetOptions {
-	return cluster.NetOptions{
-		ConnsPerProc:      cfg.stripes(),
-		CallTimeout:       30 * time.Second,
-		CoalesceWindow:    cfg.coalesceWin,
-		DisableCoalescing: !cfg.netCoalesce,
-	}
-}
-
+// run parses the flag set into a loadrun.Config, runs the engine, and
+// prints the summary — the whole binary, kept as a function so the
+// tests can call it with a captured writer.
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmload", flag.ContinueOnError)
-	var cfg config
-	fs.StringVar(&cfg.transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator) | net (socket cluster; needs -addrs) | gate (mmgate service edge; needs -gate-addr)")
-	fs.StringVar(&cfg.gateAddr, "gate-addr", "", "gate transport: mmgate wire address (the WIRE line mmgate prints)")
-	fs.StringVar(&cfg.gateToken, "gate-token", "dev", "gate transport: bearer token (a tenant from the gateway's -tenants table)")
-	fs.StringVar(&cfg.addrs, "addrs", "", "net transport: comma-separated node-process addresses in partition order (from `mmctl up` or mmnode)")
-	fs.StringVar(&cfg.stateFile, "state", "", "net transport: read the address list from this mmctl state file instead of -addrs")
-	fs.DurationVar(&cfg.watchState, "watch-state", 0, "net transport: poll the -state file this often and rescale onto layout changes (0 = off)")
-	fs.IntVar(&cfg.netConns, "net-conns", 0, "net transport: connections per node process (0 = default; superseded by -net-stripes)")
-	fs.IntVar(&cfg.netStripes, "net-stripes", 0, "net/gate transport: connection stripes per destination process (0 = max(2, GOMAXPROCS))")
-	fs.DurationVar(&cfg.coalesceWin, "coalesce-window", 0, "net transport: wire coalescer window — a promoted flood leader waits this long for more locates to queue (0 = flush immediately)")
-	fs.BoolVar(&cfg.netCoalesce, "net-coalesce", true, "net transport: coalesce concurrent locates into shared wire floods (-net-coalesce=false for one frame per locate)")
-	fs.DurationVar(&cfg.resizeEvery, "resize-interval", 0, "elastic membership churn: resize (or finish the draining resize) this often (0 = off)")
-	fs.IntVar(&cfg.resizeTo, "resize-to", 0, "resize churn: the smaller active node count to shrink to (0 = 3n/4)")
-	fs.StringVar(&cfg.topo, "topology", "complete", "topology: complete|grid|ring|hypercube")
-	fs.IntVar(&cfg.nodes, "nodes", 64, "network size (grid needs a rectangle, hypercube a power of two)")
-	fs.StringVar(&cfg.strategy, "strategy", "checkerboard", "strategy: checkerboard|random|broadcast|sweep")
-	fs.IntVar(&cfg.ports, "ports", 16, "number of services (one server each)")
-	fs.StringVar(&cfg.workload, "workload", "zipf", "port popularity: uniform|zipf")
-	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "Zipf skew exponent (> 1)")
-	fs.Float64Var(&cfg.zipfV, "zipf-v", 1, "Zipf value offset (≥ 1)")
-	fs.DurationVar(&cfg.churn, "churn", 0, "crash/re-register one service this often (0 = off)")
-	fs.IntVar(&cfg.replicas, "replicas", 1, "replication factor r of the rendezvous strategy (1 = unreplicated)")
-	fs.Float64Var(&cfg.killRate, "kill-rate", 0, "crash random non-server nodes at this rate per second (0 = off)")
-	fs.Float64Var(&cfg.corruptRate, "corrupt-rate", 0, "inject adversarial posting corruption (drops, duplicates, stale and bit-flipped entries) at this rate per second while anti-entropy reconciles in the background; the report gains a time-to-quiescence line (0 = off)")
-	fs.DurationVar(&cfg.reconEvery, "reconcile-interval", 0, "anti-entropy background round period (0 = off, or 50ms when -corrupt-rate is set)")
-	fs.Float64Var(&cfg.byzRate, "byzantine-rate", 0, "re-arm the answer-forging adversary (-liars lying rendezvous nodes, fresh seed per wave) at this rate per second; the report gains a forged-answers line (0 = off)")
-	fs.IntVar(&cfg.liars, "liars", 1, "byzantine: number of lying rendezvous nodes per wave (the f of r ≥ 2f+1)")
-	fs.IntVar(&cfg.voteQuorum, "vote-quorum", 0, "answer voting: flood this many replica families per locate and believe only a strict majority (needs -replicas ≥ 2; 0 = first-answer fallthrough)")
-	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measurement duration")
-	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop client goroutines")
-	fs.IntVar(&cfg.rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
-	fs.IntVar(&cfg.batch, "batch", 0, "closed loop: issue locates in batches of N via LocateBatch (0 = single locates)")
-	fs.BoolVar(&cfg.hints, "hints", false, "enable the per-client address hint cache (probe-validated, generation-invalidated)")
-	fs.BoolVar(&cfg.weighted, "weighted", false, "mem transport: frequency-weighted strategy (hot ports switch to a post-heavy split)")
-	fs.IntVar(&cfg.hotPorts, "hot", 2, "weighted: number of ports to keep promoted")
-	fs.DurationVar(&cfg.hotRefresh, "hot-refresh", 250*time.Millisecond, "weighted: reclassification period")
-	fs.Float64Var(&cfg.hotAlpha, "hot-alpha", 16, "weighted: assumed locate:post frequency ratio (sets the hot query size √(n/α))")
-	fs.IntVar(&cfg.shards, "shards", 0, "cluster shards (0 = GOMAXPROCS)")
-	fs.IntVar(&cfg.workers, "workers", 0, "workers per shard (0 = default)")
-	fs.IntVar(&cfg.queue, "queue", 0, "per-shard async queue depth (0 = default)")
-	fs.BoolVar(&cfg.noCoalesce, "no-coalesce", false, "disable locate coalescing")
-	fs.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
-	fs.DurationVar(&cfg.locateTO, "locate-timeout", 250*time.Millisecond, "sim transport: locate timeout")
-	fs.DurationVar(&cfg.collectWin, "collect-window", time.Millisecond, "sim transport: reply collection window")
+	var cfg loadrun.Config
+	fs.StringVar(&cfg.Transport, "transport", "mem", "transport: mem (in-process fast path) | sim (paper-exact simulator) | net (socket cluster; needs -addrs) | gate (mmgate service edge; needs -gate-addr)")
+	fs.StringVar(&cfg.GateAddr, "gate-addr", "", "gate transport: mmgate wire address (the WIRE line mmgate prints)")
+	fs.StringVar(&cfg.GateToken, "gate-token", "dev", "gate transport: bearer token (a tenant from the gateway's -tenants table)")
+	fs.StringVar(&cfg.Addrs, "addrs", "", "net transport: comma-separated node-process addresses in partition order (from `mmctl up` or mmnode)")
+	fs.StringVar(&cfg.StateFile, "state", "", "net transport: read the address list from this mmctl state file instead of -addrs")
+	fs.DurationVar(&cfg.WatchState, "watch-state", 0, "net transport: poll the -state file this often and rescale onto layout changes (0 = off)")
+	fs.IntVar(&cfg.NetConns, "net-conns", 0, "net transport: connections per node process (0 = default; superseded by -net-stripes)")
+	fs.IntVar(&cfg.NetStripes, "net-stripes", 0, "net/gate transport: connection stripes per destination process (0 = max(2, GOMAXPROCS))")
+	fs.DurationVar(&cfg.CoalesceWin, "coalesce-window", 0, "net transport: wire coalescer window — a promoted flood leader waits this long for more locates to queue (0 = flush immediately)")
+	fs.BoolVar(&cfg.NetCoalesce, "net-coalesce", true, "net transport: coalesce concurrent locates into shared wire floods (-net-coalesce=false for one frame per locate)")
+	fs.DurationVar(&cfg.ResizeEvery, "resize-interval", 0, "elastic membership churn: resize (or finish the draining resize) this often (0 = off)")
+	fs.IntVar(&cfg.ResizeTo, "resize-to", 0, "resize churn: the smaller active node count to shrink to (0 = 3n/4)")
+	fs.StringVar(&cfg.Topo, "topology", "complete", "topology: complete|grid|ring|hypercube")
+	fs.IntVar(&cfg.Nodes, "nodes", 64, "network size (grid needs a rectangle, hypercube a power of two)")
+	fs.StringVar(&cfg.Strategy, "strategy", "checkerboard", "strategy: checkerboard|random|broadcast|sweep")
+	fs.IntVar(&cfg.Ports, "ports", 16, "number of services (one server each)")
+	fs.StringVar(&cfg.Workload, "workload", "zipf", "port popularity: uniform|zipf")
+	fs.Float64Var(&cfg.ZipfS, "zipf-s", 1.2, "Zipf skew exponent (> 1)")
+	fs.Float64Var(&cfg.ZipfV, "zipf-v", 1, "Zipf value offset (≥ 1)")
+	fs.DurationVar(&cfg.Churn, "churn", 0, "crash/re-register one service this often (0 = off)")
+	fs.IntVar(&cfg.Replicas, "replicas", 1, "replication factor r of the rendezvous strategy (1 = unreplicated)")
+	fs.Float64Var(&cfg.KillRate, "kill-rate", 0, "crash random non-server nodes at this rate per second (0 = off)")
+	fs.Float64Var(&cfg.CorruptRate, "corrupt-rate", 0, "inject adversarial posting corruption (drops, duplicates, stale and bit-flipped entries) at this rate per second while anti-entropy reconciles in the background; the report gains a time-to-quiescence line (0 = off)")
+	fs.DurationVar(&cfg.ReconEvery, "reconcile-interval", 0, "anti-entropy background round period (0 = off, or 50ms when -corrupt-rate is set)")
+	fs.Float64Var(&cfg.ByzRate, "byzantine-rate", 0, "re-arm the answer-forging adversary (-liars lying rendezvous nodes, fresh seed per wave) at this rate per second; the report gains a forged-answers line (0 = off)")
+	fs.IntVar(&cfg.Liars, "liars", 1, "byzantine: number of lying rendezvous nodes per wave (the f of r ≥ 2f+1)")
+	fs.IntVar(&cfg.VoteQuorum, "vote-quorum", 0, "answer voting: flood this many replica families per locate and believe only a strict majority (needs -replicas ≥ 2; 0 = first-answer fallthrough)")
+	fs.DurationVar(&cfg.Duration, "duration", 2*time.Second, "measurement duration")
+	fs.IntVar(&cfg.Concurrency, "concurrency", 8, "closed-loop client goroutines")
+	fs.IntVar(&cfg.Rate, "rate", 0, "open-loop arrival rate in locates/sec (0 = closed loop)")
+	fs.IntVar(&cfg.Batch, "batch", 0, "closed loop: issue locates in batches of N via LocateBatch (0 = single locates)")
+	fs.BoolVar(&cfg.Hints, "hints", false, "enable the per-client address hint cache (probe-validated, generation-invalidated)")
+	fs.BoolVar(&cfg.Weighted, "weighted", false, "mem transport: frequency-weighted strategy (hot ports switch to a post-heavy split)")
+	fs.IntVar(&cfg.HotPorts, "hot", 2, "weighted: number of ports to keep promoted")
+	fs.DurationVar(&cfg.HotRefresh, "hot-refresh", 250*time.Millisecond, "weighted: reclassification period")
+	fs.Float64Var(&cfg.HotAlpha, "hot-alpha", 16, "weighted: assumed locate:post frequency ratio (sets the hot query size √(n/α))")
+	fs.IntVar(&cfg.Shards, "shards", 0, "cluster shards (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.Workers, "workers", 0, "workers per shard (0 = default)")
+	fs.IntVar(&cfg.Queue, "queue", 0, "per-shard async queue depth (0 = default)")
+	fs.BoolVar(&cfg.NoCoalesce, "no-coalesce", false, "disable locate coalescing")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "workload RNG seed")
+	fs.DurationVar(&cfg.LocateTO, "locate-timeout", 250*time.Millisecond, "sim transport: locate timeout")
+	fs.DurationVar(&cfg.CollectWin, "collect-window", time.Millisecond, "sim transport: reply collection window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if cfg.nodes < 2 {
-		return fmt.Errorf("need at least 2 nodes")
-	}
-	if cfg.ports < 1 {
-		return fmt.Errorf("need at least 1 port")
-	}
-	if cfg.rate > 0 && cfg.batch > 0 {
-		return fmt.Errorf("-batch applies to the closed loop only; drop -rate to measure LocateBatch")
-	}
-	if cfg.replicas < 1 {
-		return fmt.Errorf("-replicas must be ≥ 1, got %d", cfg.replicas)
-	}
-	if cfg.replicas > 1 && cfg.weighted {
-		return fmt.Errorf("-replicas and -weighted are mutually exclusive")
-	}
-	if cfg.killRate < 0 {
-		return fmt.Errorf("-kill-rate must be ≥ 0, got %v", cfg.killRate)
-	}
-	if cfg.corruptRate < 0 {
-		return fmt.Errorf("-corrupt-rate must be ≥ 0, got %v", cfg.corruptRate)
-	}
-	if cfg.corruptRate > 0 && cfg.reconEvery == 0 {
-		cfg.reconEvery = 50 * time.Millisecond
-	}
-	if cfg.byzRate < 0 {
-		return fmt.Errorf("-byzantine-rate must be ≥ 0, got %v", cfg.byzRate)
-	}
-	if cfg.byzRate > 0 && cfg.liars < 1 {
-		return fmt.Errorf("-liars must be ≥ 1, got %d", cfg.liars)
-	}
-	if cfg.voteQuorum < 0 {
-		return fmt.Errorf("-vote-quorum must be ≥ 0, got %d", cfg.voteQuorum)
-	}
-	if cfg.voteQuorum >= 2 && cfg.replicas < 2 {
-		return fmt.Errorf("-vote-quorum %d needs -replicas ≥ 2 (voting is across replica families)", cfg.voteQuorum)
-	}
-	if (cfg.byzRate > 0 || cfg.voteQuorum > 0) && cfg.resizeEvery > 0 {
-		return fmt.Errorf("-byzantine-rate/-vote-quorum and -resize-interval are mutually exclusive")
-	}
-
-	// The transport, node count and the topology/strategy names for the
-	// report. With -transport gate the rendezvous machinery lives behind
-	// the service edge: the gateway picked topology and strategy, mmload
-	// learns the node count from the hello and reports the rest as
-	// "remote".
-	var (
-		tr        cluster.Transport
-		n         int
-		topoName  string
-		stratName string
-	)
-	if cfg.transport == "gate" {
-		if err := validateGateFlags(cfg); err != nil {
-			return err
-		}
-		gt, err := gate.DialTransport(cfg.gateAddr, cfg.gateToken, cfg.stripes())
-		if err != nil {
-			return err
-		}
-		tr, n = gt, gt.N()
-		topoName, stratName = "remote", "remote"
-	} else {
-		g, err := buildTopology(cfg.topo, cfg.nodes)
-		if err != nil {
-			return err
-		}
-		if cfg.resizeTo == 0 {
-			cfg.resizeTo = g.N() * 3 / 4
-		}
-		if cfg.resizeEvery > 0 {
-			if cfg.weighted {
-				return fmt.Errorf("-resize-interval and -weighted are mutually exclusive")
-			}
-			if cfg.resizeTo < 2 || cfg.resizeTo > g.N() {
-				return fmt.Errorf("-resize-to %d out of [2,%d]", cfg.resizeTo, g.N())
-			}
-			if cfg.replicas > cfg.resizeTo {
-				return fmt.Errorf("-replicas %d > -resize-to %d", cfg.replicas, cfg.resizeTo)
-			}
-		}
-		if cfg.watchState > 0 {
-			if cfg.transport != "net" {
-				return fmt.Errorf("-watch-state needs -transport net")
-			}
-			if cfg.stateFile == "" {
-				return fmt.Errorf("-watch-state needs -state")
-			}
-		}
-		if cfg.transport == "net" && cfg.addrs == "" && cfg.stateFile != "" {
-			stateAddrs, err := readStateAddrs(cfg.stateFile)
-			if err != nil {
-				return fmt.Errorf("-state %s: %w", cfg.stateFile, err)
-			}
-			cfg.addrs = strings.Join(stateAddrs, ",")
-		}
-		strat, err := buildStrategy(cfg.strategy, g.N(), cfg.seed)
-		if err != nil {
-			return err
-		}
-		if tr, err = buildTransport(cfg, g, strat); err != nil {
-			return err
-		}
-		n, topoName, stratName = g.N(), cfg.topo, strat.Name()
-	}
-	// When membership churns, servers and clients stay inside the
-	// smaller epoch's range so every locate remains serviceable.
-	activeFloor := n
-	if cfg.resizeEvery > 0 && cfg.resizeTo < activeFloor {
-		activeFloor = cfg.resizeTo
-	}
-	copts := cluster.Options{
-		Shards:            cfg.shards,
-		WorkersPerShard:   cfg.workers,
-		QueueDepth:        cfg.queue,
-		DisableCoalescing: cfg.noCoalesce,
-		Hints:             cfg.hints,
-		VoteQuorum:        cfg.voteQuorum,
-	}
-	if cfg.weighted {
-		copts.HotPorts = cfg.hotPorts
-		copts.HotRefresh = cfg.hotRefresh
-	}
-	c := cluster.New(tr, copts)
-	defer c.Close()
-
-	// The self-stabilization layer: a background anti-entropy loop (and,
-	// with -corrupt-rate, the adversarial injector racing it).
-	var antiT cluster.AntiEntropyTransport
-	if cfg.corruptRate > 0 || cfg.reconEvery > 0 {
-		var ok bool
-		if antiT, ok = tr.(cluster.AntiEntropyTransport); !ok {
-			return fmt.Errorf("-corrupt-rate/-reconcile-interval need an anti-entropy transport (mem, sim or net), got %s", tr.Name())
-		}
-		antiT.StartReconcile(cfg.reconEvery)
-	}
-
-	// The Byzantine adversary: -byzantine-rate arms -liars rendezvous
-	// nodes to forge locate answers, re-armed with a fresh seed per wave.
-	var byzT cluster.ByzantineTransport
-	if cfg.byzRate > 0 || cfg.voteQuorum >= 2 {
-		var ok bool
-		if byzT, ok = tr.(cluster.ByzantineTransport); !ok {
-			return fmt.Errorf("-byzantine-rate/-vote-quorum need a byzantine-capable transport (mem, sim or net), got %s", tr.Name())
-		}
-	}
-
-	// One server per port, spread deterministically over the nodes and
-	// announced through the batched posting path (one shard lock per
-	// store shard, bulk pass accounting).
-	names := makePortNames(cfg.ports)
-	regs := make([]cluster.Registration, cfg.ports)
-	for p := 0; p < cfg.ports; p++ {
-		regs[p] = cluster.Registration{Port: names[p], Node: graph.NodeID((p * 7919) % activeFloor)}
-	}
-	refs, err := c.PostBatch(regs)
-	if err != nil {
-		return fmt.Errorf("register services: %w", err)
-	}
-	reg := &registry{servers: refs}
-
-	stop := make(chan struct{})
-	var churnWG sync.WaitGroup
-	if cfg.churn > 0 {
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			runChurn(c, reg, cfg, activeFloor, stop)
-		}()
-	}
-	var kills int64
-	if cfg.killRate > 0 {
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			kills = runKiller(c, reg, cfg, activeFloor, stop)
-		}()
-	}
-	if cfg.corruptRate > 0 {
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			runCorruptor(antiT, cfg, stop)
-		}()
-	}
-	var det *forgeDetector
-	if byzT != nil {
-		det = newForgeDetector(cfg, reg, names)
-	}
-	var armed int64
-	if cfg.byzRate > 0 {
-		// Arm the first wave before measurement starts so the adversary
-		// is live for the whole window.
-		n0, aerr := byzT.Arm(cluster.ArmOptions{Seed: cfg.seed * 6053, Liars: cfg.liars})
-		if aerr != nil {
-			return fmt.Errorf("arm byzantine adversary: %w", aerr)
-		}
-		armed = int64(n0)
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			runArmer(byzT, cfg, stop)
-		}()
-	}
-	var resizes int64
-	var resizeErr error
-	if cfg.resizeEvery > 0 {
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			resizes, resizeErr = runResizer(c, cfg, n, stop)
-		}()
-	}
-	if cfg.watchState > 0 {
-		// Validated up front: -transport net always builds a *NetTransport.
-		netT := tr.(*cluster.NetTransport)
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			watchState(netT, cfg.stateFile, cfg.watchState, stop, out)
-		}()
-	}
-
-	c.ResetMetrics()
-	// Snapshot wire-level counters (net and gate transports) so the
-	// report can charge frames and bytes to the measurement window only.
-	wireT, _ := tr.(interface{ WireStats() netwire.Stats })
-	var wireBefore netwire.Stats
-	if wireT != nil {
-		wireBefore = wireT.WireStats()
-	}
-	var memBefore runtime.MemStats
-	runtime.ReadMemStats(&memBefore)
-	if cfg.rate > 0 {
-		err = openLoop(c, cfg, names, activeFloor, det)
-	} else {
-		err = closedLoop(c, cfg, names, activeFloor, det)
-	}
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
-	close(stop)
-	churnWG.Wait()
+	res, err := loadrun.Run(cfg, out)
 	if err != nil {
 		return err
 	}
-
-	// Time-to-quiescence: with the injector stopped, drive explicit
-	// rounds until one finds nothing to repair. The drain happens before
-	// the snapshot so its rounds and repairs land in the report window.
-	var (
-		quiesceRounds int
-		quiesceIn     time.Duration
-	)
-	if antiT != nil && cfg.corruptRate > 0 {
-		t0 := time.Now()
-		for quiesceRounds = 1; quiesceRounds <= 64; quiesceRounds++ {
-			r, rerr := antiT.ReconcileRound()
-			if rerr != nil {
-				return fmt.Errorf("quiescence drain: %w", rerr)
-			}
-			if r == 0 {
-				break
-			}
-		}
-		quiesceIn = time.Since(t0)
-	}
-
-	m := c.Metrics()
-	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
-		tr.Name(), topoName, n, stratName, cfg.ports, cfg.workload, churnSuffix(cfg))
-	if cfg.killRate > 0 {
-		fmt.Fprintf(out, "mmload: kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", kills, cfg.killRate)
-	}
-	if cfg.corruptRate > 0 {
-		fmt.Fprintf(out, "mmload: chaos corrupt-rate=%.2f/s reconcile-interval=%v: time-to-quiescence=%v (%d rounds after load stop)\n",
-			cfg.corruptRate, cfg.reconEvery, quiesceIn.Round(time.Microsecond), quiesceRounds)
-	}
-	if cfg.resizeEvery > 0 {
-		fmt.Fprintf(out, "mmload: resizes=%d (every %v, active %d↔%d)\n", resizes, cfg.resizeEvery, n, cfg.resizeTo)
-		if resizeErr != nil {
-			fmt.Fprintf(out, "mmload: resize: last error: %v\n", resizeErr)
-		}
-	}
-	if det != nil {
-		fmt.Fprintf(out, "mmload: byzantine rate=%.2f/s liars=%d armed-lies=%d vote-quorum=%d forged=%d\n",
-			cfg.byzRate, cfg.liars, armed, cfg.voteQuorum, det.forged.Load())
-	}
-	fmt.Fprintln(out, m.String())
-	if m.Locates > 0 {
-		// Process-wide allocation count over the window divided by
-		// locates: includes the harness's own allocations, so it is an
-		// upper bound on the serving path's allocs/op.
-		allocs := float64(memAfter.Mallocs-memBefore.Mallocs) / float64(m.Locates)
-		fmt.Fprintf(out, "allocs/locate≈%.2f (process-wide upper bound)\n", allocs)
-	}
-	if wireT != nil && m.Locates > 0 {
-		d := wireT.WireStats().Sub(wireBefore)
-		fmt.Fprintf(out, "wire: frames/locate=%.2f bytes/locate=%.0f (tx+rx, all ops in window)\n",
-			float64(d.FramesSent+d.FramesRecv)/float64(m.Locates),
-			float64(d.BytesSent+d.BytesRecv)/float64(m.Locates))
-		if ct, ok := tr.(interface{ CoalesceStats() (int64, int64) }); ok {
-			if co, fl := ct.CoalesceStats(); fl > 0 {
-				fmt.Fprintf(out, "wire: coalesced=%d locates into %d shared floods (%.2f locates/flood)\n",
-					co, fl, float64(co)/float64(fl))
-			}
-		}
-	}
+	res.Report(out)
 	return nil
-}
-
-// validateGateFlags rejects flags that configure machinery living on
-// the gateway's side of the wire: with -transport gate the rendezvous
-// strategy, hint cache, fault injection and membership churn all
-// belong to the mmgate process, not the load driver.
-func validateGateFlags(cfg config) error {
-	if cfg.gateAddr == "" {
-		return fmt.Errorf("-transport gate needs -gate-addr (the WIRE line mmgate prints)")
-	}
-	switch {
-	case cfg.addrs != "" || cfg.stateFile != "":
-		return fmt.Errorf("-addrs/-state belong to -transport net; the gateway owns its own cluster")
-	case cfg.hints:
-		return fmt.Errorf("-hints is gateway-side: start mmgate with -hints instead")
-	case cfg.weighted:
-		return fmt.Errorf("-weighted is gateway-side; not available over -transport gate")
-	case cfg.replicas > 1:
-		return fmt.Errorf("-replicas is gateway-side: start mmgate with -replicas instead")
-	case cfg.churn > 0 || cfg.killRate > 0:
-		return fmt.Errorf("-churn/-kill-rate need direct transport access; not available over -transport gate")
-	case cfg.resizeEvery > 0 || cfg.watchState > 0:
-		return fmt.Errorf("membership churn (-resize-interval/-watch-state) is not available over -transport gate")
-	case cfg.corruptRate > 0 || cfg.reconEvery > 0:
-		return fmt.Errorf("-corrupt-rate/-reconcile-interval need direct transport access; not available over -transport gate")
-	case cfg.byzRate > 0 || cfg.voteQuorum > 0:
-		return fmt.Errorf("-byzantine-rate/-vote-quorum need direct transport access; not available over -transport gate")
-	}
-	return nil
-}
-
-func churnSuffix(cfg config) string {
-	if cfg.churn <= 0 {
-		return ""
-	}
-	return fmt.Sprintf(" churn=%v", cfg.churn)
-}
-
-func portName(p int) core.Port { return core.Port(fmt.Sprintf("svc-%04d", p)) }
-
-// makePortNames materializes the port name table once; the measured
-// loops index it rather than formatting a name per locate, which would
-// bill the harness's own allocations to the serving path.
-func makePortNames(ports int) []core.Port {
-	names := make([]core.Port, ports)
-	for p := range names {
-		names[p] = portName(p)
-	}
-	return names
-}
-
-// registry guards the per-port server handles against the churn loop.
-type registry struct {
-	mu      sync.Mutex
-	servers []cluster.ServerRef
-}
-
-func buildTopology(name string, n int) (*graph.Graph, error) {
-	switch name {
-	case "complete":
-		return topology.Complete(n), nil
-	case "ring":
-		return topology.Ring(n)
-	case "grid":
-		p := int(math.Sqrt(float64(n)))
-		for p > 1 && n%p != 0 {
-			p--
-		}
-		if p <= 1 {
-			return nil, fmt.Errorf("grid needs a composite node count, got %d", n)
-		}
-		gr, err := topology.NewGrid(p, n/p)
-		if err != nil {
-			return nil, err
-		}
-		return gr.G, nil
-	case "hypercube":
-		d := 0
-		for 1<<d < n {
-			d++
-		}
-		if 1<<d != n {
-			return nil, fmt.Errorf("hypercube needs a power-of-two node count, got %d", n)
-		}
-		h, err := topology.NewHypercube(d)
-		if err != nil {
-			return nil, err
-		}
-		return h.G, nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
-	}
-}
-
-func buildStrategy(name string, n int, seed int64) (rendezvous.Strategy, error) {
-	switch name {
-	case "checkerboard":
-		return rendezvous.Checkerboard(n), nil
-	case "random":
-		k := int(math.Ceil(math.Sqrt(float64(n)))) * 2
-		return rendezvous.Random(n, k, k, uint64(seed)), nil
-	case "broadcast":
-		return rendezvous.Broadcast(n), nil
-	case "sweep":
-		return rendezvous.Sweep(n), nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", name)
-	}
-}
-
-func buildTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
-	if cfg.resizeEvery > 0 {
-		return buildElasticTransport(cfg, g, strat)
-	}
-	var rp *strategy.Replicated
-	if cfg.replicas > 1 {
-		var err error
-		if rp, err = strategy.NewReplicated(strat, cfg.replicas); err != nil {
-			return nil, err
-		}
-	}
-	switch cfg.transport {
-	case "mem":
-		if cfg.weighted {
-			w, err := buildWeighted(g.N(), strat, cfg.hotAlpha)
-			if err != nil {
-				return nil, err
-			}
-			return cluster.NewWeightedMemTransport(g, w, 0)
-		}
-		if rp != nil {
-			return cluster.NewReplicatedMemTransport(g, rp, 0)
-		}
-		return cluster.NewMemTransport(g, strat, 0)
-	case "sim":
-		if cfg.weighted {
-			return nil, fmt.Errorf("-weighted needs -transport mem or net (the sim path runs the base strategy only)")
-		}
-		opts := core.Options{LocateTimeout: cfg.locateTO, CollectWindow: cfg.collectWin}
-		if rp != nil {
-			return cluster.NewReplicatedSimTransport(g, rp, opts)
-		}
-		return cluster.NewSimTransport(g, strat, opts)
-	case "net":
-		if cfg.addrs == "" {
-			return nil, fmt.Errorf("-transport net needs -addrs (boot a cluster with `mmctl up` or mmnode)")
-		}
-		addrs := strings.Split(cfg.addrs, ",")
-		opts := cfg.netOptions()
-		if cfg.weighted {
-			w, err := buildWeighted(g.N(), strat, cfg.hotAlpha)
-			if err != nil {
-				return nil, err
-			}
-			return cluster.NewWeightedNetTransport(g, w, addrs, opts)
-		}
-		if rp != nil {
-			return cluster.NewReplicatedNetTransport(g, rp, addrs, opts)
-		}
-		return cluster.NewNetTransport(g, strat, addrs, opts)
-	default:
-		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
-	}
-}
-
-// buildElasticTransport assembles the epoch-versioned elastic
-// transport for the resize-churn scenario: epoch 1 serves the full
-// node set (replicated per -replicas); runResizer then alternates the
-// membership live.
-func buildElasticTransport(cfg config, g *graph.Graph, strat rendezvous.Strategy) (cluster.Transport, error) {
-	ep, err := strategy.NewEpoch(1, g.N(), strat, cfg.replicas)
-	if err != nil {
-		return nil, err
-	}
-	switch cfg.transport {
-	case "mem":
-		return cluster.NewElasticMemTransport(g, ep, 0)
-	case "sim":
-		opts := core.Options{LocateTimeout: cfg.locateTO, CollectWindow: cfg.collectWin}
-		return cluster.NewElasticSimTransport(g, ep, opts)
-	case "net":
-		if cfg.addrs == "" {
-			return nil, fmt.Errorf("-transport net needs -addrs or -state (boot a cluster with `mmctl up` or mmnode)")
-		}
-		return cluster.NewElasticNetTransport(g, ep, strings.Split(cfg.addrs, ","), cfg.netOptions())
-	default:
-		return nil, fmt.Errorf("unknown transport %q", cfg.transport)
-	}
-}
-
-// runResizer is the membership-churn loop: every tick it either
-// finishes the draining migration (retiring the old epoch) or starts
-// the next transition, alternating the active node count between the
-// full universe and -resize-to under a fresh epoch of the configured
-// strategy family. It returns the number of transitions begun and the
-// last error seen.
-func runResizer(c *cluster.Cluster, cfg config, n int, stop <-chan struct{}) (int64, error) {
-	var (
-		resizes int64
-		lastErr error
-	)
-	seq := uint64(1)
-	toSmall := true
-	tick := time.NewTicker(cfg.resizeEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return resizes, lastErr
-		case <-tick.C:
-		}
-		et, ok := c.Transport().(cluster.ElasticTransport)
-		if !ok || !et.Elastic() {
-			return resizes, fmt.Errorf("transport %s is not elastic", c.Transport().Name())
-		}
-		if et.Resizing() {
-			if err := c.FinishResize(); err != nil {
-				lastErr = err
-			}
-			continue
-		}
-		active := n
-		if toSmall {
-			active = cfg.resizeTo
-		}
-		strat, err := buildStrategy(cfg.strategy, active, cfg.seed)
-		if err != nil {
-			return resizes, err
-		}
-		seq++
-		ep, err := strategy.NewEpoch(seq, n, strat, cfg.replicas)
-		if err != nil {
-			return resizes, err
-		}
-		if _, err := c.Resize(ep); err != nil {
-			lastErr = err
-			continue
-		}
-		resizes++
-		toSmall = !toSmall
-	}
-}
-
-// readStateAddrs extracts the worker address list from an mmctl state
-// file, in partition order.
-func readStateAddrs(path string) ([]string, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var st struct {
-		Procs []struct {
-			Addr string `json:"addr"`
-		} `json:"procs"`
-	}
-	if err := json.Unmarshal(b, &st); err != nil {
-		return nil, err
-	}
-	if len(st.Procs) == 0 {
-		return nil, fmt.Errorf("state file lists no workers")
-	}
-	addrs := make([]string, len(st.Procs))
-	for i, p := range st.Procs {
-		addrs[i] = p.Addr
-	}
-	return addrs, nil
-}
-
-// watchState polls the mmctl state file and rescales the socket
-// transport onto every new layout it publishes — the consumer side of
-// `mmctl scale`.
-func watchState(tr *cluster.NetTransport, path string, interval time.Duration, stop <-chan struct{}, out io.Writer) {
-	last := strings.Join(tr.Addrs(), ",")
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
-		}
-		addrs, err := readStateAddrs(path)
-		if err != nil {
-			continue // mid-rewrite or gone; retry next tick
-		}
-		j := strings.Join(addrs, ",")
-		if j == last {
-			continue
-		}
-		if err := tr.Rescale(addrs); err != nil {
-			fmt.Fprintf(out, "mmload: rescale onto %s failed: %v\n", j, err)
-			continue
-		}
-		last = j
-		fmt.Fprintf(out, "mmload: rescaled onto %d node processes\n", len(addrs))
-	}
-}
-
-// buildWeighted assembles the frequency-weighted strategy pair: the
-// base strategy plus the (M3′) post-heavy hot split sized for an
-// assumed locate:post ratio of alpha.
-func buildWeighted(n int, base rendezvous.Strategy, alpha float64) (*strategy.Weighted, error) {
-	hot, err := strategy.PostHeavy(n, strategy.AlphaQuerySize(n, alpha))
-	if err != nil {
-		return nil, err
-	}
-	return strategy.NewWeighted(base, hot)
-}
-
-// portPicker returns a per-goroutine port-popularity sampler over the
-// precomputed name table. Zipf makes a handful of ports hot — exactly
-// the regime coalescing targets.
-func portPicker(cfg config, names []core.Port, workerSeed int64) (func() core.Port, error) {
-	rng := rand.New(rand.NewSource(cfg.seed*1_000_003 + workerSeed))
-	switch cfg.workload {
-	case "uniform":
-		return func() core.Port { return names[rng.Intn(len(names))] }, nil
-	case "zipf":
-		if cfg.zipfS <= 1 {
-			return nil, fmt.Errorf("zipf-s must be > 1, got %v", cfg.zipfS)
-		}
-		if cfg.zipfV < 1 {
-			return nil, fmt.Errorf("zipf-v must be ≥ 1, got %v", cfg.zipfV)
-		}
-		z := rand.NewZipf(rng, cfg.zipfS, cfg.zipfV, uint64(len(names)-1))
-		return func() core.Port { return names[z.Uint64()] }, nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", cfg.workload)
-	}
-}
-
-// closedLoop hammers the cluster from cfg.concurrency goroutines until
-// the deadline; each failed locate is already counted by the metrics.
-// With -batch N each worker issues its locates through LocateBatch in
-// groups of N (reused request/result slices, shard-grouped store
-// access).
-func closedLoop(c *cluster.Cluster, cfg config, names []core.Port, n int, det *forgeDetector) error {
-	deadline := time.Now().Add(cfg.duration)
-	var wg sync.WaitGroup
-	errs := make([]error, cfg.concurrency)
-	for w := 0; w < cfg.concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pick, err := portPicker(cfg, names, int64(w))
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			rng := rand.New(rand.NewSource(cfg.seed*31 + int64(w)))
-			if cfg.batch > 0 {
-				reqs := make([]cluster.LocateReq, cfg.batch)
-				res := make([]cluster.LocateRes, cfg.batch)
-				for time.Now().Before(deadline) {
-					for i := range reqs {
-						reqs[i] = cluster.LocateReq{Client: graph.NodeID(rng.Intn(n)), Port: pick()}
-					}
-					if err := c.LocateBatch(reqs, res); err != nil {
-						errs[w] = err
-						return
-					}
-					if det != nil {
-						for i := range res {
-							det.check(reqs[i].Port, res[i].Entry, res[i].Err)
-						}
-					}
-				}
-				return
-			}
-			for time.Now().Before(deadline) {
-				// Batch the deadline check amortization: 64 locates per
-				// clock read keeps the loop out of time.Now.
-				for i := 0; i < 64; i++ {
-					client := graph.NodeID(rng.Intn(n))
-					port := pick()
-					e, err := c.Locate(client, port)
-					if det != nil {
-						det.check(port, e, err)
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// openLoop submits arrivals at cfg.rate locates/sec onto the cluster's
-// shard worker pools, shedding (not queueing) when the pools fall
-// behind — the throughput-under-offered-load view.
-//
-// Pacing is by absolute deadline: the k-th arrival is due at
-// start + k/rate, and the loop sleeps until the next arrival's absolute
-// due time rather than a fixed relative interval. Relative ticks
-// accumulate scheduler drift and drop the final partial interval, which
-// undershoots the offered rate (and flatters the shedding stats) once
-// the rate climbs past ~100k/s; the absolute schedule self-corrects
-// after every oversleep and always issues exactly rate×duration
-// arrivals.
-func openLoop(c *cluster.Cluster, cfg config, names []core.Port, n int, det *forgeDetector) error {
-	pick, err := portPicker(cfg, names, 0)
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(cfg.seed * 17))
-	var pending sync.WaitGroup
-	start := time.Now()
-	total := int(float64(cfg.rate) * cfg.duration.Seconds())
-	perArrival := float64(time.Second) / float64(cfg.rate)
-	issued := 0
-	for issued < total {
-		due := int(float64(cfg.rate) * time.Since(start).Seconds())
-		if due > total {
-			due = total
-		}
-		for ; issued < due; issued++ {
-			client := graph.NodeID(rng.Intn(n))
-			port := pick()
-			pending.Add(1)
-			if err := c.Submit(client, port, func(e core.Entry, err error) {
-				if det != nil {
-					det.check(port, e, err)
-				}
-				pending.Done()
-			}); err != nil {
-				pending.Done() // shed; already counted in metrics
-			}
-		}
-		if issued >= total {
-			break
-		}
-		next := start.Add(time.Duration(float64(issued+1) * perArrival))
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
-		}
-	}
-	pending.Wait()
-	return nil
-}
-
-// runKiller crashes random rendezvous nodes at cfg.killRate per
-// second, restoring the previous victim before each new kill so one
-// node is down at any moment. A restored node comes back with its
-// volatile cache lost, so the killer performs the paper's §5 repair
-// duty — every server reposts — before the next kill; what remains
-// unrepairable is the live outage window, which is exactly what
-// replication is measured against: with r=1 the pairs meeting at the
-// dead node fail until it returns, with r≥2 they fall through to the
-// next family and succeed. Nodes currently hosting a server are spared
-// so every failure observed is a rendezvous failure, not a dead
-// service. It returns the number of kills issued.
-func runKiller(c *cluster.Cluster, reg *registry, cfg config, n int, stop <-chan struct{}) int64 {
-	rng := rand.New(rand.NewSource(cfg.seed * 7919))
-	tr := c.Transport()
-	var (
-		kills int64
-		dead  []graph.NodeID
-	)
-	tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.killRate))
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			for _, v := range dead {
-				_ = tr.Restore(v)
-			}
-			return kills
-		case <-tick.C:
-		}
-		reg.mu.Lock()
-		homes := make(map[graph.NodeID]bool, len(reg.servers))
-		for _, ref := range reg.servers {
-			homes[ref.Node()] = true
-		}
-		reg.mu.Unlock()
-		victim := graph.NodeID(-1)
-		for tries := 0; tries < 64; tries++ {
-			v := graph.NodeID(rng.Intn(n))
-			if homes[v] || slices.Contains(dead, v) {
-				continue
-			}
-			victim = v
-			break
-		}
-		if victim < 0 {
-			continue
-		}
-		restored := false
-		for len(dead) > 0 {
-			_ = tr.Restore(dead[0])
-			dead = dead[1:]
-			restored = true
-		}
-		if restored {
-			// Refill the restored node's wiped cache: the repair duty
-			// the net transport's repair loop automates.
-			reg.mu.Lock()
-			for _, ref := range reg.servers {
-				_ = ref.Repost()
-			}
-			reg.mu.Unlock()
-		}
-		if err := tr.Crash(victim); err == nil {
-			dead = append(dead, victim)
-			kills++
-		}
-	}
-}
-
-// runCorruptor is the adversarial half of the -corrupt-rate chaos mode:
-// at the configured rate it injects one corruption operation — a
-// dropped posting, an orphaned duplicate, a stale-epoch address or a
-// bit-flipped entry with a poisoned timestamp — through the transport's
-// deterministic corruption planner, while the background anti-entropy
-// loop races it back to the registration ground truth. Each tick draws
-// a fresh plan seed so waves differ but any run is reproducible from
-// -seed.
-func runCorruptor(antiT cluster.AntiEntropyTransport, cfg config, stop <-chan struct{}) {
-	wave := int64(0)
-	tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.corruptRate))
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
-		}
-		wave++
-		_, _ = antiT.Corrupt(cluster.CorruptOptions{Seed: cfg.seed*7907 + wave, Count: 1})
-	}
-}
-
-// runArmer re-arms the answer-forging adversary at cfg.byzRate waves
-// per second, each wave drawing fresh liars and fresh lies from a
-// fresh seed — like runCorruptor, reproducible from -seed. The plan
-// replaces the previous wave's wholesale, so the number of
-// concurrently lying nodes stays at cfg.liars.
-func runArmer(byzT cluster.ByzantineTransport, cfg config, stop <-chan struct{}) {
-	wave := int64(0)
-	tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.byzRate))
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
-		}
-		wave++
-		_, _ = byzT.Arm(cluster.ArmOptions{Seed: cfg.seed*6053 + wave, Liars: cfg.liars})
-	}
-}
-
-// forgeDetector judges surfaced locate answers against registration
-// ground truth, counting the lies that reached a client: a port other
-// than the one queried, a fabricated instance id (≥ ForgedIDBase), or —
-// when no churn moves the servers mid-run — an address that is not the
-// port's registered home. With voting on, this count is the harness's
-// exit criterion: zero forged answers may surface.
-type forgeDetector struct {
-	reg    *registry
-	idx    map[core.Port]int
-	addrOK bool // address ground truth stable (no churn/resize)
-	forged atomic.Int64
-}
-
-func newForgeDetector(cfg config, reg *registry, names []core.Port) *forgeDetector {
-	idx := make(map[core.Port]int, len(names))
-	for i, p := range names {
-		idx[p] = i
-	}
-	return &forgeDetector{reg: reg, idx: idx, addrOK: cfg.churn == 0 && cfg.resizeEvery == 0}
-}
-
-func (d *forgeDetector) check(port core.Port, e core.Entry, err error) {
-	if err != nil {
-		return
-	}
-	if e.Port != port || e.ServerID >= cluster.ForgedIDBase {
-		d.forged.Add(1)
-		return
-	}
-	if !d.addrOK {
-		return
-	}
-	i, ok := d.idx[port]
-	if !ok {
-		return
-	}
-	d.reg.mu.Lock()
-	home := d.reg.servers[i].Node()
-	d.reg.mu.Unlock()
-	if e.Addr != home {
-		d.forged.Add(1)
-	}
-}
-
-// runChurn tears one service down per tick: deregister, crash the old
-// node, re-register at a fresh node, and restore the previous crash
-// victim — so at any moment at most one node is down and every service
-// keeps moving.
-func runChurn(c *cluster.Cluster, reg *registry, cfg config, n int, stop <-chan struct{}) {
-	rng := rand.New(rand.NewSource(cfg.seed * 101))
-	tr := c.Transport()
-	lastCrashed := graph.NodeID(-1)
-	tick := time.NewTicker(cfg.churn)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			if lastCrashed >= 0 {
-				_ = tr.Restore(lastCrashed)
-			}
-			return
-		case <-tick.C:
-		}
-		p := rng.Intn(len(reg.servers))
-		reg.mu.Lock()
-		ref := reg.servers[p]
-		oldNode := ref.Node()
-		_ = ref.Deregister()
-		if lastCrashed >= 0 {
-			_ = tr.Restore(lastCrashed)
-		}
-		_ = tr.Crash(oldNode)
-		lastCrashed = oldNode
-		newNode := graph.NodeID(rng.Intn(n))
-		for newNode == oldNode {
-			newNode = graph.NodeID(rng.Intn(n))
-		}
-		if newRef, err := c.Register(ref.Port(), newNode); err == nil {
-			reg.servers[p] = newRef
-		}
-		reg.mu.Unlock()
-	}
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"matchmake/internal/sweep/procctl"
+)
+
+// TestMain lets procctl.Spawn re-exec this test binary as a node
+// worker, exactly as the installed mmsweep binary would.
+func TestMain(m *testing.M) {
+	procctl.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestRunAndTables drives the binary's whole loop: a small matrix
+// (mem plus a real net scenario over spawned processes) with gates
+// on, then table regeneration into a marker doc from the recorded
+// results.
+func TestRunAndTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster: skipped in -short")
+	}
+	dir := t.TempDir()
+	matrix := filepath.Join(dir, "matrix.json")
+	if err := os.WriteFile(matrix, []byte(`{
+		"defaults": {"nodes": 12, "ports": 4, "duration": "150ms", "seed": 7, "procs": 3},
+		"dims": {
+			"transport": ["mem", "net"],
+			"replicas": [2],
+			"kill_rate": [0, 10]
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results := filepath.Join(dir, "results")
+	var out bytes.Buffer
+	if err := run([]string{"run", "-matrix", matrix, "-results", results, "-gate"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "4/4 scenarios passed") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+
+	doc := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(doc, []byte("# doc\n\n<!-- mmsweep:begin availability -->\nstale\n<!-- mmsweep:end availability -->\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"tables", "-results", results, "-doc", doc}, &out); err != nil {
+		t.Fatalf("tables: %v\n%s", err, out.String())
+	}
+	b, err := os.ReadFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "| kill rate | r | availability |") {
+		t.Fatalf("doc not regenerated:\n%s", b)
+	}
+	if strings.Contains(string(b), "stale") {
+		t.Fatalf("stale table survived:\n%s", b)
+	}
+	// Regenerating again is a no-op.
+	out.Reset()
+	if err := run([]string{"tables", "-results", results, "-doc", doc}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "already up to date") {
+		t.Fatalf("second regeneration not a fixed point:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("want usage error")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("want unknown-subcommand error")
+	}
+	if err := run([]string{"run"}, &out); err == nil {
+		t.Fatal("want missing -matrix error")
+	}
+	if err := run([]string{"tables"}, &out); err == nil {
+		t.Fatal("want missing -results error")
+	}
+}

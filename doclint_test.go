@@ -24,6 +24,9 @@ var doclintPackages = []string{
 	"internal/netwire",
 	"internal/topology",
 	"internal/graph",
+	"internal/sweep",
+	"internal/sweep/loadrun",
+	"internal/sweep/procctl",
 }
 
 // TestExportedSymbolsDocumented fails for every exported top-level

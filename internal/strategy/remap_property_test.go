@@ -1,0 +1,113 @@
+package strategy
+
+import (
+	"testing"
+
+	"matchmake/internal/graph"
+	"matchmake/internal/rendezvous"
+)
+
+// TestRemapMinimalMovementProperty sweeps (n, r, grow/shrink)
+// transitions and checks the minimal-movement contract against an
+// independent recomputation of the posting-set difference:
+//
+//   - Added(i) is exactly to.PostSet(i) \ from.PostSet(i) and
+//     Removed(i) exactly from.PostSet(i) \ to.PostSet(i), computed
+//     here with plain set arithmetic rather than the Remap internals;
+//   - MovedPosts(origins) is Σ |Added(origin)| — no hidden extra moves;
+//   - no unmoved posting is ever re-posted: Added(i) never intersects
+//     from.PostSet(i), so a target that holds a posting under both
+//     epochs is not sent it again;
+//   - a node whose effective posting set is unchanged moves nothing.
+func TestRemapMinimalMovementProperty(t *testing.T) {
+	type step struct{ fromN, toN int }
+	transitions := []step{
+		{16, 25}, // grow
+		{25, 16}, // shrink
+		{36, 64}, // grow, both perfect squares
+		{64, 36}, // shrink
+		{49, 49}, // no-op resize
+		{20, 33}, // non-square sizes
+	}
+	for _, rFrom := range []int{1, 2, 3} {
+		for _, rTo := range []int{1, 2, 3} {
+			for _, tr := range transitions {
+				universe := tr.fromN
+				if tr.toN > universe {
+					universe = tr.toN
+				}
+				from, err := NewEpoch(1, universe, rendezvous.Checkerboard(tr.fromN), rFrom)
+				if err != nil {
+					t.Fatalf("from epoch n=%d r=%d: %v", tr.fromN, rFrom, err)
+				}
+				to, err := NewEpoch(2, universe, rendezvous.Checkerboard(tr.toN), rTo)
+				if err != nil {
+					t.Fatalf("to epoch n=%d r=%d: %v", tr.toN, rTo, err)
+				}
+				rm, err := NewRemap(from, to)
+				if err != nil {
+					t.Fatalf("remap %d→%d: %v", tr.fromN, tr.toN, err)
+				}
+				var origins []graph.NodeID
+				total := 0
+				for i := 0; i < universe; i++ {
+					id := graph.NodeID(i)
+					origins = append(origins, id)
+					fromSet := asSet(from.PostSet(id))
+					toSet := asSet(to.PostSet(id))
+
+					added := rm.Added(id)
+					removed := rm.Removed(id)
+					// Added = to \ from, Removed = from \ to, by
+					// independent set arithmetic.
+					for _, v := range added {
+						if !toSet[v] || fromSet[v] {
+							t.Fatalf("n=%d→%d r=%d→%d node %d: Added contains %d (in to=%v, in from=%v)",
+								tr.fromN, tr.toN, rFrom, rTo, i, v, toSet[v], fromSet[v])
+						}
+					}
+					for _, v := range removed {
+						if !fromSet[v] || toSet[v] {
+							t.Fatalf("n=%d→%d r=%d→%d node %d: Removed contains %d (in from=%v, in to=%v)",
+								tr.fromN, tr.toN, rFrom, rTo, i, v, fromSet[v], toSet[v])
+						}
+					}
+					wantAdded, wantRemoved := 0, 0
+					for v := range toSet {
+						if !fromSet[v] {
+							wantAdded++
+						}
+					}
+					for v := range fromSet {
+						if !toSet[v] {
+							wantRemoved++
+						}
+					}
+					if len(added) != wantAdded || len(removed) != wantRemoved {
+						t.Fatalf("n=%d→%d r=%d→%d node %d: |Added|=%d want %d, |Removed|=%d want %d",
+							tr.fromN, tr.toN, rFrom, rTo, i, len(added), wantAdded, len(removed), wantRemoved)
+					}
+					// An unchanged posting family moves nothing.
+					if wantAdded == 0 && wantRemoved == 0 && (len(added) != 0 || len(removed) != 0) {
+						t.Fatalf("n=%d→%d r=%d→%d node %d: unchanged set moved %d/%d",
+							tr.fromN, tr.toN, rFrom, rTo, i, len(added), len(removed))
+					}
+					total += wantAdded
+				}
+				if got := rm.MovedPosts(origins); got != total {
+					t.Fatalf("n=%d→%d r=%d→%d: MovedPosts=%d, independent Σ|to\\from|=%d",
+						tr.fromN, tr.toN, rFrom, rTo, got, total)
+				}
+			}
+		}
+	}
+}
+
+// asSet turns a posting set into a membership map.
+func asSet(ids []graph.NodeID) map[graph.NodeID]bool {
+	m := make(map[graph.NodeID]bool, len(ids))
+	for _, v := range ids {
+		m[v] = true
+	}
+	return m
+}

@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"fmt"
+
+	"matchmake/internal/sweep/loadrun"
+)
+
+// GateCheck is one asserted invariant of a finished run.
+type GateCheck struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// GateReport is the verdict of every gate applied to one run: a sweep
+// with -gate fails when any run's report fails.
+type GateReport struct {
+	Pass   bool        `json:"pass"`
+	Checks []GateCheck `json:"checks"`
+}
+
+// Gates applies the scenario's invariants to its result:
+//
+//   - every run must complete locates, and — when no chaos loop
+//     crashes callers (kill or churn), which surfaces their in-flight
+//     locates as errors no name server could serve — suffer zero hard
+//     transport errors (NotFound rendezvous misses are judged
+//     separately);
+//   - with r ≥ 2 under chaos, availability must hold the storm bound
+//     (≥ 0.999) — except detect-only voting (quorum below 2f+1 against
+//     a liar), which fails conflicted ballots closed by design;
+//   - with r ≥ 2 and no chaos, no serviceable locate may miss at all;
+//   - with answer voting at r ≥ 3 and quorum ≥ 3, zero forged answers
+//     may surface (the 2f+1 bound, measured);
+//   - with corruption, the post-load anti-entropy drain must reach
+//     quiescence within its round budget.
+func Gates(s Scenario, res *loadrun.Result) *GateReport {
+	rep := &GateReport{Pass: true}
+	add := func(name string, pass bool, format string, args ...any) {
+		rep.Checks = append(rep.Checks, GateCheck{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+		if !pass {
+			rep.Pass = false
+		}
+	}
+	m := res.Metrics
+	add("locates", m.Locates > 0, "locates=%d", m.Locates)
+	if s.KillRate == 0 && s.Churn == 0 {
+		hard := m.Errors - m.NotFound
+		add("hard-errors", hard == 0, "errors=%d not-found=%d hard=%d", m.Errors, m.NotFound, hard)
+	}
+	chaos := s.KillRate > 0 || s.CorruptRate > 0 || s.ByzRate > 0
+	// A quorum below 2f+1 (q at r=2 against one liar) detects forgery
+	// but cannot outvote it: conflicted ballots fail closed, denting
+	// availability by design, so the storm bound stands down there.
+	detectOnly := s.ByzRate > 0 && s.VoteQuorum > 0 && s.Replicas < 3
+	if s.Replicas >= 2 && chaos && !detectOnly {
+		add("availability", m.Availability >= 0.999, "availability=%.4f (storm bound ≥ 0.999 at r=%d)", m.Availability, s.Replicas)
+	}
+	if s.Replicas >= 2 && !chaos && s.ResizeEvery == 0 {
+		add("not-found", m.NotFound == 0, "not-found=%d (r=%d, no chaos)", m.NotFound, s.Replicas)
+	}
+	if s.VoteQuorum >= 3 && s.Replicas >= 3 {
+		add("forged", res.Forged == 0, "forged=%d (vote quorum %d at r=%d)", res.Forged, s.VoteQuorum, s.Replicas)
+	}
+	if s.CorruptRate > 0 {
+		add("quiescence", res.QuiesceRounds >= 1 && res.QuiesceRounds <= 64,
+			"time-to-quiescence=%v in %d rounds (budget 64)", res.QuiesceIn, res.QuiesceRounds)
+	}
+	if s.ResizeEvery > 0 {
+		add("resizes", res.Resizes > 0 && res.ResizeErr == "", "resizes=%d err=%q", res.Resizes, res.ResizeErr)
+	}
+	return rep
+}

@@ -1,0 +1,192 @@
+package loadrun
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"matchmake/internal/cluster"
+)
+
+// TestReportBytes pins the Result rendering byte for byte against the
+// summary cmd/mmload printed before the engine moved here: the
+// refactor must not change a single output byte.
+func TestReportBytes(t *testing.T) {
+	r := &Result{
+		Transport: "mem",
+		Topology:  "complete",
+		Strategy:  "checkerboard",
+		Nodes:     64,
+		Ports:     16,
+		Workload:  "zipf",
+		Churn:     50 * time.Millisecond,
+		KillRate:  8,
+		Kills:     15,
+
+		CorruptRate:   20,
+		ReconEvery:    50 * time.Millisecond,
+		QuiesceRounds: 3,
+		QuiesceIn:     1234567 * time.Nanosecond,
+
+		ResizeEvery: 100 * time.Millisecond,
+		ResizeFrom:  64,
+		ResizeTo:    48,
+		Resizes:     19,
+		ResizeErr:   "boom",
+
+		Byzantine:  true,
+		ByzRate:    4,
+		Liars:      2,
+		ArmedLies:  6,
+		VoteQuorum: 3,
+		Forged:     0,
+
+		AllocsPerLocate: 3.14159,
+		Wire: &WireReport{
+			FramesPerLocate: 2.5,
+			BytesPerLocate:  120.4,
+			Coalesced:       1000,
+			Floods:          400,
+		},
+		Metrics: cluster.MetricsSnapshot{
+			Locates:         5000,
+			Passes:          20000,
+			PassesPerLocate: 4,
+			Availability:    1,
+		},
+	}
+	var out bytes.Buffer
+	r.Report(&out)
+	want := "mmload: transport=mem topology=complete nodes=64 strategy=checkerboard ports=16 workload=zipf churn=50ms\n" +
+		"mmload: kills=15 (rate 8.00/s, one node down at a time, caches lost)\n" +
+		"mmload: chaos corrupt-rate=20.00/s reconcile-interval=50ms: time-to-quiescence=1.235ms (3 rounds after load stop)\n" +
+		"mmload: resizes=19 (every 100ms, active 64↔48)\n" +
+		"mmload: resize: last error: boom\n" +
+		"mmload: byzantine rate=4.00/s liars=2 armed-lies=6 vote-quorum=3 forged=0\n" +
+		r.Metrics.String() + "\n" +
+		"allocs/locate≈3.14 (process-wide upper bound)\n" +
+		"wire: frames/locate=2.50 bytes/locate=120 (tx+rx, all ops in window)\n" +
+		"wire: coalesced=1000 locates into 400 shared floods (2.50 locates/flood)\n"
+	if got := out.String(); got != want {
+		t.Fatalf("report bytes diverged:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestReportMinimal pins the no-chaos rendering: header, metrics and
+// allocs only — no kills/corrupt/resize/byzantine/wire lines.
+func TestReportMinimal(t *testing.T) {
+	r := &Result{
+		Transport:       "mem",
+		Topology:        "complete",
+		Strategy:        "checkerboard",
+		Nodes:           16,
+		Ports:           4,
+		Workload:        "uniform",
+		AllocsPerLocate: 1.5,
+		Metrics:         cluster.MetricsSnapshot{Locates: 100, Passes: 800, PassesPerLocate: 8},
+	}
+	var out bytes.Buffer
+	r.Report(&out)
+	want := "mmload: transport=mem topology=complete nodes=16 strategy=checkerboard ports=4 workload=uniform\n" +
+		r.Metrics.String() + "\n" +
+		"allocs/locate≈1.50 (process-wide upper bound)\n"
+	if got := out.String(); got != want {
+		t.Fatalf("report bytes diverged:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestRunMem drives the engine end to end over the in-process
+// transport and checks the Result carries a live metrics window.
+func TestRunMem(t *testing.T) {
+	cfg := Defaults()
+	cfg.Nodes = 16
+	cfg.Ports = 4
+	cfg.Duration = 100 * time.Millisecond
+	cfg.Concurrency = 2
+	res, err := Run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Locates == 0 {
+		t.Fatal("no locates recorded")
+	}
+	if res.Metrics.Errors != 0 {
+		t.Fatalf("errors = %d", res.Metrics.Errors)
+	}
+	if res.Transport != "mem" || res.Nodes != 16 {
+		t.Fatalf("result shape = %s/%d", res.Transport, res.Nodes)
+	}
+	// The Result must round-trip as machine-readable JSON — the
+	// contract cmd/mmsweep records per run.
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics.Locates != res.Metrics.Locates {
+		t.Fatalf("JSON round trip lost locates: %d != %d", back.Metrics.Locates, res.Metrics.Locates)
+	}
+}
+
+// TestRunValidates spot-checks the config validation moved out of the
+// flag layer.
+func TestRunValidates(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.Nodes = 1 }, "at least 2 nodes"},
+		{func(c *Config) { c.Replicas = 0 }, "-replicas must be"},
+		{func(c *Config) { c.Rate = 100; c.Batch = 8 }, "-batch applies"},
+		{func(c *Config) { c.VoteQuorum = 3 }, "needs -replicas"},
+		{func(c *Config) { c.Transport = "bogus" }, "unknown transport"},
+		{func(c *Config) { c.Workload = "bogus" }, "unknown workload"},
+		{func(c *Config) { c.Topo = "bogus" }, "unknown topology"},
+		{func(c *Config) { c.Strategy = "bogus" }, "unknown strategy"},
+		{func(c *Config) { c.Transport = "gate" }, "-gate-addr"},
+	}
+	for i, tc := range cases {
+		cfg := Defaults()
+		cfg.Duration = 10 * time.Millisecond
+		tc.mutate(&cfg)
+		_, err := Run(cfg, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: err = %v, want substring %q", i, err, tc.want)
+		}
+	}
+}
+
+// TestRunChaosTallies runs the kill and corruption loops briefly and
+// checks their tallies land in the Result.
+func TestRunChaosTallies(t *testing.T) {
+	cfg := Defaults()
+	cfg.Nodes = 16
+	cfg.Ports = 4
+	cfg.Duration = 300 * time.Millisecond
+	cfg.Concurrency = 2
+	cfg.Replicas = 2
+	cfg.KillRate = 50
+	cfg.CorruptRate = 100
+	res, err := Run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills == 0 {
+		t.Fatal("kill loop recorded no kills")
+	}
+	if res.Metrics.CorruptionsInjected == 0 {
+		t.Fatal("corruptor injected nothing")
+	}
+	if res.QuiesceRounds == 0 {
+		t.Fatal("no quiescence drain ran")
+	}
+	if res.Metrics.Availability < 0.9 {
+		t.Fatalf("availability = %v", res.Metrics.Availability)
+	}
+}

@@ -1,0 +1,121 @@
+package loadrun
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"matchmake/internal/cluster"
+)
+
+// WireReport carries the wire-level counters for the net and gate
+// transports, charged to the measurement window.
+type WireReport struct {
+	// FramesPerLocate and BytesPerLocate are tx+rx over all operations
+	// in the window, divided by the locate count.
+	FramesPerLocate float64 `json:"frames_per_locate"`
+	BytesPerLocate  float64 `json:"bytes_per_locate"`
+	// Coalesced is the number of locates folded into Floods shared wire
+	// floods by the coalescer (both zero with coalescing off).
+	Coalesced int64 `json:"coalesced"`
+	Floods    int64 `json:"floods"`
+}
+
+// Result is the typed outcome of one load run: the resolved cluster
+// shape, every chaos loop's tally, and the cluster's metrics snapshot.
+// It marshals to the per-run JSON cmd/mmsweep records, and Report
+// renders it as the exact summary text cmd/mmload prints.
+type Result struct {
+	Transport string `json:"transport"`
+	Topology  string `json:"topology"`
+	Strategy  string `json:"strategy"`
+	Nodes     int    `json:"nodes"`
+	Ports     int    `json:"ports"`
+	Workload  string `json:"workload"`
+
+	// Churn is the crash/re-register interval (0 = off).
+	Churn time.Duration `json:"churn,omitempty"`
+	// KillRate and Kills report the node-crash chaos loop.
+	KillRate float64 `json:"kill_rate,omitempty"`
+	Kills    int64   `json:"kills,omitempty"`
+
+	// CorruptRate, ReconEvery, QuiesceRounds and QuiesceIn report the
+	// state-corruption chaos loop and the post-load anti-entropy drain.
+	CorruptRate   float64       `json:"corrupt_rate,omitempty"`
+	ReconEvery    time.Duration `json:"reconcile_interval,omitempty"`
+	QuiesceRounds int           `json:"quiesce_rounds,omitempty"`
+	QuiesceIn     time.Duration `json:"quiesce_in,omitempty"`
+
+	// ResizeEvery, ResizeFrom, ResizeTo, Resizes and ResizeErr report
+	// the elastic-membership churn loop.
+	ResizeEvery time.Duration `json:"resize_interval,omitempty"`
+	ResizeFrom  int           `json:"resize_from,omitempty"`
+	ResizeTo    int           `json:"resize_to,omitempty"`
+	Resizes     int64         `json:"resizes,omitempty"`
+	ResizeErr   string        `json:"resize_err,omitempty"`
+
+	// Byzantine is set when the forge detector ran (ByzRate > 0 or
+	// VoteQuorum ≥ 2); Forged is its count of lies that surfaced.
+	Byzantine  bool    `json:"byzantine,omitempty"`
+	ByzRate    float64 `json:"byzantine_rate,omitempty"`
+	Liars      int     `json:"liars,omitempty"`
+	ArmedLies  int64   `json:"armed_lies,omitempty"`
+	VoteQuorum int     `json:"vote_quorum,omitempty"`
+	Forged     int64   `json:"forged"`
+
+	// AllocsPerLocate is the process-wide allocation count over the
+	// window divided by locates — an upper bound on the serving path's
+	// allocs/op since it includes the harness's own allocations.
+	AllocsPerLocate float64 `json:"allocs_per_locate"`
+
+	// Wire is present for transports with wire-level counters.
+	Wire *WireReport `json:"wire,omitempty"`
+
+	// Metrics is the cluster's full metrics snapshot for the window.
+	Metrics cluster.MetricsSnapshot `json:"metrics"`
+}
+
+// Report renders the result as the summary text cmd/mmload has always
+// printed, byte for byte.
+func (r *Result) Report(out io.Writer) {
+	fmt.Fprintf(out, "mmload: transport=%s topology=%s nodes=%d strategy=%s ports=%d workload=%s%s\n",
+		r.Transport, r.Topology, r.Nodes, r.Strategy, r.Ports, r.Workload, r.churnSuffix())
+	if r.KillRate > 0 {
+		fmt.Fprintf(out, "mmload: kills=%d (rate %.2f/s, one node down at a time, caches lost)\n", r.Kills, r.KillRate)
+	}
+	if r.CorruptRate > 0 {
+		fmt.Fprintf(out, "mmload: chaos corrupt-rate=%.2f/s reconcile-interval=%v: time-to-quiescence=%v (%d rounds after load stop)\n",
+			r.CorruptRate, r.ReconEvery, r.QuiesceIn.Round(time.Microsecond), r.QuiesceRounds)
+	}
+	if r.ResizeEvery > 0 {
+		fmt.Fprintf(out, "mmload: resizes=%d (every %v, active %d↔%d)\n", r.Resizes, r.ResizeEvery, r.ResizeFrom, r.ResizeTo)
+		if r.ResizeErr != "" {
+			fmt.Fprintf(out, "mmload: resize: last error: %s\n", r.ResizeErr)
+		}
+	}
+	if r.Byzantine {
+		fmt.Fprintf(out, "mmload: byzantine rate=%.2f/s liars=%d armed-lies=%d vote-quorum=%d forged=%d\n",
+			r.ByzRate, r.Liars, r.ArmedLies, r.VoteQuorum, r.Forged)
+	}
+	fmt.Fprintln(out, r.Metrics.String())
+	if r.Metrics.Locates > 0 {
+		fmt.Fprintf(out, "allocs/locate≈%.2f (process-wide upper bound)\n", r.AllocsPerLocate)
+	}
+	if r.Wire != nil {
+		fmt.Fprintf(out, "wire: frames/locate=%.2f bytes/locate=%.0f (tx+rx, all ops in window)\n",
+			r.Wire.FramesPerLocate, r.Wire.BytesPerLocate)
+		if r.Wire.Floods > 0 {
+			fmt.Fprintf(out, "wire: coalesced=%d locates into %d shared floods (%.2f locates/flood)\n",
+				r.Wire.Coalesced, r.Wire.Floods, float64(r.Wire.Coalesced)/float64(r.Wire.Floods))
+		}
+	}
+}
+
+// churnSuffix is the header line's " churn=..." suffix, empty with
+// churn off.
+func (r *Result) churnSuffix() string {
+	if r.Churn <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" churn=%v", r.Churn)
+}

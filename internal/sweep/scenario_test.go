@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Duration(250 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"250ms"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"1.5s"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("string form = %v", time.Duration(d))
+	}
+	if err := json.Unmarshal([]byte(`250000000`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 250*time.Millisecond {
+		t.Fatalf("ns form = %v", time.Duration(d))
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Fatal("want error for bad duration")
+	}
+}
+
+// TestExpandCartesian checks the product cardinality, the derived
+// names, and that defaults flow into every run.
+func TestExpandCartesian(t *testing.T) {
+	m := &Matrix{
+		Defaults: Scenario{Nodes: 32, Ports: 8, Duration: Duration(time.Second), Seed: 7},
+		Dims: Dims{
+			Transport: []string{"mem", "net"},
+			Replicas:  []int{1, 2},
+			KillRate:  []float64{0, 8},
+		},
+	}
+	runs, notes, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected skips: %v", notes)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("expanded %d runs, want 8", len(runs))
+	}
+	names := make(map[string]Scenario, len(runs))
+	for _, s := range runs {
+		names[s.Name] = s
+		if s.Nodes != 32 || s.Ports != 8 || s.Seed != 7 {
+			t.Fatalf("defaults did not flow into %q: %+v", s.Name, s)
+		}
+	}
+	want := names["net-r2-kill8"]
+	if want.Transport != "net" || want.Replicas != 2 || want.KillRate != 8 {
+		t.Fatalf("net-r2-kill8 = %+v (names: %v)", want, names)
+	}
+	if s, ok := names["mem-r1-nokill"]; !ok || s.KillRate != 0 {
+		t.Fatalf("missing mem-r1-nokill run: %v", names)
+	}
+}
+
+// TestExpandSkips checks inconsistent combinations are reported, not
+// silently dropped and not run.
+func TestExpandSkips(t *testing.T) {
+	m := &Matrix{
+		Dims: Dims{
+			Replicas:   []int{1, 3},
+			VoteQuorum: []int{0, 3},
+		},
+	}
+	runs, notes, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1-q0, r3-q0, r3-q3 run; r1-q3 is inconsistent.
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3: %+v", len(runs), runs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skip r1-q3") {
+		t.Fatalf("notes = %v", notes)
+	}
+	// Byzantine × resize is excluded too.
+	m = &Matrix{Dims: Dims{
+		ByzRate:     []float64{2},
+		ResizeEvery: []Duration{Duration(100 * time.Millisecond)},
+	}}
+	_, notes, err = m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "mutually exclusive") {
+		t.Fatalf("notes = %v", notes)
+	}
+}
+
+// TestExpandExplicitScenarios checks the explicit list merges over
+// defaults and duplicate names are rejected.
+func TestExpandExplicitScenarios(t *testing.T) {
+	m := &Matrix{
+		Defaults: Scenario{Nodes: 16, Duration: Duration(time.Second)},
+		Scenarios: []Scenario{
+			{Name: "hinted", Hints: true},
+			{Replicas: 2},
+		},
+	}
+	runs, _, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	if runs[0].Name != "hinted" || !runs[0].Hints || runs[0].Nodes != 16 {
+		t.Fatalf("explicit merge: %+v", runs[0])
+	}
+	if runs[1].Name != "scenario-01" {
+		t.Fatalf("derived name = %q", runs[1].Name)
+	}
+	m.Scenarios = append(m.Scenarios, Scenario{Name: "hinted"})
+	if _, _, err := m.Expand(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate name err = %v", err)
+	}
+}
+
+// TestReadMatrix checks the file loader, including unknown-field
+// rejection (typos in a matrix must not silently become defaults).
+func TestReadMatrix(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(good, []byte(`{
+		"defaults": {"nodes": 16, "duration": "500ms"},
+		"dims": {"transport": ["mem"], "replicas": [1, 2]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMatrix(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Defaults.Nodes != 16 || time.Duration(m.Defaults.Duration) != 500*time.Millisecond {
+		t.Fatalf("defaults = %+v", m.Defaults)
+	}
+	runs, _, err := m.Expand()
+	if err != nil || len(runs) != 2 {
+		t.Fatalf("runs = %v err = %v", runs, err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"defaults": {"nodez": 16}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMatrix(bad); err == nil {
+		t.Fatal("want unknown-field error")
+	}
+}
+
+// TestScenarioConfig checks the scenario → engine config translation
+// keeps loadrun defaults for unset fields and overlays set ones.
+func TestScenarioConfig(t *testing.T) {
+	s := Scenario{
+		Transport:  "net",
+		Nodes:      36,
+		Replicas:   2,
+		VoteQuorum: 2,
+		KillRate:   4,
+		Duration:   Duration(750 * time.Millisecond),
+		Hints:      true,
+	}
+	cfg := s.Config()
+	if cfg.Transport != "net" || cfg.Nodes != 36 || cfg.Replicas != 2 ||
+		cfg.VoteQuorum != 2 || cfg.KillRate != 4 || !cfg.Hints {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Duration != 750*time.Millisecond {
+		t.Fatalf("duration = %v", cfg.Duration)
+	}
+	// Unset fields keep the engine defaults.
+	if cfg.Ports != 16 || cfg.Topo != "complete" || cfg.Strategy != "checkerboard" {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+	// A zero-valued scenario must not zero fields loadrun defaults on.
+	cfg = Scenario{}.Config()
+	if cfg.Replicas != 1 || cfg.Nodes != 64 {
+		t.Fatalf("zero scenario clobbered defaults: %+v", cfg)
+	}
+}

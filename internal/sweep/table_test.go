@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// docFixture is a doc skeleton with every marker block, plus prose
+// that must survive regeneration untouched.
+const docFixture = `# Experiments
+
+Availability under crashes:
+
+<!-- mmsweep:begin availability -->
+| stale | table |
+<!-- mmsweep:end availability -->
+
+Prose between blocks stays.
+
+<!-- mmsweep:begin byzantine -->
+<!-- mmsweep:end byzantine -->
+
+<!-- mmsweep:begin corruption -->
+<!-- mmsweep:end corruption -->
+
+<!-- mmsweep:begin throughput -->
+old contents
+<!-- mmsweep:end throughput -->
+
+Tail prose.
+`
+
+func fixtureRecords(t *testing.T) []*RunRecord {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "records.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*RunRecord
+	if err := json.Unmarshal(b, &recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestTablesGolden pins the full regeneration pipeline: fixture
+// records → GenerateTables → UpdateDoc must produce the golden
+// markdown byte for byte. Regenerate with -update after a deliberate
+// format change.
+func TestTablesGolden(t *testing.T) {
+	recs := fixtureRecords(t)
+	env := Env{GoVersion: "go1.24.0", OS: "linux", Arch: "amd64", CPUs: 8}
+	tables := GenerateTables(recs, env)
+	for _, name := range []string{TableAvailability, TableByzantine, TableCorruption, TableThroughput} {
+		if tables[name] == "" {
+			t.Fatalf("no %s table generated", name)
+		}
+	}
+	got, err := UpdateDoc([]byte(docFixture), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tables.golden.md")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("regenerated doc diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestUpdateDocIdempotent checks regenerating an already-regenerated
+// doc is a fixed point.
+func TestUpdateDocIdempotent(t *testing.T) {
+	recs := fixtureRecords(t)
+	env := Env{GoVersion: "go1.24.0", OS: "linux", Arch: "amd64"}
+	tables := GenerateTables(recs, env)
+	once, err := UpdateDoc([]byte(docFixture), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := UpdateDoc(once, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(twice) {
+		t.Fatal("UpdateDoc is not idempotent")
+	}
+}
+
+// TestUpdateDocErrors checks malformed or unservable marker blocks
+// fail loudly instead of leaving stale tables in place.
+func TestUpdateDocErrors(t *testing.T) {
+	tables := map[string]string{"availability": "| x |\n"}
+	if _, err := UpdateDoc([]byte("<!-- mmsweep:begin availability -->\nx\n"), tables); err == nil {
+		t.Fatal("want error for missing end marker")
+	}
+	doc := "<!-- mmsweep:begin nosuch -->\n<!-- mmsweep:end nosuch -->\n"
+	if _, err := UpdateDoc([]byte(doc), tables); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("err = %v, want unknown-block error", err)
+	}
+	// A doc with no markers passes through unchanged.
+	out, err := UpdateDoc([]byte("plain prose\n"), tables)
+	if err != nil || string(out) != "plain prose\n" {
+		t.Fatalf("passthrough = %q err = %v", out, err)
+	}
+}
+
+func TestComma(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{{0, "0"}, {999, "999"}, {1000, "1,000"}, {12345, "12,345"}, {1234567, "1,234,567"}, {-12345, "-12,345"}} {
+		if got := comma(tc.n); got != tc.want {
+			t.Fatalf("comma(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

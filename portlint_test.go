@@ -1,0 +1,52 @@
+package matchmake
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixedPortListen matches a listener bound to a literal non-zero port
+// ("127.0.0.1:7001", "localhost:8080", ":9090") in a Listen call.
+// Tests binding fixed ports collide when suites run in parallel or
+// twice (-count=2), so every test listener must bind :0 and read the
+// assigned address back; spawned node workers inherit this via
+// procctl's -addr default.
+var fixedPortListen = regexp.MustCompile(`Listen\w*\(\s*"[^"]*"\s*,\s*"(?:127\.0\.0\.1|localhost|\[::1\]|)?:[1-9][0-9]*"`)
+
+// TestNoFixedPortsInTests is the port-hygiene lint: no _test.go file
+// may bind a hard-coded port. Fixed-port strings in non-binding
+// fixtures (pinned banner output, dial targets that must fail) are
+// fine — only Listen calls are flagged.
+func TestNoFixedPortsInTests(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			if fixedPortListen.MatchString(line) {
+				t.Errorf("%s:%d: test binds a fixed port — use :0 and read the address back:\n\t%s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
